@@ -1,0 +1,205 @@
+// Benchmarks regenerating every table and figure of the paper (scaled
+// down so the suite completes in minutes; `cmd/benchsuite -scale paper`
+// runs the full Table 1 sizes). One benchmark per artifact:
+//
+//	BenchmarkFig7a   — makespan vs f-risky threshold (Fig. 7a)
+//	BenchmarkFig7b   — STGA makespan vs iteration budget (Fig. 7b)
+//	BenchmarkFig5    — warm vs cold GA convergence (Fig. 5)
+//	BenchmarkFig8    — NAS seven-algorithm comparison (Fig. 8)
+//	BenchmarkFig9    — per-site utilization view of the same run (Fig. 9)
+//	BenchmarkTable2  — α/β ratios and ranking (Table 2)
+//	BenchmarkFig10   — PSA scaling in N (Fig. 10)
+//	BenchmarkClusterExt — A5 space-shared substrate validation
+//
+// plus micro-benchmarks of the scheduling kernels.
+package trustgrid_test
+
+import (
+	"testing"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/heuristics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/stga"
+)
+
+// benchSetup is the scaled-down configuration shared by the figure
+// benchmarks.
+func benchSetup() experiments.Setup {
+	s := experiments.TestSetup()
+	s.NASJobs = 1000
+	s.NASSpan = 4 * 24 * 3600
+	s.Population = 50
+	s.Generations = 30
+	s.TrainingJobs = 120
+	return s
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.F) != 11 {
+			b.Fatalf("expected 11 sweep points, got %d", len(res.F))
+		}
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7b(s, []int{5, 25, 50, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Makespan) != 4 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunNAS(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Algorithms) != 7 {
+			b.Fatal("missing algorithms")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunNAS(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RenderFig9() == "" {
+			b.Fatal("empty Fig. 9 view")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunNAS(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table2()) != 7 {
+			b.Fatal("incomplete Table 2")
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig10(s, []int{250, 500, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sizes) != 3 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+func BenchmarkClusterExt(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunClusterExtension(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the scheduling kernels ---
+
+func benchBatch(n int) ([]*grid.Job, *sched.State) {
+	r := rng.New(1)
+	sites, err := grid.PSAPlatform().Generate(r.Derive("sites"))
+	if err != nil {
+		panic(err)
+	}
+	jobs := make([]*grid.Job, n)
+	for i := range jobs {
+		jobs[i] = &grid.Job{
+			ID: i, Workload: 1000 + r.Float64()*200000, Nodes: 1,
+			SecurityDemand: r.Uniform(0.6, 0.9),
+		}
+	}
+	return jobs, &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+}
+
+func BenchmarkMinMinBatch50(b *testing.B) {
+	jobs, st := benchBatch(50)
+	s := heuristics.NewMinMin(grid.FRiskyPolicy(0.5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(jobs, st)
+	}
+}
+
+func BenchmarkSufferageBatch50(b *testing.B) {
+	jobs, st := benchBatch(50)
+	s := heuristics.NewSufferage(grid.FRiskyPolicy(0.5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(jobs, st)
+	}
+}
+
+func BenchmarkSTGABatch50(b *testing.B) {
+	jobs, st := benchBatch(50)
+	cfg := stga.DefaultConfig() // full Table 1 GA: pop 200 × 100 gens
+	s := stga.New(cfg, rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(jobs, st)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	// End-to-end simulation throughput with a cheap scheduler: measures
+	// the event engine + dispatch path, ~1000 jobs per iteration.
+	s := benchSetup()
+	w, err := s.PSAWorkload(3, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(sched.RunConfig{
+			Jobs: w.Jobs, Sites: w.Sites,
+			Scheduler:     heuristics.NewMCT(grid.FRiskyPolicy(0.5)),
+			BatchInterval: 5000,
+			Rand:          rng.New(uint64(i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Jobs != 1000 {
+			b.Fatal("incomplete run")
+		}
+	}
+}

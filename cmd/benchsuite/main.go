@@ -1,0 +1,147 @@
+// Command benchsuite regenerates every table and figure of the paper.
+//
+// Usage:
+//
+//	benchsuite [-exp all|fig5|fig7a|fig7b|fig8|fig9|fig10|table2|ablations]
+//	           [-seed N] [-reps N] [-out DIR] [-scale small|paper]
+//
+// Results are printed to stdout and, when -out is given, written as CSV
+// files to the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"trustgrid/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig5, fig7a, fig7b, fig8, fig9, fig10, table2, clusterext, ablations)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	reps := flag.Int("reps", 1, "replications per configuration")
+	out := flag.String("out", "", "directory for CSV output (optional)")
+	scale := flag.String("scale", "paper", "paper (Table 1 sizes) or small (quick smoke)")
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	if *scale == "small" {
+		setup = experiments.TestSetup()
+	}
+	setup.Seed = *seed
+	setup.Reps = *reps
+
+	run := func(name string, fn func() (render string, csv string, err error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		render, csv, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), render)
+		if *out != "" && csv != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, name+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	var nasCache *experiments.NASResult
+	nas := func() (*experiments.NASResult, error) {
+		if nasCache != nil {
+			return nasCache, nil
+		}
+		r, err := experiments.RunNAS(setup)
+		nasCache = r
+		return r, err
+	}
+
+	run("fig7a", func() (string, string, error) {
+		r, err := experiments.RunFig7a(setup)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	})
+	run("fig7b", func() (string, string, error) {
+		r, err := experiments.RunFig7b(setup, nil)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	})
+	run("fig5", func() (string, string, error) {
+		r, err := experiments.RunFig5(setup)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), "", nil
+	})
+	run("fig8", func() (string, string, error) {
+		r, err := nas()
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	})
+	run("fig9", func() (string, string, error) {
+		r, err := nas()
+		if err != nil {
+			return "", "", err
+		}
+		return r.RenderFig9(), "", nil
+	})
+	run("table2", func() (string, string, error) {
+		r, err := nas()
+		if err != nil {
+			return "", "", err
+		}
+		return r.RenderTable2(), "", nil
+	})
+	run("fig10", func() (string, string, error) {
+		r, err := experiments.RunFig10(setup, nil)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	})
+	run("overhead", func() (string, string, error) {
+		r, err := experiments.RunOverhead(setup)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), "", nil
+	})
+	run("clusterext", func() (string, string, error) {
+		r, err := experiments.RunClusterExtension(setup)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), "", nil
+	})
+	run("ablations", func() (string, string, error) {
+		var b strings.Builder
+		for _, ab := range experiments.AllAblations {
+			r, err := ab.Run(setup)
+			if err != nil {
+				return "", "", err
+			}
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		return b.String(), "", nil
+	})
+}

@@ -1,0 +1,157 @@
+// Command gridsched runs one trusted-grid scheduling simulation and
+// prints the paper's metrics.
+//
+// Usage:
+//
+//	gridsched [-workload nas|psa] [-jobs N] [-algo NAME] [-f 0.5]
+//	          [-seed N] [-batch SECONDS] [-lambda 3] [-swf FILE] [-v]
+//
+// Algorithms: minmin, sufferage, mct, met, olb, random, stga, coldga.
+// Modes are chosen via -mode secure|risky|frisky (with -f for frisky).
+// With -swf, jobs are read from a Standard Workload Format trace instead
+// of the synthetic NAS generator (the 12-site NAS platform is kept).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/heuristics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/stats"
+	"trustgrid/internal/stga"
+	"trustgrid/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "psa", "workload family: nas or psa")
+	jobs := flag.Int("jobs", 1000, "number of jobs (psa) or NAS trace size")
+	algo := flag.String("algo", "stga", "minmin, sufferage, mct, met, olb, random, stga, coldga")
+	mode := flag.String("mode", "frisky", "risk mode for heuristics: secure, risky, frisky")
+	f := flag.Float64("f", 0.5, "f-risky threshold")
+	seed := flag.Uint64("seed", 1, "random seed")
+	batch := flag.Float64("batch", 0, "scheduling period Δ seconds (0 = workload default)")
+	lambda := flag.Float64("lambda", grid.DefaultLambda, "failure-law coefficient λ")
+	swf := flag.String("swf", "", "replay an SWF trace file on the NAS platform")
+	verbose := flag.Bool("v", false, "print per-site utilization")
+	flag.Parse()
+
+	if err := run(*workload, *jobs, *algo, *mode, *f, *seed, *batch, *lambda, *swf, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "gridsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, jobs int, algo, mode string, f float64,
+	seed uint64, batch, lambda float64, swf string, verbose bool) error {
+
+	setup := experiments.DefaultSetup()
+	setup.Seed = seed
+	setup.Lambda = lambda
+	setup.F = f
+
+	var w *experiments.Workload
+	var err error
+	switch workload {
+	case "nas":
+		setup.NASJobs = jobs
+		w, err = setup.NASWorkload(seed)
+	case "psa":
+		w, err = setup.PSAWorkload(seed, jobs)
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if err != nil {
+		return err
+	}
+	if swf != "" {
+		fh, err := os.Open(swf)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		recs, err := trace.ParseSWF(fh)
+		if err != nil {
+			return err
+		}
+		sdRng := rng.New(seed).Derive("swf/sd")
+		w.Jobs = trace.JobsFromSWF(recs, 0.5, func(int) float64 { return sdRng.Uniform(0.6, 0.9) })
+		fmt.Printf("replaying %d jobs from %s\n", len(w.Jobs), swf)
+	}
+	if batch > 0 {
+		w.Batch = batch
+	}
+
+	var policy grid.Policy
+	switch mode {
+	case "secure":
+		policy = setup.Policy(grid.Secure, 0)
+	case "risky":
+		policy = setup.Policy(grid.Risky, 0)
+	case "frisky":
+		policy = setup.Policy(grid.FRisky, f)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	r := rng.New(seed ^ 0xfeedface)
+	var scheduler sched.Scheduler
+	switch algo {
+	case "minmin":
+		scheduler = heuristics.NewMinMin(policy)
+	case "sufferage":
+		scheduler = heuristics.NewSufferage(policy)
+	case "mct":
+		scheduler = heuristics.NewMCT(policy)
+	case "met":
+		scheduler = heuristics.NewMET(policy)
+	case "olb":
+		scheduler = heuristics.NewOLB(policy)
+	case "random":
+		scheduler = heuristics.NewRandom(policy, r.Derive("random"))
+	case "stga", "coldga":
+		cfg := stga.DefaultConfig()
+		cfg.Policy = setup.Policy(grid.FRisky, f)
+		cfg.Security = setup.Model()
+		cfg.DisableHistory = algo == "coldga"
+		sc := stga.New(cfg, r.Derive("stga"))
+		if algo == "stga" {
+			sc.Train(w.Training, w.Sites, setup.TrainBatchSize)
+		}
+		scheduler = sc
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	res, err := sched.Run(sched.RunConfig{
+		Jobs: w.Jobs, Sites: w.Sites, Scheduler: scheduler,
+		BatchInterval: w.Batch, Security: setup.Model(),
+		Rand: r.Derive("engine"),
+	})
+	if err != nil {
+		return err
+	}
+
+	s := res.Summary
+	fmt.Printf("algorithm:        %s\n", scheduler.Name())
+	fmt.Printf("workload:         %s (%d jobs, %d sites, Δ=%.0fs)\n",
+		w.Name, len(w.Jobs), len(w.Sites), w.Batch)
+	fmt.Printf("makespan:         %s\n", stats.HumanSeconds(s.Makespan))
+	fmt.Printf("avg response:     %s\n", stats.HumanSeconds(s.AvgResponse))
+	fmt.Printf("slowdown ratio:   %.2f\n", s.Slowdown)
+	fmt.Printf("risk-taking jobs: %d\n", s.NRisk)
+	fmt.Printf("failed jobs:      %d\n", s.NFail)
+	fmt.Printf("mean utilization: %.1f%% (%d idle sites)\n", 100*s.MeanUtilization, s.IdleSites)
+	fmt.Printf("batches:          %d, simulated events: %d\n", res.Batches, res.Events)
+	if verbose {
+		for i, u := range s.SiteUtilization {
+			fmt.Printf("  site %2d (speed %3.0f, SL %.2f): %5.1f%%\n",
+				i+1, w.Sites[i].Speed, w.Sites[i].SecurityLevel, 100*u)
+		}
+	}
+	return nil
+}

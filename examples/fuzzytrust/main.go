@@ -1,0 +1,78 @@
+// Fuzzy trust: derive site security levels from observable security
+// attributes with the fuzzy-logic trust index (the paper's ref [23]
+// substrate) instead of sampling SL uniformly, then schedule a workload
+// on the resulting platform. Run with:
+//
+//	go run ./examples/fuzzytrust
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trustgrid"
+	"trustgrid/internal/fuzzy"
+	"trustgrid/internal/rng"
+)
+
+func main() {
+	// Four site archetypes, from a hardened supercomputing center to a
+	// loosely administered campus cluster.
+	profiles := []struct {
+		name  string
+		attrs fuzzy.Attributes
+	}{
+		{"national-lab", fuzzy.Attributes{IntrusionDetection: 0.95, Firewall: 0.95, Authentication: 0.9, SuccessHistory: 0.98}},
+		{"university-hpc", fuzzy.Attributes{IntrusionDetection: 0.7, Firewall: 0.8, Authentication: 0.7, SuccessHistory: 0.85}},
+		{"department-cluster", fuzzy.Attributes{IntrusionDetection: 0.4, Firewall: 0.6, Authentication: 0.5, SuccessHistory: 0.6}},
+		{"campus-lab", fuzzy.Attributes{IntrusionDetection: 0.15, Firewall: 0.3, Authentication: 0.3, SuccessHistory: 0.35}},
+	}
+
+	r := rng.New(11)
+	var sites []*trustgrid.Site
+	fmt.Printf("%-20s %-8s %-6s\n", "profile", "trust", "SL")
+	for i := 0; i < 20; i++ {
+		p := profiles[i%len(profiles)]
+		trust, err := fuzzy.TrustIndex(p.attrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sl, err := fuzzy.SecurityLevel(p.attrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i < len(profiles) {
+			fmt.Printf("%-20s %-8.2f %-6.2f\n", p.name, trust, sl)
+		}
+		sites = append(sites, &trustgrid.Site{
+			ID:            i,
+			Speed:         float64(10 * (i%10 + 1)),
+			Nodes:         1,
+			SecurityLevel: sl,
+		})
+	}
+
+	// Generate PSA jobs and schedule on the fuzzy-rated platform.
+	w, err := trustgrid.PSAWorkload(11, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []trustgrid.Scheduler{
+		trustgrid.NewMinMin(trustgrid.SecurePolicy()),
+		trustgrid.NewMinMin(trustgrid.FRiskyPolicy(0.5)),
+	} {
+		res, err := trustgrid.Simulate(trustgrid.SimConfig{
+			Jobs: w.Jobs, Sites: sites, Scheduler: s,
+			BatchInterval: 5000, Rand: r.Derive("engine"),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Summary
+		fmt.Printf("\n%-22s makespan %.3e s  response %.3e s  Nrisk %d  Nfail %d  idle sites %d\n",
+			s.Name(), m.Makespan, m.AvgResponse, m.NRisk, m.NFail, m.IdleSites)
+	}
+	fmt.Println("\nThe fuzzy index concentrates trust: hardened sites clear the")
+	fmt.Println("secure threshold for every demand, campus labs for none — so the")
+	fmt.Println("secure mode idles the low-trust half of the grid.")
+}

@@ -1,0 +1,35 @@
+// NAS trace comparison (the paper's Fig. 8 scenario): run all seven
+// algorithms on the synthetic NASA Ames iPSC/860 workload mapped onto a
+// 12-site grid, and print the metric table plus per-site utilizations.
+// Run with:
+//
+//	go run ./examples/nastrace [-jobs 4000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"trustgrid/internal/experiments"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 4000, "trace size (paper: 16000; smaller is faster)")
+	reps := flag.Int("reps", 1, "replications")
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	setup.NASJobs = *jobs
+	setup.Reps = *reps
+	// Keep the offered load comparable when shrinking the job count.
+	setup.NASSpan = setup.NASSpan * float64(*jobs) / 16000
+
+	res, err := experiments.RunNAS(setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+	fmt.Println(res.RenderFig9())
+	fmt.Println(res.RenderTable2())
+}

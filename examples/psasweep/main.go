@@ -1,0 +1,37 @@
+// PSA scaling study (the paper's Fig. 10 scenario): sweep the number of
+// jobs N and compare Min-Min f-risky, Sufferage f-risky and the STGA.
+// Run with:
+//
+//	go run ./examples/psasweep [-sizes 500,1000,2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"trustgrid/internal/experiments"
+)
+
+func main() {
+	sizesArg := flag.String("sizes", "500,1000,2000", "comma-separated job counts")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+
+	setup := experiments.DefaultSetup()
+	res, err := experiments.RunFig10(setup, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+}

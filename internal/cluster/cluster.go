@@ -1,0 +1,251 @@
+// Package cluster models a space-shared parallel machine — jobs occupy
+// `nodes` processors for their runtime — with FCFS and EASY-backfilling
+// queue disciplines. It serves two purposes in the reproduction:
+//
+//  1. Substrate validation: the paper's NAS workload originates from a
+//     128-node iPSC/860; replaying our synthetic trace through this
+//     model sanity-checks the generator against the machine it imitates
+//     (experiment A5 in DESIGN.md).
+//  2. Extension: the main simulator follows the paper in abstracting a
+//     site as an aggregate-speed serial queue; this package provides the
+//     more realistic space-shared alternative for robustness checks.
+//
+// Runtimes are assumed known exactly (the usual simplification when
+// replaying accounting traces; the paper's future-work section flags
+// unknown durations as open).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is one space-shared job.
+type Job struct {
+	ID      int
+	Submit  float64 // submission time, seconds
+	Runtime float64 // execution duration once started, seconds
+	Nodes   int     // processors occupied while running
+}
+
+// Result records one job's schedule.
+type Result struct {
+	ID     int
+	Start  float64
+	Finish float64
+	Nodes  int
+}
+
+// Metrics summarizes a simulated schedule.
+type Metrics struct {
+	Makespan    float64
+	AvgWait     float64
+	MaxWait     float64
+	Utilization float64 // node-seconds used / (nodes × makespan)
+}
+
+// running is an allocation active on the machine.
+type running struct {
+	finish float64
+	nodes  int
+}
+
+// machine tracks free nodes over time via the running set.
+type machine struct {
+	total  int
+	free   int
+	active []running // unordered; small (≤ total jobs running)
+	now    float64
+}
+
+func (m *machine) advanceTo(t float64) {
+	m.now = t
+	kept := m.active[:0]
+	for _, r := range m.active {
+		if r.finish > t {
+			kept = append(kept, r)
+		} else {
+			m.free += r.nodes
+		}
+	}
+	m.active = kept
+}
+
+// nextFinish returns the earliest finish time among active allocations
+// (or +Inf when idle... callers check active length).
+func (m *machine) nextFinish() float64 {
+	best := -1.0
+	for _, r := range m.active {
+		if best < 0 || r.finish < best {
+			best = r.finish
+		}
+	}
+	return best
+}
+
+// start places a job on the machine at the current time.
+func (m *machine) start(nodes int, runtime float64) float64 {
+	m.free -= nodes
+	finish := m.now + runtime
+	m.active = append(m.active, running{finish: finish, nodes: nodes})
+	return finish
+}
+
+// shadowTime computes when `nodes` processors will be free, assuming no
+// further arrivals: walk finish times in order accumulating releases.
+// Also returns the number of nodes spare at that time beyond the request.
+func (m *machine) shadowTime(nodes int) (at float64, spare int) {
+	if m.free >= nodes {
+		return m.now, m.free - nodes
+	}
+	finishes := append([]running(nil), m.active...)
+	sort.Slice(finishes, func(i, k int) bool { return finishes[i].finish < finishes[k].finish })
+	avail := m.free
+	for _, r := range finishes {
+		avail += r.nodes
+		if avail >= nodes {
+			return r.finish, avail - nodes
+		}
+	}
+	// Unreachable when nodes <= total.
+	return finishes[len(finishes)-1].finish, 0
+}
+
+func validate(nodes int, jobs []Job) error {
+	if nodes <= 0 {
+		return fmt.Errorf("cluster: non-positive node count %d", nodes)
+	}
+	for _, j := range jobs {
+		if j.Nodes <= 0 || j.Nodes > nodes {
+			return fmt.Errorf("cluster: job %d requests %d of %d nodes", j.ID, j.Nodes, nodes)
+		}
+		if j.Runtime < 0 || j.Submit < 0 {
+			return fmt.Errorf("cluster: job %d has negative time fields", j.ID)
+		}
+	}
+	return nil
+}
+
+// SimulateFCFS runs strict first-come-first-served space sharing: the
+// queue head blocks everything behind it until it fits.
+func SimulateFCFS(nodes int, jobs []Job) ([]Result, error) {
+	return simulate(nodes, jobs, false)
+}
+
+// SimulateEASY runs EASY backfilling: queued jobs may jump ahead if they
+// do not delay the reserved start of the queue head (Lifka 1995).
+func SimulateEASY(nodes int, jobs []Job) ([]Result, error) {
+	return simulate(nodes, jobs, true)
+}
+
+func simulate(nodes int, jobs []Job, backfill bool) ([]Result, error) {
+	if err := validate(nodes, jobs); err != nil {
+		return nil, err
+	}
+	pending := append([]Job(nil), jobs...)
+	sort.SliceStable(pending, func(i, k int) bool { return pending[i].Submit < pending[k].Submit })
+
+	m := &machine{total: nodes, free: nodes}
+	var queue []Job
+	results := make([]Result, 0, len(jobs))
+	nextArrival := 0
+
+	tryStart := func() {
+		for {
+			progressed := false
+			// Start the head while it fits.
+			for len(queue) > 0 && queue[0].Nodes <= m.free {
+				j := queue[0]
+				queue = queue[1:]
+				finish := m.start(j.Nodes, j.Runtime)
+				results = append(results, Result{ID: j.ID, Start: m.now, Finish: finish, Nodes: j.Nodes})
+				progressed = true
+			}
+			if !backfill || len(queue) == 0 {
+				return
+			}
+			// EASY: reserve the head's shadow start, then admit any later
+			// job that fits now and either finishes before the shadow or
+			// uses only nodes spare at the shadow.
+			shadow, spare := m.shadowTime(queue[0].Nodes)
+			for i := 1; i < len(queue); i++ {
+				j := queue[i]
+				if j.Nodes > m.free {
+					continue
+				}
+				fitsBefore := m.now+j.Runtime <= shadow
+				fitsSpare := j.Nodes <= spare
+				if fitsBefore || fitsSpare {
+					finish := m.start(j.Nodes, j.Runtime)
+					results = append(results, Result{ID: j.ID, Start: m.now, Finish: finish, Nodes: j.Nodes})
+					if fitsSpare && !fitsBefore {
+						spare -= j.Nodes
+					}
+					queue = append(queue[:i], queue[i+1:]...)
+					progressed = true
+					i--
+				}
+			}
+			if !progressed {
+				return
+			}
+		}
+	}
+
+	for nextArrival < len(pending) || len(queue) > 0 || len(m.active) > 0 {
+		// Next event: arrival or completion.
+		var tArr, tFin float64
+		hasArr := nextArrival < len(pending)
+		hasFin := len(m.active) > 0
+		if hasArr {
+			tArr = pending[nextArrival].Submit
+		}
+		if hasFin {
+			tFin = m.nextFinish()
+		}
+		switch {
+		case hasArr && (!hasFin || tArr <= tFin):
+			m.advanceTo(tArr)
+			for nextArrival < len(pending) && pending[nextArrival].Submit == tArr {
+				queue = append(queue, pending[nextArrival])
+				nextArrival++
+			}
+		case hasFin:
+			m.advanceTo(tFin)
+		default:
+			// Queue non-empty but nothing running and no arrivals left:
+			// impossible when every job fits the machine.
+			return nil, fmt.Errorf("cluster: deadlock with %d queued jobs", len(queue))
+		}
+		tryStart()
+	}
+	return results, nil
+}
+
+// Summarize computes schedule metrics. submit maps job ID → submit time.
+func Summarize(nodes int, jobs []Job, results []Result) Metrics {
+	submit := make(map[int]float64, len(jobs))
+	for _, j := range jobs {
+		submit[j.ID] = j.Submit
+	}
+	var m Metrics
+	var waitSum, nodeSeconds float64
+	for _, r := range results {
+		if r.Finish > m.Makespan {
+			m.Makespan = r.Finish
+		}
+		w := r.Start - submit[r.ID]
+		waitSum += w
+		if w > m.MaxWait {
+			m.MaxWait = w
+		}
+		nodeSeconds += float64(r.Nodes) * (r.Finish - r.Start)
+	}
+	if len(results) > 0 {
+		m.AvgWait = waitSum / float64(len(results))
+	}
+	if m.Makespan > 0 {
+		m.Utilization = nodeSeconds / (float64(nodes) * m.Makespan)
+	}
+	return m
+}

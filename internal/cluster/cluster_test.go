@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"trustgrid/internal/rng"
+	"trustgrid/internal/trace"
+)
+
+func TestFCFSSerialOnUniMachine(t *testing.T) {
+	jobs := []Job{
+		{ID: 0, Submit: 0, Runtime: 10, Nodes: 1},
+		{ID: 1, Submit: 0, Runtime: 5, Nodes: 1},
+		{ID: 2, Submit: 0, Runtime: 1, Nodes: 1},
+	}
+	res, err := SimulateFCFS(1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict submission order on one node: 0→10, 10→15, 15→16.
+	byID := map[int]Result{}
+	for _, r := range res {
+		byID[r.ID] = r
+	}
+	if byID[0].Start != 0 || byID[1].Start != 10 || byID[2].Start != 15 {
+		t.Fatalf("FCFS order violated: %+v", byID)
+	}
+}
+
+func TestParallelOccupancy(t *testing.T) {
+	jobs := []Job{
+		{ID: 0, Submit: 0, Runtime: 10, Nodes: 2},
+		{ID: 1, Submit: 0, Runtime: 10, Nodes: 2},
+	}
+	res, err := SimulateFCFS(4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Start != 0 {
+			t.Fatalf("both jobs fit simultaneously, got %+v", res)
+		}
+	}
+}
+
+func TestEASYBackfillsShortJob(t *testing.T) {
+	// Head job needs the whole machine and must wait for job 0; the
+	// short 1-node job 2 can backfill without delaying it.
+	jobs := []Job{
+		{ID: 0, Submit: 0, Runtime: 100, Nodes: 3}, // occupies 3 of 4
+		{ID: 1, Submit: 1, Runtime: 50, Nodes: 4},  // head: waits until 100
+		{ID: 2, Submit: 2, Runtime: 90, Nodes: 1},  // fits in the hole
+	}
+	easy, err := SimulateEASY(4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Result{}
+	for _, r := range easy {
+		byID[r.ID] = r
+	}
+	if byID[2].Start != 2 {
+		t.Fatalf("EASY should backfill job 2 at its arrival, got %+v", byID[2])
+	}
+	if byID[1].Start != 100 {
+		t.Fatalf("backfill must not delay the reserved head: %+v", byID[1])
+	}
+
+	fcfs, err := SimulateFCFS(4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fcfs {
+		if r.ID == 2 && r.Start < 100 {
+			t.Fatalf("FCFS must not backfill: %+v", r)
+		}
+	}
+}
+
+func TestBackfillNeverDelaysHead(t *testing.T) {
+	// Property: for random workloads, every job's EASY start time is no
+	// later than its FCFS start time... that is NOT generally true
+	// (backfill can delay non-head jobs), but the HEAD reservation
+	// property is: makespan and head starts never regress beyond FCFS
+	// for the machine-filling head pattern. We check the weaker global
+	// properties: no node over-subscription and all jobs complete.
+	r := rng.New(9)
+	check := func(n uint8) bool {
+		count := int(n%40) + 1
+		nodes := 16
+		jobs := make([]Job, count)
+		tm := 0.0
+		for i := range jobs {
+			tm += r.Exp(0.01)
+			jobs[i] = Job{
+				ID: i, Submit: tm,
+				Runtime: 1 + r.Float64()*500,
+				Nodes:   1 + r.Intn(nodes),
+			}
+		}
+		for _, sim := range []func(int, []Job) ([]Result, error){SimulateFCFS, SimulateEASY} {
+			res, err := sim(nodes, jobs)
+			if err != nil || len(res) != count {
+				return false
+			}
+			if !occupancyValid(nodes, res) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// occupancyValid verifies node usage never exceeds capacity by sweeping
+// start/finish events.
+func occupancyValid(nodes int, res []Result) bool {
+	type ev struct {
+		at    float64
+		delta int
+	}
+	var evs []ev
+	for _, r := range res {
+		evs = append(evs, ev{r.Start, r.Nodes}, ev{r.Finish, -r.Nodes})
+	}
+	sort.Slice(evs, func(i, k int) bool {
+		if evs[i].at != evs[k].at {
+			return evs[i].at < evs[k].at
+		}
+		return evs[i].delta < evs[k].delta // release before acquire at ties
+	})
+	used := 0
+	for _, e := range evs {
+		used += e.delta
+		if used > nodes {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEASYNoWorseMakespanHere(t *testing.T) {
+	// EASY is not universally makespan-optimal vs FCFS, but on workloads
+	// with many small jobs behind wide heads it should not lose. Check a
+	// generated NAS-like trace on the 128-node source machine.
+	cfg := trace.DefaultNASConfig()
+	cfg.Jobs = 400
+	cfg.Span = 4 * 24 * 3600
+	gjobs, err := cfg.Generate(rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := FromTrace(gjobs, 128)
+	fc, err := SimulateFCFS(128, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ez, err := SimulateEASY(128, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFC := Summarize(128, jobs, fc)
+	mEZ := Summarize(128, jobs, ez)
+	if mEZ.AvgWait > mFC.AvgWait*1.05 {
+		t.Fatalf("EASY avg wait %v should not exceed FCFS %v", mEZ.AvgWait, mFC.AvgWait)
+	}
+	if mEZ.Utilization < mFC.Utilization*0.95 {
+		t.Fatalf("EASY utilization %v should not trail FCFS %v", mEZ.Utilization, mFC.Utilization)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SimulateFCFS(0, nil); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	if _, err := SimulateFCFS(4, []Job{{ID: 0, Nodes: 8, Runtime: 1}}); err == nil {
+		t.Fatal("oversized job should error")
+	}
+	if _, err := SimulateFCFS(4, []Job{{ID: 0, Nodes: 1, Runtime: -1}}); err == nil {
+		t.Fatal("negative runtime should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	jobs := []Job{{ID: 0, Submit: 0, Runtime: 10, Nodes: 2}}
+	res := []Result{{ID: 0, Start: 5, Finish: 15, Nodes: 2}}
+	m := Summarize(4, jobs, res)
+	if m.Makespan != 15 || m.AvgWait != 5 || m.MaxWait != 5 {
+		t.Fatalf("bad metrics: %+v", m)
+	}
+	// 2 nodes × 10 s of 4 × 15 total.
+	if want := 20.0 / 60.0; m.Utilization != want {
+		t.Fatalf("utilization %v, want %v", m.Utilization, want)
+	}
+}
+
+func TestFromTraceClampsNodes(t *testing.T) {
+	cfg := trace.DefaultNASConfig()
+	cfg.Jobs = 50
+	gjobs, err := cfg.Generate(rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := FromTrace(gjobs, 8)
+	for _, j := range jobs {
+		if j.Nodes > 8 {
+			t.Fatalf("node request %d not clamped to machine size", j.Nodes)
+		}
+		if j.Runtime <= 0 {
+			t.Fatalf("non-positive runtime %v", j.Runtime)
+		}
+	}
+}

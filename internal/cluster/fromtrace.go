@@ -1,0 +1,25 @@
+package cluster
+
+import "trustgrid/internal/grid"
+
+// FromTrace converts simulator jobs (workload in node-seconds) into
+// space-shared cluster jobs for a machine with the given node count.
+// Node requests exceeding the machine are clamped and the runtime is
+// stretched so the total node-seconds of work are preserved (the grid
+// abstraction treats work as divisible across a site; the paper's jobs
+// are non-moldable only within a scheduling decision).
+func FromTrace(jobs []*grid.Job, machineNodes int) []Job {
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		nodes := j.Nodes
+		if nodes > machineNodes {
+			nodes = machineNodes
+		}
+		runtime := j.Workload / float64(nodes)
+		if runtime <= 0 {
+			runtime = 1
+		}
+		out[i] = Job{ID: j.ID, Submit: j.Arrival, Runtime: runtime, Nodes: nodes}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"trustgrid/internal/ga"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/heuristics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/stga"
+)
+
+func init() {
+	AllAblations = append(AllAblations,
+		Ablation{Name: "operators", Run: RunAblationOperators},
+		Ablation{Name: "baselines", Run: RunAblationBaselines},
+	)
+}
+
+// RunAblationOperators (A6) swaps the GA's selection and crossover
+// operators and reports the full-simulation makespan, validating that
+// the paper's roulette + single-point choice is competitive.
+func RunAblationOperators(s Setup) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:   "A6: GA selection/crossover operators (PSA, N=1000)",
+		Header: []string{"selection", "crossover", "makespan (s)", "response (s)"},
+	}
+	combos := []struct {
+		sel ga.SelectionMethod
+		cx  ga.CrossoverMethod
+	}{
+		{ga.RouletteSelection, ga.SinglePointCrossover}, // the paper's choice
+		{ga.RouletteSelection, ga.UniformCrossover},
+		{ga.TournamentSelection, ga.SinglePointCrossover},
+		{ga.TournamentSelection, ga.TwoPointCrossover},
+		{ga.RankSelection, ga.SinglePointCrossover},
+	}
+	for _, combo := range combos {
+		r, _, err := runSTGAConfigured(s, 1000, func(c *stga.Config) {
+			c.GA.Selection = combo.sel
+			c.GA.Crossover = combo.cx
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			combo.sel.String(), combo.cx.String(),
+			e3(r.Summary.Makespan), e3(r.Summary.AvgResponse),
+		})
+	}
+	return res, nil
+}
+
+// RunAblationBaselines (A7) positions the paper's roster against the
+// wider Braun et al. heuristic family (Max-Min, KPB, MCT, MET, OLB,
+// Random) under the 0.5-risky policy on the PSA workload.
+func RunAblationBaselines(s Setup) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:   "A7: extended heuristic baselines, 0.5-risky (PSA, N=1000)",
+		Header: []string{"heuristic", "makespan (s)", "response (s)", "slowdown", "Nfail"},
+	}
+	pol := s.Policy(grid.FRisky, s.F)
+	builders := []func(r *rng.Stream) sched.Scheduler{
+		func(*rng.Stream) sched.Scheduler { return heuristics.NewMinMin(pol) },
+		func(*rng.Stream) sched.Scheduler { return heuristics.NewMaxMin(pol) },
+		func(*rng.Stream) sched.Scheduler { return heuristics.NewSufferage(pol) },
+		func(*rng.Stream) sched.Scheduler { return heuristics.NewKPB(pol, 20) },
+		func(*rng.Stream) sched.Scheduler { return heuristics.NewMCT(pol) },
+		func(*rng.Stream) sched.Scheduler { return heuristics.NewMET(pol) },
+		func(*rng.Stream) sched.Scheduler { return heuristics.NewOLB(pol) },
+		func(r *rng.Stream) sched.Scheduler { return heuristics.NewRandom(pol, r.Derive("sched")) },
+	}
+	w, err := s.PSAWorkload(s.Seed, 1000)
+	if err != nil {
+		return nil, err
+	}
+	for _, build := range builders {
+		r := rng.New(s.Seed ^ 0x0ddba11)
+		scheduler := build(r)
+		run, err := sched.Run(sched.RunConfig{
+			Jobs: w.Jobs, Sites: w.Sites, Scheduler: scheduler,
+			BatchInterval: w.Batch, Security: s.Model(),
+			FailureTiming: s.FailTiming, Rand: r.Derive("engine"),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scheduler.Name(), err)
+		}
+		sum := run.Summary
+		res.Rows = append(res.Rows, []string{
+			scheduler.Name(), e3(sum.Makespan), e3(sum.AvgResponse),
+			f2(sum.Slowdown), fmt.Sprint(sum.NFail),
+		})
+	}
+	return res, nil
+}

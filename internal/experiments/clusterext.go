@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"trustgrid/internal/cluster"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/trace"
+)
+
+// ClusterExtResult reports the A5 substrate-validation experiment: the
+// synthetic NAS trace replayed on a space-shared 128-node machine (the
+// source iPSC/860) under FCFS and EASY backfilling, next to the
+// aggregate-speed abstraction the paper (and our main simulator) uses.
+type ClusterExtResult struct {
+	Jobs          int
+	FCFS, EASY    cluster.Metrics
+	AggregateSpan float64 // lower bound: total work / machine speed
+}
+
+// RunClusterExtension generates the NAS trace and replays it through the
+// space-shared model.
+func RunClusterExtension(s Setup) (*ClusterExtResult, error) {
+	cfg := trace.DefaultNASConfig()
+	cfg.Jobs = s.NASJobs
+	cfg.Span = s.NASSpan
+	cfg.LoadFactor = s.NASLoad
+	jobs, err := cfg.Generate(rng.New(s.Seed).Derive("cluster-ext"))
+	if err != nil {
+		return nil, err
+	}
+	const nodes = 128
+	cjobs := cluster.FromTrace(jobs, nodes)
+
+	fcfs, err := cluster.SimulateFCFS(nodes, cjobs)
+	if err != nil {
+		return nil, err
+	}
+	easy, err := cluster.SimulateEASY(nodes, cjobs)
+	if err != nil {
+		return nil, err
+	}
+	var totalWork float64
+	for _, j := range jobs {
+		totalWork += j.Workload
+	}
+	return &ClusterExtResult{
+		Jobs:          len(jobs),
+		FCFS:          cluster.Summarize(nodes, cjobs, fcfs),
+		EASY:          cluster.Summarize(nodes, cjobs, easy),
+		AggregateSpan: totalWork / nodes,
+	}, nil
+}
+
+// Render formats the comparison.
+func (r *ClusterExtResult) Render() string {
+	rows := [][]string{
+		{"FCFS", e3(r.FCFS.Makespan), e3(r.FCFS.AvgWait), f3(r.FCFS.Utilization)},
+		{"EASY backfill", e3(r.EASY.Makespan), e3(r.EASY.AvgWait), f3(r.EASY.Utilization)},
+	}
+	return fmt.Sprintf(
+		"A5: space-shared replay of the synthetic NAS trace (128-node machine, %d jobs)\n%s"+
+			"aggregate-speed lower bound on busy time: %.3e s\n",
+		r.Jobs, table([]string{"discipline", "makespan (s)", "avg wait (s)", "utilization"}, rows),
+		r.AggregateSpan)
+}

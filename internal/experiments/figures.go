@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"fmt"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/metrics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/stats"
+	"trustgrid/internal/stga"
+)
+
+// Agg aggregates the paper's metrics over replicated runs of one
+// (algorithm, workload) pair.
+type Agg struct {
+	Algorithm Algorithm
+	Makespan  stats.Sample
+	Response  stats.Sample
+	Slowdown  stats.Sample
+	NRisk     stats.Sample
+	NFail     stats.Sample
+	MeanUtil  stats.Sample
+	IdleSites stats.Sample
+	// SiteUtil[i] is the mean utilization of site i across reps.
+	SiteUtil []float64
+}
+
+func (a *Agg) add(s metrics.Summary) {
+	a.Makespan.Add(s.Makespan)
+	a.Response.Add(s.AvgResponse)
+	a.Slowdown.Add(s.Slowdown)
+	a.NRisk.Add(float64(s.NRisk))
+	a.NFail.Add(float64(s.NFail))
+	a.MeanUtil.Add(s.MeanUtilization)
+	a.IdleSites.Add(float64(s.IdleSites))
+	if a.SiteUtil == nil {
+		a.SiteUtil = make([]float64, len(s.SiteUtilization))
+	}
+	for i, u := range s.SiteUtilization {
+		a.SiteUtil[i] += u
+	}
+}
+
+func (a *Agg) finish(reps int) {
+	for i := range a.SiteUtil {
+		a.SiteUtil[i] /= float64(reps)
+	}
+}
+
+// runAgg replicates one (workload family, algorithm) pair. The workload
+// itself is regenerated per rep with a derived seed, so replication
+// captures workload, platform and failure variability together.
+func (s Setup) runAgg(mkWorkload func(seed uint64) (*Workload, error), a Algorithm) (*Agg, error) {
+	agg := &Agg{Algorithm: a}
+	for rep := 0; rep < s.reps(); rep++ {
+		seed := s.Seed + uint64(rep)*1000003
+		w, err := mkWorkload(seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.runOnce(w, a, seed^0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, fmt.Errorf("%s rep %d: %w", a, rep, err)
+		}
+		agg.add(res.Summary)
+	}
+	agg.finish(s.reps())
+	return agg, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7(a): makespan of the f-risky heuristics as f sweeps 0 → 1.
+// ---------------------------------------------------------------------
+
+// Fig7aResult holds the two makespan curves of Fig. 7(a).
+type Fig7aResult struct {
+	F         []float64
+	MinMin    []float64
+	Sufferage []float64
+	// BestF are the argmin positions (the paper reports 0.5 and 0.6).
+	BestFMinMin, BestFSufferage float64
+}
+
+// RunFig7a sweeps the f-risky threshold on the PSA workload (N = 1000).
+func RunFig7a(s Setup) (*Fig7aResult, error) {
+	res := &Fig7aResult{}
+	for f := 0.0; f <= 1.0001; f += 0.1 {
+		sweep := s
+		sweep.F = f
+		mkW := func(seed uint64) (*Workload, error) { return sweep.PSAWorkload(seed, 1000) }
+		mm, err := sweep.runAgg(mkW, MinMinFRisky)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := sweep.runAgg(mkW, SufferageFRisky)
+		if err != nil {
+			return nil, err
+		}
+		res.F = append(res.F, f)
+		res.MinMin = append(res.MinMin, mm.Makespan.Mean())
+		res.Sufferage = append(res.Sufferage, sf.Makespan.Mean())
+	}
+	res.BestFMinMin = res.F[stats.ArgMin(res.MinMin)]
+	res.BestFSufferage = res.F[stats.ArgMin(res.Sufferage)]
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7(b): makespan of the STGA as the iteration budget grows.
+// ---------------------------------------------------------------------
+
+// Fig7bResult holds the STGA makespan-vs-iterations curve.
+type Fig7bResult struct {
+	Iterations []int
+	Makespan   []float64
+}
+
+// DefaultIterationSweep is the generation grid for Fig. 7(b).
+var DefaultIterationSweep = []int{5, 10, 25, 40, 50, 75, 100, 150, 200}
+
+// RunFig7b sweeps the STGA generation budget on the PSA workload
+// (N = 1000), reproducing the convergence-by-50-iterations observation.
+// Heuristic seeding is disabled: the figure measures how many
+// generations the evolutionary search itself needs.
+func RunFig7b(s Setup, iterations []int) (*Fig7bResult, error) {
+	if len(iterations) == 0 {
+		iterations = DefaultIterationSweep
+	}
+	res := &Fig7bResult{}
+	for _, g := range iterations {
+		sweep := s
+		sweep.Generations = g
+		sweep.NoHeuristicSeeds = true
+		agg, err := sweep.runAgg(func(seed uint64) (*Workload, error) {
+			return sweep.PSAWorkload(seed, 1000)
+		}, AlgSTGA)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = append(res.Iterations, g)
+		res.Makespan = append(res.Makespan, agg.Makespan.Mean())
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 (conceptual): warm-start vs cold-start GA convergence.
+// ---------------------------------------------------------------------
+
+// Fig5Result compares the per-generation best fitness of the STGA
+// (history-seeded) against the conventional cold-start GA, averaged over
+// all scheduling batches and normalized by each batch's final fitness
+// (1.0 = converged value; higher = worse-than-final).
+type Fig5Result struct {
+	Generations []int
+	STGA        []float64
+	ColdGA      []float64
+	// Gen0Gap is ColdGA[0]/STGA[0]: how much worse the cold start begins.
+	Gen0Gap float64
+	// HistoryHitRate is the STGA lookup hit rate over the run.
+	HistoryHitRate float64
+}
+
+// RunFig5 measures convergence trajectories on the *recurrent* PSA
+// workload (trace.RecurrentPSAConfig): the history table can only
+// shortcut the search when job specifications actually recur, which is
+// the paper's §3 premise for the space-time design. Heuristic seeding is
+// off for both runs so the curves isolate the table's contribution.
+func RunFig5(s Setup) (*Fig5Result, error) {
+	w, err := s.RecurrentPSAWorkload(s.Seed, 1000)
+	if err != nil {
+		return nil, err
+	}
+	collect := func(cold bool) (curve []float64, hit float64, err error) {
+		cfg := stga.DefaultConfig()
+		cfg.GA.PopulationSize = s.Population
+		cfg.GA.Generations = s.Generations
+		cfg.HistorySize = s.HistorySize
+		cfg.SimilarityThreshold = s.SimThreshold
+		cfg.Policy = s.Policy(grid.FRisky, s.F)
+		cfg.Security = s.Model()
+		cfg.DisableHistory = cold
+		// Isolate the history table's contribution: neither run may
+		// start from current-batch heuristic schedules.
+		cfg.SeedHeuristics = false
+		cfg.RecordTrajectories = true
+		r := rng.New(s.Seed ^ 0xabcdef)
+		sc := stga.New(cfg, r.Derive("stga"))
+		if !cold {
+			sc.Train(w.Training, w.Sites, s.TrainBatchSize)
+		}
+		_, err = sched.Run(sched.RunConfig{
+			Jobs: w.Jobs, Sites: w.Sites, Scheduler: sc,
+			BatchInterval: w.Batch, Security: s.Model(),
+			FailureTiming: s.FailTiming, Rand: r.Derive("engine"),
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		// Average normalized trajectories across batches.
+		curve = make([]float64, s.Generations+1)
+		counts := make([]int, s.Generations+1)
+		for _, tr := range sc.AllTrajectories {
+			final := tr[len(tr)-1]
+			if final <= 0 {
+				continue
+			}
+			for g, v := range tr {
+				if g < len(curve) {
+					curve[g] += v / final
+					counts[g]++
+				}
+			}
+		}
+		for g := range curve {
+			if counts[g] > 0 {
+				curve[g] /= float64(counts[g])
+			}
+		}
+		return curve, sc.Table().HitRate(), nil
+	}
+
+	warm, hit, err := collect(false)
+	if err != nil {
+		return nil, err
+	}
+	cold, _, err := collect(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{HistoryHitRate: hit}
+	for g := 0; g <= s.Generations; g++ {
+		res.Generations = append(res.Generations, g)
+		res.STGA = append(res.STGA, warm[g])
+		res.ColdGA = append(res.ColdGA, cold[g])
+	}
+	if warm[0] > 0 {
+		res.Gen0Gap = cold[0] / warm[0]
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 + Fig. 9 + Table 2: the NAS comparison of all seven algorithms.
+// ---------------------------------------------------------------------
+
+// NASResult bundles the aggregated metrics of every paper algorithm on
+// the NAS trace workload; Figs. 8, 9 and Table 2 are all views of it.
+type NASResult struct {
+	Algorithms []*Agg
+}
+
+// ByAlgorithm returns the aggregate for a specific algorithm.
+func (r *NASResult) ByAlgorithm(a Algorithm) *Agg {
+	for _, agg := range r.Algorithms {
+		if agg.Algorithm == a {
+			return agg
+		}
+	}
+	return nil
+}
+
+// RunNAS runs the full seven-algorithm NAS comparison.
+func RunNAS(s Setup) (*NASResult, error) {
+	res := &NASResult{}
+	for _, a := range PaperAlgorithms {
+		agg, err := s.runAgg(s.NASWorkload, a)
+		if err != nil {
+			return nil, err
+		}
+		res.Algorithms = append(res.Algorithms, agg)
+	}
+	return res, nil
+}
+
+// Table2Row is one row of the paper's Table 2.
+type Table2Row struct {
+	Algorithm Algorithm
+	Alpha     float64 // makespan ratio vs STGA
+	Beta      float64 // response-time ratio vs STGA
+	Rank      int
+}
+
+// Table2 derives the α/β ratios and ranking from a NAS run.
+func (r *NASResult) Table2() []Table2Row {
+	ref := r.ByAlgorithm(AlgSTGA)
+	if ref == nil {
+		return nil
+	}
+	refMk, refRsp := ref.Makespan.Mean(), ref.Response.Mean()
+	rows := make([]Table2Row, 0, len(r.Algorithms))
+	for _, agg := range r.Algorithms {
+		rows = append(rows, Table2Row{
+			Algorithm: agg.Algorithm,
+			Alpha:     agg.Makespan.Mean() / refMk,
+			Beta:      agg.Response.Mean() / refRsp,
+		})
+	}
+	// Rank holistically by α+β ascending (STGA = 1+1 is minimal when it
+	// wins both metrics, matching the paper's ordering).
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0; k-- {
+			a, b := rows[order[k]], rows[order[k-1]]
+			if a.Alpha+a.Beta < b.Alpha+b.Beta {
+				order[k], order[k-1] = order[k-1], order[k]
+			}
+		}
+	}
+	rank := 0
+	var prev float64 = -1
+	for pos, idx := range order {
+		score := rows[idx].Alpha + rows[idx].Beta
+		if pos == 0 || score > prev+1e-3 {
+			rank = pos + 1
+		}
+		rows[idx].Rank = rank
+		prev = score
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10: PSA scaling in the number of jobs N.
+// ---------------------------------------------------------------------
+
+// Fig10Algorithms is the three-algorithm roster of the scaling study.
+var Fig10Algorithms = []Algorithm{MinMinFRisky, SufferageFRisky, AlgSTGA}
+
+// Fig10Result holds the scaling curves: Series[algorithm][i] corresponds
+// to N = Sizes[i].
+type Fig10Result struct {
+	Sizes      []int
+	Algorithms []Algorithm
+	// Indexed [algo][size].
+	Makespan [][]float64
+	Response [][]float64
+	Slowdown [][]float64
+	NRisk    [][]float64
+	NFail    [][]float64
+}
+
+// DefaultFig10Sizes is the paper's N sweep.
+var DefaultFig10Sizes = []int{1000, 2000, 5000, 10000}
+
+// RunFig10 runs the PSA scaling study.
+func RunFig10(s Setup, sizes []int) (*Fig10Result, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultFig10Sizes
+	}
+	res := &Fig10Result{Sizes: sizes, Algorithms: Fig10Algorithms}
+	for range Fig10Algorithms {
+		res.Makespan = append(res.Makespan, make([]float64, len(sizes)))
+		res.Response = append(res.Response, make([]float64, len(sizes)))
+		res.Slowdown = append(res.Slowdown, make([]float64, len(sizes)))
+		res.NRisk = append(res.NRisk, make([]float64, len(sizes)))
+		res.NFail = append(res.NFail, make([]float64, len(sizes)))
+	}
+	for si, n := range sizes {
+		for ai, a := range Fig10Algorithms {
+			agg, err := s.runAgg(func(seed uint64) (*Workload, error) {
+				return s.PSAWorkload(seed, n)
+			}, a)
+			if err != nil {
+				return nil, err
+			}
+			res.Makespan[ai][si] = agg.Makespan.Mean()
+			res.Response[ai][si] = agg.Response.Mean()
+			res.Slowdown[ai][si] = agg.Slowdown.Mean()
+			res.NRisk[ai][si] = agg.NRisk.Mean()
+			res.NFail[ai][si] = agg.NFail.Mean()
+		}
+	}
+	return res, nil
+}

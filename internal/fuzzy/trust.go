@@ -1,0 +1,141 @@
+// Package fuzzy implements a small Mamdani-style fuzzy inference engine
+// that derives a site's security level (SL) from observable security
+// attributes, following the fuzzy-logic trust index the paper cites as
+// the intended source of SL values (Song, Hwang & Macwan 2004, the
+// paper's ref [23]; see §1: "SL and SD could also be a weighted sum of
+// several system security parameters").
+//
+// The engine maps four attributes in [0,1] — intrusion-detection
+// capability, firewall/anti-virus strength, authentication mechanism
+// strength, and prior job-execution success rate — through triangular
+// membership functions and a compact rule base to a defuzzified trust
+// index in [0,1], usable directly as grid.Site.SecurityLevel.
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Attributes are the observable security inputs of one site, each scored
+// in [0,1].
+type Attributes struct {
+	// IntrusionDetection reflects IDS/IPS coverage and response.
+	IntrusionDetection float64
+	// Firewall reflects perimeter defense and anti-virus hygiene.
+	Firewall float64
+	// Authentication reflects the strength of the site's authentication
+	// and authorization mechanisms.
+	Authentication float64
+	// SuccessHistory is the observed fraction of prior jobs that
+	// completed without security incident.
+	SuccessHistory float64
+}
+
+// Validate checks all attributes are within [0,1].
+func (a Attributes) Validate() error {
+	for name, v := range map[string]float64{
+		"IntrusionDetection": a.IntrusionDetection,
+		"Firewall":           a.Firewall,
+		"Authentication":     a.Authentication,
+		"SuccessHistory":     a.SuccessHistory,
+	} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("fuzzy: attribute %s = %v outside [0,1]", name, v)
+		}
+	}
+	return nil
+}
+
+// membership grade of x in a triangular set (a, b, c): 0 outside (a, c),
+// 1 at b, linear in between. a == b or b == c produce shoulder sets.
+func triangle(x, a, b, c float64) float64 {
+	switch {
+	case x <= a || x >= c:
+		if x == b { // degenerate single-point set
+			return 1
+		}
+		return 0
+	case x == b:
+		return 1
+	case x < b:
+		return (x - a) / (b - a)
+	default:
+		return (c - x) / (c - b)
+	}
+}
+
+// linguistic grades of one input: low, medium, high.
+type grades struct{ low, med, high float64 }
+
+func gradesOf(x float64) grades {
+	return grades{
+		low:  triangle(x, -0.5, 0, 0.5),
+		med:  triangle(x, 0, 0.5, 1),
+		high: triangle(x, 0.5, 1, 1.5),
+	}
+}
+
+// TrustIndex runs the inference and returns the defuzzified trust index
+// in [0,1].
+//
+// Rule base (weights reflect that operational evidence — success history
+// and intrusion detection — dominates static posture):
+//
+//	R1: history high ∧ ids high           → trust high
+//	R2: history high ∧ ids med            → trust high (weaker)
+//	R3: history med                       → trust med
+//	R4: firewall high ∧ auth high         → trust med-high
+//	R5: history low ∨ ids low             → trust low
+//	R6: firewall low ∧ auth low           → trust low
+func TrustIndex(a Attributes) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	ids := gradesOf(a.IntrusionDetection)
+	fw := gradesOf(a.Firewall)
+	auth := gradesOf(a.Authentication)
+	hist := gradesOf(a.SuccessHistory)
+
+	andOp := math.Min
+	orOp := math.Max
+
+	// Rule activations.
+	high1 := andOp(hist.high, ids.high)
+	high2 := 0.8 * andOp(hist.high, ids.med)
+	medHigh := 0.7 * andOp(fw.high, auth.high)
+	med := hist.med
+	low1 := orOp(hist.low, ids.low)
+	low2 := andOp(fw.low, auth.low)
+
+	// Aggregate per output set (max).
+	outHigh := math.Max(high1, math.Max(high2, medHigh))
+	outMed := math.Max(med, 0.5*medHigh)
+	outLow := math.Max(low1, low2)
+
+	// Centroid defuzzification over output sets centered at 0.15 (low),
+	// 0.55 (medium), 0.92 (high).
+	num := outLow*0.15 + outMed*0.55 + outHigh*0.92
+	den := outLow + outMed + outHigh
+	if den == 0 {
+		return 0.5, nil // no rule fired: indifferent prior
+	}
+	v := num / den
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+// SecurityLevel clamps the trust index into the paper's Table 1 SL range
+// [0.4, 1.0]: even an untrusted public site offers baseline isolation.
+func SecurityLevel(a Attributes) (float64, error) {
+	t, err := TrustIndex(a)
+	if err != nil {
+		return 0, err
+	}
+	return 0.4 + 0.6*t, nil
+}

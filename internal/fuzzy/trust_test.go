@@ -1,0 +1,130 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangle(t *testing.T) {
+	cases := []struct {
+		x, a, b, c, want float64
+	}{
+		{0.5, 0, 0.5, 1, 1},
+		{0, 0, 0.5, 1, 0},
+		{1, 0, 0.5, 1, 0},
+		{0.25, 0, 0.5, 1, 0.5},
+		{0.75, 0, 0.5, 1, 0.5},
+		{-1, 0, 0.5, 1, 0},
+		{2, 0, 0.5, 1, 0},
+		{1, 0.5, 1, 1.5, 1}, // shoulder at the top
+	}
+	for _, c := range cases {
+		if got := triangle(c.x, c.a, c.b, c.c); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("triangle(%v; %v,%v,%v) = %v, want %v", c.x, c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestTrustIndexExtremes(t *testing.T) {
+	perfect := Attributes{1, 1, 1, 1}
+	hi, err := TrustIndex(perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := Attributes{0, 0, 0, 0}
+	lo, err := TrustIndex(hostile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi < 0.8 {
+		t.Fatalf("perfect site trust %v, want >= 0.8", hi)
+	}
+	if lo > 0.25 {
+		t.Fatalf("hostile site trust %v, want <= 0.25", lo)
+	}
+}
+
+func TestTrustIndexMidpoint(t *testing.T) {
+	mid, err := TrustIndex(Attributes{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid < 0.35 || mid > 0.7 {
+		t.Fatalf("midpoint trust %v, want medium (~0.55)", mid)
+	}
+}
+
+func TestHistoryDominates(t *testing.T) {
+	// Strong static posture with terrible history must stay low-trust.
+	v, err := TrustIndex(Attributes{
+		IntrusionDetection: 0.2, Firewall: 0.9,
+		Authentication: 0.9, SuccessHistory: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.6 {
+		t.Fatalf("bad history should cap trust, got %v", v)
+	}
+}
+
+func TestTrustIndexBoundsProperty(t *testing.T) {
+	check := func(a, b, c, d uint8) bool {
+		attrs := Attributes{
+			IntrusionDetection: float64(a) / 255,
+			Firewall:           float64(b) / 255,
+			Authentication:     float64(c) / 255,
+			SuccessHistory:     float64(d) / 255,
+		}
+		v, err := TrustIndex(attrs)
+		return err == nil && v >= 0 && v <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrustMonotoneInHistory(t *testing.T) {
+	// Raising the success history (others fixed) must not lower trust.
+	base := Attributes{IntrusionDetection: 0.6, Firewall: 0.6, Authentication: 0.6}
+	prev := -1.0
+	for step := 0; step <= 20; step++ {
+		h := float64(step) / 20
+		a := base
+		a.SuccessHistory = h
+		v, err := TrustIndex(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-9 {
+			t.Fatalf("trust decreased from %v to %v when history rose to %v", prev, v, h)
+		}
+		prev = v
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Attributes{IntrusionDetection: 1.2}
+	if _, err := TrustIndex(bad); err == nil {
+		t.Fatal("out-of-range attribute should error")
+	}
+	nan := Attributes{Firewall: math.NaN()}
+	if _, err := TrustIndex(nan); err == nil {
+		t.Fatal("NaN attribute should error")
+	}
+}
+
+func TestSecurityLevelRange(t *testing.T) {
+	for _, attrs := range []Attributes{
+		{0, 0, 0, 0}, {1, 1, 1, 1}, {0.5, 0.5, 0.5, 0.5},
+	} {
+		sl, err := SecurityLevel(attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl < 0.4 || sl > 1.0 {
+			t.Fatalf("SL %v outside the Table 1 range [0.4, 1.0]", sl)
+		}
+	}
+}

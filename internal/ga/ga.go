@@ -1,0 +1,354 @@
+// Package ga implements the genetic-algorithm machinery of the paper's
+// §3: integer-vector chromosomes encoding job→site assignments, a
+// value-based roulette-wheel selection with elitism, single-point
+// crossover, and per-gene mutation constrained to each gene's allowed
+// value set.
+//
+// The package is generic over the fitness function; the STGA (package
+// stga) supplies batch-makespan fitness and history-seeded initial
+// populations, and the conventional cold-start GA baseline uses the same
+// machinery with random initialization only.
+package ga
+
+import (
+	"fmt"
+	"math"
+
+	"trustgrid/internal/rng"
+)
+
+// Chromosome is a candidate solution: gene i is the site assignment of
+// job i in the batch.
+type Chromosome []int
+
+// Clone copies the chromosome.
+func (c Chromosome) Clone() Chromosome {
+	out := make(Chromosome, len(c))
+	copy(out, c)
+	return out
+}
+
+// Fitness scores a chromosome; smaller is better (the paper's fitness is
+// the completion time of the encoded schedule).
+type Fitness func(Chromosome) float64
+
+// Config holds the GA hyper-parameters (Table 1 defaults).
+type Config struct {
+	PopulationSize int     // Table 1: 200
+	Generations    int     // Table 1: 100
+	CrossoverProb  float64 // Table 1: 0.8
+	MutationProb   float64 // Table 1: 0.01
+	// Elitism keeps the best individual unchanged each generation.
+	Elitism bool
+	// Selection picks the parent-sampling operator (default: the paper's
+	// value-based roulette wheel). See the operator ablation.
+	Selection SelectionMethod
+	// TournamentSize is K for TournamentSelection (default 3).
+	TournamentSize int
+	// Crossover picks the recombination operator (default: the paper's
+	// single-point tail swap).
+	Crossover CrossoverMethod
+}
+
+// DefaultConfig returns the Table 1 hyper-parameters.
+func DefaultConfig() Config {
+	return Config{
+		PopulationSize: 200,
+		Generations:    100,
+		CrossoverProb:  0.8,
+		MutationProb:   0.01,
+		Elitism:        true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.PopulationSize < 2:
+		return fmt.Errorf("ga: population size %d < 2", c.PopulationSize)
+	case c.Generations < 0:
+		return fmt.Errorf("ga: negative generation count %d", c.Generations)
+	case c.CrossoverProb < 0 || c.CrossoverProb > 1:
+		return fmt.Errorf("ga: crossover probability %v outside [0,1]", c.CrossoverProb)
+	case c.MutationProb < 0 || c.MutationProb > 1:
+		return fmt.Errorf("ga: mutation probability %v outside [0,1]", c.MutationProb)
+	}
+	return nil
+}
+
+// Problem describes one GA run: the chromosome length, the per-gene
+// allowed values (eligible sites per job), and the fitness function.
+type Problem struct {
+	Length  int
+	Allowed [][]int // Allowed[i] lists legal values of gene i; must be non-empty
+	Fitness Fitness
+}
+
+// Validate checks the problem definition.
+func (p *Problem) Validate() error {
+	if p.Length <= 0 {
+		return fmt.Errorf("ga: chromosome length %d <= 0", p.Length)
+	}
+	if len(p.Allowed) != p.Length {
+		return fmt.Errorf("ga: allowed-set count %d != length %d", len(p.Allowed), p.Length)
+	}
+	for i, a := range p.Allowed {
+		if len(a) == 0 {
+			return fmt.Errorf("ga: gene %d has empty allowed set", i)
+		}
+	}
+	if p.Fitness == nil {
+		return fmt.Errorf("ga: nil fitness function")
+	}
+	return nil
+}
+
+// RandomChromosome draws a uniformly random legal chromosome.
+func (p *Problem) RandomChromosome(r *rng.Stream) Chromosome {
+	c := make(Chromosome, p.Length)
+	for i := range c {
+		a := p.Allowed[i]
+		c[i] = a[r.Intn(len(a))]
+	}
+	return c
+}
+
+// Repair clamps every illegal gene to a random allowed value; used when
+// adapting historical schedules whose site choices may violate the
+// current batch's constraints.
+func (p *Problem) Repair(c Chromosome, r *rng.Stream) {
+	for i := range c {
+		legal := false
+		for _, v := range p.Allowed[i] {
+			if c[i] == v {
+				legal = true
+				break
+			}
+		}
+		if !legal {
+			a := p.Allowed[i]
+			c[i] = a[r.Intn(len(a))]
+		}
+	}
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Best        Chromosome
+	BestFitness float64
+	// Trajectory[g] is the best fitness after generation g (index 0 is
+	// the initial population). Used for the convergence experiments
+	// (paper Figs. 5 and 7(b)).
+	Trajectory []float64
+	// Generations actually executed.
+	Generations int
+}
+
+// Run executes the GA: evaluate, then per generation select (roulette
+// wheel on 1/fitness with elitism), crossover, mutate. seeds (may be
+// empty) are inserted into the initial population after repair; the
+// remainder is random.
+func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	pop := make([]Chromosome, 0, cfg.PopulationSize)
+	for _, s := range seeds {
+		if len(pop) == cfg.PopulationSize {
+			break
+		}
+		c := s.Clone()
+		if len(c) != p.Length {
+			c = adaptLength(c, p.Length)
+		}
+		p.Repair(c, r)
+		pop = append(pop, c)
+	}
+	for len(pop) < cfg.PopulationSize {
+		pop = append(pop, p.RandomChromosome(r))
+	}
+
+	fit := make([]float64, len(pop))
+	evaluate(p, pop, fit)
+	bestIdx := argMin(fit)
+	best := pop[bestIdx].Clone()
+	bestFit := fit[bestIdx]
+	trajectory := make([]float64, 0, cfg.Generations+1)
+	trajectory = append(trajectory, bestFit)
+
+	next := make([]Chromosome, len(pop))
+	for g := 0; g < cfg.Generations; g++ {
+		switch cfg.Selection {
+		case TournamentSelection:
+			k := cfg.TournamentSize
+			if k == 0 {
+				k = 3
+			}
+			selectTournament(pop, fit, next, k, r)
+		case RankSelection:
+			selectRank(pop, fit, next, r)
+		default:
+			selectRoulette(pop, fit, next, r)
+		}
+		pop, next = next, pop
+
+		// Crossover in adjacent pairs (the selection output is already a
+		// random sample, so pairing neighbours is unbiased).
+		for i := 0; i+1 < len(pop); i += 2 {
+			if r.Bool(cfg.CrossoverProb) {
+				switch cfg.Crossover {
+				case TwoPointCrossover:
+					crossoverTwoPoint(pop[i], pop[i+1], r)
+				case UniformCrossover:
+					crossoverUniform(pop[i], pop[i+1], r)
+				default:
+					crossover(pop[i], pop[i+1], r)
+				}
+			}
+		}
+		// Mutation: each gene is re-drawn from its allowed set with
+		// probability MutationProb (the standard per-gene reading of the
+		// paper's "mutation probability 0.01"; a per-chromosome reading
+		// leaves 40-gene chromosomes nearly frozen).
+		for i := range pop {
+			mutate(pop[i], p, cfg.MutationProb, r)
+		}
+		evaluate(p, pop, fit)
+		genBest := argMin(fit)
+		if fit[genBest] < bestFit {
+			best = pop[genBest].Clone()
+			bestFit = fit[genBest]
+		} else if cfg.Elitism {
+			// Re-insert the incumbent over the worst individual.
+			worst := argMax(fit)
+			pop[worst] = best.Clone()
+			fit[worst] = bestFit
+		}
+		trajectory = append(trajectory, bestFit)
+	}
+	return Result{Best: best, BestFitness: bestFit, Trajectory: trajectory, Generations: cfg.Generations}, nil
+}
+
+// adaptLength truncates or modularly tiles a chromosome to length n
+// (historical schedules may come from batches of different sizes).
+func adaptLength(c Chromosome, n int) Chromosome {
+	out := make(Chromosome, n)
+	for i := range out {
+		out[i] = c[i%len(c)]
+	}
+	return out
+}
+
+func evaluate(p *Problem, pop []Chromosome, fit []float64) {
+	for i, c := range pop {
+		fit[i] = p.Fitness(c)
+	}
+}
+
+func argMin(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argMax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// selectRoulette fills next with individuals sampled proportionally to
+// their value on a windowed scale: w = (worst − f) + 10% of the spread.
+// This is the paper's value-based roulette wheel with standard window
+// scaling — raw 1/f weights degenerate to uniform selection once the
+// population's makespans cluster within a few percent, which stalls the
+// search entirely.
+func selectRoulette(pop []Chromosome, fit []float64, next []Chromosome, r *rng.Stream) {
+	n := len(pop)
+	worst, best := fit[0], fit[0]
+	for _, f := range fit {
+		if f > worst && !math.IsInf(f, 1) {
+			worst = f
+		}
+		if f < best {
+			best = f
+		}
+	}
+	spread := worst - best
+	floor := 0.1 * spread
+	if spread == 0 {
+		floor = 1 // uniform selection when all fitnesses are equal
+	}
+	weights := make([]float64, n)
+	var total float64
+	for i, f := range fit {
+		w := 0.0
+		if !math.IsInf(f, 1) {
+			w = (worst - f) + floor
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		// Every individual is infinitely unfit: select uniformly.
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(n)
+	}
+	// Cumulative wheel + binary search keeps selection O(n log n).
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	for i := 0; i < n; i++ {
+		x := r.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		next[i] = pop[lo].Clone()
+	}
+}
+
+// crossover performs single-point crossover in place: both tails beyond a
+// random cut point are swapped. Genes stay legal because each position's
+// allowed set is position-specific and both parents are legal.
+func crossover(a, b Chromosome, r *rng.Stream) {
+	if len(a) < 2 {
+		return
+	}
+	cut := 1 + r.Intn(len(a)-1)
+	for i := cut; i < len(a); i++ {
+		a[i], b[i] = b[i], a[i]
+	}
+}
+
+// mutate re-draws each gene from its allowed set with probability prob.
+func mutate(c Chromosome, p *Problem, prob float64, r *rng.Stream) {
+	for i := range c {
+		if r.Bool(prob) {
+			a := p.Allowed[i]
+			c[i] = a[r.Intn(len(a))]
+		}
+	}
+}

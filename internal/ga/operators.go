@@ -1,0 +1,139 @@
+package ga
+
+import (
+	"fmt"
+
+	"trustgrid/internal/rng"
+)
+
+// SelectionMethod picks how parents are sampled each generation.
+type SelectionMethod int
+
+const (
+	// RouletteSelection is the paper's value-based roulette wheel (with
+	// window scaling; see selectRoulette).
+	RouletteSelection SelectionMethod = iota
+	// TournamentSelection samples each slot as the best of K uniformly
+	// random individuals (K = TournamentSize).
+	TournamentSelection
+	// RankSelection weights individuals linearly by fitness rank,
+	// independent of the fitness scale.
+	RankSelection
+)
+
+// String names the method.
+func (m SelectionMethod) String() string {
+	switch m {
+	case RouletteSelection:
+		return "roulette"
+	case TournamentSelection:
+		return "tournament"
+	case RankSelection:
+		return "rank"
+	default:
+		return fmt.Sprintf("SelectionMethod(%d)", int(m))
+	}
+}
+
+// CrossoverMethod picks how two parents exchange genes.
+type CrossoverMethod int
+
+const (
+	// SinglePointCrossover swaps the tails beyond one cut (paper §3).
+	SinglePointCrossover CrossoverMethod = iota
+	// TwoPointCrossover swaps the segment between two cuts.
+	TwoPointCrossover
+	// UniformCrossover swaps each gene independently with probability ½.
+	UniformCrossover
+)
+
+// String names the method.
+func (m CrossoverMethod) String() string {
+	switch m {
+	case SinglePointCrossover:
+		return "single-point"
+	case TwoPointCrossover:
+		return "two-point"
+	case UniformCrossover:
+		return "uniform"
+	default:
+		return fmt.Sprintf("CrossoverMethod(%d)", int(m))
+	}
+}
+
+// selectTournament fills next by K-way tournaments.
+func selectTournament(pop []Chromosome, fit []float64, next []Chromosome, k int, r *rng.Stream) {
+	if k < 2 {
+		k = 2
+	}
+	n := len(pop)
+	for i := range next {
+		best := r.Intn(n)
+		for round := 1; round < k; round++ {
+			c := r.Intn(n)
+			if fit[c] < fit[best] {
+				best = c
+			}
+		}
+		next[i] = pop[best].Clone()
+	}
+}
+
+// selectRank fills next with probability proportional to inverse rank:
+// the best individual gets weight n, the worst weight 1.
+func selectRank(pop []Chromosome, fit []float64, next []Chromosome, r *rng.Stream) {
+	n := len(pop)
+	// Rank via argsort of fitness ascending (best first).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: populations are a few hundred individuals.
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && fit[order[k]] < fit[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	weights := make([]float64, n)
+	for rank, idx := range order {
+		weights[idx] = float64(n - rank)
+	}
+	total := float64(n) * float64(n+1) / 2
+	for i := range next {
+		x := r.Float64() * total
+		acc := 0.0
+		chosen := n - 1
+		for idx, w := range weights {
+			acc += w
+			if x < acc {
+				chosen = idx
+				break
+			}
+		}
+		next[i] = pop[chosen].Clone()
+	}
+}
+
+// crossoverTwoPoint swaps the segment between two random cuts in place.
+func crossoverTwoPoint(a, b Chromosome, r *rng.Stream) {
+	if len(a) < 2 {
+		return
+	}
+	i := r.Intn(len(a))
+	k := r.Intn(len(a))
+	if i > k {
+		i, k = k, i
+	}
+	for p := i; p < k; p++ {
+		a[p], b[p] = b[p], a[p]
+	}
+}
+
+// crossoverUniform swaps each gene with probability ½ in place.
+func crossoverUniform(a, b Chromosome, r *rng.Stream) {
+	for i := range a {
+		if r.Bool(0.5) {
+			a[i], b[i] = b[i], a[i]
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package grid models the computational grid of the paper: heterogeneous
+// resource sites with security levels, independent jobs with security
+// demands, the ETC (expected time to complete) matrix, and the
+// security/risk model of §2 — the exponential failure law (Eq. 1) and the
+// three risk modes (secure, risky, f-risky).
+package grid
+
+import "fmt"
+
+// Job is an atomic, non-malleable unit of program execution (paper §1).
+type Job struct {
+	ID      int
+	Arrival float64 // submission time, seconds
+	// Workload is the total computational demand in work units. For
+	// NAS-style traces this is node-seconds (runtime × requested nodes);
+	// for PSA it is the abstract 20-level demand of Table 1.
+	Workload float64
+	// Nodes is the number of processors the job requested in its source
+	// trace. The default aggregate-speed site model folds this into
+	// Workload; the space-shared cluster extension uses it directly.
+	Nodes int
+	// SecurityDemand is SD in the paper: [0.6, 0.9] uniform (Table 1).
+	SecurityDemand float64
+
+	// MustBeSafe marks a job that already failed once: the scheduler must
+	// dispatch it only to sites with SL > SD ("the scheduler will not
+	// allow a failed job to take any risk again", §2).
+	MustBeSafe bool
+	// Failures counts how many times this job has failed so far.
+	Failures int
+}
+
+// Validate reports whether the job's static fields are sensible.
+func (j *Job) Validate() error {
+	switch {
+	case j.Workload <= 0:
+		return fmt.Errorf("grid: job %d has non-positive workload %v", j.ID, j.Workload)
+	case j.Nodes <= 0:
+		return fmt.Errorf("grid: job %d has non-positive node request %d", j.ID, j.Nodes)
+	case j.Arrival < 0:
+		return fmt.Errorf("grid: job %d has negative arrival %v", j.ID, j.Arrival)
+	case j.SecurityDemand < 0 || j.SecurityDemand > 1:
+		return fmt.Errorf("grid: job %d has SD %v outside [0,1]", j.ID, j.SecurityDemand)
+	}
+	return nil
+}
+
+// Clone returns a copy of the job with runtime state (MustBeSafe,
+// Failures) reset, for re-running the same workload through another
+// scheduler.
+func (j *Job) Clone() *Job {
+	c := *j
+	c.MustBeSafe = false
+	c.Failures = 0
+	return &c
+}
+
+// TotalWorkload sums the workloads of a job list.
+func TotalWorkload(jobs []*Job) float64 {
+	var total float64
+	for _, j := range jobs {
+		total += j.Workload
+	}
+	return total
+}
+
+// CloneAll deep-copies a job slice with runtime state reset.
+func CloneAll(jobs []*Job) []*Job {
+	out := make([]*Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Clone()
+	}
+	return out
+}

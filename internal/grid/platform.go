@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"fmt"
+
+	"trustgrid/internal/rng"
+)
+
+// PlatformConfig describes how to generate a set of sites.
+type PlatformConfig struct {
+	// SpeedsAndNodes lists (speed, nodes) per site, in site-ID order.
+	Speeds []float64
+	Nodes  []int
+	// SLMin and SLMax bound the uniform site security level (Table 1:
+	// 0.4–1.0).
+	SLMin, SLMax float64
+	// GuaranteeSafeSL, when > 0, forces at least one site to have
+	// SL >= GuaranteeSafeSL by re-rolling the max-SL site upward. This
+	// keeps secure mode and post-failure rescheduling feasible for every
+	// job demand below it (DESIGN.md §2.1).
+	GuaranteeSafeSL float64
+}
+
+// Validate checks the configuration.
+func (c PlatformConfig) Validate() error {
+	if len(c.Speeds) == 0 || len(c.Speeds) != len(c.Nodes) {
+		return fmt.Errorf("grid: platform needs equal-length Speeds and Nodes, got %d and %d",
+			len(c.Speeds), len(c.Nodes))
+	}
+	if c.SLMin < 0 || c.SLMax > 1 || c.SLMin > c.SLMax {
+		return fmt.Errorf("grid: bad SL range [%v, %v]", c.SLMin, c.SLMax)
+	}
+	return nil
+}
+
+// Generate samples the sites using r (derive a dedicated stream).
+func (c PlatformConfig) Generate(r *rng.Stream) ([]*Site, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	sites := make([]*Site, len(c.Speeds))
+	for i := range sites {
+		sites[i] = &Site{
+			ID:            i,
+			Speed:         c.Speeds[i],
+			Nodes:         c.Nodes[i],
+			SecurityLevel: r.Uniform(c.SLMin, c.SLMax),
+		}
+	}
+	if c.GuaranteeSafeSL > 0 {
+		level, idx := MaxSecurityLevel(sites)
+		if level < c.GuaranteeSafeSL {
+			sites[idx].SecurityLevel = r.Uniform(c.GuaranteeSafeSL, 1.0)
+		}
+	}
+	for _, s := range sites {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return sites, nil
+}
+
+// NASPlatform returns the paper's NAS grid: 12 sites mapped from the
+// 128-node iPSC/860 — four sites of 16 nodes and eight sites of 8 nodes
+// (Table 1), aggregate speed equal to node count.
+func NASPlatform() PlatformConfig {
+	speeds := make([]float64, 12)
+	nodes := make([]int, 12)
+	for i := 0; i < 4; i++ {
+		speeds[i], nodes[i] = 16, 16
+	}
+	for i := 4; i < 12; i++ {
+		speeds[i], nodes[i] = 8, 8
+	}
+	return PlatformConfig{
+		Speeds:          speeds,
+		Nodes:           nodes,
+		SLMin:           0.4,
+		SLMax:           1.0,
+		GuaranteeSafeSL: 0.95,
+	}
+}
+
+// PSAPlatform returns the paper's PSA grid: 20 sites with 10 discrete
+// speed levels (Table 1). The levels are scaled ×SpeedUnit work-units/s so
+// the simulated makespans land in the paper's magnitude range (see
+// DESIGN.md §4); the ranking shapes are scale-invariant.
+func PSAPlatform() PlatformConfig {
+	const SpeedUnit = 10.0
+	speeds := make([]float64, 20)
+	nodes := make([]int, 20)
+	for i := range speeds {
+		level := float64(i%10 + 1)
+		speeds[i] = level * SpeedUnit
+		nodes[i] = 1
+	}
+	return PlatformConfig{
+		Speeds:          speeds,
+		Nodes:           nodes,
+		SLMin:           0.4,
+		SLMax:           1.0,
+		GuaranteeSafeSL: 0.95,
+	}
+}

@@ -1,0 +1,106 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+)
+
+// MaxMin is the classic companion of Min-Min (Braun et al., the paper's
+// ref [7]): each round, among every unscheduled job's earliest completion
+// times, dispatch the job whose earliest completion time is *largest*.
+// Placing long jobs first avoids the Min-Min pathology of stranding one
+// giant job at the end of the schedule.
+type MaxMin struct {
+	Policy grid.Policy
+}
+
+// NewMaxMin builds a Max-Min scheduler under the given risk policy.
+func NewMaxMin(p grid.Policy) *MaxMin { return &MaxMin{Policy: p} }
+
+// Name implements sched.Scheduler.
+func (m *MaxMin) Name() string { return fmt.Sprintf("Max-Min %s", m.Policy.Name()) }
+
+// Schedule implements sched.Scheduler.
+func (m *MaxMin) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	return greedyBatch(batch, st, m.Policy, pickMaxMin)
+}
+
+// pickMaxMin chooses the candidate with the maximum earliest completion
+// time.
+func pickMaxMin(cands []candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].bestCT > cands[best].bestCT {
+			best = i
+		}
+	}
+	return best
+}
+
+// KPB (k-percent best) restricts each job to its k% fastest eligible
+// sites by raw execution time and picks the earliest completion among
+// them (Maheswaran et al.): a compromise between MET's speed greed and
+// MCT's availability greed.
+type KPB struct {
+	Policy grid.Policy
+	// Percent is k in (0, 100]. Zero means the classic 20%.
+	Percent float64
+}
+
+// NewKPB builds a KPB scheduler under the given risk policy.
+func NewKPB(p grid.Policy, percent float64) *KPB {
+	return &KPB{Policy: p, Percent: percent}
+}
+
+// Name implements sched.Scheduler.
+func (k *KPB) Name() string {
+	return fmt.Sprintf("KPB(%.0f%%) %s", k.percent(), k.Policy.Name())
+}
+
+func (k *KPB) percent() float64 {
+	if k.Percent <= 0 || k.Percent > 100 {
+		return 20
+	}
+	return k.Percent
+}
+
+// Schedule implements sched.Scheduler.
+func (k *KPB) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	ready := append([]float64(nil), st.Ready...)
+	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+	out := make([]sched.Assignment, 0, len(batch))
+	frac := k.percent() / 100
+	for _, j := range batch {
+		eligible, fellBack := k.Policy.EligibleSites(j, st.Sites)
+		// Keep the ⌈k%⌉ fastest eligible sites by raw execution time.
+		keep := int(math.Ceil(frac * float64(len(eligible))))
+		if keep < 1 {
+			keep = 1
+		}
+		subset := append([]int(nil), eligible...)
+		// Selection sort of the first `keep` by ExecTime: subsets are tiny.
+		for i := 0; i < keep; i++ {
+			best := i
+			for p := i + 1; p < len(subset); p++ {
+				if st.Sites[subset[p]].ExecTime(j) < st.Sites[subset[best]].ExecTime(j) {
+					best = p
+				}
+			}
+			subset[i], subset[best] = subset[best], subset[i]
+		}
+		subset = subset[:keep]
+
+		bestSite, bestCT := -1, math.Inf(1)
+		for _, site := range subset {
+			if ct := work.CompletionTime(j, site); ct < bestCT {
+				bestSite, bestCT = site, ct
+			}
+		}
+		work.Ready[bestSite] = bestCT
+		out = append(out, sched.Assignment{Job: j, Site: bestSite, FellBack: fellBack})
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package heuristics
+
+import (
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+)
+
+func TestMaxMinSchedulesLargestFirst(t *testing.T) {
+	sites := sitesWithSpeeds(1, 1)
+	jobs := jobsWithWork(5, 2, 9)
+	st := testState(sites)
+	as := NewMaxMin(grid.RiskyPolicy()).Schedule(jobs, st)
+	if as[0].Job.ID != 2 {
+		t.Fatalf("Max-Min must schedule the max-CT job first, got job %d", as[0].Job.ID)
+	}
+	if err := sched.ValidateAssignments(jobs, as, len(sites)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinAvoidsStrandedGiant(t *testing.T) {
+	// One giant job plus small filler: Max-Min places the giant first on
+	// the fast site, so its batch makespan is no worse than Min-Min's.
+	sites := sitesWithSpeeds(10, 2)
+	jobs := jobsWithWork(400, 100, 100, 100)
+	st := testState(sites)
+	mm := makespanOf(NewMinMin(grid.RiskyPolicy()).Schedule(jobs, st), st)
+	xm := makespanOf(NewMaxMin(grid.RiskyPolicy()).Schedule(jobs, st), st)
+	if xm > mm*1.2 {
+		t.Fatalf("Max-Min (%v) unexpectedly lost badly to Min-Min (%v)", xm, mm)
+	}
+}
+
+func TestMaxMinSecureRestriction(t *testing.T) {
+	sites := []*grid.Site{
+		{ID: 0, Speed: 100, Nodes: 1, SecurityLevel: 0.5},
+		{ID: 1, Speed: 1, Nodes: 1, SecurityLevel: 0.99},
+	}
+	jobs := jobsWithWork(10, 20)
+	for _, j := range jobs {
+		j.SecurityDemand = 0.8
+	}
+	st := testState(sites)
+	for _, a := range NewMaxMin(grid.SecurePolicy()).Schedule(jobs, st) {
+		if a.Site != 1 {
+			t.Fatal("secure Max-Min must avoid unsafe sites")
+		}
+	}
+}
+
+func TestKPBRestrictsToFastSites(t *testing.T) {
+	// Sites with speeds 1..10; 20% of 10 eligible sites = the 2 fastest.
+	speeds := make([]float64, 10)
+	for i := range speeds {
+		speeds[i] = float64(i + 1)
+	}
+	sites := sitesWithSpeeds(speeds...)
+	jobs := jobsWithWork(100)
+	st := testState(sites)
+	as := NewKPB(grid.RiskyPolicy(), 20).Schedule(jobs, st)
+	if as[0].Site != 9 && as[0].Site != 8 {
+		t.Fatalf("KPB(20%%) must use one of the two fastest sites, got %d", as[0].Site)
+	}
+}
+
+func TestKPBHonorsAvailabilityWithinSubset(t *testing.T) {
+	sites := sitesWithSpeeds(1, 9, 10)
+	jobs := jobsWithWork(100)
+	st := testState(sites)
+	st.Ready[2] = 1e6 // fastest site heavily backlogged
+	// 67% of 3 sites → 2 fastest kept (speeds 9, 10); availability picks 9.
+	as := NewKPB(grid.RiskyPolicy(), 67).Schedule(jobs, st)
+	if as[0].Site != 1 {
+		t.Fatalf("KPB should fall back to the free fast site, got %d", as[0].Site)
+	}
+}
+
+func TestKPBDefaultsPercent(t *testing.T) {
+	k := NewKPB(grid.RiskyPolicy(), 0)
+	if k.percent() != 20 {
+		t.Fatalf("default percent %v, want 20", k.percent())
+	}
+	k2 := NewKPB(grid.RiskyPolicy(), 150)
+	if k2.percent() != 20 {
+		t.Fatalf("out-of-range percent must default, got %v", k2.percent())
+	}
+	if k.Name() == "" || k2.Name() == "" {
+		t.Fatal("empty names")
+	}
+}
+
+func TestKPBContract(t *testing.T) {
+	sites := sitesWithSpeeds(1, 2, 3, 4, 5)
+	jobs := jobsWithWork(10, 20, 30, 40)
+	st := testState(sites)
+	as := NewKPB(grid.FRiskyPolicy(0.5), 40).Schedule(jobs, st)
+	if err := sched.ValidateAssignments(jobs, as, len(sites)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinEmptyBatch(t *testing.T) {
+	st := testState(sitesWithSpeeds(1))
+	if got := NewMaxMin(grid.RiskyPolicy()).Schedule(nil, st); len(got) != 0 {
+		t.Fatal("empty batch must return no assignments")
+	}
+	if got := NewKPB(grid.RiskyPolicy(), 20).Schedule(nil, st); len(got) != 0 {
+		t.Fatal("empty batch must return no assignments")
+	}
+}

@@ -1,0 +1,156 @@
+// Package heuristics implements the security-driven batch scheduling
+// heuristics of the paper's §2 — Min-Min and Sufferage under the secure,
+// risky and f-risky modes — plus the classic MCT, MET, OLB and Random
+// mapping heuristics of Braun et al. as additional baselines.
+//
+// All heuristics operate on a snapshot of the site ready times: they copy
+// st.Ready and update the copy as they greedily place jobs, exactly as in
+// Maheswaran et al.'s batch-mode formulation.
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+)
+
+// MinMin is the security-driven Min-Min heuristic: repeatedly pick the
+// (job, site) pair whose earliest completion time is smallest among each
+// job's per-job minima, restricted to policy-eligible sites.
+type MinMin struct {
+	Policy grid.Policy
+}
+
+// NewMinMin builds a Min-Min scheduler under the given risk policy.
+func NewMinMin(p grid.Policy) *MinMin { return &MinMin{Policy: p} }
+
+// Name implements sched.Scheduler.
+func (m *MinMin) Name() string { return fmt.Sprintf("Min-Min %s", m.Policy.Name()) }
+
+// Schedule implements sched.Scheduler.
+func (m *MinMin) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	return greedyBatch(batch, st, m.Policy, pickMinMin)
+}
+
+// Sufferage is the security-driven Sufferage heuristic: pick the job that
+// would "suffer" most (largest gap between its best and second-best
+// completion times) and give it its best site.
+type Sufferage struct {
+	Policy grid.Policy
+}
+
+// NewSufferage builds a Sufferage scheduler under the given risk policy.
+func NewSufferage(p grid.Policy) *Sufferage { return &Sufferage{Policy: p} }
+
+// Name implements sched.Scheduler.
+func (s *Sufferage) Name() string { return fmt.Sprintf("Sufferage %s", s.Policy.Name()) }
+
+// Schedule implements sched.Scheduler.
+func (s *Sufferage) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	return greedyBatch(batch, st, s.Policy, pickSufferage)
+}
+
+// candidate is one job's best options in the current greedy round.
+type candidate struct {
+	jobIdx   int
+	bestSite int
+	bestCT   float64
+	secondCT float64 // +Inf when only one eligible site
+	fellBack bool
+}
+
+// picker selects which candidate wins the current round.
+type picker func(cands []candidate) int
+
+// pickMinMin chooses the candidate with the minimum earliest completion
+// time (ties: lower job index, for determinism).
+func pickMinMin(cands []candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].bestCT < cands[best].bestCT {
+			best = i
+		}
+	}
+	return best
+}
+
+// pickSufferage chooses the candidate with the maximum sufferage value
+// (second-best CT minus best CT). Jobs with a single eligible site have
+// infinite sufferage and are placed first, as in the original heuristic.
+func pickSufferage(cands []candidate) int {
+	best := 0
+	bestVal := cands[0].secondCT - cands[0].bestCT
+	for i := 1; i < len(cands); i++ {
+		v := cands[i].secondCT - cands[i].bestCT
+		if v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// greedyBatch runs the shared Min-Min/Sufferage loop: each round,
+// recompute every unscheduled job's best (and second-best) completion
+// times over its eligible sites, let pick choose the winner, dispatch it
+// on the working copy of the ready vector, repeat.
+func greedyBatch(batch []*grid.Job, st *sched.State, policy grid.Policy, pick picker) []sched.Assignment {
+	n := len(batch)
+	out := make([]sched.Assignment, 0, n)
+	if n == 0 {
+		return out
+	}
+	ready := make([]float64, len(st.Ready))
+	copy(ready, st.Ready)
+	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	// Pre-compute eligibility once per job: site SLs are static within a
+	// batch, so the eligible set never changes across rounds.
+	eligible := make([][]int, n)
+	fellBack := make([]bool, n)
+	for i, j := range batch {
+		eligible[i], fellBack[i] = policy.EligibleSites(j, st.Sites)
+	}
+
+	cands := make([]candidate, 0, n)
+	for len(remaining) > 0 {
+		cands = cands[:0]
+		for _, jobIdx := range remaining {
+			j := batch[jobIdx]
+			c := candidate{jobIdx: jobIdx, bestSite: -1,
+				bestCT: math.Inf(1), secondCT: math.Inf(1), fellBack: fellBack[jobIdx]}
+			for _, site := range eligible[jobIdx] {
+				ct := work.CompletionTime(j, site)
+				switch {
+				case ct < c.bestCT:
+					c.secondCT = c.bestCT
+					c.bestCT = ct
+					c.bestSite = site
+				case ct < c.secondCT:
+					c.secondCT = ct
+				}
+			}
+			cands = append(cands, c)
+		}
+		winner := cands[pick(cands)]
+		j := batch[winner.jobIdx]
+		out = append(out, sched.Assignment{Job: j, Site: winner.bestSite, FellBack: winner.fellBack})
+		// Dispatch on the working copy: the site is busy until completion.
+		work.Ready[winner.bestSite] = winner.bestCT
+
+		// Remove the winner from remaining (order-preserving for
+		// deterministic tie behaviour).
+		for k, idx := range remaining {
+			if idx == winner.jobIdx {
+				remaining = append(remaining[:k], remaining[k+1:]...)
+				break
+			}
+		}
+	}
+	return out
+}

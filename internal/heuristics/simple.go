@@ -1,0 +1,130 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+)
+
+// MCT (Minimum Completion Time) assigns jobs in arrival order, each to
+// the eligible site with the earliest completion time. It is the
+// immediate-mode baseline of Maheswaran et al. / Braun et al.
+type MCT struct {
+	Policy grid.Policy
+}
+
+// NewMCT builds an MCT scheduler under the given risk policy.
+func NewMCT(p grid.Policy) *MCT { return &MCT{Policy: p} }
+
+// Name implements sched.Scheduler.
+func (m *MCT) Name() string { return fmt.Sprintf("MCT %s", m.Policy.Name()) }
+
+// Schedule implements sched.Scheduler.
+func (m *MCT) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	ready := append([]float64(nil), st.Ready...)
+	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+	out := make([]sched.Assignment, 0, len(batch))
+	for _, j := range batch {
+		eligible, fellBack := m.Policy.EligibleSites(j, st.Sites)
+		best, bestCT := -1, math.Inf(1)
+		for _, site := range eligible {
+			if ct := work.CompletionTime(j, site); ct < bestCT {
+				best, bestCT = site, ct
+			}
+		}
+		work.Ready[best] = bestCT
+		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: fellBack})
+	}
+	return out
+}
+
+// MET (Minimum Execution Time) assigns each job to the eligible site with
+// the smallest raw execution time, ignoring availability — fast but prone
+// to overloading the fastest site.
+type MET struct {
+	Policy grid.Policy
+}
+
+// NewMET builds an MET scheduler under the given risk policy.
+func NewMET(p grid.Policy) *MET { return &MET{Policy: p} }
+
+// Name implements sched.Scheduler.
+func (m *MET) Name() string { return fmt.Sprintf("MET %s", m.Policy.Name()) }
+
+// Schedule implements sched.Scheduler.
+func (m *MET) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	out := make([]sched.Assignment, 0, len(batch))
+	for _, j := range batch {
+		eligible, fellBack := m.Policy.EligibleSites(j, st.Sites)
+		best, bestET := -1, math.Inf(1)
+		for _, site := range eligible {
+			if et := st.Sites[site].ExecTime(j); et < bestET {
+				best, bestET = site, et
+			}
+		}
+		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: fellBack})
+	}
+	return out
+}
+
+// OLB (Opportunistic Load Balancing) assigns each job to the eligible
+// site that becomes free earliest, ignoring execution times.
+type OLB struct {
+	Policy grid.Policy
+}
+
+// NewOLB builds an OLB scheduler under the given risk policy.
+func NewOLB(p grid.Policy) *OLB { return &OLB{Policy: p} }
+
+// Name implements sched.Scheduler.
+func (o *OLB) Name() string { return fmt.Sprintf("OLB %s", o.Policy.Name()) }
+
+// Schedule implements sched.Scheduler.
+func (o *OLB) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	ready := append([]float64(nil), st.Ready...)
+	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+	out := make([]sched.Assignment, 0, len(batch))
+	for _, j := range batch {
+		eligible, fellBack := o.Policy.EligibleSites(j, st.Sites)
+		best, bestReady := -1, math.Inf(1)
+		for _, site := range eligible {
+			r := work.Ready[site]
+			if st.Now > r {
+				r = st.Now
+			}
+			if r < bestReady {
+				best, bestReady = site, r
+			}
+		}
+		work.Ready[best] = work.CompletionTime(j, best)
+		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: fellBack})
+	}
+	return out
+}
+
+// Random assigns each job to a uniformly random eligible site. It is the
+// floor every informed heuristic must beat.
+type Random struct {
+	Policy grid.Policy
+	Rand   *rng.Stream
+}
+
+// NewRandom builds a Random scheduler under the given risk policy.
+func NewRandom(p grid.Policy, r *rng.Stream) *Random { return &Random{Policy: p, Rand: r} }
+
+// Name implements sched.Scheduler.
+func (r *Random) Name() string { return fmt.Sprintf("Random %s", r.Policy.Name()) }
+
+// Schedule implements sched.Scheduler.
+func (r *Random) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	out := make([]sched.Assignment, 0, len(batch))
+	for _, j := range batch {
+		eligible, fellBack := r.Policy.EligibleSites(j, st.Sites)
+		site := eligible[r.Rand.Intn(len(eligible))]
+		out = append(out, sched.Assignment{Job: j, Site: site, FellBack: fellBack})
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package metrics computes the paper's performance metrics (§4.1):
+// makespan, average response time, slowdown ratio (Eq. 3), number of
+// risk-taking jobs N_risk, number of failed jobs N_fail, and per-site
+// utilization.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// JobRecord captures one job's lifecycle through the simulator. Times are
+// absolute simulation seconds. Start and Completion refer to the final,
+// successful execution attempt; time lost to failed attempts shows up as
+// waiting (response − service), matching the paper's accounting where a
+// failed job "restarts from the beginning" elsewhere.
+type JobRecord struct {
+	ID         int
+	Arrival    float64
+	Start      float64
+	Completion float64
+	Site       int
+	// TookRisk is true if any attempt ran on a site with SL < SD.
+	TookRisk bool
+	// Failed is true if the job failed at least once and was rescheduled.
+	Failed bool
+	// FellBack is true if the job was ever dispatched via the
+	// no-eligible-site fallback.
+	FellBack bool
+}
+
+// Validate checks internal consistency of a record.
+func (r JobRecord) Validate() error {
+	switch {
+	case r.Start < r.Arrival:
+		return fmt.Errorf("metrics: job %d starts (%v) before arrival (%v)", r.ID, r.Start, r.Arrival)
+	case r.Completion < r.Start:
+		return fmt.Errorf("metrics: job %d completes (%v) before start (%v)", r.ID, r.Completion, r.Start)
+	case r.Site < 0:
+		return fmt.Errorf("metrics: job %d has invalid site %d", r.ID, r.Site)
+	}
+	return nil
+}
+
+// Summary aggregates a completed run.
+type Summary struct {
+	Jobs int
+	// Makespan is max completion time over all jobs (§4.1).
+	Makespan float64
+	// AvgResponse is Σ(cᵢ−aᵢ)/N: completion minus arrival.
+	AvgResponse float64
+	// AvgService is Σ(cᵢ−bᵢ)/N: completion minus start of the successful
+	// attempt. The paper calls this the "average waiting time" in its
+	// slowdown definition (Eq. 3); it is the denominator of the ratio.
+	AvgService float64
+	// Slowdown is AvgResponse / AvgService (Eq. 3): the average
+	// contention a job experiences. >= 1 by construction.
+	Slowdown float64
+	// NRisk counts jobs that ran on a site with SL < SD at least once.
+	NRisk int
+	// NFail counts jobs that failed and were rescheduled. NFail <= NRisk.
+	NFail int
+	// Fallbacks counts jobs dispatched via the no-eligible-site fallback.
+	Fallbacks int
+	// SiteUtilization[i] is busy_i / makespan: the fraction of the run
+	// during which site i processed user jobs (including time wasted by
+	// failed attempts, which did occupy the site).
+	SiteUtilization []float64
+	// MeanUtilization averages SiteUtilization.
+	MeanUtilization float64
+	// IdleSites counts sites with zero utilization.
+	IdleSites int
+}
+
+// Compute builds a Summary from job records and per-site busy time.
+// busy[i] is the total occupied time of site i (successful plus wasted
+// attempts). It returns an error on inconsistent records.
+func Compute(records []JobRecord, busy []float64) (Summary, error) {
+	s := Summary{Jobs: len(records), SiteUtilization: make([]float64, len(busy))}
+	if len(records) == 0 {
+		return s, nil
+	}
+	var respSum, servSum float64
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			return s, err
+		}
+		if r.Completion > s.Makespan {
+			s.Makespan = r.Completion
+		}
+		respSum += r.Completion - r.Arrival
+		servSum += r.Completion - r.Start
+		if r.TookRisk {
+			s.NRisk++
+		}
+		if r.Failed {
+			s.NFail++
+		}
+		if r.FellBack {
+			s.Fallbacks++
+		}
+	}
+	if s.NFail > s.NRisk {
+		return s, fmt.Errorf("metrics: NFail %d > NRisk %d violates the failure model", s.NFail, s.NRisk)
+	}
+	n := float64(len(records))
+	s.AvgResponse = respSum / n
+	s.AvgService = servSum / n
+	if s.AvgService > 0 {
+		s.Slowdown = s.AvgResponse / s.AvgService
+	} else {
+		s.Slowdown = math.NaN()
+	}
+	var utilSum float64
+	for i, b := range busy {
+		u := 0.0
+		if s.Makespan > 0 {
+			u = b / s.Makespan
+		}
+		if u > 1+1e-9 {
+			return s, fmt.Errorf("metrics: site %d utilization %v > 1", i, u)
+		}
+		if u > 1 {
+			u = 1
+		}
+		s.SiteUtilization[i] = u
+		utilSum += u
+		if b == 0 {
+			s.IdleSites++
+		}
+	}
+	if len(busy) > 0 {
+		s.MeanUtilization = utilSum / float64(len(busy))
+	}
+	return s, nil
+}

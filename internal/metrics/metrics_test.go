@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trustgrid/internal/rng"
+)
+
+func TestJobRecordValidate(t *testing.T) {
+	good := JobRecord{ID: 1, Arrival: 0, Start: 1, Completion: 2, Site: 0}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []JobRecord{
+		{ID: 1, Arrival: 5, Start: 1, Completion: 9, Site: 0},
+		{ID: 1, Arrival: 0, Start: 5, Completion: 4, Site: 0},
+		{ID: 1, Arrival: 0, Start: 1, Completion: 2, Site: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("record %d should be invalid", i)
+		}
+	}
+}
+
+func TestComputeSingleJob(t *testing.T) {
+	recs := []JobRecord{{ID: 0, Arrival: 0, Start: 10, Completion: 20, Site: 0}}
+	s, err := Compute(recs, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 20 || s.AvgResponse != 20 || s.AvgService != 10 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Slowdown != 2 {
+		t.Fatalf("slowdown %v, want 2", s.Slowdown)
+	}
+	if s.SiteUtilization[0] != 0.5 {
+		t.Fatalf("utilization %v, want 0.5", s.SiteUtilization[0])
+	}
+}
+
+func TestComputeUtilizationOverflowRejected(t *testing.T) {
+	recs := []JobRecord{{ID: 0, Arrival: 0, Start: 0, Completion: 10, Site: 0}}
+	if _, err := Compute(recs, []float64{20}); err == nil {
+		t.Fatal("busy > makespan must be rejected")
+	}
+}
+
+func TestComputeFloatTolerance(t *testing.T) {
+	// Busy time equal to makespan within float error must pass and clamp.
+	recs := []JobRecord{{ID: 0, Arrival: 0, Start: 0, Completion: 10, Site: 0}}
+	s, err := Compute(recs, []float64{10 + 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SiteUtilization[0] > 1 {
+		t.Fatalf("utilization %v must clamp to 1", s.SiteUtilization[0])
+	}
+}
+
+func TestComputeFallbacksCounted(t *testing.T) {
+	recs := []JobRecord{
+		{ID: 0, Arrival: 0, Start: 0, Completion: 1, Site: 0, FellBack: true},
+		{ID: 1, Arrival: 0, Start: 1, Completion: 2, Site: 0},
+	}
+	s, err := Compute(recs, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fallbacks != 1 {
+		t.Fatalf("fallbacks %d, want 1", s.Fallbacks)
+	}
+}
+
+// Property: for arbitrary consistent records, the metric identities hold:
+// slowdown >= 1, NFail <= NRisk, 0 <= utilization <= 1, makespan >= every
+// completion.
+func TestComputeIdentitiesProperty(t *testing.T) {
+	r := rng.New(21)
+	check := func(n uint8) bool {
+		count := int(n%30) + 1
+		recs := make([]JobRecord, count)
+		busy := []float64{0, 0, 0}
+		var maxCompletion float64
+		for i := range recs {
+			arrival := r.Float64() * 100
+			start := arrival + r.Float64()*50
+			service := 1 + r.Float64()*20
+			completion := start + service
+			site := r.Intn(3)
+			risk := r.Bool(0.5)
+			recs[i] = JobRecord{
+				ID: i, Arrival: arrival, Start: start, Completion: completion,
+				Site: site, TookRisk: risk, Failed: risk && r.Bool(0.5),
+			}
+			busy[site] += service
+			if completion > maxCompletion {
+				maxCompletion = completion
+			}
+		}
+		// Scale busy down to stay within makespan (sites overlap jobs in
+		// this synthetic construction).
+		for i := range busy {
+			if busy[i] > maxCompletion {
+				busy[i] = maxCompletion
+			}
+		}
+		s, err := Compute(recs, busy)
+		if err != nil {
+			return false
+		}
+		if s.Slowdown < 1-1e-9 || math.IsNaN(s.Slowdown) {
+			return false
+		}
+		if s.NFail > s.NRisk {
+			return false
+		}
+		for _, u := range s.SiteUtilization {
+			if u < 0 || u > 1 {
+				return false
+			}
+		}
+		return s.Makespan == maxCompletion
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams and the distributions used by the trustgrid simulator.
+//
+// The simulator must be exactly reproducible across runs and Go versions,
+// so we implement the generators ourselves (SplitMix64 for seeding and
+// xoshiro256** for the main stream) rather than rely on math/rand, whose
+// default source and seeding behaviour have changed between releases.
+//
+// Streams are identified by a string label. Deriving a stream from a parent
+// hashes the label into the seed, so independently labelled components
+// (arrival process, security levels, failure draws, GA operators, ...)
+// receive decorrelated streams and can be added or removed without
+// perturbing one another. This is the standard substream discipline for
+// discrete-event simulation experiments.
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding only.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashLabel folds a label string into a 64-bit value (FNV-1a).
+func hashLabel(label string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return h
+}
+
+// Stream is a deterministic pseudo-random stream (xoshiro256**).
+// It is not safe for concurrent use; derive one stream per goroutine.
+type Stream struct {
+	s [4]uint64
+}
+
+// New creates a stream from a 64-bit seed. Any seed, including zero, yields
+// a valid, well-mixed state.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitMix64(&sm)
+	}
+	return st
+}
+
+// Derive returns an independent child stream identified by label. The same
+// (parent seed, label) pair always yields the same child stream.
+func (r *Stream) Derive(label string) *Stream {
+	// Mix the parent's *initial-equivalent* entropy with the label hash.
+	// We hash the current state so sibling derivations at different times
+	// differ; callers wanting stable siblings should derive all children
+	// up front (the simulator does).
+	seed := r.s[0] ^ (r.s[1] << 1) ^ hashLabel(label)
+	return New(seed)
+}
+
+// DeriveIndexed returns an independent child stream identified by a label
+// and an integer index, e.g. one stream per site or per batch.
+func (r *Stream) DeriveIndexed(label string, index int) *Stream {
+	return r.Derive(fmt.Sprintf("%s/%d", label, index))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless method with rejection for exactness.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	lo = t & mask32
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask32
+	hiPart := t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask32) << 32
+	hi = aHi*bHi + hiPart + (t >> 32)
+	return hi, lo
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, as in math/rand.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics if rate <= 0.
+func (r *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp called with rate <= 0")
+	}
+	// Inverse-CDF; 1-Float64() is in (0,1] so Log never sees zero.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation (Box–Muller, using a cached second value would break
+// determinism under Derive ordering, so we recompute each call).
+func (r *Stream) Normal(mean, stddev float64) float64 {
+	u1 := 1 - r.Float64() // (0,1]
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normal variate where the underlying normal has
+// the given mu and sigma (so the median is exp(mu)).
+func (r *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// TruncLogNormal returns a log-normal variate clamped to [lo, hi].
+func (r *Stream) TruncLogNormal(mu, sigma, lo, hi float64) float64 {
+	v := r.LogNormal(mu, sigma)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Level returns a uniformly chosen discrete level in {1, ..., n}.
+func (r *Stream) Level(n int) int {
+	return 1 + r.Intn(n)
+}
+
+// WeightedChoice returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. It panics if the weights are empty,
+// negative, or sum to zero.
+func (r *Stream) WeightedChoice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: WeightedChoice with negative or NaN weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("rng: WeightedChoice with empty or zero-sum weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // float round-off
+}

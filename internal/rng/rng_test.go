@@ -1,0 +1,357 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := New(7).Derive("arrivals")
+	b := New(7).Derive("arrivals")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Derive with same label not deterministic")
+		}
+	}
+}
+
+func TestDeriveIndependent(t *testing.T) {
+	parent := New(7)
+	a := parent.Derive("arrivals")
+	b := parent.Derive("failures")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collided %d/1000 times", same)
+	}
+}
+
+func TestDeriveIndexed(t *testing.T) {
+	parent := New(9)
+	a := parent.DeriveIndexed("site", 0)
+	b := parent.DeriveIndexed("site", 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("indexed derivations should differ")
+	}
+	c := parent.DeriveIndexed("site", 0)
+	a2 := parent.DeriveIndexed("site", 0)
+	if c.Uint64() != a2.Uint64() {
+		t.Fatal("indexed derivation not deterministic")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 6; k++ {
+		if seen[k] < 8000 || seen[k] > 12000 {
+			t.Fatalf("Intn(6) value %d seen %d times; badly skewed", k, seen[k])
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		if r.Intn(1) != 0 {
+			t.Fatal("Intn(1) must return 0")
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(6)
+	check := func(n uint8) bool {
+		size := int(n%50) + 1
+		p := r.Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(11)
+	s := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(0.4, 1.0)
+		if v < 0.4 || v >= 1.0 {
+			t.Fatalf("Uniform(0.4,1.0) out of range: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const rate = 0.008
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp returned negative: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("Exp mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) should panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(14)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("Normal stddev %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(15)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(math.Log(600), 1.5)
+	}
+	// Median ≈ exp(mu) = 600. Find it with a rough selection.
+	count := 0
+	for _, v := range vals {
+		if v < 600 {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("LogNormal median off: %v of values below exp(mu)", frac)
+	}
+}
+
+func TestTruncLogNormalBounds(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 10000; i++ {
+		v := r.TruncLogNormal(math.Log(600), 2.0, 1, 64800)
+		if v < 1 || v > 64800 {
+			t.Fatalf("TruncLogNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestLevel(t *testing.T) {
+	r := New(17)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Level(20)
+		if v < 1 || v > 20 {
+			t.Fatalf("Level(20) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("Level(20) only produced %d distinct levels", len(seen))
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(18)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedChoice(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("WeightedChoice ratio %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	for _, w := range [][]float64{nil, {}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WeightedChoice(%v) should panic", w)
+				}
+			}()
+			New(1).WeightedChoice(w)
+		}()
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(19)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) must be false")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) must be true")
+	}
+	n := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.25) {
+			n++
+		}
+	}
+	if n < 23500 || n > 26500 {
+		t.Fatalf("Bool(0.25) hit %d/100000", n)
+	}
+}
+
+func TestHashLabelDistinct(t *testing.T) {
+	labels := []string{"a", "b", "ab", "ba", "arrivals", "failures", "", "site/0", "site/1"}
+	seen := make(map[uint64]string)
+	for _, l := range labels {
+		h := hashLabel(l)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision between %q and %q", prev, l)
+		}
+		seen[h] = l
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(20)
+	}
+}

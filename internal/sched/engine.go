@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/metrics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sim"
+)
+
+// FailureTiming selects when a sampled failure manifests during an
+// execution attempt (the paper does not specify; DESIGN.md §2.1).
+type FailureTiming int
+
+const (
+	// FailUniform detects the failure at a uniform fraction of the
+	// attempt's execution time (default).
+	FailUniform FailureTiming = iota
+	// FailAtEnd detects the failure only when the attempt would have
+	// completed, wasting the full execution time.
+	FailAtEnd
+)
+
+// RunConfig describes one complete simulation.
+type RunConfig struct {
+	Jobs      []*grid.Job  // workload; the engine clones it, callers keep theirs
+	Sites     []*grid.Site // platform
+	Scheduler Scheduler    // algorithm under test
+	// BatchInterval Δ: the periodic scheduling period of the Fig. 1
+	// model. The queue is drained every Δ seconds.
+	BatchInterval float64
+	// Security is the Eq. 1 failure law. A zero value (λ = 0, which
+	// would disable failures entirely) is replaced by the default λ.
+	Security grid.SecurityModel
+	// FailureTiming selects the failure-detection model.
+	FailureTiming FailureTiming
+	// Rand drives failure sampling; derive a dedicated stream.
+	Rand *rng.Stream
+	// MaxRetries bounds per-job failures before the run aborts (a job
+	// that keeps failing indicates an infeasible platform). Zero means
+	// the default of 50.
+	MaxRetries int
+	// MaxEvents bounds total simulation events (runaway guard). Zero
+	// means 200 × |jobs| + 10000.
+	MaxEvents uint64
+	// Validate enables per-batch assignment contract checking (tests).
+	Validate bool
+}
+
+func (c *RunConfig) check() error {
+	if len(c.Jobs) == 0 {
+		return fmt.Errorf("sched: no jobs")
+	}
+	if err := grid.ValidateSites(c.Sites); err != nil {
+		return err
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("sched: nil scheduler")
+	}
+	if c.BatchInterval <= 0 {
+		return fmt.Errorf("sched: batch interval %v <= 0", c.BatchInterval)
+	}
+	if c.Rand == nil {
+		return fmt.Errorf("sched: nil random stream")
+	}
+	for _, j := range c.Jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Summary metrics.Summary
+	Records []metrics.JobRecord
+	// Batches is the number of scheduling rounds that dispatched jobs.
+	Batches int
+	// Events is the number of simulation events executed.
+	Events uint64
+	// SchedulerTime is the total wall-clock time spent inside
+	// Scheduler.Schedule across all batches. The paper's case for the
+	// STGA rests on the GA being cheap enough for online use; this field
+	// quantifies that claim (see experiments.RunOverhead).
+	SchedulerTime time.Duration
+	// LargestBatch is the maximum batch size scheduled in one round.
+	LargestBatch int
+}
+
+// engineState carries the mutable simulation state across events.
+type engineState struct {
+	cfg     *RunConfig
+	queue   []*grid.Job // jobs awaiting dispatch
+	ready   []float64   // per-site earliest free time
+	busy    []float64   // per-site accumulated occupied time
+	records []metrics.JobRecord
+	// riskTaken / failedOnce / fellBack track per-job flags across
+	// attempts, keyed by job ID.
+	riskTaken map[int]bool
+	failed    map[int]bool
+	fellBack  map[int]bool
+	remaining int // jobs not yet successfully completed
+	batches   int
+	schedTime time.Duration
+	largest   int
+	failRand  *rng.Stream
+	timeRand  *rng.Stream
+	batchOpen bool // a batch event is already scheduled
+}
+
+// Run executes the full simulation and aggregates metrics.
+func Run(cfg RunConfig) (*Result, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 50
+	}
+	if cfg.Security.Lambda == 0 {
+		cfg.Security = grid.NewSecurityModel()
+	}
+	jobs := grid.CloneAll(cfg.Jobs)
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
+
+	st := &engineState{
+		cfg:       &cfg,
+		ready:     make([]float64, len(cfg.Sites)),
+		busy:      make([]float64, len(cfg.Sites)),
+		records:   make([]metrics.JobRecord, 0, len(jobs)),
+		riskTaken: make(map[int]bool, len(jobs)),
+		failed:    make(map[int]bool, len(jobs)),
+		fellBack:  make(map[int]bool, len(jobs)),
+		remaining: len(jobs),
+		failRand:  cfg.Rand.Derive("engine/failures"),
+		timeRand:  cfg.Rand.Derive("engine/failtime"),
+	}
+
+	eng := sim.NewEngine()
+	if cfg.MaxEvents > 0 {
+		eng.MaxEvents = cfg.MaxEvents
+	} else {
+		eng.MaxEvents = 200*uint64(len(jobs)) + 10000
+	}
+
+	for _, j := range jobs {
+		j := j
+		eng.Schedule(j.Arrival, sim.EventFunc(func(e *sim.Engine) {
+			st.queue = append(st.queue, j)
+			st.ensureBatch(e)
+		}))
+	}
+
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if st.remaining != 0 {
+		return nil, fmt.Errorf("sched: simulation drained with %d jobs incomplete", st.remaining)
+	}
+
+	summary, err := metrics.Compute(st.records, st.busy)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Summary:       summary,
+		Records:       st.records,
+		Batches:       st.batches,
+		Events:        eng.Executed(),
+		SchedulerTime: st.schedTime,
+		LargestBatch:  st.largest,
+	}, nil
+}
+
+// ensureBatch schedules the next periodic scheduling round if none is
+// pending. Rounds fire on the Δ grid (⌈now/Δ⌉·Δ), matching the paper's
+// periodic model: jobs accumulate and are scheduled in batches.
+func (st *engineState) ensureBatch(e *sim.Engine) {
+	if st.batchOpen {
+		return
+	}
+	st.batchOpen = true
+	delta := st.cfg.BatchInterval
+	k := int(e.Now()/delta) + 1
+	next := float64(k) * delta
+	e.Schedule(next, sim.EventFunc(st.runBatch))
+}
+
+// runBatch drains the queue through the scheduler and dispatches the
+// assignments.
+func (st *engineState) runBatch(e *sim.Engine) {
+	st.batchOpen = false
+	if len(st.queue) == 0 {
+		return
+	}
+	batch := st.queue
+	st.queue = nil
+	st.batches++
+
+	if len(batch) > st.largest {
+		st.largest = len(batch)
+	}
+	state := &State{Now: e.Now(), Sites: st.cfg.Sites, Ready: st.ready}
+	wall := time.Now()
+	as := st.cfg.Scheduler.Schedule(batch, state)
+	st.schedTime += time.Since(wall)
+	if st.cfg.Validate {
+		if err := ValidateAssignments(batch, as, len(st.cfg.Sites)); err != nil {
+			e.Fail(err)
+			return
+		}
+	}
+	for _, a := range as {
+		st.dispatch(e, a)
+	}
+}
+
+// dispatch starts one execution attempt: advance the site's FIFO queue,
+// sample the Eq. 1 failure law, and schedule the completion or failure.
+func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
+	job, site := a.Job, st.cfg.Sites[a.Site]
+	start := st.ready[a.Site]
+	if now := e.Now(); now > start {
+		start = now
+	}
+	exec := site.ExecTime(job)
+
+	if a.FellBack {
+		st.fellBack[job.ID] = true
+	}
+	risky := st.cfg.Security.Risky(job.SecurityDemand, site.SecurityLevel)
+	if risky {
+		st.riskTaken[job.ID] = true
+	}
+	fails := risky && st.failRand.Bool(st.cfg.Security.FailProb(job.SecurityDemand, site.SecurityLevel))
+
+	if fails {
+		wasted := exec
+		if st.cfg.FailureTiming == FailUniform {
+			wasted = exec * st.timeRand.Float64()
+		}
+		failAt := start + wasted
+		st.ready[a.Site] = failAt
+		st.busy[a.Site] += wasted
+		st.failed[job.ID] = true
+		siteIdx := a.Site
+		e.Schedule(failAt, sim.EventFunc(func(e *sim.Engine) {
+			job.Failures++
+			if job.Failures > st.cfg.MaxRetries {
+				e.Fail(fmt.Errorf("sched: job %d exceeded %d retries (site %d); platform likely infeasible",
+					job.ID, st.cfg.MaxRetries, siteIdx))
+				return
+			}
+			// Fail-stop: restart from the beginning on a strictly safe
+			// site at the next scheduling round (§2).
+			job.MustBeSafe = true
+			st.queue = append(st.queue, job)
+			st.ensureBatch(e)
+		}))
+		return
+	}
+
+	finish := start + exec
+	st.ready[a.Site] = finish
+	st.busy[a.Site] += exec
+	siteIdx := a.Site
+	e.Schedule(finish, sim.EventFunc(func(e *sim.Engine) {
+		st.records = append(st.records, metrics.JobRecord{
+			ID:         job.ID,
+			Arrival:    job.Arrival,
+			Start:      start,
+			Completion: finish,
+			Site:       siteIdx,
+			TookRisk:   st.riskTaken[job.ID],
+			Failed:     st.failed[job.ID],
+			FellBack:   st.fellBack[job.ID],
+		})
+		st.remaining--
+	}))
+}

@@ -1,0 +1,88 @@
+// Package sched implements the paper's on-line job scheduling system
+// model (Fig. 1): jobs arrive over time into a queue, a batch scheduler
+// runs periodically and maps the accumulated batch onto grid sites, sites
+// execute their local queues, and failed jobs (per the Eq. 1 security
+// model) are re-queued for strictly safe re-dispatch.
+//
+// The package defines the Scheduler contract that the heuristics and the
+// STGA implement, and the discrete-event Engine that drives a full
+// simulation and collects metrics.
+package sched
+
+import (
+	"fmt"
+
+	"trustgrid/internal/grid"
+)
+
+// State is the scheduler-visible grid state at a scheduling event.
+type State struct {
+	// Now is the current simulation time.
+	Now float64
+	// Sites is the (immutable) site list.
+	Sites []*grid.Site
+	// Ready[i] is the earliest time site i becomes free given everything
+	// dispatched so far. Schedulers read it; the Engine owns it.
+	Ready []float64
+}
+
+// CompletionTime returns max(Now, Ready[site]) + ETC(job, site), the
+// quantity Min-Min/Sufferage minimize — the paper's "expected time to
+// complete" includes the site's availability.
+func (st *State) CompletionTime(j *grid.Job, site int) float64 {
+	start := st.Ready[site]
+	if st.Now > start {
+		start = st.Now
+	}
+	return start + st.Sites[site].ExecTime(j)
+}
+
+// Assignment maps one job to one site for immediate dispatch.
+type Assignment struct {
+	Job  *grid.Job
+	Site int
+	// FellBack records that no site satisfied the job's policy and the
+	// max-SL fallback was used (cannot happen on feasible platforms).
+	FellBack bool
+}
+
+// Scheduler maps a batch of queued jobs onto sites. Implementations must
+// return exactly one assignment per job and must not mutate st.Ready
+// (they may copy it to simulate their own dispatch sequence).
+type Scheduler interface {
+	// Name identifies the algorithm in reports (e.g. "Min-Min Secure").
+	Name() string
+	// Schedule assigns every job in the batch. The batch slice is owned
+	// by the caller; implementations must not retain it.
+	Schedule(batch []*grid.Job, st *State) []Assignment
+}
+
+// ValidateAssignments checks the scheduling contract: every batch job
+// assigned exactly once, site indices in range. Used by tests and the
+// engine's debug mode.
+func ValidateAssignments(batch []*grid.Job, as []Assignment, numSites int) error {
+	if len(as) != len(batch) {
+		return fmt.Errorf("sched: %d assignments for %d jobs", len(as), len(batch))
+	}
+	seen := make(map[int]bool, len(batch))
+	inBatch := make(map[int]bool, len(batch))
+	for _, j := range batch {
+		inBatch[j.ID] = true
+	}
+	for _, a := range as {
+		if a.Job == nil {
+			return fmt.Errorf("sched: assignment with nil job")
+		}
+		if !inBatch[a.Job.ID] {
+			return fmt.Errorf("sched: job %d not in batch", a.Job.ID)
+		}
+		if seen[a.Job.ID] {
+			return fmt.Errorf("sched: job %d assigned twice", a.Job.ID)
+		}
+		seen[a.Job.ID] = true
+		if a.Site < 0 || a.Site >= numSites {
+			return fmt.Errorf("sched: job %d assigned to invalid site %d", a.Job.ID, a.Site)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package sim implements the discrete-event simulation engine that every
+// trustgrid experiment runs on.
+//
+// The engine is a classic event-list simulator: a priority queue of events
+// ordered by (time, sequence), a virtual clock, and a run loop. Handlers
+// may schedule further events at or after the current time. Determinism is
+// guaranteed: ties in time are broken by insertion order, so a simulation
+// driven by deterministic handlers and deterministic random streams always
+// produces byte-identical results.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled occurrence. Implementations carry their own payload;
+// the engine only needs Execute.
+type Event interface {
+	// Execute runs the event's effect at its scheduled time.
+	Execute(e *Engine)
+}
+
+// EventFunc adapts a plain function to the Event interface.
+type EventFunc func(e *Engine)
+
+// Execute calls f.
+func (f EventFunc) Execute(e *Engine) { f(e) }
+
+// ErrNegativeDelay is returned (via panic recovery in tests) when an event
+// is scheduled in the past.
+var ErrNegativeDelay = errors.New("sim: event scheduled before current time")
+
+// Engine is the simulation core. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	queue    eventQueue
+	now      float64
+	seq      uint64
+	executed uint64
+	// MaxEvents aborts a run after this many events as a runaway guard.
+	// Zero means no limit.
+	MaxEvents uint64
+	stopped   bool
+	err       error
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.queue.items = make([]*queued, 0, 1024)
+	return e
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule enqueues ev to run at absolute time t. Scheduling in the past
+// (t < Now, beyond a tiny epsilon for float accumulation) is a programming
+// error and panics: silently reordering time would corrupt every metric.
+func (e *Engine) Schedule(t float64, ev Event) {
+	if math.IsNaN(t) {
+		panic("sim: event scheduled at NaN time")
+	}
+	if t < e.now {
+		panic(fmt.Errorf("%w: t=%v now=%v", ErrNegativeDelay, t, e.now))
+	}
+	e.seq++
+	e.queue.Push(&queued{at: t, seq: e.seq, ev: ev})
+}
+
+// After enqueues ev to run delay seconds from now.
+func (e *Engine) After(delay float64, ev Event) {
+	if delay < 0 {
+		panic(fmt.Errorf("%w: delay=%v", ErrNegativeDelay, delay))
+	}
+	e.Schedule(e.now+delay, ev)
+}
+
+// Stop ends the run loop after the current event completes. Remaining
+// events stay in the queue (Pending reports them).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Fail ends the run loop and records err, which Run returns.
+func (e *Engine) Fail(err error) {
+	e.err = err
+	e.stopped = true
+}
+
+// Run executes events in timestamp order until the queue is empty, Stop or
+// Fail is called, or MaxEvents is exceeded.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped && e.queue.Len() > 0 {
+		q := e.queue.Pop()
+		e.now = q.at
+		e.executed++
+		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+		}
+		q.ev.Execute(e)
+	}
+	return e.err
+}
+
+// RunUntil executes events with timestamps <= deadline, then stops with the
+// clock advanced to deadline (or the last event time if the queue drained
+// earlier). Events after the deadline remain queued.
+func (e *Engine) RunUntil(deadline float64) error {
+	e.stopped = false
+	for !e.stopped && e.queue.Len() > 0 {
+		if e.queue.Peek().at > deadline {
+			break
+		}
+		q := e.queue.Pop()
+		e.now = q.at
+		e.executed++
+		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+		}
+		q.ev.Execute(e)
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.err
+}

@@ -1,0 +1,75 @@
+package sim
+
+// queued is an event with its scheduling metadata.
+type queued struct {
+	at  float64 // absolute simulation time
+	seq uint64  // tie-breaker: insertion order
+	ev  Event
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq). We hand-roll the
+// heap rather than use container/heap to avoid the interface boxing on
+// every sift, which is measurable at simulator scale.
+type eventQueue struct {
+	items []*queued
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts an item and restores the heap invariant.
+func (q *eventQueue) Push(item *queued) {
+	q.items = append(q.items, item)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// Peek returns the earliest item without removing it. It panics on an
+// empty queue; callers check Len first.
+func (q *eventQueue) Peek() *queued {
+	return q.items[0]
+}
+
+// Pop removes and returns the earliest item.
+func (q *eventQueue) Pop() *queued {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = nil // release for GC
+	q.items = q.items[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

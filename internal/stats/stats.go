@@ -1,0 +1,136 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: means, standard deviations, confidence intervals
+// over replicated runs, and simple series utilities.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval
+// for the mean (normal approximation; replication counts here are small
+// so this is indicative, not inferential).
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Min returns the minimum (NaN for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (NaN for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median (NaN for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// ArgMin returns the index of the smallest element (-1 for empty input).
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sample accumulates replicated observations of one quantity.
+type Sample struct {
+	Values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.Values = append(s.Values, v) }
+
+// Mean of the sample.
+func (s *Sample) Mean() float64 { return Mean(s.Values) }
+
+// CI95 half-width of the sample mean.
+func (s *Sample) CI95() float64 { return CI95(s.Values) }
+
+// String formats as "mean ± ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean(), s.CI95())
+}
+
+// HumanSeconds renders a duration in seconds with engineering-style
+// grouping, e.g. "1.53e6 s (17.7 days)". The experiment tables use it so
+// magnitudes are comparable to the paper's axes at a glance.
+func HumanSeconds(sec float64) string {
+	switch {
+	case sec >= 36*3600:
+		return fmt.Sprintf("%.3g s (%.1f days)", sec, sec/86400)
+	case sec >= 3600:
+		return fmt.Sprintf("%.3g s (%.1f h)", sec, sec/3600)
+	default:
+		return fmt.Sprintf("%.3g s", sec)
+	}
+}

@@ -1,0 +1,174 @@
+package stga
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trustgrid/internal/ga"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+)
+
+// buildEntry constructs a history entry for a batch on the given sites.
+func buildEntry(batch []*grid.Job, sites []*grid.Site, best ga.Chromosome) *Entry {
+	st := &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+	ready, etc, sd := batchInputs(batch, st)
+	return &Entry{Ready: ready, ETC: etc, SD: sd, Best: best}
+}
+
+func TestAdaptSeedExactRecurrence(t *testing.T) {
+	sites := testSites()
+	// A stored batch and a new batch with the SAME specs but permuted
+	// positions: rank matching must recover the original assignment
+	// per spec.
+	stored := []*grid.Job{
+		{ID: 0, Workload: 100, Nodes: 1, SecurityDemand: 0.6},
+		{ID: 1, Workload: 200, Nodes: 1, SecurityDemand: 0.7},
+		{ID: 2, Workload: 300, Nodes: 1, SecurityDemand: 0.8},
+	}
+	best := ga.Chromosome{2, 1, 0} // 100→site2, 200→site1, 300→site0
+	e := buildEntry(stored, sites, best)
+
+	newBatch := []*grid.Job{
+		{ID: 10, Workload: 300, Nodes: 1, SecurityDemand: 0.8}, // was gene 2
+		{ID: 11, Workload: 100, Nodes: 1, SecurityDemand: 0.6}, // was gene 0
+		{ID: 12, Workload: 200, Nodes: 1, SecurityDemand: 0.7}, // was gene 1
+	}
+	st := &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+	_, etc, sd := batchInputs(newBatch, st)
+	got := adaptSeed(e, etc, sd, len(sites), len(newBatch))
+	want := ga.Chromosome{0, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("adaptSeed = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAdaptSeedLengthMismatch(t *testing.T) {
+	sites := testSites()
+	stored := testBatch(10, 1)
+	best := make(ga.Chromosome, 10)
+	for i := range best {
+		best[i] = i % len(sites)
+	}
+	e := buildEntry(stored, sites, best)
+
+	for _, n := range []int{1, 5, 25} {
+		newBatch := testBatch(n, 2)
+		st := &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+		_, etc, sd := batchInputs(newBatch, st)
+		got := adaptSeed(e, etc, sd, len(sites), n)
+		if len(got) != n {
+			t.Fatalf("adapted length %d, want %d", len(got), n)
+		}
+		for _, g := range got {
+			if g < 0 || g >= len(sites) {
+				t.Fatalf("gene %d out of range", g)
+			}
+		}
+	}
+}
+
+func TestAdaptSeedEmptyEntry(t *testing.T) {
+	e := &Entry{Best: ga.Chromosome{}}
+	got := adaptSeed(e, []float64{1, 2, 3}, []float64{0.7}, 3, 1)
+	if len(got) != 1 {
+		t.Fatal("empty entry must still produce a chromosome")
+	}
+}
+
+func TestRankOrderSorts(t *testing.T) {
+	// 3 jobs × 2 sites; first-column ETCs 30, 10, 20.
+	etc := []float64{30, 3, 10, 1, 20, 2}
+	sd := []float64{0.7, 0.7, 0.7}
+	order := rankOrder(etc, sd, 2, 3)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("rankOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRankOrderTiesBrokenBySD(t *testing.T) {
+	etc := []float64{10, 1, 10, 1}
+	sd := []float64{0.9, 0.6}
+	order := rankOrder(etc, sd, 2, 2)
+	if order[0] != 1 || order[1] != 0 {
+		t.Fatalf("SD tie-break failed: %v", order)
+	}
+}
+
+// Property: adaptation always yields a chromosome of the right length
+// whose genes come from the stored chromosome's value set.
+func TestAdaptSeedProperty(t *testing.T) {
+	sites := testSites()
+	r := rng.New(31)
+	check := func(a, b uint8) bool {
+		storedN := int(a%20) + 1
+		newN := int(b%20) + 1
+		stored := testBatch(storedN, uint64(a)+100)
+		best := make(ga.Chromosome, storedN)
+		values := map[int]bool{}
+		for i := range best {
+			best[i] = r.Intn(len(sites))
+			values[best[i]] = true
+		}
+		e := buildEntry(stored, sites, best)
+		newBatch := testBatch(newN, uint64(b)+500)
+		st := &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+		_, etc, sd := batchInputs(newBatch, st)
+		got := adaptSeed(e, etc, sd, len(sites), newN)
+		if len(got) != newN {
+			return false
+		}
+		for _, g := range got {
+			if !values[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartOnRecurrentBatches drives the full scheduler over a
+// recurring batch sequence and verifies that history hits actually
+// lower the generation-0 fitness relative to the cold-start GA.
+func TestWarmStartOnRecurrentBatches(t *testing.T) {
+	sites := testSites()
+	runOne := func(cold bool) float64 {
+		cfg := fastConfig()
+		cfg.SeedHeuristics = false
+		cfg.DisableHistory = cold
+		cfg.RecordTrajectories = true
+		s := New(cfg, rng.New(17))
+		// The same batch specification recurs 8 times (temporal
+		// locality); ready times drift as the sites accumulate work.
+		st := freshState(sites)
+		for round := 0; round < 8; round++ {
+			batch := testBatch(20, 99) // identical specs each round
+			as := s.Schedule(batch, st)
+			for _, a := range as {
+				st.Ready[a.Site] += sites[a.Site].ExecTime(a.Job)
+			}
+		}
+		// Mean generation-0 fitness over the later rounds (history warm).
+		sum := 0.0
+		n := 0
+		for _, tr := range s.AllTrajectories[2:] {
+			sum += tr[0] / tr[len(tr)-1]
+			n++
+		}
+		return sum / float64(n)
+	}
+	warm := runOne(false)
+	cold := runOne(true)
+	if warm > cold*1.02 {
+		t.Fatalf("warm gen-0 (%v) should not be worse than cold (%v) on recurrent batches", warm, cold)
+	}
+}

@@ -1,0 +1,132 @@
+package stga
+
+import (
+	"trustgrid/internal/ga"
+)
+
+// Entry is one row of the STGA history lookup table (paper §3): the three
+// input parameters of a past scheduling round and the best schedule the
+// GA (or a training heuristic) found for it.
+type Entry struct {
+	// Ready is the site availability vector, stored relative to the
+	// batch's scheduling instant (ready − now, clamped at 0) so entries
+	// from different simulation times remain comparable.
+	Ready []float64
+	// ETC is the batch's execution-time matrix, flattened job-major.
+	ETC []float64
+	// SD is the batch's security-demand vector.
+	SD []float64
+	// Best is the best assignment found for the batch.
+	Best ga.Chromosome
+
+	lastUse uint64 // LRU clock stamp
+}
+
+// HistoryTable is the fixed-capacity LRU store of past scheduling
+// results. Table 1: capacity 150, similarity threshold 0.8.
+type HistoryTable struct {
+	capacity int
+	entries  []*Entry
+	clock    uint64
+	// UseEq2Literal switches the similarity measure to the paper's
+	// literal Eq. 2 (see DESIGN.md §2.3); default false = normalized.
+	UseEq2Literal bool
+
+	// statistics
+	lookups uint64
+	hits    uint64
+}
+
+// NewHistoryTable creates a table with the given capacity.
+func NewHistoryTable(capacity int) *HistoryTable {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &HistoryTable{capacity: capacity}
+}
+
+// Len returns the number of stored entries.
+func (t *HistoryTable) Len() int { return len(t.entries) }
+
+// Capacity returns the table capacity.
+func (t *HistoryTable) Capacity() int { return t.capacity }
+
+// HitRate returns the fraction of lookups that produced at least one
+// seed. Used by the ablation experiments.
+func (t *HistoryTable) HitRate() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.lookups)
+}
+
+func (t *HistoryTable) similarityFn() func(a, b []float64) float64 {
+	if t.UseEq2Literal {
+		return SimilarityEq2
+	}
+	return Similarity
+}
+
+// entrySimilarity is the average of the three per-parameter similarities
+// (paper §3: "the similarity between the new input jobs and each entry is
+// the average similarity for the three parameters").
+func (t *HistoryTable) entrySimilarity(e *Entry, ready, etc, sd []float64) float64 {
+	sim := t.similarityFn()
+	return (sim(e.Ready, ready) + sim(e.ETC, etc) + sim(e.SD, sd)) / 3
+}
+
+// Match is a lookup result: a stored schedule with its similarity score.
+type Match struct {
+	Entry      *Entry
+	Similarity float64
+}
+
+// Lookup returns up to maxSeeds entries whose average similarity meets
+// the threshold, most similar first. Returned entries get their LRU
+// stamps refreshed.
+func (t *HistoryTable) Lookup(ready, etc, sd []float64, threshold float64, maxSeeds int) []Match {
+	t.lookups++
+	var matches []Match
+	for _, e := range t.entries {
+		s := t.entrySimilarity(e, ready, etc, sd)
+		if s >= threshold {
+			matches = append(matches, Match{Entry: e, Similarity: s})
+		}
+	}
+	// Insertion sort by similarity descending (tables are small: <= 150).
+	for i := 1; i < len(matches); i++ {
+		for k := i; k > 0 && matches[k].Similarity > matches[k-1].Similarity; k-- {
+			matches[k], matches[k-1] = matches[k-1], matches[k]
+		}
+	}
+	if maxSeeds > 0 && len(matches) > maxSeeds {
+		matches = matches[:maxSeeds]
+	}
+	if len(matches) > 0 {
+		t.hits++
+	}
+	for _, m := range matches {
+		t.clock++
+		m.Entry.lastUse = t.clock
+	}
+	return matches
+}
+
+// Insert stores a new entry, evicting the least-recently-used one when
+// the table is full (paper §3: "the LRU algorithm is adopted to update
+// the entries in the lookup table").
+func (t *HistoryTable) Insert(e *Entry) {
+	t.clock++
+	e.lastUse = t.clock
+	if len(t.entries) < t.capacity {
+		t.entries = append(t.entries, e)
+		return
+	}
+	victim := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].lastUse < t.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	t.entries[victim] = e
+}

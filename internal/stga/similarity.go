@@ -1,0 +1,95 @@
+// Package stga implements the paper's contribution: the Space-Time
+// Genetic Algorithm (§3). The STGA evolves job→site assignments not only
+// over the solution space ("space") but also over previous scheduling
+// results ("time"): a history lookup table stores the inputs and best
+// schedules of earlier batches, and entries similar to the current batch
+// (Eq. 2) seed the initial population, so only a few generations are
+// needed to reach high-quality solutions.
+package stga
+
+import "math"
+
+// SimilarityEq2 is the paper's Eq. 2 exactly as printed:
+//
+//	Similarity(a,b) = 1 − Σ|aᵢ−bᵢ| / max{max aᵢ, max bᵢ}
+//
+// Note the denominator is a single maximal element, not a sum, so for
+// long vectors the value easily goes negative; see Similarity for the
+// normalized variant the scheduler uses by default (DESIGN.md §2.3).
+// Vectors of different lengths are compared over the common prefix with
+// a length-ratio penalty.
+func SimilarityEq2(a, b []float64) float64 {
+	return similarity(a, b, false)
+}
+
+// Similarity is the length-normalized variant:
+//
+//	Similarity(a,b) = 1 − (1/k)·Σ|aᵢ−bᵢ| / max{max aᵢ, max bᵢ}
+//
+// It is 1 for identical vectors, stays in (−∞, 1] but in practice within
+// [0,1] whenever the element-wise differences are bounded by the max, and
+// makes the paper's 0.8 lookup threshold attainable for realistically
+// similar batches.
+func Similarity(a, b []float64) float64 {
+	return similarity(a, b, true)
+}
+
+func similarity(a, b []float64, normalize bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	k := len(a)
+	if len(b) < k {
+		k = len(b)
+	}
+	var sumDiff, maxElem float64
+	for i := 0; i < k; i++ {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sumDiff += d
+		if a[i] > maxElem {
+			maxElem = a[i]
+		}
+		if b[i] > maxElem {
+			maxElem = b[i]
+		}
+	}
+	// Scan the full vectors for the max, per the formula.
+	for _, v := range a[k:] {
+		if v > maxElem {
+			maxElem = v
+		}
+	}
+	for _, v := range b[k:] {
+		if v > maxElem {
+			maxElem = v
+		}
+	}
+	var sim float64
+	switch {
+	case maxElem == 0:
+		// Both vectors all-zero over the prefix: identical.
+		sim = 1
+	case normalize:
+		sim = 1 - sumDiff/(float64(k)*maxElem)
+	default:
+		sim = 1 - sumDiff/maxElem
+	}
+	// Length mismatch penalty: scale by |common| / |longest|.
+	longest := len(a)
+	if len(b) > longest {
+		longest = len(b)
+	}
+	if longest != k {
+		sim *= float64(k) / float64(longest)
+	}
+	if math.IsNaN(sim) {
+		return 0
+	}
+	return sim
+}

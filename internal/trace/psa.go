@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+)
+
+// PSAConfig generates a parameter-sweep application workload per Table 1:
+// N independent sequential jobs (no precedence, one node each), Poisson
+// arrivals at rate 0.008 jobs/s, workloads drawn from 20 discrete levels
+// spanning (0, 300000] work units, and uniform security demands.
+type PSAConfig struct {
+	Jobs        int     // N (Table 1 baseline: 5000; figures sweep 1000–10000)
+	ArrivalRate float64 // jobs per second (Table 1: 0.008)
+	Levels      int     // number of workload levels (Table 1: 20)
+	MaxWorkload float64 // workload of the top level (Table 1: 300000)
+	SDMin       float64 // Table 1: 0.6
+	SDMax       float64 // Table 1: 0.9
+}
+
+// DefaultPSAConfig returns the Table 1 configuration with N jobs.
+func DefaultPSAConfig(n int) PSAConfig {
+	return PSAConfig{
+		Jobs:        n,
+		ArrivalRate: 0.008,
+		Levels:      20,
+		MaxWorkload: 300000,
+		SDMin:       0.6,
+		SDMax:       0.9,
+	}
+}
+
+// Validate checks the configuration.
+func (c PSAConfig) Validate() error {
+	switch {
+	case c.Jobs <= 0:
+		return fmt.Errorf("trace: PSA Jobs must be positive, got %d", c.Jobs)
+	case c.ArrivalRate <= 0:
+		return fmt.Errorf("trace: PSA ArrivalRate must be positive, got %v", c.ArrivalRate)
+	case c.Levels <= 0:
+		return fmt.Errorf("trace: PSA Levels must be positive, got %d", c.Levels)
+	case c.MaxWorkload <= 0:
+		return fmt.Errorf("trace: PSA MaxWorkload must be positive, got %v", c.MaxWorkload)
+	case c.SDMin < 0 || c.SDMax > 1 || c.SDMin > c.SDMax:
+		return fmt.Errorf("trace: PSA bad SD range [%v, %v]", c.SDMin, c.SDMax)
+	}
+	return nil
+}
+
+// Generate produces the PSA job list, sorted by arrival (the Poisson
+// process is generated in order).
+func (c PSAConfig) Generate(r *rng.Stream) ([]*grid.Job, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	arrivalsRng := r.Derive("psa/arrivals")
+	levelRng := r.Derive("psa/levels")
+	sdRng := r.Derive("psa/sd")
+
+	unit := c.MaxWorkload / float64(c.Levels)
+	jobs := make([]*grid.Job, c.Jobs)
+	t := 0.0
+	for i := range jobs {
+		t += arrivalsRng.Exp(c.ArrivalRate)
+		level := levelRng.Level(c.Levels) // 1..Levels, so workload > 0
+		jobs[i] = &grid.Job{
+			ID:             i,
+			Arrival:        t,
+			Workload:       float64(level) * unit,
+			Nodes:          1,
+			SecurityDemand: sdRng.Uniform(c.SDMin, c.SDMax),
+		}
+	}
+	return jobs, nil
+}
+
+// Stats summarizes a job list; used by tests and the tracegen CLI.
+type Stats struct {
+	Jobs         int
+	Span         float64 // last arrival
+	TotalWork    float64
+	MeanWork     float64
+	MaxNodes     int
+	MeanInterarr float64
+}
+
+// Summarize computes workload statistics.
+func Summarize(jobs []*grid.Job) Stats {
+	s := Stats{Jobs: len(jobs)}
+	if len(jobs) == 0 {
+		return s
+	}
+	prev := 0.0
+	var interSum float64
+	for _, j := range jobs {
+		s.TotalWork += j.Workload
+		if j.Nodes > s.MaxNodes {
+			s.MaxNodes = j.Nodes
+		}
+		if j.Arrival > s.Span {
+			s.Span = j.Arrival
+		}
+		interSum += j.Arrival - prev
+		prev = j.Arrival
+	}
+	s.MeanWork = s.TotalWork / float64(len(jobs))
+	s.MeanInterarr = interSum / float64(len(jobs))
+	return s
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+)
+
+// RecurrentPSAConfig generates a parameter-sweep workload with explicit
+// temporal locality: a fixed "campaign" of job specifications (workload
+// level and security demand per position) is resubmitted over and over,
+// as when a researcher re-runs the same sweep on new data. This realizes
+// the recurrence the paper's §3 argues makes the STGA's history table
+// effective ("the jobs submitted previously would appear again in the
+// near future"); the plain PSAConfig draws every job independently and
+// therefore carries no recurrence beyond distribution shape.
+type RecurrentPSAConfig struct {
+	Jobs         int     // total jobs to emit
+	CampaignSize int     // distinct job specs per campaign
+	ArrivalRate  float64 // Poisson arrival rate, jobs/s
+	Levels       int     // workload levels (Table 1: 20)
+	MaxWorkload  float64 // top level workload (Table 1: 300000)
+	SDMin, SDMax float64 // security demand range (Table 1: 0.6–0.9)
+}
+
+// DefaultRecurrentPSAConfig mirrors Table 1 with a campaign the size of
+// a typical scheduling batch.
+func DefaultRecurrentPSAConfig(n int) RecurrentPSAConfig {
+	return RecurrentPSAConfig{
+		Jobs:         n,
+		CampaignSize: 40,
+		ArrivalRate:  0.008,
+		Levels:       20,
+		MaxWorkload:  300000,
+		SDMin:        0.6,
+		SDMax:        0.9,
+	}
+}
+
+// Validate checks the configuration.
+func (c RecurrentPSAConfig) Validate() error {
+	if c.CampaignSize <= 0 {
+		return fmt.Errorf("trace: recurrent PSA campaign size %d <= 0", c.CampaignSize)
+	}
+	base := PSAConfig{Jobs: c.Jobs, ArrivalRate: c.ArrivalRate, Levels: c.Levels,
+		MaxWorkload: c.MaxWorkload, SDMin: c.SDMin, SDMax: c.SDMax}
+	return base.Validate()
+}
+
+// Generate emits the recurrent workload: job i carries the spec of
+// campaign position i mod CampaignSize, with Poisson arrivals.
+func (c RecurrentPSAConfig) Generate(r *rng.Stream) ([]*grid.Job, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	specRng := r.Derive("recpsa/spec")
+	arrivalsRng := r.Derive("recpsa/arrivals")
+
+	unit := c.MaxWorkload / float64(c.Levels)
+	work := make([]float64, c.CampaignSize)
+	sd := make([]float64, c.CampaignSize)
+	for i := range work {
+		work[i] = float64(specRng.Level(c.Levels)) * unit
+		sd[i] = specRng.Uniform(c.SDMin, c.SDMax)
+	}
+
+	jobs := make([]*grid.Job, c.Jobs)
+	t := 0.0
+	for i := range jobs {
+		t += arrivalsRng.Exp(c.ArrivalRate)
+		pos := i % c.CampaignSize
+		jobs[i] = &grid.Job{
+			ID:             i,
+			Arrival:        t,
+			Workload:       work[pos],
+			Nodes:          1,
+			SecurityDemand: sd[pos],
+		}
+	}
+	return jobs, nil
+}

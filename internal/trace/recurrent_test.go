@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"testing"
+
+	"trustgrid/internal/rng"
+)
+
+func TestRecurrentPSAGenerates(t *testing.T) {
+	cfg := DefaultRecurrentPSAConfig(200)
+	jobs, err := cfg.Generate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 200 {
+		t.Fatalf("generated %d jobs", len(jobs))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRecurrentPSARecurrence(t *testing.T) {
+	cfg := DefaultRecurrentPSAConfig(200)
+	cfg.CampaignSize = 40
+	jobs, err := cfg.Generate(rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job i and job i+CampaignSize must carry identical specs.
+	for i := 0; i+40 < len(jobs); i++ {
+		a, b := jobs[i], jobs[i+40]
+		if a.Workload != b.Workload || a.SecurityDemand != b.SecurityDemand {
+			t.Fatalf("campaign recurrence broken at %d: %v/%v vs %v/%v",
+				i, a.Workload, a.SecurityDemand, b.Workload, b.SecurityDemand)
+		}
+	}
+	// Arrivals still strictly increase.
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival <= jobs[i-1].Arrival {
+			t.Fatal("arrivals must increase")
+		}
+	}
+}
+
+func TestRecurrentPSADistinctSpecsWithinCampaign(t *testing.T) {
+	cfg := DefaultRecurrentPSAConfig(40)
+	jobs, err := cfg.Generate(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for _, j := range jobs {
+		distinct[j.Workload*1e6+j.SecurityDemand] = true
+	}
+	if len(distinct) < 15 {
+		t.Fatalf("campaign has only %d distinct specs; want variety", len(distinct))
+	}
+}
+
+func TestRecurrentPSAValidate(t *testing.T) {
+	cfg := DefaultRecurrentPSAConfig(100)
+	cfg.CampaignSize = 0
+	if _, err := cfg.Generate(rng.New(1)); err == nil {
+		t.Fatal("zero campaign size should fail")
+	}
+	cfg = DefaultRecurrentPSAConfig(0)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero jobs should fail")
+	}
+}
+
+func TestRecurrentPSADeterministic(t *testing.T) {
+	cfg := DefaultRecurrentPSAConfig(100)
+	a, _ := cfg.Generate(rng.New(5))
+	b, _ := cfg.Generate(rng.New(5))
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Workload != b[i].Workload {
+			t.Fatal("recurrent generation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+)
+
+func TestParseSWF(t *testing.T) {
+	input := `; Comment line
+; Another: header
+1 0.0 5.0 100.0 8 -1 -1 8 100 -1 1 3 -1 -1 -1 -1 -1 -1
+2 10.0 0.0 200.0 16
+3 20.0 0.0 -1 16
+4 30.0 0.0 50.0 -1
+5 40.5 2.5 75.25 32
+`
+	recs, err := ParseSWF(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3 (unknown runtime/procs skipped)", len(recs))
+	}
+	if recs[0].JobID != 1 || recs[0].Runtime != 100 || recs[0].Processors != 8 {
+		t.Fatalf("record 0 wrong: %+v", recs[0])
+	}
+	if recs[2].Submit != 40.5 || recs[2].Runtime != 75.25 {
+		t.Fatalf("record 2 wrong: %+v", recs[2])
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("short line should error")
+	}
+	if _, err := ParseSWF(strings.NewReader("a b c d e\n")); err == nil {
+		t.Fatal("non-numeric field should error")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	recs := []SWFRecord{
+		{JobID: 1, Submit: 0, Wait: 1, Runtime: 100, Processors: 8},
+		{JobID: 2, Submit: 50.5, Wait: 0, Runtime: 3600, Processors: 128},
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, "Synthetic NAS trace\nGenerator: trustgrid", recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].JobID != recs[i].JobID || got[i].Runtime != recs[i].Runtime ||
+			got[i].Processors != recs[i].Processors {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestJobsFromSWF(t *testing.T) {
+	recs := []SWFRecord{
+		{JobID: 7, Submit: 100, Runtime: 50, Processors: 4},
+		{JobID: 8, Submit: 200, Runtime: 0, Processors: 2},
+	}
+	jobs := JobsFromSWF(recs, 0.5, func(i int) float64 { return 0.7 })
+	if jobs[0].Arrival != 50 {
+		t.Fatalf("timeScale not applied: %v", jobs[0].Arrival)
+	}
+	if jobs[0].Workload != 200 {
+		t.Fatalf("workload = %v, want runtime*procs = 200", jobs[0].Workload)
+	}
+	if jobs[1].Workload != 2 { // zero runtime clamped to 1s × 2 procs
+		t.Fatalf("zero runtime should clamp, got %v", jobs[1].Workload)
+	}
+	if jobs[0].SecurityDemand != 0.7 {
+		t.Fatal("sd func not applied")
+	}
+	if jobs[0].ID != 0 || jobs[1].ID != 1 {
+		t.Fatal("IDs must be re-assigned positionally")
+	}
+}
+
+func TestNASGenerate(t *testing.T) {
+	cfg := DefaultNASConfig()
+	cfg.Jobs = 2000 // keep the test fast
+	jobs, err := cfg.Generate(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2000 {
+		t.Fatalf("generated %d jobs, want 2000", len(jobs))
+	}
+	// Sorted arrivals within span.
+	if !sort.SliceIsSorted(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival }) {
+		t.Fatal("arrivals not sorted")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if j.Arrival > cfg.Span {
+			t.Fatalf("arrival %v beyond span %v", j.Arrival, cfg.Span)
+		}
+		// Power-of-two node counts in 1..128.
+		if j.Nodes&(j.Nodes-1) != 0 || j.Nodes < 1 || j.Nodes > 128 {
+			t.Fatalf("node count %d not a power of two in range", j.Nodes)
+		}
+		if j.SecurityDemand < 0.6 || j.SecurityDemand > 0.9 {
+			t.Fatalf("SD %v outside Table 1 range", j.SecurityDemand)
+		}
+	}
+	// Load calibration: total work == LoadFactor × TotalSpeed × Span.
+	total := grid.TotalWorkload(jobs)
+	want := cfg.LoadFactor * cfg.TotalSpeed * cfg.Span
+	if math.Abs(total-want)/want > 1e-9 {
+		t.Fatalf("total work %v, want calibrated %v", total, want)
+	}
+}
+
+func TestNASSizeDistributionSkewsSmall(t *testing.T) {
+	cfg := DefaultNASConfig()
+	cfg.Jobs = 5000
+	jobs, err := cfg.Generate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for _, j := range jobs {
+		if j.Nodes <= 8 {
+			small++
+		}
+		if j.Nodes >= 64 {
+			large++
+		}
+	}
+	if small <= large*3 {
+		t.Fatalf("size distribution not skewed small: %d small vs %d large", small, large)
+	}
+}
+
+func TestNASDeterministic(t *testing.T) {
+	cfg := DefaultNASConfig()
+	cfg.Jobs = 500
+	a, _ := cfg.Generate(rng.New(9))
+	b, _ := cfg.Generate(rng.New(9))
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Workload != b[i].Workload ||
+			a[i].SecurityDemand != b[i].SecurityDemand {
+			t.Fatal("NAS generation not deterministic")
+		}
+	}
+}
+
+func TestNASDiurnalModulation(t *testing.T) {
+	cfg := DefaultNASConfig()
+	cfg.Jobs = 16000
+	jobs, err := cfg.Generate(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket arrivals into day/night; daytime (8am–8pm) should dominate.
+	day, night := 0, 0
+	for _, j := range jobs {
+		hour := math.Mod(j.Arrival, 24*3600) / 3600
+		if hour >= 8 && hour < 20 {
+			day++
+		} else {
+			night++
+		}
+	}
+	if day <= night {
+		t.Fatalf("diurnal modulation missing: %d day vs %d night arrivals", day, night)
+	}
+}
+
+func TestNASValidate(t *testing.T) {
+	cfg := DefaultNASConfig()
+	cfg.Jobs = 0
+	if _, err := cfg.Generate(rng.New(1)); err == nil {
+		t.Fatal("zero jobs should fail")
+	}
+	cfg = DefaultNASConfig()
+	cfg.DiurnalAmplitude = 1.0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("amplitude 1.0 should fail")
+	}
+	cfg = DefaultNASConfig()
+	cfg.SDMin = 0.95
+	cfg.SDMax = 0.6
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("inverted SD range should fail")
+	}
+}
+
+func TestPSAGenerate(t *testing.T) {
+	cfg := DefaultPSAConfig(1000)
+	jobs, err := cfg.Generate(rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1000 {
+		t.Fatalf("generated %d jobs, want 1000", len(jobs))
+	}
+	unit := cfg.MaxWorkload / float64(cfg.Levels)
+	levels := map[int]bool{}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if j.Nodes != 1 {
+			t.Fatal("PSA jobs must be sequential")
+		}
+		level := j.Workload / unit
+		if level != math.Trunc(level) || level < 1 || level > 20 {
+			t.Fatalf("workload %v is not a whole level", j.Workload)
+		}
+		levels[int(level)] = true
+	}
+	if len(levels) < 18 {
+		t.Fatalf("only %d workload levels sampled in 1000 jobs", len(levels))
+	}
+	// Poisson arrivals: mean interarrival ≈ 1/0.008 = 125s.
+	st := Summarize(jobs)
+	if math.Abs(st.MeanInterarr-125)/125 > 0.15 {
+		t.Fatalf("mean interarrival %v, want ~125", st.MeanInterarr)
+	}
+}
+
+func TestPSAArrivalsSorted(t *testing.T) {
+	jobs, err := DefaultPSAConfig(500).Generate(rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival }) {
+		t.Fatal("PSA arrivals must be sorted")
+	}
+}
+
+func TestPSAValidate(t *testing.T) {
+	cfg := DefaultPSAConfig(0)
+	if _, err := cfg.Generate(rng.New(1)); err == nil {
+		t.Fatal("zero jobs should fail")
+	}
+	cfg = DefaultPSAConfig(10)
+	cfg.ArrivalRate = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative arrival rate should fail")
+	}
+}
+
+func TestToSWFInvertsGeneration(t *testing.T) {
+	cfg := DefaultNASConfig()
+	cfg.Jobs = 100
+	jobs, _ := cfg.Generate(rng.New(8))
+	recs := ToSWF(jobs)
+	back := JobsFromSWF(recs, 1.0, func(i int) float64 { return jobs[i].SecurityDemand })
+	for i := range jobs {
+		if math.Abs(back[i].Workload-jobs[i].Workload) > 1e-9*jobs[i].Workload {
+			t.Fatalf("workload not preserved: %v vs %v", back[i].Workload, jobs[i].Workload)
+		}
+		if back[i].Nodes != jobs[i].Nodes {
+			t.Fatal("nodes not preserved")
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Jobs != 0 || s.TotalWork != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}

@@ -1,0 +1,122 @@
+// Package trustgrid is a from-scratch Go reproduction of
+//
+//	S. Song, Y.-K. Kwok, K. Hwang, "Security-Driven Heuristics and A Fast
+//	Genetic Algorithm for Trusted Grid Job Scheduling", IPDPS 2005.
+//
+// It provides a discrete-event grid simulator with the paper's security
+// model (site security levels vs job security demands, exponential
+// failure law), the security-driven Min-Min and Sufferage heuristics
+// under secure / risky / f-risky modes, and the Space-Time Genetic
+// Algorithm (STGA) — a batch scheduler that warm-starts its population
+// from a similarity-indexed history of previous scheduling rounds.
+//
+// This root package is a facade re-exporting the pieces a downstream
+// user needs; the implementation lives in the internal packages (see
+// DESIGN.md for the system inventory).
+//
+// Quick start:
+//
+//	w, _ := trustgrid.PSAWorkload(1, 1000)            // Table 1 PSA setup
+//	sched := trustgrid.NewSTGA(trustgrid.STGAConfig(), trustgrid.NewRand(1))
+//	res, _ := trustgrid.Simulate(trustgrid.SimConfig{
+//	    Jobs: w.Jobs, Sites: w.Sites, Scheduler: sched,
+//	    BatchInterval: 5000, Rand: trustgrid.NewRand(2),
+//	})
+//	fmt.Println(res.Summary.Makespan)
+package trustgrid
+
+import (
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/heuristics"
+	"trustgrid/internal/metrics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/stga"
+)
+
+// Core model types.
+type (
+	// Job is an independent, non-malleable grid job.
+	Job = grid.Job
+	// Site is a grid resource site with a security level.
+	Site = grid.Site
+	// Policy is a risk-mode admission rule (secure / risky / f-risky).
+	Policy = grid.Policy
+	// SecurityModel is the Eq. 1 exponential failure law.
+	SecurityModel = grid.SecurityModel
+	// Scheduler maps job batches onto sites.
+	Scheduler = sched.Scheduler
+	// Assignment is one job→site dispatch decision.
+	Assignment = sched.Assignment
+	// State is the scheduler-visible grid state.
+	State = sched.State
+	// Summary aggregates the paper's performance metrics (§4.1).
+	Summary = metrics.Summary
+	// JobRecord is one job's simulated lifecycle.
+	JobRecord = metrics.JobRecord
+	// SimConfig configures a full simulation run.
+	SimConfig = sched.RunConfig
+	// SimResult is a completed simulation.
+	SimResult = sched.Result
+	// Rand is a deterministic random stream.
+	Rand = rng.Stream
+	// Workload bundles generated jobs, sites and STGA training jobs.
+	Workload = experiments.Workload
+	// Setup carries every experiment knob (Table 1 defaults).
+	Setup = experiments.Setup
+)
+
+// Risk modes (paper §2).
+const (
+	Secure = grid.Secure
+	Risky  = grid.Risky
+	FRisky = grid.FRisky
+)
+
+// NewRand returns a deterministic random stream for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// SecurePolicy admits only sites with SL >= SD.
+func SecurePolicy() Policy { return grid.SecurePolicy() }
+
+// RiskyPolicy admits every site.
+func RiskyPolicy() Policy { return grid.RiskyPolicy() }
+
+// FRiskyPolicy admits sites whose failure probability is at most f.
+func FRiskyPolicy(f float64) Policy { return grid.FRiskyPolicy(f) }
+
+// NewMinMin builds the security-driven Min-Min heuristic.
+func NewMinMin(p Policy) Scheduler { return heuristics.NewMinMin(p) }
+
+// NewSufferage builds the security-driven Sufferage heuristic.
+func NewSufferage(p Policy) Scheduler { return heuristics.NewSufferage(p) }
+
+// NewMCT builds the minimum-completion-time baseline.
+func NewMCT(p Policy) Scheduler { return heuristics.NewMCT(p) }
+
+// STGAConfig returns the paper's Table 1 STGA configuration.
+func STGAConfig() stga.Config { return stga.DefaultConfig() }
+
+// NewSTGA builds the Space-Time Genetic Algorithm scheduler. Call Train
+// on the result to pre-populate its history table.
+func NewSTGA(cfg stga.Config, r *Rand) *stga.Scheduler { return stga.New(cfg, r) }
+
+// Simulate runs a complete online-scheduling simulation (Fig. 1 model)
+// and returns the aggregated metrics.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sched.Run(cfg) }
+
+// DefaultSetup returns the paper's Table 1 experiment configuration.
+func DefaultSetup() Setup { return experiments.DefaultSetup() }
+
+// NASWorkload generates the Table 1 NAS configuration: a 12-site grid
+// mapped from the 128-node iPSC/860 and a synthetic 46-day trace.
+func NASWorkload(seed uint64) (*Workload, error) {
+	return experiments.DefaultSetup().NASWorkload(seed)
+}
+
+// PSAWorkload generates the Table 1 parameter-sweep configuration with
+// n jobs on a 20-site grid.
+func PSAWorkload(seed uint64, n int) (*Workload, error) {
+	return experiments.DefaultSetup().PSAWorkload(seed, n)
+}

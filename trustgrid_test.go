@@ -1,0 +1,89 @@
+package trustgrid_test
+
+import (
+	"testing"
+
+	"trustgrid"
+)
+
+// TestFacadeQuickstart exercises the documented public-API path
+// end-to-end: generate a workload, build schedulers, simulate, compare.
+func TestFacadeQuickstart(t *testing.T) {
+	w, err := trustgrid.PSAWorkload(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 200 || len(w.Sites) != 20 {
+		t.Fatalf("workload shape: %d jobs, %d sites", len(w.Jobs), len(w.Sites))
+	}
+
+	run := func(s trustgrid.Scheduler) trustgrid.Summary {
+		res, err := trustgrid.Simulate(trustgrid.SimConfig{
+			Jobs: w.Jobs, Sites: w.Sites, Scheduler: s,
+			BatchInterval: 5000, Rand: trustgrid.NewRand(2),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return res.Summary
+	}
+
+	secure := run(trustgrid.NewMinMin(trustgrid.SecurePolicy()))
+	risky := run(trustgrid.NewMinMin(trustgrid.RiskyPolicy()))
+	fr := run(trustgrid.NewSufferage(trustgrid.FRiskyPolicy(0.5)))
+
+	cfg := trustgrid.STGAConfig()
+	cfg.GA.PopulationSize = 40
+	cfg.GA.Generations = 20
+	stgaSched := trustgrid.NewSTGA(cfg, trustgrid.NewRand(3))
+	stgaSched.Train(w.Training, w.Sites, 25)
+	stgaRes := run(stgaSched)
+
+	// The paper's qualitative orderings on any workload:
+	if secure.NFail != 0 {
+		t.Fatalf("secure mode failed %d jobs", secure.NFail)
+	}
+	if risky.NRisk == 0 {
+		t.Fatal("risky mode took no risks on a mixed-SL platform")
+	}
+	if fr.NFail > fr.NRisk {
+		t.Fatal("NFail must be bounded by NRisk")
+	}
+	if secure.Makespan <= risky.Makespan {
+		t.Fatalf("secure (%v) should trail risky (%v) under load", secure.Makespan, risky.Makespan)
+	}
+	if stgaRes.Jobs != 200 {
+		t.Fatalf("STGA completed %d/200 jobs", stgaRes.Jobs)
+	}
+}
+
+func TestFacadeNASWorkload(t *testing.T) {
+	w, err := trustgrid.NASWorkload(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Sites) != 12 {
+		t.Fatalf("NAS platform has %d sites, want 12", len(w.Sites))
+	}
+	if len(w.Jobs) != 16000 {
+		t.Fatalf("NAS workload has %d jobs, want Table 1's 16000", len(w.Jobs))
+	}
+}
+
+func TestFacadeMCT(t *testing.T) {
+	w, err := trustgrid.PSAWorkload(2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trustgrid.Simulate(trustgrid.SimConfig{
+		Jobs: w.Jobs, Sites: w.Sites,
+		Scheduler:     trustgrid.NewMCT(trustgrid.FRiskyPolicy(0.5)),
+		BatchInterval: 5000, Rand: trustgrid.NewRand(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Jobs != 50 {
+		t.Fatalf("MCT completed %d/50", res.Summary.Jobs)
+	}
+}
