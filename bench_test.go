@@ -11,10 +11,15 @@
 //	BenchmarkFig10   — PSA scaling in N (Fig. 10)
 //	BenchmarkClusterExt — A5 space-shared substrate validation
 //
-// plus micro-benchmarks of the scheduling kernels.
+// plus micro-benchmarks of the scheduling kernels and the
+// parallel-vs-serial comparisons (BenchmarkGAParallel,
+// BenchmarkFig7bFanOut) that quantify the worker-pool evaluator and the
+// experiment fan-out.
 package trustgrid_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"trustgrid/internal/experiments"
@@ -176,6 +181,46 @@ func BenchmarkSTGABatch50(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Schedule(jobs, st)
+	}
+}
+
+// BenchmarkGAParallel pits the serial fitness path against the worker
+// pool on the full Table 1 GA (population 200 × 100 generations over a
+// 200-job batch). Both produce bit-identical schedules; the ratio of
+// the two timings is the evaluator speedup.
+func BenchmarkGAParallel(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			jobs, st := benchBatch(200)
+			cfg := stga.DefaultConfig()
+			cfg.GA.Workers = w
+			s := stga.New(cfg, rng.New(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(jobs, st)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7bFanOut measures the experiment-level fan-out: the same
+// iteration sweep run serially and with every sweep point concurrent.
+func BenchmarkFig7bFanOut(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := benchSetup()
+			s.Workers = w
+			s.GAWorkers = 1 // isolate the sweep-level parallelism
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig7b(s, []int{5, 25, 50, 100})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Makespan) != 4 {
+					b.Fatal("sweep incomplete")
+				}
+			}
+		})
 	}
 }
 

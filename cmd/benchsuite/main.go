@@ -4,6 +4,12 @@
 //
 //	benchsuite [-exp all|fig5|fig7a|fig7b|fig8|fig9|fig10|table2|ablations]
 //	           [-seed N] [-reps N] [-out DIR] [-scale small|paper]
+//	           [-workers N] [-gaworkers N]
+//
+// -workers fans independent sweep points out across goroutines and
+// -gaworkers parallelizes GA fitness evaluation inside each point; both
+// default to all cores and neither changes any reported number (every
+// point derives its seeds from the point index alone).
 //
 // Results are printed to stdout and, when -out is given, written as CSV
 // files to the directory.
@@ -26,6 +32,8 @@ func main() {
 	reps := flag.Int("reps", 1, "replications per configuration")
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	scale := flag.String("scale", "paper", "paper (Table 1 sizes) or small (quick smoke)")
+	workers := flag.Int("workers", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
+	gaWorkers := flag.Int("gaworkers", 0, "GA fitness-evaluation goroutines per sweep point (0 = auto: cores not already used by -workers; 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	setup := experiments.DefaultSetup()
@@ -34,6 +42,8 @@ func main() {
 	}
 	setup.Seed = *seed
 	setup.Reps = *reps
+	setup.Workers = *workers
+	setup.GAWorkers = *gaWorkers
 
 	run := func(name string, fn func() (render string, csv string, err error)) {
 		if *exp != "all" && *exp != name {

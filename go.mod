@@ -1,0 +1,3 @@
+module trustgrid
+
+go 1.24

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"trustgrid/internal/grid"
 	"trustgrid/internal/metrics"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/sched"
@@ -83,24 +82,38 @@ type Fig7aResult struct {
 }
 
 // RunFig7a sweeps the f-risky threshold on the PSA workload (N = 1000).
+// The 11 thresholds × 2 heuristics form 22 independent points that fan
+// out across Setup.Workers goroutines.
 func RunFig7a(s Setup) (*Fig7aResult, error) {
-	res := &Fig7aResult{}
+	// Accumulate the grid exactly as the serial loop did so the float64
+	// thresholds (which feed the admission policy) are bit-identical.
+	var fs []float64
 	for f := 0.0; f <= 1.0001; f += 0.1 {
-		sweep := s
-		sweep.F = f
-		mkW := func(seed uint64) (*Workload, error) { return sweep.PSAWorkload(seed, 1000) }
-		mm, err := sweep.runAgg(mkW, MinMinFRisky)
-		if err != nil {
-			return nil, err
-		}
-		sf, err := sweep.runAgg(mkW, SufferageFRisky)
-		if err != nil {
-			return nil, err
-		}
-		res.F = append(res.F, f)
-		res.MinMin = append(res.MinMin, mm.Makespan.Mean())
-		res.Sufferage = append(res.Sufferage, sf.Makespan.Mean())
+		fs = append(fs, f)
 	}
+	algos := []Algorithm{MinMinFRisky, SufferageFRisky}
+	pt := s.forPoint(len(fs) * len(algos))
+	mk := make([][]float64, len(algos))
+	for i := range mk {
+		mk[i] = make([]float64, len(fs))
+	}
+	err := fanOut(s.workers(), len(fs)*len(algos), func(i int) error {
+		fi, ai := i/len(algos), i%len(algos)
+		sweep := pt
+		sweep.F = fs[fi]
+		agg, err := sweep.runAgg(func(seed uint64) (*Workload, error) {
+			return sweep.PSAWorkload(seed, 1000)
+		}, algos[ai])
+		if err != nil {
+			return err
+		}
+		mk[ai][fi] = agg.Makespan.Mean()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7aResult{F: fs, MinMin: mk[0], Sufferage: mk[1]}
 	res.BestFMinMin = res.F[stats.ArgMin(res.MinMin)]
 	res.BestFSufferage = res.F[stats.ArgMin(res.Sufferage)]
 	return res, nil
@@ -127,19 +140,26 @@ func RunFig7b(s Setup, iterations []int) (*Fig7bResult, error) {
 	if len(iterations) == 0 {
 		iterations = DefaultIterationSweep
 	}
-	res := &Fig7bResult{}
-	for _, g := range iterations {
-		sweep := s
-		sweep.Generations = g
+	pt := s.forPoint(len(iterations))
+	res := &Fig7bResult{
+		Iterations: append([]int(nil), iterations...),
+		Makespan:   make([]float64, len(iterations)),
+	}
+	err := fanOut(s.workers(), len(iterations), func(i int) error {
+		sweep := pt
+		sweep.Generations = iterations[i]
 		sweep.NoHeuristicSeeds = true
 		agg, err := sweep.runAgg(func(seed uint64) (*Workload, error) {
 			return sweep.PSAWorkload(seed, 1000)
 		}, AlgSTGA)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Iterations = append(res.Iterations, g)
-		res.Makespan = append(res.Makespan, agg.Makespan.Mean())
+		res.Makespan[i] = agg.Makespan.Mean()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -172,14 +192,9 @@ func RunFig5(s Setup) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pt := s.forPoint(2)
 	collect := func(cold bool) (curve []float64, hit float64, err error) {
-		cfg := stga.DefaultConfig()
-		cfg.GA.PopulationSize = s.Population
-		cfg.GA.Generations = s.Generations
-		cfg.HistorySize = s.HistorySize
-		cfg.SimilarityThreshold = s.SimThreshold
-		cfg.Policy = s.Policy(grid.FRisky, s.F)
-		cfg.Security = s.Model()
+		cfg := pt.stgaConfig()
 		cfg.DisableHistory = cold
 		// Isolate the history table's contribution: neither run may
 		// start from current-batch heuristic schedules.
@@ -221,11 +236,20 @@ func RunFig5(s Setup) (*Fig5Result, error) {
 		return curve, sc.Table().HitRate(), nil
 	}
 
-	warm, hit, err := collect(false)
-	if err != nil {
-		return nil, err
-	}
-	cold, _, err := collect(true)
+	// The warm and cold runs are independent (the engine clones the
+	// shared workload's jobs), so they fan out as two points.
+	var warm, cold []float64
+	var hit float64
+	err = fanOut(s.workers(), 2, func(i int) error {
+		if i == 0 {
+			var err error
+			warm, hit, err = collect(false)
+			return err
+		}
+		var err error
+		cold, _, err = collect(true)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -261,15 +285,21 @@ func (r *NASResult) ByAlgorithm(a Algorithm) *Agg {
 	return nil
 }
 
-// RunNAS runs the full seven-algorithm NAS comparison.
+// RunNAS runs the full seven-algorithm NAS comparison, one fan-out
+// point per algorithm.
 func RunNAS(s Setup) (*NASResult, error) {
-	res := &NASResult{}
-	for _, a := range PaperAlgorithms {
-		agg, err := s.runAgg(s.NASWorkload, a)
+	pt := s.forPoint(len(PaperAlgorithms))
+	res := &NASResult{Algorithms: make([]*Agg, len(PaperAlgorithms))}
+	err := fanOut(s.workers(), len(PaperAlgorithms), func(i int) error {
+		agg, err := pt.runAgg(pt.NASWorkload, PaperAlgorithms[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Algorithms = append(res.Algorithms, agg)
+		res.Algorithms[i] = agg
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -360,20 +390,25 @@ func RunFig10(s Setup, sizes []int) (*Fig10Result, error) {
 		res.NRisk = append(res.NRisk, make([]float64, len(sizes)))
 		res.NFail = append(res.NFail, make([]float64, len(sizes)))
 	}
-	for si, n := range sizes {
-		for ai, a := range Fig10Algorithms {
-			agg, err := s.runAgg(func(seed uint64) (*Workload, error) {
-				return s.PSAWorkload(seed, n)
-			}, a)
-			if err != nil {
-				return nil, err
-			}
-			res.Makespan[ai][si] = agg.Makespan.Mean()
-			res.Response[ai][si] = agg.Response.Mean()
-			res.Slowdown[ai][si] = agg.Slowdown.Mean()
-			res.NRisk[ai][si] = agg.NRisk.Mean()
-			res.NFail[ai][si] = agg.NFail.Mean()
+	pt := s.forPoint(len(sizes) * len(Fig10Algorithms))
+	err := fanOut(s.workers(), len(sizes)*len(Fig10Algorithms), func(i int) error {
+		si, ai := i/len(Fig10Algorithms), i%len(Fig10Algorithms)
+		n := sizes[si]
+		agg, err := pt.runAgg(func(seed uint64) (*Workload, error) {
+			return pt.PSAWorkload(seed, n)
+		}, Fig10Algorithms[ai])
+		if err != nil {
+			return err
 		}
+		res.Makespan[ai][si] = agg.Makespan.Mean()
+		res.Response[ai][si] = agg.Response.Mean()
+		res.Slowdown[ai][si] = agg.Slowdown.Mean()
+		res.NRisk[ai][si] = agg.NRisk.Mean()
+		res.NFail[ai][si] = agg.NFail.Mean()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,0 +1,94 @@
+// Experiment fan-out.
+//
+// Every figure and table in the paper is a sweep over independent
+// points — Fig. 7(a)'s eleven f-thresholds, Fig. 7(b)'s iteration
+// budgets, Fig. 10's (algorithm × N) grid, the NAS algorithm roster of
+// Figs. 8/9 and Table 2. Each point regenerates its workload and
+// schedulers from seeds derived solely from (Setup.Seed, point index),
+// shares no mutable state with its siblings, and writes its results
+// into its own slot of a pre-sized slice. That makes the sweep loop
+// embarrassingly parallel: fanOut below runs the points across
+// Setup.Workers goroutines with results identical to the serial loop.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves Setup.Workers: 0 → GOMAXPROCS, else the value.
+func (s Setup) workers() int {
+	if s.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+// forPoint returns the setup a single point of an n-point sweep should
+// run with. When the sweep itself fans out and the caller left
+// GAWorkers on auto, the cores are divided between the layers: each of
+// the min(workers, n) concurrent points gets GOMAXPROCS/points GA
+// evaluation goroutines (at least one, i.e. serial) — wide sweeps pin
+// the GA serial because the points already saturate the cores, while a
+// two-point sweep like Fig. 5 still engages the evaluator on half the
+// machine each. An explicit GAWorkers is honoured unchanged. The
+// returned setup yields bit-identical results either way; this only
+// picks which layer gets the cores.
+func (s Setup) forPoint(n int) Setup {
+	concurrent := s.workers()
+	if concurrent > n {
+		concurrent = n
+	}
+	if concurrent > 1 && s.GAWorkers == 0 {
+		s.GAWorkers = runtime.GOMAXPROCS(0) / concurrent
+		if s.GAWorkers < 1 {
+			s.GAWorkers = 1
+		}
+	}
+	return s
+}
+
+// fanOut runs task(0) … task(n-1) across at most w goroutines and
+// returns the lowest-indexed error (so failures are reported as
+// deterministically as the serial loop would). Tasks must be mutually
+// independent; each communicates its result by writing to its own index
+// of a caller-owned slice.
+func fanOut(w, n int, task func(i int) error) error {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = task(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

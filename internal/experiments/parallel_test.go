@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFanOutRunsEveryTask(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		got := make([]int, 20)
+		err := fanOut(w, len(got), func(i int) error {
+			got[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("w=%d: task %d not run", w, i)
+			}
+		}
+	}
+}
+
+func TestFanOutReturnsLowestIndexedError(t *testing.T) {
+	first := errors.New("first")
+	later := errors.New("later")
+	err := fanOut(4, 10, func(i int) error {
+		switch i {
+		case 2:
+			return first
+		case 7:
+			return later
+		default:
+			return nil
+		}
+	})
+	if err != first {
+		t.Fatalf("got %v, want the lowest-indexed error", err)
+	}
+}
+
+func TestFanOutSerialStopsAtError(t *testing.T) {
+	var ran int32
+	boom := errors.New("boom")
+	err := fanOut(1, 10, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial fan-out ran %d tasks after the error, want stop at 4", ran)
+	}
+}
+
+func TestFanOutZeroTasks(t *testing.T) {
+	if err := fanOut(4, 0, func(int) error { t.Fatal("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFanOutDeterminism is the experiment-level replay contract: every
+// figure runner must report identical numbers at any worker count.
+func TestFanOutDeterminism(t *testing.T) {
+	s := microSetup()
+	s.NASJobs = 120
+	s.TrainingJobs = 40
+
+	serial, parallel := s, s
+	serial.Workers = 1
+	serial.GAWorkers = 1
+	parallel.Workers = 4
+
+	t.Run("fig7b", func(t *testing.T) {
+		a, err := RunFig7b(serial, []int{2, 5, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunFig7b(parallel, []int{2, 5, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig. 7(b) diverged: serial %+v parallel %+v", a, b)
+		}
+	})
+	t.Run("nas", func(t *testing.T) {
+		a, err := RunNAS(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunNAS(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("NAS comparison diverged between serial and fan-out runs")
+		}
+	})
+	t.Run("fig10", func(t *testing.T) {
+		a, err := RunFig10(serial, []int{80, 160})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunFig10(parallel, []int{80, 160})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("Fig. 10 diverged between serial and fan-out runs")
+		}
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := (Setup{Workers: 1}).workers(); w != 1 {
+		t.Fatalf("Workers=1 resolved to %d", w)
+	}
+	if w := (Setup{Workers: 5}).workers(); w != 5 {
+		t.Fatalf("Workers=5 resolved to %d", w)
+	}
+	if w := (Setup{}).workers(); w < 1 {
+		t.Fatalf("Workers=0 resolved to %d", w)
+	}
+}
+
+func TestForPointSplitsCores(t *testing.T) {
+	share := func(points int) int {
+		w := runtime.GOMAXPROCS(0) / points
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	// Wide sweep: many concurrent points → each gets GOMAXPROCS/points
+	// GA goroutines (serial once points ≥ cores).
+	s := Setup{Workers: 8}
+	if got := s.forPoint(100).GAWorkers; got != share(8) {
+		t.Fatalf("auto GAWorkers under 8-way fan-out resolved to %d, want %d", got, share(8))
+	}
+	// Narrow sweep (Fig. 5): two points split the machine.
+	if got := s.forPoint(2).GAWorkers; got != share(2) {
+		t.Fatalf("auto GAWorkers under 2-point fan-out resolved to %d, want %d", got, share(2))
+	}
+	// Explicit GAWorkers is honoured unchanged.
+	s = Setup{Workers: 4, GAWorkers: 3}
+	if got := s.forPoint(100).GAWorkers; got != 3 {
+		t.Fatalf("explicit GAWorkers overridden to %d", got)
+	}
+	// Serial sweep leaves the GA on auto (full machine).
+	s = Setup{Workers: 1}
+	if got := s.forPoint(10).GAWorkers; got != 0 {
+		t.Fatalf("serial sweep should leave GAWorkers on auto, got %d", got)
+	}
+}

@@ -52,6 +52,16 @@ type Setup struct {
 	// set it so the measured curves expose the GA's own evolution rather
 	// than starting at heuristic quality.
 	NoHeuristicSeeds bool
+
+	// Workers bounds how many independent sweep points the figure and
+	// table runners execute concurrently (0 = runtime.GOMAXPROCS, 1 =
+	// serial). Every point seeds its own rng streams from (Seed, point
+	// index), so results are identical at any worker count.
+	Workers int
+
+	// GAWorkers is forwarded to ga.Config.Workers for every GA-backed
+	// scheduler the setup builds (0 = runtime.GOMAXPROCS, 1 = serial).
+	GAWorkers int
 }
 
 // DefaultSetup returns the paper's configuration.
@@ -143,6 +153,22 @@ func (a Algorithm) String() string {
 	}
 }
 
+// stgaConfig translates the setup's GA/STGA knobs into an stga.Config;
+// every runner that builds an STGA starts from it so a new knob is
+// wired in exactly one place.
+func (s Setup) stgaConfig() stga.Config {
+	cfg := stga.DefaultConfig()
+	cfg.GA.PopulationSize = s.Population
+	cfg.GA.Generations = s.Generations
+	cfg.GA.Workers = s.GAWorkers
+	cfg.HistorySize = s.HistorySize
+	cfg.SimilarityThreshold = s.SimThreshold
+	cfg.Policy = s.Policy(grid.FRisky, s.F)
+	cfg.Security = s.Model()
+	cfg.SeedHeuristics = !s.NoHeuristicSeeds
+	return cfg
+}
+
 // buildScheduler constructs the scheduler for one simulation run.
 // trainJobs seed the STGA history table (nil disables training).
 func (s Setup) buildScheduler(a Algorithm, r *rng.Stream,
@@ -162,14 +188,7 @@ func (s Setup) buildScheduler(a Algorithm, r *rng.Stream,
 	case SufferageRisky:
 		return heuristics.NewSufferage(s.Policy(grid.Risky, 0))
 	case AlgSTGA, AlgColdGA:
-		cfg := stga.DefaultConfig()
-		cfg.GA.PopulationSize = s.Population
-		cfg.GA.Generations = s.Generations
-		cfg.HistorySize = s.HistorySize
-		cfg.SimilarityThreshold = s.SimThreshold
-		cfg.Policy = s.Policy(grid.FRisky, s.F)
-		cfg.Security = s.Model()
-		cfg.SeedHeuristics = !s.NoHeuristicSeeds
+		cfg := s.stgaConfig()
 		cfg.DisableHistory = a == AlgColdGA
 		sc := stga.New(cfg, r.Derive("stga"))
 		if trainJobs != nil {

@@ -48,6 +48,16 @@ type Config struct {
 	// Crossover picks the recombination operator (default: the paper's
 	// single-point tail swap).
 	Crossover CrossoverMethod
+	// Workers is the number of goroutines used to evaluate the
+	// population's fitness: 0 means runtime.GOMAXPROCS, 1 (or any
+	// negative value) forces the serial path, n > 1 uses exactly n
+	// workers. Parallel evaluation
+	// requires Problem.NewFitness (per-worker fitness instances); with
+	// only a bare Problem.Fitness the evaluator stays serial, since it
+	// cannot know whether the closure carries scratch state. Selection,
+	// crossover and mutation always consume the single master rng.Stream,
+	// so every worker count produces bit-identical evolution.
+	Workers int
 }
 
 // DefaultConfig returns the Table 1 hyper-parameters.
@@ -82,6 +92,14 @@ type Problem struct {
 	Length  int
 	Allowed [][]int // Allowed[i] lists legal values of gene i; must be non-empty
 	Fitness Fitness
+	// NewFitness, when non-nil, builds a fresh fitness instance per
+	// evaluation worker. It is what enables parallel evaluation
+	// (Config.Workers): fitness closures commonly carry per-call scratch
+	// buffers (the STGA's does), so a single shared closure cannot be
+	// invoked concurrently. Every instance must compute the identical
+	// function — workers differ only in which population slice they
+	// score. When NewFitness is set, Fitness may be nil.
+	NewFitness func() Fitness
 }
 
 // Validate checks the problem definition.
@@ -97,7 +115,7 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("ga: gene %d has empty allowed set", i)
 		}
 	}
-	if p.Fitness == nil {
+	if p.Fitness == nil && p.NewFitness == nil {
 		return fmt.Errorf("ga: nil fitness function")
 	}
 	return nil
@@ -172,8 +190,11 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 		pop = append(pop, p.RandomChromosome(r))
 	}
 
+	eval := newEvaluator(p, cfg)
+	defer eval.close()
+
 	fit := make([]float64, len(pop))
-	evaluate(p, pop, fit)
+	eval.evaluate(pop, fit)
 	bestIdx := argMin(fit)
 	best := pop[bestIdx].Clone()
 	bestFit := fit[bestIdx]
@@ -217,7 +238,7 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 		for i := range pop {
 			mutate(pop[i], p, cfg.MutationProb, r)
 		}
-		evaluate(p, pop, fit)
+		eval.evaluate(pop, fit)
 		genBest := argMin(fit)
 		if fit[genBest] < bestFit {
 			best = pop[genBest].Clone()
@@ -241,12 +262,6 @@ func adaptLength(c Chromosome, n int) Chromosome {
 		out[i] = c[i%len(c)]
 	}
 	return out
-}
-
-func evaluate(p *Problem, pop []Chromosome, fit []float64) {
-	for i, c := range pop {
-		fit[i] = p.Fitness(c)
-	}
 }
 
 func argMin(xs []float64) int {

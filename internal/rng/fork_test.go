@@ -1,0 +1,107 @@
+package rng
+
+import "testing"
+
+func TestForkDeterministic(t *testing.T) {
+	a := New(42).Fork(3)
+	b := New(42).Fork(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Fork with same (state, index) not deterministic")
+		}
+	}
+}
+
+func TestForkSiblingsIndependent(t *testing.T) {
+	parent := New(7)
+	streams := make([]*Stream, 8)
+	for i := range streams {
+		streams[i] = parent.Fork(i)
+	}
+	for i := 0; i < len(streams); i++ {
+		for k := i + 1; k < len(streams); k++ {
+			a, b := *streams[i], *streams[k] // copies: don't advance the originals
+			same := 0
+			for n := 0; n < 1000; n++ {
+				if a.Uint64() == b.Uint64() {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Fatalf("forks %d and %d collided %d/1000 times", i, k, same)
+			}
+		}
+	}
+}
+
+func TestForkDoesNotAdvanceParent(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	for i := 0; i < 50; i++ {
+		a.Fork(i)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Fork perturbed the parent stream")
+		}
+	}
+}
+
+func TestForkIndependentOfParent(t *testing.T) {
+	parent := New(13)
+	child := parent.Fork(0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("fork collided with parent %d/1000 times", same)
+	}
+}
+
+func TestForkDependsOnState(t *testing.T) {
+	a := New(17)
+	early := a.Fork(0)
+	a.Uint64()
+	late := a.Fork(0)
+	if early.Uint64() == late.Uint64() {
+		t.Fatal("forks taken at different parent states should differ")
+	}
+}
+
+func TestJumpDeterministic(t *testing.T) {
+	a, b := New(5), New(5)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Jump not deterministic")
+		}
+	}
+}
+
+func TestJumpDecorrelates(t *testing.T) {
+	a := New(5)
+	jumped := New(5)
+	jumped.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == jumped.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("jumped stream collided with original %d/1000 times", same)
+	}
+}
+
+func TestJumpChangesState(t *testing.T) {
+	a := New(23)
+	before := a.s
+	a.Jump()
+	if a.s == before {
+		t.Fatal("Jump left the state unchanged")
+	}
+}

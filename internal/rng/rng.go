@@ -77,6 +77,50 @@ func (r *Stream) DeriveIndexed(label string, index int) *Stream {
 	return r.Derive(fmt.Sprintf("%s/%d", label, index))
 }
 
+// Fork returns the i-th member of a family of independent child streams
+// rooted at the receiver's current state. Unlike Derive it takes no
+// label and does not format strings, so it is cheap enough to call once
+// per worker per batch. Fork is a pure function of (state, i): it never
+// advances the parent, so a master stream can hand decorrelated streams
+// to any number of parallel workers without perturbing its own future
+// output — the discipline that keeps parallel and serial execution
+// bit-identical.
+func (r *Stream) Fork(i int) *Stream {
+	// Fold the full 256-bit state and the index into a SplitMix64 seed.
+	// The rotations keep sibling states from cancelling; the golden-ratio
+	// multiplier separates adjacent indices by a full avalanche.
+	sm := r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 27) ^ rotl(r.s[3], 41) ^
+		(uint64(i)+1)*0x9e3779b97f4a7c15
+	st := &Stream{}
+	for k := range st.s {
+		st.s[k] = splitMix64(&sm)
+	}
+	return st
+}
+
+// jumpPoly is the xoshiro256** 2^128-step jump polynomial.
+var jumpPoly = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+
+// Jump advances the stream by 2^128 steps in O(256) work. 2^128
+// non-overlapping subsequences of length 2^128 each make Jump the
+// classical partitioning alternative to Fork when a caller wants
+// provably disjoint output ranges rather than hash-decorrelated ones.
+func (r *Stream) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, jp := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if jp&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -1,0 +1,57 @@
+package stga
+
+import (
+	"reflect"
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+)
+
+// TestParallelWorkersPreserveSchedule checks the end-to-end determinism
+// contract at the scheduler level: a full simulation with parallel GA
+// fitness evaluation must replay the serial run record-for-record.
+func TestParallelWorkersPreserveSchedule(t *testing.T) {
+	run := func(workers int) *sched.Result {
+		r := rng.New(31)
+		sites, err := grid.PSAPlatform().Generate(r.Derive("sites"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := make([]*grid.Job, 120)
+		for i := range jobs {
+			jobs[i] = &grid.Job{
+				ID:             i,
+				Arrival:        float64(i) * 40,
+				Workload:       1000 + r.Float64()*150000,
+				Nodes:          1,
+				SecurityDemand: r.Uniform(0.6, 0.9),
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.GA.PopulationSize = 30
+		cfg.GA.Generations = 12
+		cfg.GA.Workers = workers
+		sc := New(cfg, rng.New(77))
+		res, err := sched.Run(sched.RunConfig{
+			Jobs: jobs, Sites: sites, Scheduler: sc,
+			BatchInterval: 800, Rand: rng.New(5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := run(1)
+	for _, w := range []int{0, 4} {
+		par := run(w)
+		if !reflect.DeepEqual(par.Summary, serial.Summary) {
+			t.Fatalf("workers=%d: summary diverged from serial", w)
+		}
+		if !reflect.DeepEqual(par.Records, serial.Records) {
+			t.Fatalf("workers=%d: job records diverged from serial", w)
+		}
+	}
+}

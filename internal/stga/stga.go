@@ -276,10 +276,16 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 			}
 		}
 	}
+	// The fitness closure keeps a per-instance scratch buffer, so the
+	// parallel evaluator gets a factory producing one instance per
+	// worker; the bare Fitness covers the serial path.
 	problem := &ga.Problem{
 		Length:  len(batch),
 		Allowed: allowed,
 		Fitness: makespanFitness(batch, st, fitEtc, s.cfg.LoadWeight),
+		NewFitness: func() ga.Fitness {
+			return makespanFitness(batch, st, fitEtc, s.cfg.LoadWeight)
+		},
 	}
 	res, err := ga.Run(problem, s.cfg.GA, seeds, runRand)
 	if err != nil {

@@ -27,6 +27,7 @@ package trustgrid
 
 import (
 	"trustgrid/internal/experiments"
+	"trustgrid/internal/ga"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/heuristics"
 	"trustgrid/internal/metrics"
@@ -63,8 +64,16 @@ type (
 	Rand = rng.Stream
 	// Workload bundles generated jobs, sites and STGA training jobs.
 	Workload = experiments.Workload
-	// Setup carries every experiment knob (Table 1 defaults).
+	// Setup carries every experiment knob (Table 1 defaults), including
+	// Workers (concurrent sweep points) and GAWorkers (parallel fitness
+	// evaluation) — both 0 = all cores, 1 = serial, and both
+	// result-preserving at any setting.
 	Setup = experiments.Setup
+	// GAConfig holds the evolutionary hyper-parameters, including the
+	// Workers knob that parallelizes fitness evaluation across
+	// goroutines (0 = all cores, 1 = serial) while keeping evolution
+	// bit-identical to the serial path. Reachable as STGAConfig().GA.
+	GAConfig = ga.Config
 )
 
 // Risk modes (paper §2).
