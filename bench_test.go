@@ -11,14 +11,21 @@
 //	BenchmarkFig10   — PSA scaling in N (Fig. 10)
 //	BenchmarkClusterExt — A5 space-shared substrate validation
 //
-// plus micro-benchmarks of the scheduling kernels and the
+// plus micro-benchmarks of the scheduling kernels, the
 // parallel-vs-serial comparisons (BenchmarkGAParallel,
 // BenchmarkFig7bFanOut) that quantify the worker-pool evaluator and the
-// experiment fan-out.
+// experiment fan-out, and the service-layer throughput axis
+// (BenchmarkOnlineEngine, BenchmarkServiceSubmit): the incremental
+// arrival-channel engine alone and the full trustgridd HTTP submission
+// path, both reporting jobs/s.
 package trustgrid_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
@@ -27,6 +34,7 @@ import (
 	"trustgrid/internal/heuristics"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/sched"
+	"trustgrid/internal/server"
 	"trustgrid/internal/stga"
 )
 
@@ -247,4 +255,94 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			b.Fatal("incomplete run")
 		}
 	}
+}
+
+// BenchmarkOnlineEngine measures the incremental engine on the same
+// workload BenchmarkEngineThroughput runs closed-world: jobs submitted
+// one by one through the arrival channel, then drained. The jobs/s
+// metric is the service layer's scheduling-throughput ceiling before
+// any HTTP overhead.
+func BenchmarkOnlineEngine(b *testing.B) {
+	s := benchSetup()
+	w, err := s.PSAWorkload(3, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := sched.NewOnline(sched.RunConfig{
+			Sites:         w.Sites,
+			Scheduler:     heuristics.NewMCT(grid.FRiskyPolicy(0.5)),
+			BatchInterval: 5000,
+			Rand:          rng.New(uint64(i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range w.Jobs {
+			if err := o.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := o.Drain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Jobs != 1000 {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(b.N)*1000/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkServiceSubmit measures the full daemon path — HTTP JSON
+// submission through the arrival channel into a scheduled drain — in
+// manual-clock mode so wall-clock ticks don't gate throughput.
+func BenchmarkServiceSubmit(b *testing.B) {
+	s := benchSetup()
+	w, err := s.PSAWorkload(1, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const jobs, chunk = 1000, 100
+	specs := make([]server.JobSpec, chunk)
+	r := rng.New(11)
+	for i := range specs {
+		specs[i] = server.JobSpec{Workload: 15000 * float64(r.Level(20)), SD: r.Uniform(0.6, 0.9)}
+	}
+	body, err := json.Marshal(map[string]any{"jobs": specs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := server.New(server.Config{
+			Sites: w.Sites, Algo: "minmin", Seed: uint64(i), Setup: s,
+			BatchInterval: 5000, Manual: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		for k := 0; k < jobs/chunk; k++ {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("submit: %s", resp.Status)
+			}
+		}
+		resp, err := http.Post(ts.URL+"/v1/drain", "application/json", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		ts.Close()
+		if _, err := srv.Stop(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*jobs/b.Elapsed().Seconds(), "jobs/s")
 }

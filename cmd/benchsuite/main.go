@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,45 +27,74 @@ import (
 	"trustgrid/internal/experiments"
 )
 
+// knownExps guards -exp: a typo must fail loudly, not silently run
+// nothing.
+var knownExps = map[string]bool{
+	"all": true, "fig5": true, "fig7a": true, "fig7b": true, "fig8": true,
+	"fig9": true, "fig10": true, "table2": true, "overhead": true,
+	"clusterext": true, "ablations": true,
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig5, fig7a, fig7b, fig8, fig9, fig10, table2, clusterext, ablations)")
-	seed := flag.Uint64("seed", 1, "base random seed")
-	reps := flag.Int("reps", 1, "replications per configuration")
-	out := flag.String("out", "", "directory for CSV output (optional)")
-	scale := flag.String("scale", "paper", "paper (Table 1 sizes) or small (quick smoke)")
-	workers := flag.Int("workers", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
-	gaWorkers := flag.Int("gaworkers", 0, "GA fitness-evaluation goroutines per sweep point (0 = auto: cores not already used by -workers; 1 = serial); results are identical at any setting")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run (all, fig5, fig7a, fig7b, fig8, fig9, fig10, table2, overhead, clusterext, ablations)")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	reps := fs.Int("reps", 1, "replications per configuration")
+	out := fs.String("out", "", "directory for CSV output (optional)")
+	scale := fs.String("scale", "paper", "paper (Table 1 sizes) or small (quick smoke)")
+	workers := fs.Int("workers", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
+	gaWorkers := fs.Int("gaworkers", 0, "GA fitness-evaluation goroutines per sweep point (0 = auto: cores not already used by -workers; 1 = serial); results are identical at any setting")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !knownExps[*exp] {
+		fmt.Fprintf(stderr, "benchsuite: unknown experiment %q\n", *exp)
+		return 2
+	}
 
 	setup := experiments.DefaultSetup()
-	if *scale == "small" {
+	switch *scale {
+	case "paper":
+	case "small":
 		setup = experiments.TestSetup()
+	default:
+		fmt.Fprintf(stderr, "benchsuite: unknown scale %q\n", *scale)
+		return 2
 	}
 	setup.Seed = *seed
 	setup.Reps = *reps
 	setup.Workers = *workers
 	setup.GAWorkers = *gaWorkers
 
+	failed := false
 	run := func(name string, fn func() (render string, csv string, err error)) {
-		if *exp != "all" && *exp != name {
+		if failed || (*exp != "all" && *exp != name) {
 			return
 		}
 		start := time.Now()
 		render, csv, err := fn()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			failed = true
+			return
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), render)
+		fmt.Fprintf(stdout, "=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), render)
 		if *out != "" && csv != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				failed = true
+				return
 			}
 			path := filepath.Join(*out, name+".csv")
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				failed = true
+				return
 			}
 		}
 	}
@@ -154,4 +184,8 @@ func main() {
 		}
 		return b.String(), "", nil
 	})
+	if failed {
+		return 1
+	}
+	return 0
 }

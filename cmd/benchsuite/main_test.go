@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRealMainSmallFig5(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-scale", "small", "-exp", "fig5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "=== fig5") {
+		t.Fatalf("output missing fig5 header:\n%s", out.String())
+	}
+}
+
+func TestRealMainCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-scale", "small", "-exp", "fig7b", "-out", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig7b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csv) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRealMainUnknownExp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-exp", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRealMainUnknownScale(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-scale", "huge"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRealMainBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

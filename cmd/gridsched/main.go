@@ -15,38 +15,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"trustgrid/internal/experiments"
 	"trustgrid/internal/grid"
-	"trustgrid/internal/heuristics"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/sched"
 	"trustgrid/internal/stats"
-	"trustgrid/internal/stga"
 	"trustgrid/internal/trace"
 )
 
 func main() {
-	workload := flag.String("workload", "psa", "workload family: nas or psa")
-	jobs := flag.Int("jobs", 1000, "number of jobs (psa) or NAS trace size")
-	algo := flag.String("algo", "stga", "minmin, sufferage, mct, met, olb, random, stga, coldga")
-	mode := flag.String("mode", "frisky", "risk mode for heuristics: secure, risky, frisky")
-	f := flag.Float64("f", 0.5, "f-risky threshold")
-	seed := flag.Uint64("seed", 1, "random seed")
-	batch := flag.Float64("batch", 0, "scheduling period Δ seconds (0 = workload default)")
-	lambda := flag.Float64("lambda", grid.DefaultLambda, "failure-law coefficient λ")
-	swf := flag.String("swf", "", "replay an SWF trace file on the NAS platform")
-	verbose := flag.Bool("v", false, "print per-site utilization")
-	flag.Parse()
-
-	if err := run(*workload, *jobs, *algo, *mode, *f, *seed, *batch, *lambda, *swf, *verbose); err != nil {
-		fmt.Fprintln(os.Stderr, "gridsched:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(workload string, jobs int, algo, mode string, f float64,
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "psa", "workload family: nas or psa")
+	jobs := fs.Int("jobs", 1000, "number of jobs (psa) or NAS trace size")
+	algo := fs.String("algo", "stga", "minmin, sufferage, mct, met, olb, random, stga, coldga")
+	mode := fs.String("mode", "frisky", "risk mode for heuristics: secure, risky, frisky")
+	f := fs.Float64("f", 0.5, "f-risky threshold")
+	seed := fs.Uint64("seed", 1, "random seed")
+	batch := fs.Float64("batch", 0, "scheduling period Δ seconds (0 = workload default)")
+	lambda := fs.Float64("lambda", grid.DefaultLambda, "failure-law coefficient λ")
+	swf := fs.String("swf", "", "replay an SWF trace file on the NAS platform")
+	verbose := fs.Bool("v", false, "print per-site utilization")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := run(stdout, *workload, *jobs, *algo, *mode, *f, *seed, *batch, *lambda, *swf, *verbose); err != nil {
+		fmt.Fprintln(stderr, "gridsched:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(stdout io.Writer, workload string, jobs int, algo, mode string, f float64,
 	seed uint64, batch, lambda float64, swf string, verbose bool) error {
 
 	setup := experiments.DefaultSetup()
@@ -80,7 +88,7 @@ func run(workload string, jobs int, algo, mode string, f float64,
 		}
 		sdRng := rng.New(seed).Derive("swf/sd")
 		w.Jobs = trace.JobsFromSWF(recs, 0.5, func(int) float64 { return sdRng.Uniform(0.6, 0.9) })
-		fmt.Printf("replaying %d jobs from %s\n", len(w.Jobs), swf)
+		fmt.Fprintf(stdout, "replaying %d jobs from %s\n", len(w.Jobs), swf)
 	}
 	if batch > 0 {
 		w.Batch = batch
@@ -99,31 +107,8 @@ func run(workload string, jobs int, algo, mode string, f float64,
 	}
 
 	r := rng.New(seed ^ 0xfeedface)
-	var scheduler sched.Scheduler
-	switch algo {
-	case "minmin":
-		scheduler = heuristics.NewMinMin(policy)
-	case "sufferage":
-		scheduler = heuristics.NewSufferage(policy)
-	case "mct":
-		scheduler = heuristics.NewMCT(policy)
-	case "met":
-		scheduler = heuristics.NewMET(policy)
-	case "olb":
-		scheduler = heuristics.NewOLB(policy)
-	case "random":
-		scheduler = heuristics.NewRandom(policy, r.Derive("random"))
-	case "stga", "coldga":
-		cfg := stga.DefaultConfig()
-		cfg.Policy = setup.Policy(grid.FRisky, f)
-		cfg.Security = setup.Model()
-		cfg.DisableHistory = algo == "coldga"
-		sc := stga.New(cfg, r.Derive("stga"))
-		if algo == "stga" {
-			sc.Train(w.Training, w.Sites, setup.TrainBatchSize)
-		}
-		scheduler = sc
-	default:
+	scheduler, err := setup.SchedulerByName(algo, policy, r, w.Training, w.Sites)
+	if err != nil {
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 
@@ -137,19 +122,19 @@ func run(workload string, jobs int, algo, mode string, f float64,
 	}
 
 	s := res.Summary
-	fmt.Printf("algorithm:        %s\n", scheduler.Name())
-	fmt.Printf("workload:         %s (%d jobs, %d sites, Δ=%.0fs)\n",
+	fmt.Fprintf(stdout, "algorithm:        %s\n", scheduler.Name())
+	fmt.Fprintf(stdout, "workload:         %s (%d jobs, %d sites, Δ=%.0fs)\n",
 		w.Name, len(w.Jobs), len(w.Sites), w.Batch)
-	fmt.Printf("makespan:         %s\n", stats.HumanSeconds(s.Makespan))
-	fmt.Printf("avg response:     %s\n", stats.HumanSeconds(s.AvgResponse))
-	fmt.Printf("slowdown ratio:   %.2f\n", s.Slowdown)
-	fmt.Printf("risk-taking jobs: %d\n", s.NRisk)
-	fmt.Printf("failed jobs:      %d\n", s.NFail)
-	fmt.Printf("mean utilization: %.1f%% (%d idle sites)\n", 100*s.MeanUtilization, s.IdleSites)
-	fmt.Printf("batches:          %d, simulated events: %d\n", res.Batches, res.Events)
+	fmt.Fprintf(stdout, "makespan:         %s\n", stats.HumanSeconds(s.Makespan))
+	fmt.Fprintf(stdout, "avg response:     %s\n", stats.HumanSeconds(s.AvgResponse))
+	fmt.Fprintf(stdout, "slowdown ratio:   %.2f\n", s.Slowdown)
+	fmt.Fprintf(stdout, "risk-taking jobs: %d\n", s.NRisk)
+	fmt.Fprintf(stdout, "failed jobs:      %d\n", s.NFail)
+	fmt.Fprintf(stdout, "mean utilization: %.1f%% (%d idle sites)\n", 100*s.MeanUtilization, s.IdleSites)
+	fmt.Fprintf(stdout, "batches:          %d, simulated events: %d\n", res.Batches, res.Events)
 	if verbose {
 		for i, u := range s.SiteUtilization {
-			fmt.Printf("  site %2d (speed %3.0f, SL %.2f): %5.1f%%\n",
+			fmt.Fprintf(stdout, "  site %2d (speed %3.0f, SL %.2f): %5.1f%%\n",
 				i+1, w.Sites[i].Speed, w.Sites[i].SecurityLevel, 100*u)
 		}
 	}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRealMainSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-workload", "psa", "-jobs", "60", "-algo", "minmin", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"algorithm:", "makespan:", "risk-taking jobs:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRealMainBadAlgo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-algo", "bogus", "-jobs", "10"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown algorithm") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRealMainBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRealMainBadMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-mode", "yolo", "-jobs", "10"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown mode") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}

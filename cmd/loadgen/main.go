@@ -1,0 +1,304 @@
+// Command loadgen drives a running trustgridd with a seeded open-loop
+// arrival stream and reports achieved throughput and scheduling-latency
+// percentiles. "Open loop" means submission timing never waits for the
+// server: every flush interval it submits however many jobs the target
+// rate says are due, so server slowdown shows up as latency, not as a
+// reduced offered load.
+//
+// Usage:
+//
+//	loadgen [-addr http://127.0.0.1:8421] [-rate 1000] [-duration 5s]
+//	        [-seed 1] [-flush 5ms] [-wait 10s] [-min-rate 0]
+//
+// Latency is measured client-side: the wall-clock time from a flush's
+// submission instant to the job's placement event observed on the
+// /v1/events stream. Exit status is non-zero if the daemon is
+// unreachable, no placements are observed, or the achieved submission
+// rate falls below -min-rate (the CI smoke gate).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"trustgrid/internal/rng"
+	"trustgrid/internal/server"
+	"trustgrid/internal/stats"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type tracker struct {
+	mu        sync.Mutex
+	submit    map[int]time.Time
+	unmatched map[int]time.Time // placements seen before their submit response
+	resolved  map[int]bool      // jobs whose first placement was sampled
+	samples   []float64         // ms; one per first placement of a job we submitted
+	placed    int               // placement events seen, retries included
+}
+
+func (tr *tracker) submitted(ids []int, at time.Time) {
+	tr.mu.Lock()
+	for _, id := range ids {
+		// A fast server can place a job before its submit response is
+		// processed here; match such placements immediately.
+		if t1, ok := tr.unmatched[id]; ok {
+			delete(tr.unmatched, id)
+			tr.resolved[id] = true
+			tr.samples = append(tr.samples, float64(t1.Sub(at))/float64(time.Millisecond))
+			continue
+		}
+		tr.submit[id] = at
+	}
+	tr.mu.Unlock()
+}
+
+func (tr *tracker) placedEvent(id int, at time.Time) {
+	tr.mu.Lock()
+	tr.placed++
+	switch {
+	case tr.resolved[id]:
+		// A retry of an already-sampled job; only the event count moves.
+	case tr.submit[id] != (time.Time{}):
+		tr.samples = append(tr.samples, float64(at.Sub(tr.submit[id]))/float64(time.Millisecond))
+		delete(tr.submit, id)
+		tr.resolved[id] = true
+	default:
+		if _, seen := tr.unmatched[id]; !seen {
+			tr.unmatched[id] = at
+		}
+	}
+	tr.mu.Unlock()
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8421", "trustgridd base URL")
+	rate := fs.Float64("rate", 1000, "target submission rate, jobs per second")
+	duration := fs.Duration("duration", 5*time.Second, "submission phase length")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	flush := fs.Duration("flush", 5*time.Millisecond, "submission flush interval")
+	wait := fs.Duration("wait", 10*time.Second, "max wait for outstanding placements after the run")
+	minRate := fs.Float64("min-rate", 0, "fail (exit 1) if the achieved rate is below this")
+	levels := fs.Int("levels", 20, "discrete workload levels (PSA-style)")
+	maxWorkload := fs.Float64("max-workload", 300000, "workload of the top level")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	hz, err := client.Get(base + "/v1/healthz")
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen: daemon unreachable:", err)
+		return 1
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "loadgen: daemon unhealthy: %s\n", hz.Status)
+		return 1
+	}
+
+	tr := &tracker{
+		submit:    make(map[int]time.Time),
+		unmatched: make(map[int]time.Time),
+		resolved:  make(map[int]bool),
+	}
+
+	// Placement watcher: follow the event stream for the whole run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watcherDone := make(chan error, 1)
+	go func() { watcherDone <- watchPlacements(ctx, base, tr) }()
+
+	// Open-loop submission phase.
+	r := rng.New(*seed).Derive("loadgen")
+	step := *maxWorkload / float64(*levels)
+	submitted := 0
+	var submitWG sync.WaitGroup
+	var errOnce sync.Once
+	var submitErr error
+	start := time.Now()
+	ticker := time.NewTicker(*flush)
+	for now := range ticker.C {
+		elapsed := now.Sub(start)
+		if elapsed >= *duration {
+			break
+		}
+		due := int(*rate*elapsed.Seconds()) - submitted
+		if due <= 0 {
+			continue
+		}
+		specs := make([]server.JobSpec, due)
+		for i := range specs {
+			specs[i] = server.JobSpec{
+				Workload: step * float64(r.Level(*levels)),
+				SD:       r.Uniform(0.6, 0.9),
+			}
+		}
+		submitted += due
+		flushAt := time.Now()
+		submitWG.Add(1)
+		go func(specs []server.JobSpec) {
+			defer submitWG.Done()
+			ids, err := postJobs(client, base, specs)
+			if err != nil {
+				errOnce.Do(func() { submitErr = err })
+				return
+			}
+			tr.submitted(ids, flushAt)
+		}(specs)
+	}
+	ticker.Stop()
+	elapsed := time.Since(start)
+	submitWG.Wait()
+	if submitErr != nil {
+		fmt.Fprintln(stderr, "loadgen: submit failed:", submitErr)
+		return 1
+	}
+	achieved := float64(submitted) / elapsed.Seconds()
+
+	// Wait for the tail: every submitted job placed at least once. A
+	// dead event stream ends the wait immediately — nothing more is
+	// coming.
+	deadline := time.Now().Add(*wait)
+	var watchErr error
+	watcherEnded := false
+	for !watcherEnded {
+		tr.mu.Lock()
+		firstPlaced := len(tr.samples)
+		tr.mu.Unlock()
+		if firstPlaced >= submitted || time.Now().After(deadline) {
+			break
+		}
+		select {
+		case watchErr = <-watcherDone:
+			watcherEnded = true
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	if !watcherEnded {
+		watchErr = <-watcherDone
+	}
+
+	tr.mu.Lock()
+	placed := tr.placed
+	samples := append([]float64(nil), tr.samples...)
+	tr.mu.Unlock()
+
+	fmt.Fprintf(stdout, "loadgen report (%s)\n", base)
+	fmt.Fprintf(stdout, "  target rate:     %.1f jobs/s for %s\n", *rate, *duration)
+	fmt.Fprintf(stdout, "  submitted:       %d in %.2fs (achieved %.1f jobs/s)\n",
+		submitted, elapsed.Seconds(), achieved)
+	fmt.Fprintf(stdout, "  jobs placed:     %d/%d (%.1f%%); %d placement events incl. retries\n",
+		len(samples), submitted, 100*float64(len(samples))/float64(max(submitted, 1)), placed)
+	if len(samples) > 0 {
+		fmt.Fprintf(stdout, "  sched latency:   p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms  (n=%d)\n",
+			stats.Percentile(samples, 50), stats.Percentile(samples, 90),
+			stats.Percentile(samples, 99), stats.Max(samples), len(samples))
+	}
+	if rep, err := fetchMetrics(client, base); err == nil {
+		fmt.Fprintf(stdout, "  server:          arrived %d, placed %d, completed %d, batches %d, virtual now %.0fs\n",
+			rep.Arrived, rep.Placed, rep.Completed, rep.Batches, rep.VirtualNow)
+		fmt.Fprintf(stdout, "  server latency:  p50 %.1fms  p99 %.1fms  (n=%d)\n",
+			rep.Latency.P50, rep.Latency.P99, rep.Latency.Count)
+	}
+
+	if len(samples) == 0 {
+		fmt.Fprintln(stderr, "loadgen: no placements observed")
+		if watchErr != nil {
+			fmt.Fprintln(stderr, "loadgen: event stream:", watchErr)
+		}
+		return 1
+	}
+	if *minRate > 0 && achieved < *minRate {
+		fmt.Fprintf(stderr, "loadgen: achieved %.1f jobs/s below -min-rate %.1f\n", achieved, *minRate)
+		return 1
+	}
+	return 0
+}
+
+func postJobs(client *http.Client, base string, specs []server.JobSpec) ([]int, error) {
+	body, err := json.Marshal(map[string]any{"jobs": specs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("submit: %s: %s", resp.Status, msg)
+	}
+	var out struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.IDs, nil
+}
+
+// watchPlacements follows /v1/events and feeds the tracker until ctx is
+// cancelled.
+func watchPlacements(ctx context.Context, base string, tr *tracker) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/events?follow=1&kinds=placed", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("event stream: %s: %s", resp.Status, msg)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev server.WireEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		tr.placedEvent(ev.Job, time.Now())
+	}
+	return nil // stream ends on cancel or server shutdown
+}
+
+func fetchMetrics(client *http.Client, base string) (*server.MetricsReport, error) {
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rep server.MetricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/server"
+)
+
+// TestRealMainAgainstService runs a short open-loop burst against an
+// in-process daemon and checks the report and exit code.
+func TestRealMainAgainstService(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 5000, Tick: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", ts.URL, "-rate", "400", "-duration", "400ms",
+		"-flush", "2ms", "-wait", "5s",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	for _, want := range []string{"loadgen report", "sched latency:", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRealMainMinRateGate checks the CI throughput gate trips when the
+// achieved rate is below -min-rate.
+func TestRealMainMinRateGate(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 5000, Tick: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", ts.URL, "-rate", "50", "-duration", "200ms",
+		"-flush", "2ms", "-wait", "5s", "-min-rate", "100000",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "below -min-rate") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRealMainUnreachable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-addr", "127.0.0.1:1", "-duration", "10ms"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unreachable") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRealMainBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

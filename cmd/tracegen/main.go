@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"trustgrid/internal/rng"
@@ -16,12 +17,20 @@ import (
 )
 
 func main() {
-	jobs := flag.Int("jobs", 16000, "number of jobs")
-	days := flag.Float64("days", 46, "trace span in days")
-	load := flag.Float64("load", 1.15, "offered load vs the 128-node machine")
-	seed := flag.Uint64("seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jobs := fs.Int("jobs", 16000, "number of jobs")
+	days := fs.Float64("days", 46, "trace span in days")
+	load := fs.Float64("load", 1.15, "offered load vs the 128-node machine")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := trace.DefaultNASConfig()
 	cfg.Jobs = *jobs
@@ -29,16 +38,16 @@ func main() {
 	cfg.LoadFactor = *load
 	gjobs, err := cfg.Generate(rng.New(*seed))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		fh, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
 		}
 		defer fh.Close()
 		w = fh
@@ -47,10 +56,11 @@ func main() {
 		"Jobs: %d  SpanDays: %.1f  LoadFactor: %.2f  Seed: %d\n"+
 		"MaxNodes: 128", *jobs, *days, *load, *seed)
 	if err := trace.WriteSWF(w, header, trace.ToSWF(gjobs)); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 	st := trace.Summarize(gjobs)
-	fmt.Fprintf(os.Stderr, "wrote %d jobs; span %.1f days; mean work %.0f node-s; max nodes %d\n",
+	fmt.Fprintf(stderr, "wrote %d jobs; span %.1f days; mean work %.0f node-s; max nodes %d\n",
 		st.Jobs, st.Span/86400, st.MeanWork, st.MaxNodes)
+	return 0
 }

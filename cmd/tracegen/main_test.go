@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRealMainWritesSWF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.swf")
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-jobs", "50", "-days", "2", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "MaxNodes: 128") {
+		t.Fatalf("SWF header missing:\n%.200s", data)
+	}
+	if !strings.Contains(errb.String(), "wrote 50 jobs") {
+		t.Fatalf("summary missing: %s", errb.String())
+	}
+}
+
+func TestRealMainStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-jobs", "10", "-days", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("no SWF on stdout")
+	}
+}
+
+func TestRealMainBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,202 @@
+// Command trustgridd is the online trusted-scheduling daemon: a
+// long-running HTTP service that accepts job submissions, buffers them
+// into batch intervals, schedules each batch with any of the paper's
+// algorithms (the STGA carries its similarity-indexed history across
+// rounds), and streams placement/completion events back.
+//
+// Usage:
+//
+//	trustgridd [-addr :8421] [-workload psa|nas] [-algo minmin|...|stga]
+//	           [-mode secure|risky|frisky] [-f 0.5] [-seed 1]
+//	           [-batch SECONDS] [-tick 100ms] [-manual] [-scale small|paper]
+//	           [-trace-out FILE] [-max-wall DURATION]
+//
+// Every tick of wall-clock time the virtual clock advances by one batch
+// interval and a scheduling round fires; -manual disables the ticker so
+// clients drive the clock through /v1/advance and /v1/drain (the
+// deterministic trace-replay mode). -trace-out records the accepted
+// arrival trace; replaying it reproduces every placement byte-for-byte
+// (DESIGN.md §6). SIGINT/SIGTERM (or -max-wall expiring) shuts down
+// gracefully: accepted jobs are drained in virtual time and the final
+// summary is printed.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/server"
+	"trustgrid/internal/stats"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trustgridd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8421", "HTTP listen address")
+	workload := fs.String("workload", "psa", "platform family: psa (20 sites) or nas (12 sites)")
+	algo := fs.String("algo", "minmin", "scheduler: minmin, sufferage, mct, met, olb, random, stga, coldga")
+	mode := fs.String("mode", "frisky", "heuristic admission mode: secure, risky, frisky")
+	f := fs.Float64("f", 0.5, "f-risky threshold")
+	seed := fs.Uint64("seed", 1, "root seed for every stochastic decision")
+	batch := fs.Float64("batch", 0, "virtual seconds per scheduling round (0 = workload default)")
+	tick := fs.Duration("tick", 100*time.Millisecond, "wall-clock duration of one batch interval (live mode)")
+	manual := fs.Bool("manual", false, "manual clock: clients drive /v1/advance and /v1/drain")
+	scale := fs.String("scale", "small", "GA sizing: small (service defaults) or paper (Table 1)")
+	train := fs.Bool("train", true, "warm the STGA history table before serving")
+	traceOut := fs.String("trace-out", "", "record the accepted arrival trace (JSONL) to FILE")
+	maxWall := fs.Duration("max-wall", 0, "exit cleanly after this wall-clock duration (0 = until signalled)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	setup := experiments.DefaultSetup()
+	if *scale == "small" {
+		setup = experiments.TestSetup()
+	} else if *scale != "paper" {
+		fmt.Fprintf(stderr, "trustgridd: unknown scale %q\n", *scale)
+		return 2
+	}
+	setup.Seed = *seed
+	setup.F = *f
+
+	var w *experiments.Workload
+	var err error
+	switch *workload {
+	case "psa":
+		w, err = setup.PSAWorkload(*seed, 1)
+	case "nas":
+		setup.NASJobs = 1 // the service only needs the platform + training set
+		w, err = setup.NASWorkload(*seed)
+	default:
+		fmt.Fprintf(stderr, "trustgridd: unknown workload %q\n", *workload)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "trustgridd:", err)
+		return 1
+	}
+	if *batch <= 0 {
+		*batch = w.Batch
+	}
+	training := w.Training
+	if !*train {
+		training = nil
+	}
+
+	var traceW *bufio.Writer
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "trustgridd:", err)
+			return 1
+		}
+		defer fh.Close()
+		traceW = bufio.NewWriter(fh)
+		// Flush on every exit path: a crashed daemon's trace must stay
+		// replayable (§6.5). The success path flushes again, reporting
+		// errors; this one is the safety net for early returns.
+		defer func() { _ = traceW.Flush() }()
+	}
+
+	cfg := server.Config{
+		Sites: w.Sites, Training: training,
+		Algo: *algo, Mode: *mode, BatchInterval: *batch,
+		Seed: *seed, Setup: setup, Tick: *tick, Manual: *manual,
+	}
+	if traceW != nil {
+		cfg.TraceWriter = traceW
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "trustgridd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "trustgridd:", err)
+		return 1
+	}
+	clock := fmt.Sprintf("tick %s", *tick)
+	if *manual {
+		clock = "manual clock"
+	}
+	fmt.Fprintf(stdout, "trustgridd: serving on http://%s (%s sites, algo %s/%s, Δ=%gs, %s, seed %d)\n",
+		ln.Addr(), w.Name, *algo, *mode, *batch, clock, *seed)
+
+	// BaseContext flows into every request context: cancelling it on
+	// shutdown releases /v1/events followers, which would otherwise hold
+	// open connections for the whole Shutdown timeout.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	hs := &http.Server{
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var wallC <-chan time.Time
+	if *maxWall > 0 {
+		wallC = time.After(*maxWall)
+	}
+	loopFailed := false
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "trustgridd:", err)
+			return 1
+		}
+	case s := <-sig:
+		fmt.Fprintf(stdout, "trustgridd: received %s, draining\n", s)
+	case <-wallC:
+		fmt.Fprintln(stdout, "trustgridd: max-wall reached, draining")
+	case <-srv.Done():
+		// The scheduling loop died on its own; don't linger as a zombie
+		// serving 503s. Stop below surfaces the cause.
+		loopFailed = true
+		fmt.Fprintln(stderr, "trustgridd: scheduling loop exited, shutting down")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	baseCancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "trustgridd: http shutdown:", err)
+	}
+	res, err := srv.Stop(!loopFailed)
+	if err != nil {
+		fmt.Fprintln(stderr, "trustgridd: drain:", err)
+		return 1
+	}
+	if loopFailed {
+		return 1
+	}
+	if traceW != nil {
+		if err := traceW.Flush(); err != nil {
+			fmt.Fprintln(stderr, "trustgridd: trace flush:", err)
+			return 1
+		}
+	}
+	s := res.Summary
+	fmt.Fprintf(stdout, "trustgridd: done — %d jobs in %d batches, makespan %s, avg response %s, %d risk-takers, %d failures\n",
+		s.Jobs, res.Batches, stats.HumanSeconds(s.Makespan), stats.HumanSeconds(s.AvgResponse), s.NRisk, s.NFail)
+	return 0
+}

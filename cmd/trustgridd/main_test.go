@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRealMainLiveRun boots the daemon on an ephemeral port, lets the
+// wall clock run briefly, and checks the clean-shutdown path.
+func TestRealMainLiveRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", "127.0.0.1:0", "-algo", "minmin",
+		"-tick", "10ms", "-max-wall", "200ms",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"serving on", "max-wall reached", "done —"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s\n%s", want, out.String(), errb.String())
+		}
+	}
+}
+
+// TestRealMainTraceOut checks the arrival-trace file is created and
+// flushed even when no jobs arrive.
+func TestRealMainTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arrivals.jsonl")
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", "127.0.0.1:0", "-max-wall", "50ms", "-tick", "10ms",
+		"-trace-out", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainBadAlgo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-algo", "bogus", "-max-wall", "10ms"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown scheduler") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRealMainBadWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-workload", "lunar"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRealMainBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRealMainBadAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- realMain([]string{"-addr", "256.0.0.1:99999"}, &out, &errb) }()
+	select {
+	case code := <-done:
+		if code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("realMain hung on bad address")
+	}
+}

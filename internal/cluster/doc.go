@@ -1,0 +1,18 @@
+// Package cluster models a space-shared parallel machine — jobs occupy
+// `nodes` processors for their runtime — with FCFS and EASY-backfilling
+// queue disciplines. It serves two purposes in the reproduction:
+//
+//  1. Substrate validation: the paper's NAS workload originates from a
+//     128-node iPSC/860; replaying our synthetic trace through this
+//     model sanity-checks the generator against the machine it imitates
+//     (experiment A5 in DESIGN.md).
+//  2. Extension: the main simulator follows the paper in abstracting a
+//     site as an aggregate-speed serial queue; this package provides the
+//     more realistic space-shared alternative for robustness checks.
+//
+// Runtimes are assumed known exactly (the usual simplification when
+// replaying accounting traces; the paper's future-work section flags
+// unknown durations as open).
+//
+// DESIGN.md §1.1 inventory row: space-shared 128-node machine (FCFS + EASY backfilling) for the A5 substrate validation.
+package cluster

@@ -1,0 +1,8 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4): Fig. 7(a) f-sweep, Fig. 7(b) STGA iteration sweep,
+// Fig. 8 NAS metric comparison, Fig. 9 site utilization, Table 2
+// performance ratios, Fig. 10 PSA scaling — plus the Fig. 5 warm-vs-cold
+// GA convergence comparison and the ablations listed in DESIGN.md §3.
+//
+// DESIGN.md §1.1 inventory row: every figure/table runner (Figs. 5, 7-10, Table 2), ablations A1-A7, overhead study, and the experiment fan-out (§5.3).
+package experiments

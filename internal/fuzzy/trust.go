@@ -1,15 +1,3 @@
-// Package fuzzy implements a small Mamdani-style fuzzy inference engine
-// that derives a site's security level (SL) from observable security
-// attributes, following the fuzzy-logic trust index the paper cites as
-// the intended source of SL values (Song, Hwang & Macwan 2004, the
-// paper's ref [23]; see §1: "SL and SD could also be a weighted sum of
-// several system security parameters").
-//
-// The engine maps four attributes in [0,1] — intrusion-detection
-// capability, firewall/anti-virus strength, authentication mechanism
-// strength, and prior job-execution success rate — through triangular
-// membership functions and a compact rule base to a defuzzified trust
-// index in [0,1], usable directly as grid.Site.SecurityLevel.
 package fuzzy
 
 import (

@@ -1,0 +1,13 @@
+// Package ga implements the genetic-algorithm machinery of the paper's
+// §3: integer-vector chromosomes encoding job→site assignments, a
+// value-based roulette-wheel selection with elitism, single-point
+// crossover, and per-gene mutation constrained to each gene's allowed
+// value set.
+//
+// The package is generic over the fitness function; the STGA (package
+// stga) supplies batch-makespan fitness and history-seeded initial
+// populations, and the conventional cold-start GA baseline uses the same
+// machinery with random initialization only.
+//
+// DESIGN.md §1.1 inventory row: generic integer-vector GA: selection, crossover, mutation, elitism, and the parallel fitness evaluator (§5.1).
+package ga

@@ -1,13 +1,3 @@
-// Package ga implements the genetic-algorithm machinery of the paper's
-// §3: integer-vector chromosomes encoding job→site assignments, a
-// value-based roulette-wheel selection with elitism, single-point
-// crossover, and per-gene mutation constrained to each gene's allowed
-// value set.
-//
-// The package is generic over the fitness function; the STGA (package
-// stga) supplies batch-makespan fitness and history-seeded initial
-// populations, and the conventional cold-start GA baseline uses the same
-// machinery with random initialization only.
 package ga
 
 import (

@@ -1,0 +1,8 @@
+// Package grid models the computational grid of the paper: heterogeneous
+// resource sites with security levels, independent jobs with security
+// demands, the ETC (expected time to complete) matrix, and the
+// security/risk model of §2 — the exponential failure law (Eq. 1) and the
+// three risk modes (secure, risky, f-risky).
+//
+// DESIGN.md §1.1 inventory row: core model: Job, Site, Eq. 1 SecurityModel, risk-mode admission Policy, platform generators.
+package grid

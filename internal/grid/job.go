@@ -1,8 +1,3 @@
-// Package grid models the computational grid of the paper: heterogeneous
-// resource sites with security levels, independent jobs with security
-// demands, the ETC (expected time to complete) matrix, and the
-// security/risk model of §2 — the exponential failure law (Eq. 1) and the
-// three risk modes (secure, risky, f-risky).
 package grid
 
 import "fmt"

@@ -1,0 +1,11 @@
+// Package heuristics implements the security-driven batch scheduling
+// heuristics of the paper's §2 — Min-Min and Sufferage under the secure,
+// risky and f-risky modes — plus the classic MCT, MET, OLB and Random
+// mapping heuristics of Braun et al. as additional baselines.
+//
+// All heuristics operate on a snapshot of the site ready times: they copy
+// st.Ready and update the copy as they greedily place jobs, exactly as in
+// Maheswaran et al.'s batch-mode formulation.
+//
+// DESIGN.md §1.1 inventory row: security-driven Min-Min, Sufferage, and the MCT / MET / OLB / Random baselines.
+package heuristics

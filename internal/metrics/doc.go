@@ -1,0 +1,7 @@
+// Package metrics computes the paper's performance metrics (§4.1):
+// makespan, average response time, slowdown ratio (Eq. 3), number of
+// risk-taking jobs N_risk, number of failed jobs N_fail, and per-site
+// utilization.
+//
+// DESIGN.md §1.1 inventory row: §4.1 metrics: makespan, response, slowdown, N_risk, N_fail, utilization.
+package metrics

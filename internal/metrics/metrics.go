@@ -1,7 +1,3 @@
-// Package metrics computes the paper's performance metrics (§4.1):
-// makespan, average response time, slowdown ratio (Eq. 3), number of
-// risk-taking jobs N_risk, number of failed jobs N_fail, and per-site
-// utilization.
 package metrics
 
 import (
@@ -72,53 +68,62 @@ type Summary struct {
 	IdleSites int
 }
 
-// Compute builds a Summary from job records and per-site busy time.
-// busy[i] is the total occupied time of site i (successful plus wasted
-// attempts). It returns an error on inconsistent records.
-func Compute(records []JobRecord, busy []float64) (Summary, error) {
-	s := Summary{Jobs: len(records), SiteUtilization: make([]float64, len(busy))}
-	if len(records) == 0 {
-		return s, nil
+// Accumulator builds a Summary incrementally, one completed record at
+// a time, in exactly the order Compute accumulates over a record slice
+// — so a long-running online engine that discards records produces a
+// summary bit-identical to a batch run's. Compute itself is built on
+// it, which is what keeps the two paths from drifting apart.
+type Accumulator struct {
+	jobs                       int
+	makespan, respSum, servSum float64
+	nrisk, nfail, fallbacks    int
+}
+
+// Add folds one completed job in.
+func (a *Accumulator) Add(r JobRecord) {
+	a.jobs++
+	if r.Completion > a.makespan {
+		a.makespan = r.Completion
 	}
-	var respSum, servSum float64
-	for _, r := range records {
-		if err := r.Validate(); err != nil {
-			return s, err
-		}
-		if r.Completion > s.Makespan {
-			s.Makespan = r.Completion
-		}
-		respSum += r.Completion - r.Arrival
-		servSum += r.Completion - r.Start
-		if r.TookRisk {
-			s.NRisk++
-		}
-		if r.Failed {
-			s.NFail++
-		}
-		if r.FellBack {
-			s.Fallbacks++
-		}
+	a.respSum += r.Completion - r.Arrival
+	a.servSum += r.Completion - r.Start
+	if r.TookRisk {
+		a.nrisk++
 	}
-	if s.NFail > s.NRisk {
-		return s, fmt.Errorf("metrics: NFail %d > NRisk %d violates the failure model", s.NFail, s.NRisk)
+	if r.Failed {
+		a.nfail++
 	}
-	n := float64(len(records))
-	s.AvgResponse = respSum / n
-	s.AvgService = servSum / n
-	if s.AvgService > 0 {
-		s.Slowdown = s.AvgResponse / s.AvgService
-	} else {
-		s.Slowdown = math.NaN()
+	if r.FellBack {
+		a.fallbacks++
+	}
+}
+
+// Summarize renders the summary given per-site busy time. Utilization
+// above 1 is silently capped; Compute is the validating variant.
+func (a *Accumulator) Summarize(busy []float64) Summary {
+	s := Summary{
+		Jobs:            a.jobs,
+		Makespan:        a.makespan,
+		NRisk:           a.nrisk,
+		NFail:           a.nfail,
+		Fallbacks:       a.fallbacks,
+		SiteUtilization: make([]float64, len(busy)),
+	}
+	if a.jobs > 0 {
+		n := float64(a.jobs)
+		s.AvgResponse = a.respSum / n
+		s.AvgService = a.servSum / n
+		if s.AvgService > 0 {
+			s.Slowdown = s.AvgResponse / s.AvgService
+		} else {
+			s.Slowdown = math.NaN()
+		}
 	}
 	var utilSum float64
 	for i, b := range busy {
 		u := 0.0
 		if s.Makespan > 0 {
 			u = b / s.Makespan
-		}
-		if u > 1+1e-9 {
-			return s, fmt.Errorf("metrics: site %d utilization %v > 1", i, u)
 		}
 		if u > 1 {
 			u = 1
@@ -132,5 +137,30 @@ func Compute(records []JobRecord, busy []float64) (Summary, error) {
 	if len(busy) > 0 {
 		s.MeanUtilization = utilSum / float64(len(busy))
 	}
-	return s, nil
+	return s
+}
+
+// Compute builds a Summary from job records and per-site busy time.
+// busy[i] is the total occupied time of site i (successful plus wasted
+// attempts). It returns an error on inconsistent records.
+func Compute(records []JobRecord, busy []float64) (Summary, error) {
+	if len(records) == 0 {
+		return Summary{SiteUtilization: make([]float64, len(busy))}, nil
+	}
+	var acc Accumulator
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			return Summary{}, err
+		}
+		acc.Add(r)
+	}
+	if acc.nfail > acc.nrisk {
+		return Summary{}, fmt.Errorf("metrics: NFail %d > NRisk %d violates the failure model", acc.nfail, acc.nrisk)
+	}
+	for i, b := range busy {
+		if acc.makespan > 0 && b/acc.makespan > 1+1e-9 {
+			return Summary{}, fmt.Errorf("metrics: site %d utilization %v > 1", i, b/acc.makespan)
+		}
+	}
+	return acc.Summarize(busy), nil
 }

@@ -1,0 +1,17 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams and the distributions used by the trustgrid simulator.
+//
+// The simulator must be exactly reproducible across runs and Go versions,
+// so we implement the generators ourselves (SplitMix64 for seeding and
+// xoshiro256** for the main stream) rather than rely on math/rand, whose
+// default source and seeding behaviour have changed between releases.
+//
+// Streams are identified by a string label. Deriving a stream from a parent
+// hashes the label into the seed, so independently labelled components
+// (arrival process, security levels, failure draws, GA operators, ...)
+// receive decorrelated streams and can be added or removed without
+// perturbing one another. This is the standard substream discipline for
+// discrete-event simulation experiments.
+//
+// DESIGN.md §1.1 inventory row: deterministic random streams (xoshiro256**): labelled substreams, per-worker forks, 2^128 jump-ahead.
+package rng

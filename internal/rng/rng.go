@@ -1,17 +1,3 @@
-// Package rng provides deterministic, splittable pseudo-random number
-// streams and the distributions used by the trustgrid simulator.
-//
-// The simulator must be exactly reproducible across runs and Go versions,
-// so we implement the generators ourselves (SplitMix64 for seeding and
-// xoshiro256** for the main stream) rather than rely on math/rand, whose
-// default source and seeding behaviour have changed between releases.
-//
-// Streams are identified by a string label. Deriving a stream from a parent
-// hashes the label into the seed, so independently labelled components
-// (arrival process, security levels, failure draws, GA operators, ...)
-// receive decorrelated streams and can be added or removed without
-// perturbing one another. This is the standard substream discipline for
-// discrete-event simulation experiments.
 package rng
 
 import (

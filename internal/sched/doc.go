@@ -1,0 +1,12 @@
+// Package sched implements the paper's on-line job scheduling system
+// model (Fig. 1): jobs arrive over time into a queue, a batch scheduler
+// runs periodically and maps the accumulated batch onto grid sites, sites
+// execute their local queues, and failed jobs (per the Eq. 1 security
+// model) are re-queued for strictly safe re-dispatch.
+//
+// The package defines the Scheduler contract that the heuristics and the
+// STGA implement, and the discrete-event Engine that drives a full
+// simulation and collects metrics.
+//
+// DESIGN.md §1.1 inventory row: the Fig. 1 online model: periodic batch scheduling, dispatch, Eq. 1 failure sampling, safe re-dispatch; defines the Scheduler contract and the incremental Online engine (§6.3).
+package sched

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"trustgrid/internal/grid"
@@ -44,16 +43,30 @@ type RunConfig struct {
 	// the default of 50.
 	MaxRetries int
 	// MaxEvents bounds total simulation events (runaway guard). Zero
-	// means 200 × |jobs| + 10000.
+	// means 200 × |jobs seen so far| + 10000, growing as jobs arrive.
 	MaxEvents uint64
 	// Validate enables per-batch assignment contract checking (tests).
 	Validate bool
+	// OnEvent, when non-nil, receives every job lifecycle transition
+	// (arrival, placement, failure, completion) synchronously on the
+	// goroutine driving the simulation. Handlers must not call back into
+	// the engine. See EngineEvent.
+	OnEvent func(EngineEvent)
+	// DiscardRecords disables per-job record retention: the engine
+	// accumulates the §4.1 summary incrementally instead, so memory
+	// stays bounded by in-flight jobs rather than total jobs served —
+	// what an indefinitely running service needs. Result().Records is
+	// empty; per-job data is still observable through OnEvent.
+	DiscardRecords bool
+	// SubmitBuffer sizes the arrival channel of the incremental Online
+	// engine; zero means sim.DefaultArrivalBuffer. Ignored by Run.
+	SubmitBuffer int
 }
 
+// check validates everything except the job list, which Run requires
+// non-empty but the incremental Online engine accepts empty (jobs stream
+// in later via Submit).
 func (c *RunConfig) check() error {
-	if len(c.Jobs) == 0 {
-		return fmt.Errorf("sched: no jobs")
-	}
 	if err := grid.ValidateSites(c.Sites); err != nil {
 		return err
 	}
@@ -103,7 +116,12 @@ type engineState struct {
 	riskTaken map[int]bool
 	failed    map[int]bool
 	fellBack  map[int]bool
+	seen      int // jobs that have arrived so far
 	remaining int // jobs not yet successfully completed
+	// acc accumulates the §4.1 summary incrementally, in the same order
+	// metrics.Compute folds the record list, so DiscardRecords mode
+	// stays summary-complete without retaining per-job state.
+	acc       metrics.Accumulator
 	batches   int
 	schedTime time.Duration
 	largest   int
@@ -112,67 +130,34 @@ type engineState struct {
 	batchOpen bool // a batch event is already scheduled
 }
 
-// Run executes the full simulation and aggregates metrics.
+// Run executes the full simulation and aggregates metrics. It is the
+// closed-world entry point: the whole workload is known up front. Under
+// the hood it is a thin wrapper over the incremental Online engine, so
+// the paper's batch experiments and the trustgridd service share one
+// code path (and the trace-replay parity test holds by construction).
 func Run(cfg RunConfig) (*Result, error) {
-	if err := cfg.check(); err != nil {
-		return nil, err
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("sched: no jobs")
 	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 50
-	}
-	if cfg.Security.Lambda == 0 {
-		cfg.Security = grid.NewSecurityModel()
-	}
-	jobs := grid.CloneAll(cfg.Jobs)
-	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
-
-	st := &engineState{
-		cfg:       &cfg,
-		ready:     make([]float64, len(cfg.Sites)),
-		busy:      make([]float64, len(cfg.Sites)),
-		records:   make([]metrics.JobRecord, 0, len(jobs)),
-		riskTaken: make(map[int]bool, len(jobs)),
-		failed:    make(map[int]bool, len(jobs)),
-		fellBack:  make(map[int]bool, len(jobs)),
-		remaining: len(jobs),
-		failRand:  cfg.Rand.Derive("engine/failures"),
-		timeRand:  cfg.Rand.Derive("engine/failtime"),
-	}
-
-	eng := sim.NewEngine()
-	if cfg.MaxEvents > 0 {
-		eng.MaxEvents = cfg.MaxEvents
-	} else {
-		eng.MaxEvents = 200*uint64(len(jobs)) + 10000
-	}
-
-	for _, j := range jobs {
-		j := j
-		eng.Schedule(j.Arrival, sim.EventFunc(func(e *sim.Engine) {
-			st.queue = append(st.queue, j)
-			st.ensureBatch(e)
-		}))
-	}
-
-	if err := eng.Run(); err != nil {
-		return nil, err
-	}
-	if st.remaining != 0 {
-		return nil, fmt.Errorf("sched: simulation drained with %d jobs incomplete", st.remaining)
-	}
-
-	summary, err := metrics.Compute(st.records, st.busy)
+	o, err := NewOnline(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Summary:       summary,
-		Records:       st.records,
-		Batches:       st.batches,
-		Events:        eng.Executed(),
-		SchedulerTime: st.schedTime,
-		LargestBatch:  st.largest,
-	}, nil
+	return o.Drain()
+}
+
+// arrive enqueues a newly submitted job and opens the next scheduling
+// round. A stale arrival stamp (before the current clock) is clamped to
+// now — the job arrives "now" as far as the simulation is concerned.
+func (st *engineState) arrive(e *sim.Engine, j *grid.Job) {
+	if j.Arrival < e.Now() {
+		j.Arrival = e.Now()
+	}
+	st.seen++
+	st.remaining++
+	st.queue = append(st.queue, j)
+	st.emit(EngineEvent{Kind: EventArrived, Time: e.Now(), Job: *j, Site: -1})
+	st.ensureBatch(e)
 }
 
 // ensureBatch schedules the next periodic scheduling round if none is
@@ -235,6 +220,10 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 	if risky {
 		st.riskTaken[job.ID] = true
 	}
+	st.emit(EngineEvent{
+		Kind: EventPlaced, Time: e.Now(), Job: *job, Site: a.Site,
+		Start: start, Finish: start + exec, Risky: risky, FellBack: a.FellBack,
+	})
 	fails := risky && st.failRand.Bool(st.cfg.Security.FailProb(job.SecurityDemand, site.SecurityLevel))
 
 	if fails {
@@ -257,6 +246,7 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 			// Fail-stop: restart from the beginning on a strictly safe
 			// site at the next scheduling round (§2).
 			job.MustBeSafe = true
+			st.emit(EngineEvent{Kind: EventFailed, Time: e.Now(), Job: *job, Site: siteIdx})
 			st.queue = append(st.queue, job)
 			st.ensureBatch(e)
 		}))
@@ -268,7 +258,7 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 	st.busy[a.Site] += exec
 	siteIdx := a.Site
 	e.Schedule(finish, sim.EventFunc(func(e *sim.Engine) {
-		st.records = append(st.records, metrics.JobRecord{
+		rec := metrics.JobRecord{
 			ID:         job.ID,
 			Arrival:    job.Arrival,
 			Start:      start,
@@ -277,7 +267,20 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 			TookRisk:   st.riskTaken[job.ID],
 			Failed:     st.failed[job.ID],
 			FellBack:   st.fellBack[job.ID],
-		})
+		}
+		if !st.cfg.DiscardRecords {
+			st.records = append(st.records, rec)
+		}
+		st.acc.Add(rec)
+		// The job is done; its flag entries would otherwise grow without
+		// bound in a long-running online engine.
+		delete(st.riskTaken, job.ID)
+		delete(st.failed, job.ID)
+		delete(st.fellBack, job.ID)
 		st.remaining--
+		st.emit(EngineEvent{
+			Kind: EventCompleted, Time: e.Now(), Job: *job, Site: siteIdx,
+			Start: start, Finish: finish,
+		})
 	}))
 }

@@ -1,0 +1,67 @@
+package sched
+
+import "trustgrid/internal/grid"
+
+// EventKind labels a job lifecycle transition reported through
+// RunConfig.OnEvent.
+type EventKind int
+
+const (
+	// EventArrived fires when a job enters the scheduling queue (first
+	// submission only; failure re-queues are reported as EventFailed).
+	EventArrived EventKind = iota
+	// EventPlaced fires when a scheduling round dispatches a job to a
+	// site; Start/Finish give the planned execution window.
+	EventPlaced
+	// EventFailed fires when a risky execution attempt fails (Eq. 1);
+	// the job re-queues for strictly safe re-dispatch.
+	EventFailed
+	// EventCompleted fires when a job finishes successfully.
+	EventCompleted
+)
+
+// String returns the wire label used by the service layer.
+func (k EventKind) String() string {
+	switch k {
+	case EventArrived:
+		return "arrived"
+	case EventPlaced:
+		return "placed"
+	case EventFailed:
+		return "failed"
+	case EventCompleted:
+		return "completed"
+	default:
+		return "unknown"
+	}
+}
+
+// EngineEvent is one job lifecycle notification. Events are emitted
+// synchronously on the goroutine driving the simulation, in deterministic
+// order: a recorded Placed stream is byte-reproducible from the same
+// arrival trace and seeds (the trace-replay parity contract the service
+// layer tests).
+type EngineEvent struct {
+	Kind EventKind
+	// Time is the virtual time of the transition.
+	Time float64
+	// Job is a snapshot of the job at the transition (its Arrival is the
+	// effective, post-clamp arrival time).
+	Job grid.Job
+	// Site is the target site for Placed/Failed/Completed, -1 for Arrived.
+	Site int
+	// Start and Finish bound the planned execution window (Placed) or the
+	// actual one (Completed). Zero for other kinds.
+	Start, Finish float64
+	// Risky reports that the placement ran SL < SD (Placed only).
+	Risky bool
+	// FellBack reports the no-eligible-site fallback was used (Placed only).
+	FellBack bool
+}
+
+// emit forwards an event to the configured observer, if any.
+func (st *engineState) emit(ev EngineEvent) {
+	if st.cfg.OnEvent != nil {
+		st.cfg.OnEvent(ev)
+	}
+}

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/metrics"
+	"trustgrid/internal/sim"
+)
+
+// Online is the incremental form of the simulation engine: the same
+// batch loop Run drives to completion, promoted to an open-world API
+// where jobs stream in while the clock advances. It backs the trustgridd
+// service; Run is a thin wrapper over it, which is what makes recorded
+// service traffic byte-replayable through the batch simulator.
+//
+// Concurrency contract: Submit is safe from any goroutine (it feeds the
+// arrival channel); every other method must be called from the single
+// goroutine that owns the engine — the "loop goroutine" in service
+// terms, or the test body in tests.
+type Online struct {
+	cfg RunConfig
+	st  *engineState
+	eng *sim.Engine
+	in  *sim.Online
+}
+
+// NewOnline builds an incremental engine. cfg.Jobs may be empty; any
+// jobs present are pre-loaded exactly as Run would load them (cloned,
+// stably sorted by arrival).
+func NewOnline(cfg RunConfig) (*Online, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 50
+	}
+	if cfg.Security.Lambda == 0 {
+		cfg.Security = grid.NewSecurityModel()
+	}
+	o := &Online{cfg: cfg}
+	o.st = &engineState{
+		cfg:       &o.cfg,
+		ready:     make([]float64, len(cfg.Sites)),
+		busy:      make([]float64, len(cfg.Sites)),
+		records:   make([]metrics.JobRecord, 0, len(cfg.Jobs)),
+		riskTaken: make(map[int]bool, len(cfg.Jobs)),
+		failed:    make(map[int]bool, len(cfg.Jobs)),
+		fellBack:  make(map[int]bool, len(cfg.Jobs)),
+		failRand:  cfg.Rand.Derive("engine/failures"),
+		timeRand:  cfg.Rand.Derive("engine/failtime"),
+	}
+	o.eng = sim.NewEngine()
+	if cfg.MaxEvents > 0 {
+		o.eng.MaxEvents = cfg.MaxEvents
+	}
+	o.in = sim.NewOnline(o.eng, cfg.SubmitBuffer)
+
+	jobs := grid.CloneAll(cfg.Jobs)
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
+	for _, j := range jobs {
+		j := j
+		o.eng.Schedule(j.Arrival, sim.EventFunc(func(e *sim.Engine) { o.admit(e, j) }))
+	}
+	return o, nil
+}
+
+// admit runs at a job's arrival timestamp: grow the runaway guard to
+// cover the job, then hand it to the batch loop.
+func (o *Online) admit(e *sim.Engine, j *grid.Job) {
+	if o.cfg.MaxEvents == 0 {
+		o.eng.MaxEvents = 200*uint64(o.st.seen+1) + 10000
+	}
+	o.st.arrive(e, j)
+}
+
+// Submit clones j and injects it into the running simulation. Safe from
+// any goroutine; blocks for backpressure when the arrival buffer is
+// full. The job's Arrival is a lower bound: if the clock has passed it
+// by the time the arrival is ingested, it is clamped to the clock.
+func (o *Online) Submit(j *grid.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	c := j.Clone()
+	o.in.Inject(c.Arrival, sim.EventFunc(func(e *sim.Engine) { o.admit(e, c) }))
+	return nil
+}
+
+// SubmitOr is Submit with an abort signal: if done closes before the
+// arrival buffer accepts the job, the job is dropped and an error
+// returned. The HTTP layer passes its loop-exit channel so submitters
+// cannot wedge on a stopped engine.
+func (o *Online) SubmitOr(done <-chan struct{}, j *grid.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	c := j.Clone()
+	if !o.in.InjectOr(done, c.Arrival, sim.EventFunc(func(e *sim.Engine) { o.admit(e, c) })) {
+		return fmt.Errorf("sched: engine stopped")
+	}
+	return nil
+}
+
+// SubmitLocal ingests a job directly onto the engine's event queue,
+// bypassing the arrival channel and its capacity. Loop goroutine only —
+// it is what manual-mode replay uses so a trace larger than the channel
+// buffer cannot deadlock a client that drives the clock itself.
+// Ordering matches Submit: arrivals execute in (timestamp, ingestion
+// order).
+func (o *Online) SubmitLocal(j *grid.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	c := j.Clone()
+	at := c.Arrival
+	if at < o.eng.Now() {
+		at = o.eng.Now()
+	}
+	o.eng.Schedule(at, sim.EventFunc(func(e *sim.Engine) { o.admit(e, c) }))
+	return nil
+}
+
+// AdvanceTo ingests buffered arrivals and executes the simulation up to
+// virtual time t, leaving the clock at t. Loop goroutine only.
+func (o *Online) AdvanceTo(t float64) error { return o.in.AdvanceTo(t) }
+
+// Drain alternates between ingesting arrivals and running the engine
+// until everything submitted so far has completed, then returns the
+// aggregated result. The engine stays usable: more jobs may be submitted
+// and the clock advanced further afterwards. Loop goroutine only.
+func (o *Online) Drain() (*Result, error) {
+	if err := o.in.RunAll(); err != nil {
+		return nil, err
+	}
+	if o.st.remaining != 0 {
+		return nil, fmt.Errorf("sched: simulation drained with %d jobs incomplete", o.st.remaining)
+	}
+	return o.Result()
+}
+
+// Summary returns the incremental §4.1 summary over everything
+// completed so far. O(sites) — cheap enough for a metrics endpoint to
+// poll, and the only summary available under DiscardRecords. Loop
+// goroutine only.
+func (o *Online) Summary() metrics.Summary {
+	return o.st.acc.Summarize(o.st.busy)
+}
+
+// Result aggregates the metrics over everything completed so far. Loop
+// goroutine only.
+func (o *Online) Result() (*Result, error) {
+	var summary metrics.Summary
+	if o.cfg.DiscardRecords {
+		summary = o.Summary()
+	} else {
+		var err error
+		summary, err = metrics.Compute(o.st.records, o.st.busy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Summary:       summary,
+		Records:       o.st.records,
+		Batches:       o.st.batches,
+		Events:        o.eng.Executed(),
+		SchedulerTime: o.st.schedTime,
+		LargestBatch:  o.st.largest,
+	}, nil
+}
+
+// Now returns the current virtual time. Loop goroutine only.
+func (o *Online) Now() float64 { return o.eng.Now() }
+
+// Backlog returns the number of submitted jobs not yet ingested from the
+// arrival channel. Safe from any goroutine.
+func (o *Online) Backlog() int { return o.in.Backlog() }
+
+// Seen returns how many jobs have arrived (been ingested) so far. Loop
+// goroutine only.
+func (o *Online) Seen() int { return o.st.seen }
+
+// InFlight returns how many ingested jobs have not yet completed. Loop
+// goroutine only.
+func (o *Online) InFlight() int { return o.st.remaining }
+
+// Batches returns the number of scheduling rounds that dispatched jobs.
+// Loop goroutine only.
+func (o *Online) Batches() int { return o.st.batches }
+
+// LargestBatch returns the maximum batch size scheduled in one round.
+// Loop goroutine only.
+func (o *Online) LargestBatch() int { return o.st.largest }

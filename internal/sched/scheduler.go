@@ -1,12 +1,3 @@
-// Package sched implements the paper's on-line job scheduling system
-// model (Fig. 1): jobs arrive over time into a queue, a batch scheduler
-// runs periodically and maps the accumulated batch onto grid sites, sites
-// execute their local queues, and failed jobs (per the Eq. 1 security
-// model) are re-queued for strictly safe re-dispatch.
-//
-// The package defines the Scheduler contract that the heuristics and the
-// STGA implement, and the discrete-event Engine that drives a full
-// simulation and collects metrics.
 package sched
 
 import (

@@ -1,0 +1,403 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/metrics"
+	"trustgrid/internal/sched"
+)
+
+// JobSpec is the submission wire format. In live mode the server stamps
+// identity and arrival itself (the wall-clock side of the determinism
+// boundary), so client-supplied id/arrival are rejected; in manual mode
+// both are honored, which is what trace replay needs.
+type JobSpec struct {
+	ID       *int     `json:"id,omitempty"`
+	Arrival  *float64 `json:"arrival,omitempty"` // virtual seconds
+	Workload float64  `json:"workload"`
+	Nodes    int      `json:"nodes,omitempty"` // default 1
+	SD       float64  `json:"sd"`
+}
+
+type submitRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+type submitResponse struct {
+	IDs      []int `json:"ids"`
+	Accepted int   `json:"accepted"`
+}
+
+// WireEvent is the streamed form of a sched.EngineEvent. Arrived events
+// carry the job spec (they double as the arrival trace); placed events
+// carry the planned execution window.
+type WireEvent struct {
+	Seq      int64   `json:"seq"`
+	Kind     string  `json:"kind"`
+	Time     float64 `json:"t"`
+	Job      int     `json:"job"`
+	Site     int     `json:"site"`
+	Start    float64 `json:"start,omitempty"`
+	Finish   float64 `json:"finish,omitempty"`
+	Risky    bool    `json:"risky,omitempty"`
+	FellBack bool    `json:"fell_back,omitempty"`
+	Arrival  float64 `json:"arrival,omitempty"`
+	Workload float64 `json:"workload,omitempty"`
+	Nodes    int     `json:"nodes,omitempty"`
+	SD       float64 `json:"sd,omitempty"`
+}
+
+func wireFromEngine(ev sched.EngineEvent) WireEvent {
+	w := WireEvent{Kind: ev.Kind.String(), Time: ev.Time, Job: ev.Job.ID, Site: ev.Site}
+	switch ev.Kind {
+	case sched.EventArrived:
+		w.Arrival = ev.Job.Arrival
+		w.Workload = ev.Job.Workload
+		w.Nodes = ev.Job.Nodes
+		w.SD = ev.Job.SecurityDemand
+	case sched.EventPlaced:
+		w.Start, w.Finish = ev.Start, ev.Finish
+		w.Risky, w.FellBack = ev.Risky, ev.FellBack
+	case sched.EventCompleted:
+		w.Start, w.Finish = ev.Start, ev.Finish
+	}
+	return w
+}
+
+// MetricsReport is the /v1/metrics response.
+type MetricsReport struct {
+	Algo          string           `json:"algo"`
+	Mode          string           `json:"mode"`
+	Manual        bool             `json:"manual"`
+	BatchInterval float64          `json:"batch_interval_s"`
+	TickMS        float64          `json:"tick_ms"`
+	UptimeS       float64          `json:"uptime_s"`
+	VirtualNow    float64          `json:"virtual_now_s"`
+	Submitted     int64            `json:"submitted"`
+	Arrived       int64            `json:"arrived"`
+	Backlog       int              `json:"backlog"`
+	InFlight      int              `json:"in_flight"`
+	Placed        int64            `json:"placed"`
+	Failures      int64            `json:"failed_attempts"`
+	Completed     int64            `json:"completed"`
+	Batches       int              `json:"batches"`
+	LargestBatch  int              `json:"largest_batch"`
+	SubmitRate    float64          `json:"submit_rate_per_s"`
+	Latency       LatencySummary   `json:"sched_latency"`
+	Summary       *metrics.Summary `json:"summary,omitempty"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.stopped() {
+		httpError(w, http.StatusServiceUnavailable, "%v", s.stoppedErr())
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "no jobs in request")
+		return
+	}
+	accepted := time.Now()
+	jobs := make([]*grid.Job, 0, len(req.Jobs))
+	ids := make([]int, 0, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		if !s.cfg.Manual && (spec.ID != nil || spec.Arrival != nil) {
+			httpError(w, http.StatusBadRequest,
+				"job %d: id/arrival are server-assigned in live mode (manual mode honors them)", i)
+			return
+		}
+		j := &grid.Job{Workload: spec.Workload, Nodes: spec.Nodes, SecurityDemand: spec.SD}
+		if j.Nodes == 0 {
+			j.Nodes = 1
+		}
+		id, err := s.claimID(spec.ID)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		j.ID = id
+		if spec.Arrival != nil {
+			j.Arrival = *spec.Arrival
+		}
+		if err := j.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		jobs = append(jobs, j)
+		ids = append(ids, j.ID)
+	}
+	// Per-job accounting happens only after a job is genuinely handed to
+	// the engine, so a rejected tail never inflates `submitted` or
+	// strands latency-tracker entries for jobs that will never place.
+	injected := 0
+	var subErr error
+	if s.cfg.Manual {
+		// Manual mode has no ticker draining the arrival channel, so a
+		// trace bigger than the channel buffer would deadlock the
+		// replay client. Ingest on the loop goroutine instead, which
+		// also keeps request order = ingestion order.
+		err := s.do(r.Context(), func() {
+			for _, j := range jobs {
+				if subErr = s.online.SubmitLocal(j); subErr != nil {
+					return
+				}
+				injected++
+			}
+		})
+		if subErr == nil {
+			subErr = err
+		}
+	} else {
+		for _, j := range jobs {
+			// Abort on loop exit: a dead loop never drains the channel,
+			// and a blocked send here would wedge the handler forever.
+			if subErr = s.online.SubmitOr(s.loopDone, j); subErr != nil {
+				break
+			}
+			injected++
+		}
+	}
+	for _, j := range jobs[:injected] {
+		s.lat.submitted(j.ID, accepted)
+	}
+	s.submitted.Add(int64(injected))
+	if subErr != nil {
+		httpError(w, http.StatusServiceUnavailable,
+			"submit: %v (%d of %d jobs were already accepted)", subErr, injected, len(jobs))
+		return
+	}
+	writeJSON(w, submitResponse{IDs: ids, Accepted: len(jobs)})
+}
+
+// handleEvents streams the event log as NDJSON. Query parameters:
+// since (cursor, default 0), max (page size: without follow the
+// response stops after one page of max events — paginate with the last
+// event's seq+1), follow (keep the connection open and stream new
+// events), and kinds (comma-separated filter, e.g. "placed,completed").
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cursor := int64(0)
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad since %q", v)
+			return
+		}
+		cursor = n
+	}
+	max := 0
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad max %q", v)
+			return
+		}
+		max = n
+	}
+	follow := q.Get("follow") == "true" || q.Get("follow") == "1"
+	var kinds map[string]bool
+	if v := q.Get("kinds"); v != "" {
+		kinds = make(map[string]bool)
+		for _, k := range strings.Split(v, ",") {
+			kinds[strings.TrimSpace(k)] = true
+		}
+	}
+
+	var match func(*WireEvent) bool
+	if kinds != nil {
+		match = func(ev *WireEvent) bool { return kinds[ev.Kind] }
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(evs []WireEvent) {
+		for _, ev := range evs {
+			_ = enc.Encode(ev)
+		}
+	}
+	for {
+		// Grab the wait channel before reading so an append between the
+		// read and the wait cannot be missed.
+		ch := s.log.WaitCh()
+		evs, next := s.log.ReadSince(cursor, max, match)
+		advanced := next != cursor
+		cursor = next
+		emit(evs)
+		if advanced {
+			if !follow && max > 0 {
+				// One page per request when a page size is set. A short
+				// page means the log was exhausted at read time; events
+				// appended since belong to the client's next poll.
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
+		if !follow {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		case <-s.loopDone:
+			// Final read so a drained shutdown's tail is not lost.
+			evs, _ := s.log.ReadSince(cursor, 0, match)
+			emit(evs)
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := MetricsReport{
+		Algo:          s.sched.Name(),
+		Mode:          s.cfg.Mode,
+		Manual:        s.cfg.Manual,
+		BatchInterval: s.cfg.BatchInterval,
+		TickMS:        float64(s.cfg.Tick) / float64(time.Millisecond),
+		UptimeS:       time.Since(s.started).Seconds(),
+		Submitted:     s.submitted.Load(),
+		Arrived:       s.arrived.Load(),
+		Backlog:       s.online.Backlog(),
+		Placed:        s.placed.Load(),
+		Failures:      s.failures.Load(),
+		Completed:     s.completed.Load(),
+		Latency:       s.lat.summary(),
+	}
+	if rep.UptimeS > 0 {
+		rep.SubmitRate = float64(rep.Submitted) / rep.UptimeS
+	}
+	err := s.do(r.Context(), func() {
+		rep.VirtualNow = s.online.Now()
+		rep.InFlight = s.online.InFlight()
+		rep.Batches = s.online.Batches()
+		rep.LargestBatch = s.online.LargestBatch()
+		if sum := s.online.Summary(); sum.Jobs > 0 {
+			rep.Summary = &sum
+		}
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.stopped() {
+		httpError(w, http.StatusServiceUnavailable, "%v", s.stoppedErr())
+		return
+	}
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+type advanceRequest struct {
+	To float64 `json:"to"` // absolute virtual time
+	DT float64 `json:"dt"` // or a relative step
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.Manual {
+		httpError(w, http.StatusConflict, "advance requires manual clock mode")
+		return
+	}
+	var req advanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var now float64
+	var advErr error
+	badRequest := false
+	err := s.do(r.Context(), func() {
+		target := req.To
+		if req.DT > 0 {
+			target = s.online.Now() + req.DT
+		}
+		if target < s.online.Now() {
+			advErr = fmt.Errorf("target %v before virtual now %v", target, s.online.Now())
+			badRequest = true
+			return
+		}
+		advErr = s.online.AdvanceTo(target)
+		now = s.online.Now()
+	})
+	if err == nil {
+		err = advErr
+	}
+	if err != nil {
+		code := http.StatusInternalServerError
+		if badRequest {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, "advance: %v", err)
+		return
+	}
+	writeJSON(w, map[string]float64{"virtual_now_s": now})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.Manual {
+		httpError(w, http.StatusConflict, "drain requires manual clock mode")
+		return
+	}
+	var res *sched.Result
+	var now float64
+	var drainErr error
+	err := s.do(r.Context(), func() {
+		res, drainErr = s.online.Drain()
+		now = s.online.Now()
+	})
+	if err == nil {
+		err = drainErr
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "drain: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"virtual_now_s": now,
+		"summary":       res.Summary,
+		"batches":       res.Batches,
+	})
+}

@@ -1,0 +1,19 @@
+// Package server implements the online trusted-scheduling service
+// behind cmd/trustgridd: an HTTP facade over the incremental simulation
+// engine (sched.Online). Jobs are submitted as JSON, buffered into
+// batch intervals by a single loop goroutine that owns the scheduler
+// and the virtual clock, scheduled with any of the paper's algorithms
+// (the STGA keeps its similarity-indexed history across rounds), and
+// reported back as a streamed placement/completion event log. A
+// metrics endpoint exposes throughput counters and scheduling-latency
+// percentiles.
+//
+// The service runs in one of two clocking modes. In live mode a
+// wall-clock ticker advances the virtual clock by one batch interval
+// per tick and arrivals are stamped at ingest; in manual mode clients
+// stamp arrivals themselves and drive the clock via /v1/advance and
+// /v1/drain, which is the deterministic replay path the trace-parity
+// test exercises. See DESIGN.md §6 for the architecture and §1 for
+// this package's inventory row (internal/server: HTTP service layer
+// over the online engine).
+package server

@@ -1,0 +1,83 @@
+package server
+
+import "sync"
+
+// eventLog is a bounded, append-only log of wire events with absolute
+// sequence numbers and a broadcast channel for streaming readers. The
+// loop goroutine appends; any number of HTTP readers poll or follow.
+// When the bound is exceeded the oldest events are evicted; a reader
+// whose cursor has been evicted resumes at the oldest retained event
+// (its next event's seq tells it how much it missed).
+type eventLog struct {
+	mu     sync.Mutex
+	max    int
+	events []WireEvent
+	base   int64         // seq of events[0]
+	notify chan struct{} // closed and replaced on every append
+}
+
+const defaultEventBuffer = 65536
+
+func newEventLog(max int) *eventLog {
+	if max <= 0 {
+		max = defaultEventBuffer
+	}
+	return &eventLog{max: max, notify: make(chan struct{})}
+}
+
+// Append assigns the next sequence number and stores the event.
+func (l *eventLog) Append(ev WireEvent) {
+	l.mu.Lock()
+	ev.Seq = l.base + int64(len(l.events))
+	l.events = append(l.events, ev)
+	if len(l.events) > l.max {
+		// Evict the oldest half in one copy so eviction is amortized
+		// rather than per-append.
+		drop := len(l.events) / 2
+		l.base += int64(drop)
+		l.events = append(l.events[:0], l.events[drop:]...)
+	}
+	ch := l.notify
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+	close(ch)
+}
+
+// ReadSince returns up to max retained events with seq >= since that
+// satisfy match (nil matches all), and the cursor to pass next time.
+// max <= 0 means no limit. The limit counts *matching* events and the
+// cursor always advances past every scanned event, so a filtered read
+// can never return an empty page while matching events remain.
+func (l *eventLog) ReadSince(since int64, max int, match func(*WireEvent) bool) ([]WireEvent, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if since < l.base {
+		since = l.base
+	}
+	i := int(since - l.base)
+	if i >= len(l.events) {
+		return nil, l.base + int64(len(l.events))
+	}
+	var out []WireEvent
+	next := since
+	for ; i < len(l.events); i++ {
+		ev := l.events[i]
+		if match == nil || match(&ev) {
+			out = append(out, ev)
+			if max > 0 && len(out) == max {
+				next = ev.Seq + 1
+				return out, next
+			}
+		}
+		next = ev.Seq + 1
+	}
+	return out, next
+}
+
+// WaitCh returns a channel that is closed at the next append. Callers
+// re-fetch after every wakeup.
+func (l *eventLog) WaitCh() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}

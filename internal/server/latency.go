@@ -1,0 +1,88 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"trustgrid/internal/stats"
+)
+
+// latencyTracker measures wall-clock scheduling latency: the time from
+// a job's acceptance by the HTTP layer to its first placement event.
+// Submissions record under the job ID; the loop goroutine resolves them
+// as placements stream past.
+type latencyTracker struct {
+	mu       sync.Mutex
+	pending  map[int]time.Time
+	samples  []float64 // milliseconds, resolved placements
+	max      int       // sample retention bound
+	resolved int64     // total samples ever recorded
+}
+
+const defaultLatencySamples = 1 << 16
+
+func newLatencyTracker(max int) *latencyTracker {
+	if max <= 0 {
+		max = defaultLatencySamples
+	}
+	return &latencyTracker{pending: make(map[int]time.Time), max: max}
+}
+
+// submitted records the acceptance time of a job ID.
+func (t *latencyTracker) submitted(id int, at time.Time) {
+	t.mu.Lock()
+	t.pending[id] = at
+	t.mu.Unlock()
+}
+
+// placedNow resolves a placement against its pending submission, if
+// any. Re-placements after failures find no pending entry and are
+// ignored — latency is first-placement latency.
+func (t *latencyTracker) placedNow(id int) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at, ok := t.pending[id]
+	if !ok {
+		return
+	}
+	delete(t.pending, id)
+	if len(t.samples) >= t.max {
+		// Drop the oldest half in one copy; percentiles stay dominated
+		// by recent traffic.
+		t.samples = append(t.samples[:0], t.samples[len(t.samples)/2:]...)
+	}
+	t.samples = append(t.samples, float64(now.Sub(at))/float64(time.Millisecond))
+	t.resolved++
+}
+
+// LatencySummary reports scheduling-latency percentiles in
+// milliseconds over the retained sample window.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+func (t *latencyTracker) summary() LatencySummary {
+	// Copy under the lock, sort outside it: placement resolution on the
+	// loop goroutine must never wait on a metrics scrape's sort.
+	t.mu.Lock()
+	resolved := t.resolved
+	sorted := append([]float64(nil), t.samples...)
+	t.mu.Unlock()
+	if len(sorted) == 0 {
+		return LatencySummary{Count: resolved}
+	}
+	sort.Float64s(sorted)
+	return LatencySummary{
+		Count: resolved,
+		P50:   stats.PercentileOfSorted(sorted, 50),
+		P90:   stats.PercentileOfSorted(sorted, 90),
+		P99:   stats.PercentileOfSorted(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+	}
+}

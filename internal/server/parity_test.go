@@ -1,0 +1,177 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/server"
+)
+
+// placementLine renders one placement with full float precision; two
+// runs are "byte-identical" iff their concatenated lines are equal.
+func placementLine(b *strings.Builder, job, site int, start, finish float64) {
+	fmt.Fprintf(b, "job=%d site=%d start=%.17g finish=%.17g\n", job, site, start, finish)
+}
+
+// batchPlacements runs the closed-world simulator (sched.Run, i.e. the
+// facade's Simulate) with the exact seed derivation the daemon uses and
+// returns the placement stream.
+func batchPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workload,
+	jobs []*grid.Job, algo string, seed uint64) string {
+	t.Helper()
+	root := rng.New(seed)
+	policy := setup.Policy(grid.FRisky, setup.F)
+	sc, err := setup.SchedulerByName(algo, policy, root.Derive("scheduler"), w.Training, w.Sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	_, err = sched.Run(sched.RunConfig{
+		Jobs: jobs, Sites: w.Sites, Scheduler: sc, BatchInterval: w.Batch,
+		Security: setup.Model(), Rand: root.Derive("engine"),
+		OnEvent: func(ev sched.EngineEvent) {
+			if ev.Kind == sched.EventPlaced {
+				placementLine(&b, ev.Job.ID, ev.Site, ev.Start, ev.Finish)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func requireStatus(t *testing.T, resp *http.Response, want int) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, want, buf.String())
+	}
+}
+
+// daemonPlacements replays the same arrival trace through trustgridd's
+// HTTP API in manual-clock mode and returns the placement stream read
+// back from /v1/events.
+func daemonPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workload,
+	jobs []*grid.Job, algo string, seed uint64) string {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Training: w.Training, Algo: algo, Mode: "frisky",
+		BatchInterval: w.Batch, Seed: seed, Setup: setup, Manual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Submit the recorded trace in arrival order, in chunks, with
+	// explicit IDs and arrival stamps (manual mode honors both).
+	const chunk = 100
+	for start := 0; start < len(jobs); start += chunk {
+		end := min(start+chunk, len(jobs))
+		specs := make([]server.JobSpec, 0, end-start)
+		for _, j := range jobs[start:end] {
+			id, arr := j.ID, j.Arrival
+			specs = append(specs, server.JobSpec{
+				ID: &id, Arrival: &arr, Workload: j.Workload,
+				Nodes: j.Nodes, SD: j.SecurityDemand,
+			})
+		}
+		resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"jobs": specs})
+		requireStatus(t, resp, http.StatusOK)
+	}
+	resp := postJSON(t, ts.URL+"/v1/drain", map[string]any{})
+	requireStatus(t, resp, http.StatusOK)
+
+	events, err := http.Get(ts.URL + "/v1/events?kinds=placed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(events.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev server.WireEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		placementLine(&b, ev.Job, ev.Site, ev.Start, ev.Finish)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestTraceReplayParity is the service determinism contract: the same
+// seeded arrival trace pushed through the daemon's HTTP API (manual
+// clock) and through the batch simulator produces byte-identical
+// placements — for a heuristic and for the history-carrying STGA. CI
+// runs this under -race.
+func TestTraceReplayParity(t *testing.T) {
+	setup := experiments.TestSetup()
+	setup.Seed = 7
+	const seed = 7
+	w, err := setup.PSAWorkload(seed, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The daemon ingests submissions in request order; replay them in
+	// the stable arrival order the batch engine uses internally.
+	jobs := grid.CloneAll(w.Jobs)
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
+
+	for _, algo := range []string{"minmin", "stga"} {
+		t.Run(algo, func(t *testing.T) {
+			want := batchPlacements(t, setup, w, jobs, algo, seed)
+			got := daemonPlacements(t, setup, w, jobs, algo, seed)
+			if want == "" {
+				t.Fatal("batch run produced no placements")
+			}
+			if got != want {
+				t.Fatalf("placement streams differ:\nbatch (%d bytes) vs daemon (%d bytes)\nfirst batch lines:\n%s\nfirst daemon lines:\n%s",
+					len(want), len(got), firstLines(want, 5), firstLines(got, 5))
+			}
+		})
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

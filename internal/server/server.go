@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+)
+
+// Config describes one trustgridd instance.
+type Config struct {
+	// Sites is the platform the daemon schedules onto.
+	Sites []*grid.Site
+	// Training warms the STGA history table before serving (nil = cold).
+	Training []*grid.Job
+
+	// Algo names the scheduler (experiments.SchedulerNames). Default
+	// "minmin".
+	Algo string
+	// Mode is the heuristics' admission rule: secure, risky or frisky
+	// (default). The STGA always runs f-risky at Setup.F, as in the paper.
+	Mode string
+	// BatchInterval is Δ, the virtual seconds between scheduling rounds.
+	// Zero defaults to Setup.PSABatch.
+	BatchInterval float64
+	// Seed roots every stochastic decision the daemon makes (scheduler
+	// randomness and Eq. 1 failure sampling) via labelled substreams —
+	// the same "scheduler"/"engine" labels the batch experiments use, so
+	// a recorded trace replays identically through sched.Run.
+	Seed uint64
+	// Setup supplies the GA sizes, λ, f and training batch size. Zero
+	// fields are filled from experiments.DefaultSetup individually, so a
+	// partially specified Setup keeps what the caller did set.
+	Setup experiments.Setup
+
+	// Tick is the wall-clock duration of one batch interval in live
+	// mode (default 100ms): every Tick the virtual clock advances by
+	// BatchInterval and a scheduling round fires.
+	Tick time.Duration
+	// Manual disables the wall ticker: clients stamp arrivals themselves
+	// and drive the clock through /v1/advance and /v1/drain. This is the
+	// deterministic trace-replay mode.
+	Manual bool
+
+	// SubmitBuffer sizes the arrival channel (0 = sim default); a full
+	// channel blocks submitters, which is the service's backpressure.
+	SubmitBuffer int
+	// EventBuffer bounds the retained event log (0 = 65536 events);
+	// older events are evicted and slow readers restart at the oldest.
+	EventBuffer int
+
+	// TraceWriter, when non-nil, receives one JSON line per accepted
+	// arrival — the replay artifact of the determinism contract.
+	TraceWriter io.Writer
+}
+
+func (c *Config) fillDefaults() {
+	if c.Algo == "" {
+		c.Algo = "minmin"
+	}
+	if c.Mode == "" {
+		c.Mode = "frisky"
+	}
+	// Fill Setup field by field so a caller's partial Setup (say, a
+	// custom F with default GA sizes) is never silently discarded.
+	d := experiments.DefaultSetup()
+	if c.Setup.Population == 0 {
+		c.Setup.Population = d.Population
+	}
+	if c.Setup.Generations == 0 {
+		c.Setup.Generations = d.Generations
+	}
+	if c.Setup.HistorySize == 0 {
+		c.Setup.HistorySize = d.HistorySize
+	}
+	if c.Setup.SimThreshold == 0 {
+		c.Setup.SimThreshold = d.SimThreshold
+	}
+	if c.Setup.TrainBatchSize == 0 {
+		c.Setup.TrainBatchSize = d.TrainBatchSize
+	}
+	if c.Setup.Lambda == 0 {
+		// λ = 0 would disable Eq. 1 failures entirely; the engine itself
+		// substitutes the default in that case, so mirror it here.
+		c.Setup.Lambda = d.Lambda
+	}
+	// Setup.F is honored as-is: f = 0 is a legitimate operating point
+	// (an f-risky threshold of zero admits only strictly safe sites),
+	// so it must not be "defaulted" away — gridsched -f 0 and
+	// trustgridd -f 0 have to agree.
+	if c.Setup.PSABatch == 0 {
+		c.Setup.PSABatch = d.PSABatch
+	}
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = c.Setup.PSABatch
+	}
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+}
+
+// Server is a running trusted-scheduling service instance. Create with
+// New, expose Handler over HTTP, stop with Stop.
+type Server struct {
+	cfg    Config
+	online *sched.Online
+	sched  sched.Scheduler
+	log    *eventLog
+	lat    *latencyTracker
+
+	cmds     chan func()
+	quit     chan struct{}
+	loopDone chan struct{}
+	loopErr  atomic.Value // error
+	stopMu   sync.Mutex
+	stopOnce sync.Once
+
+	nextID  atomic.Int64
+	idMu    sync.Mutex
+	usedIDs map[int]struct{} // manual mode: explicit-ID dedupe (bounded by trace size)
+
+	submitted atomic.Int64 // accepted by the HTTP layer
+	arrived   atomic.Int64 // ingested by the engine
+	placed    atomic.Int64 // placement events (retries included)
+	completed atomic.Int64
+	failures  atomic.Int64 // failed execution attempts
+	started   time.Time
+}
+
+// New builds the service and starts its loop goroutine.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	setup := cfg.Setup
+
+	var policy grid.Policy
+	switch cfg.Mode {
+	case "secure":
+		policy = setup.Policy(grid.Secure, 0)
+	case "risky":
+		policy = setup.Policy(grid.Risky, 0)
+	case "frisky":
+		policy = setup.Policy(grid.FRisky, setup.F)
+	default:
+		return nil, fmt.Errorf("server: unknown mode %q (want secure, risky or frisky)", cfg.Mode)
+	}
+
+	root := rng.New(cfg.Seed)
+	scheduler, err := setup.SchedulerByName(cfg.Algo, policy, root.Derive("scheduler"),
+		cfg.Training, cfg.Sites)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		sched:    scheduler,
+		log:      newEventLog(cfg.EventBuffer),
+		lat:      newLatencyTracker(0),
+		cmds:     make(chan func()),
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		started:  time.Now(),
+	}
+	if cfg.Manual {
+		s.usedIDs = make(map[int]struct{})
+	}
+	s.online, err = sched.NewOnline(sched.RunConfig{
+		Sites:         cfg.Sites,
+		Scheduler:     scheduler,
+		BatchInterval: cfg.BatchInterval,
+		Security:      setup.Model(),
+		FailureTiming: setup.FailTiming,
+		Rand:          root.Derive("engine"),
+		OnEvent:       s.onEvent,
+		SubmitBuffer:  cfg.SubmitBuffer,
+		// A daemon serves jobs indefinitely; per-job records would grow
+		// without bound. The incremental summary carries the metrics.
+		DiscardRecords: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go s.loop()
+	return s, nil
+}
+
+// loop is the single goroutine that owns the engine, the scheduler and
+// the virtual clock. Live mode advances the clock on a wall ticker;
+// manual mode only executes client commands.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	var tickC <-chan time.Time
+	if !s.cfg.Manual {
+		ticker := time.NewTicker(s.cfg.Tick)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tickC:
+			if err := s.online.AdvanceTo(s.online.Now() + s.cfg.BatchInterval); err != nil {
+				s.loopErr.Store(err)
+				return
+			}
+		case fn := <-s.cmds:
+			fn()
+		}
+	}
+}
+
+// do executes fn on the loop goroutine and waits for it. ctx is
+// honored only until the command is enqueued: once the loop has the
+// command it WILL run, so returning early on a cancelled request would
+// report failure for side effects that still happen (a replay client
+// would retry an already-ingested batch into duplicate-ID rejections).
+// The post-enqueue wait is bounded by one tick in live mode and is
+// immediate in manual mode; loop death still unblocks it.
+func (s *Server) do(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	select {
+	case s.cmds <- func() { fn(); close(done) }:
+	case <-s.loopDone:
+		return s.stoppedErr()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-s.loopDone:
+		return s.stoppedErr()
+	}
+}
+
+func (s *Server) stoppedErr() error {
+	if err, ok := s.loopErr.Load().(error); ok {
+		return fmt.Errorf("server: scheduling loop failed: %w", err)
+	}
+	return fmt.Errorf("server: stopped")
+}
+
+// Done is closed when the scheduling loop exits — after Stop, or on
+// its own if the engine fails. The daemon watches it so a dead loop
+// does not leave a zombie process serving 503s.
+func (s *Server) Done() <-chan struct{} { return s.loopDone }
+
+// claimID allocates a job ID. Live mode always server-assigns; manual
+// mode honors an explicit ID but rejects duplicates (a replayed trace
+// must round-trip) and keeps auto-assigned IDs clear of explicit ones.
+func (s *Server) claimID(explicit *int) (int, error) {
+	if !s.cfg.Manual {
+		return int(s.nextID.Add(1)), nil
+	}
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	if explicit != nil {
+		id := *explicit
+		if _, dup := s.usedIDs[id]; dup {
+			return 0, fmt.Errorf("duplicate job id %d", id)
+		}
+		s.usedIDs[id] = struct{}{}
+		if int64(id) > s.nextID.Load() {
+			s.nextID.Store(int64(id))
+		}
+		return id, nil
+	}
+	for {
+		id := int(s.nextID.Add(1))
+		if _, dup := s.usedIDs[id]; !dup {
+			s.usedIDs[id] = struct{}{}
+			return id, nil
+		}
+	}
+}
+
+func (s *Server) stopped() bool {
+	select {
+	case <-s.loopDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// onEvent runs on the loop goroutine for every engine transition: it
+// maintains the counters, feeds the latency tracker and the arrival
+// trace, and appends to the streamable event log.
+func (s *Server) onEvent(ev sched.EngineEvent) {
+	switch ev.Kind {
+	case sched.EventArrived:
+		s.arrived.Add(1)
+		if s.cfg.TraceWriter != nil {
+			// Recording errors must not break scheduling; the writer's
+			// owner (cmd/trustgridd) reports them at close time.
+			_ = WriteTraceRecord(s.cfg.TraceWriter, TraceRecord{
+				ID: ev.Job.ID, Arrival: ev.Job.Arrival,
+				Workload: ev.Job.Workload, Nodes: ev.Job.Nodes,
+				SD: ev.Job.SecurityDemand,
+			})
+		}
+	case sched.EventPlaced:
+		s.placed.Add(1)
+		s.lat.placedNow(ev.Job.ID)
+	case sched.EventFailed:
+		s.failures.Add(1)
+	case sched.EventCompleted:
+		s.completed.Add(1)
+	}
+	s.log.Append(wireFromEngine(ev))
+}
+
+// Stop shuts the loop down. With drain set, every job already accepted
+// is scheduled to completion first (virtual time, so this is fast) and
+// the final aggregated result is returned; without it, in-flight jobs
+// are abandoned. Safe to call more than once (calls serialize).
+func (s *Server) Stop(drain bool) (*sched.Result, error) {
+	s.stopMu.Lock()
+	defer s.stopMu.Unlock()
+	s.stopOnce.Do(func() { close(s.quit) })
+	<-s.loopDone
+	if err, ok := s.loopErr.Load().(error); ok {
+		return nil, err
+	}
+	if !drain {
+		return nil, nil
+	}
+	// The loop has exited, so the Stop caller is the engine's owner now.
+	return s.online.Drain()
+}

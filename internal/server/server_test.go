@@ -1,0 +1,349 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/server"
+)
+
+func newLiveServer(t *testing.T, tick time.Duration) (*server.Server, *httptest.Server) {
+	t.Helper()
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10) // platform only; jobs unused
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 5000, Tick: tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _, _ = srv.Stop(false) })
+	return srv, ts
+}
+
+func getMetrics(t *testing.T, url string) server.MetricsReport {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep server.MetricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestLiveService drives the wall-clock service end to end: submit jobs
+// over HTTP, let the ticker schedule them, and read the results back
+// through the event stream and the metrics endpoint.
+func TestLiveService(t *testing.T) {
+	_, ts := newLiveServer(t, 2*time.Millisecond)
+
+	const n = 25
+	specs := make([]server.JobSpec, n)
+	for i := range specs {
+		specs[i] = server.JobSpec{Workload: 15000 * float64(1+i%20), SD: 0.6 + 0.01*float64(i%30)}
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"jobs": specs})
+	requireStatus(t, resp, http.StatusOK)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var rep server.MetricsReport
+	for {
+		rep = getMetrics(t, ts.URL)
+		if rep.Completed >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %+v", rep)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rep.Submitted != n || rep.Arrived != n {
+		t.Fatalf("submitted %d arrived %d, want %d", rep.Submitted, rep.Arrived, n)
+	}
+	if rep.Latency.Count == 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("implausible latency summary: %+v", rep.Latency)
+	}
+	if rep.Summary == nil || rep.Summary.Jobs != n {
+		t.Fatalf("summary missing or wrong: %+v", rep.Summary)
+	}
+
+	// Placed events must be streamable and complete.
+	events, err := http.Get(ts.URL + "/v1/events?kinds=placed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	placed := 0
+	sc := bufio.NewScanner(events.Body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev server.WireEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != "placed" {
+			t.Fatalf("kinds filter leaked %q", ev.Kind)
+		}
+		placed++
+	}
+	if placed < n {
+		t.Fatalf("saw %d placed events, want >= %d", placed, n)
+	}
+}
+
+// TestLiveModeRejectsClientStamps pins the determinism boundary: in
+// live mode identity and arrival are server-assigned.
+func TestLiveModeRejectsClientStamps(t *testing.T) {
+	_, ts := newLiveServer(t, time.Hour) // ticker effectively off
+	id := 7
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{{ID: &id, Workload: 100, SD: 0.7}},
+	})
+	requireStatus(t, resp, http.StatusBadRequest)
+
+	// Manual-clock endpoints are rejected in live mode.
+	resp = postJSON(t, ts.URL+"/v1/advance", map[string]any{"dt": 1.0})
+	requireStatus(t, resp, http.StatusConflict)
+	resp = postJSON(t, ts.URL+"/v1/drain", map[string]any{})
+	requireStatus(t, resp, http.StatusConflict)
+}
+
+// TestManualAdvance drives the virtual clock explicitly and checks
+// batches fire on the Δ grid.
+func TestManualAdvance(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 1000, Manual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	arr := 10.0
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{{Arrival: &arr, Workload: 500, SD: 0.7}},
+	})
+	requireStatus(t, resp, http.StatusOK)
+
+	// Advancing to just before the round leaves the job queued.
+	resp = postJSON(t, ts.URL+"/v1/advance", map[string]any{"to": 999.0})
+	requireStatus(t, resp, http.StatusOK)
+	if rep := getMetrics(t, ts.URL); rep.Placed != 0 || rep.Arrived != 1 {
+		t.Fatalf("before round: %+v", rep)
+	}
+	// The Δ-grid round at t=1000 schedules it.
+	resp = postJSON(t, ts.URL+"/v1/advance", map[string]any{"to": 1000.0})
+	requireStatus(t, resp, http.StatusOK)
+	if rep := getMetrics(t, ts.URL); rep.Placed != 1 || rep.Batches != 1 {
+		t.Fatalf("after round: %+v", rep)
+	}
+	// Backwards advance is the caller's mistake, not a server fault.
+	resp = postJSON(t, ts.URL+"/v1/advance", map[string]any{"to": 10.0})
+	requireStatus(t, resp, http.StatusBadRequest)
+}
+
+// TestStopDrain checks graceful shutdown completes accepted work and
+// then turns requests away.
+func TestStopDrain(t *testing.T) {
+	srv, ts := newLiveServer(t, time.Hour) // no ticks: drain does the work
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{{Workload: 1000, SD: 0.7}, {Workload: 2000, SD: 0.8}},
+	})
+	requireStatus(t, resp, http.StatusOK)
+
+	res, err := srv.Stop(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Jobs != 2 {
+		t.Fatalf("drained %d jobs, want 2", res.Summary.Jobs)
+	}
+	if _, err := srv.Stop(true); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+
+	hz, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, hz, http.StatusServiceUnavailable)
+}
+
+// TestTraceRoundTrip checks the arrival-trace artifact written by the
+// daemon parses back into the same jobs.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []server.TraceRecord{
+		{ID: 1, Arrival: 0, Workload: 100, Nodes: 1, SD: 0.7},
+		{ID: 2, Arrival: 3.5, Workload: 200, Nodes: 4, SD: 0.85},
+	}
+	for _, r := range recs {
+		if err := server.WriteTraceRecord(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := server.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	jobs := server.JobsFromTrace(got)
+	if jobs[1].SecurityDemand != 0.85 || jobs[1].Nodes != 4 {
+		t.Fatalf("bad job materialization: %+v", jobs[1])
+	}
+}
+
+// TestEventsPagination pins the filtered-page contract: max counts
+// *matching* events, so kinds+max can never return an empty page while
+// matching events remain, and the last seq+1 paginates.
+func TestEventsPagination(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 1000, Manual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs := make([]server.JobSpec, 5)
+	for i := range specs {
+		arr := 0.0
+		specs[i] = server.JobSpec{Arrival: &arr, Workload: 1000 * float64(i+1), SD: 0.7}
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"jobs": specs})
+	requireStatus(t, resp, http.StatusOK)
+	resp = postJSON(t, ts.URL+"/v1/drain", map[string]any{})
+	requireStatus(t, resp, http.StatusOK)
+
+	readPage := func(since int64) []server.WireEvent {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/events?kinds=placed&max=3&since=%d", ts.URL, since))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []server.WireEvent
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var ev server.WireEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ev)
+		}
+		return out
+	}
+
+	// First page: 3 placed events even though 'arrived' events precede
+	// them in the log. Then paginate to exhaustion and require every
+	// placement event (retries included) to be seen exactly once.
+	total := int(getMetrics(t, ts.URL).Placed)
+	if total < 5 {
+		t.Fatalf("expected >= 5 placements, got %d", total)
+	}
+	page := readPage(0)
+	if len(page) != 3 {
+		t.Fatalf("page 1 has %d events, want 3: %+v", len(page), page)
+	}
+	seen := len(page)
+	for len(page) > 0 {
+		for _, ev := range page {
+			if ev.Kind != "placed" {
+				t.Fatalf("kinds filter leaked %q", ev.Kind)
+			}
+		}
+		page = readPage(page[len(page)-1].Seq + 1)
+		seen += len(page)
+	}
+	if seen != total {
+		t.Fatalf("pagination saw %d placements, server counted %d", seen, total)
+	}
+}
+
+// TestManualDuplicateIDRejected pins the replay round-trip guard.
+func TestManualDuplicateIDRejected(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 1000, Manual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id, arr := 7, 0.0
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{{ID: &id, Arrival: &arr, Workload: 100, SD: 0.7}},
+	})
+	requireStatus(t, resp, http.StatusOK)
+	resp = postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{{ID: &id, Arrival: &arr, Workload: 200, SD: 0.7}},
+	})
+	requireStatus(t, resp, http.StatusBadRequest)
+
+	// Auto-assigned IDs skip past explicit ones instead of colliding.
+	resp = postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{{Arrival: &arr, Workload: 300, SD: 0.7}},
+	})
+	defer resp.Body.Close()
+	var out struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.IDs) != 1 || out.IDs[0] <= 7 {
+		t.Fatalf("auto ID %v should be > 7", out.IDs)
+	}
+}

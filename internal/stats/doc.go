@@ -1,0 +1,6 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: means, standard deviations, confidence intervals
+// over replicated runs, and simple series utilities.
+//
+// DESIGN.md §1.1 inventory row: small sample/aggregation helpers (means, confidence intervals, percentiles).
+package stats

@@ -1,6 +1,3 @@
-// Package stats provides the small statistical helpers used by the
-// experiment harness: means, standard deviations, confidence intervals
-// over replicated runs, and simple series utilities.
 package stats
 
 import (
@@ -86,6 +83,39 @@ func Median(xs []float64) float64 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using
+// linear interpolation between order statistics (NaN for empty input).
+// The service layer uses it for scheduling-latency p50/p99 reports.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return PercentileOfSorted(s, p)
+}
+
+// PercentileOfSorted is Percentile over an already ascending-sorted
+// slice, for callers reading several percentiles from one sort.
+func PercentileOfSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
 }
 
 // ArgMin returns the index of the smallest element (-1 for empty input).

@@ -1,0 +1,10 @@
+// Package stga implements the paper's contribution: the Space-Time
+// Genetic Algorithm (§3). The STGA evolves job→site assignments not only
+// over the solution space ("space") but also over previous scheduling
+// results ("time"): a history lookup table stores the inputs and best
+// schedules of earlier batches, and entries similar to the current batch
+// (Eq. 2) seed the initial population, so only a few generations are
+// needed to reach high-quality solutions.
+//
+// DESIGN.md §1.1 inventory row: the paper's contribution: Space-Time GA with the Eq. 2 similarity-indexed history table.
+package stga

@@ -1,0 +1,8 @@
+// Package trace provides the workload substrate: a parser and writer for
+// the Standard Workload Format (SWF) used by the Parallel Workloads
+// Archive, a synthetic generator calibrated to the NASA Ames iPSC/860
+// trace the paper uses (see DESIGN.md §4 for the substitution rationale),
+// and the PSA (parameter-sweep application) generator of Table 1.
+//
+// DESIGN.md §1.1 inventory row: workloads: synthetic NAS iPSC/860 generator, SWF parser/writer, PSA generator, recurrent PSA.
+package trace

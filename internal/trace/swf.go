@@ -1,8 +1,3 @@
-// Package trace provides the workload substrate: a parser and writer for
-// the Standard Workload Format (SWF) used by the Parallel Workloads
-// Archive, a synthetic generator calibrated to the NASA Ames iPSC/860
-// trace the paper uses (see DESIGN.md §4 for the substitution rationale),
-// and the PSA (parameter-sweep application) generator of Table 1.
 package trace
 
 import (

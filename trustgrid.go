@@ -10,6 +10,12 @@
 // Algorithm (STGA) — a batch scheduler that warm-starts its population
 // from a similarity-indexed history of previous scheduling rounds.
 //
+// Beyond the paper's closed-world experiments, the package exposes the
+// online serving layer behind the trustgridd daemon: an incremental
+// engine fed by streaming job arrivals (NewOnline) and an embeddable
+// HTTP service around it (NewService), with a recorded arrival trace
+// replaying byte-identically through Simulate (DESIGN.md §6).
+//
 // This root package is a facade re-exporting the pieces a downstream
 // user needs; the implementation lives in the internal packages (see
 // DESIGN.md for the system inventory).
@@ -33,6 +39,7 @@ import (
 	"trustgrid/internal/metrics"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/sched"
+	"trustgrid/internal/server"
 	"trustgrid/internal/stga"
 )
 
@@ -74,6 +81,32 @@ type (
 	// goroutines (0 = all cores, 1 = serial) while keeping evolution
 	// bit-identical to the serial path. Reachable as STGAConfig().GA.
 	GAConfig = ga.Config
+	// Online is the incremental simulation engine: the batch loop of
+	// Simulate promoted to an open-world API where jobs stream in
+	// (Submit, safe from any goroutine) while the owner advances the
+	// virtual clock (AdvanceTo/Drain). Simulate is a thin wrapper over
+	// it, so recorded online traffic replays byte-identically through
+	// the batch path (DESIGN.md §6).
+	Online = sched.Online
+	// EngineEvent is one job lifecycle notification (arrival, placement,
+	// failure, completion) delivered through SimConfig.OnEvent.
+	EngineEvent = sched.EngineEvent
+	// EventKind labels an EngineEvent.
+	EventKind = sched.EventKind
+	// ServiceConfig configures the embeddable trustgridd HTTP service.
+	ServiceConfig = server.Config
+	// Service is a running trusted-scheduling HTTP service instance:
+	// mount Handler() on any mux, Stop(drain) to shut down. The
+	// cmd/trustgridd daemon is a thin wrapper around it.
+	Service = server.Server
+)
+
+// Job lifecycle transitions reported through SimConfig.OnEvent.
+const (
+	EventArrived   = sched.EventArrived
+	EventPlaced    = sched.EventPlaced
+	EventFailed    = sched.EventFailed
+	EventCompleted = sched.EventCompleted
 )
 
 // Risk modes (paper §2).
@@ -114,6 +147,15 @@ func NewSTGA(cfg stga.Config, r *Rand) *stga.Scheduler { return stga.New(cfg, r)
 // Simulate runs a complete online-scheduling simulation (Fig. 1 model)
 // and returns the aggregated metrics.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sched.Run(cfg) }
+
+// NewOnline builds the incremental engine behind Simulate: cfg.Jobs may
+// be empty, with jobs streamed in later via Submit while the caller
+// drives the virtual clock (AdvanceTo / Drain).
+func NewOnline(cfg SimConfig) (*Online, error) { return sched.NewOnline(cfg) }
+
+// NewService builds an embeddable trusted-scheduling HTTP service (the
+// engine behind cmd/trustgridd) and starts its scheduling loop.
+func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
 
 // DefaultSetup returns the paper's Table 1 experiment configuration.
 func DefaultSetup() Setup { return experiments.DefaultSetup() }

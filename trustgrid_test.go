@@ -87,3 +87,52 @@ func TestFacadeMCT(t *testing.T) {
 		t.Fatalf("MCT completed %d/50", res.Summary.Jobs)
 	}
 }
+
+// TestFacadeOnline exercises the streaming-arrival API: an Online
+// engine fed job by job must reproduce the batch Simulate result.
+func TestFacadeOnline(t *testing.T) {
+	w, err := trustgrid.PSAWorkload(3, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := trustgrid.Simulate(trustgrid.SimConfig{
+		Jobs: w.Jobs, Sites: w.Sites,
+		Scheduler:     trustgrid.NewMinMin(trustgrid.FRiskyPolicy(0.5)),
+		BatchInterval: 5000, Rand: trustgrid.NewRand(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var placed int
+	o, err := trustgrid.NewOnline(trustgrid.SimConfig{
+		Sites:         w.Sites,
+		Scheduler:     trustgrid.NewMinMin(trustgrid.FRiskyPolicy(0.5)),
+		BatchInterval: 5000, Rand: trustgrid.NewRand(5),
+		OnEvent: func(ev trustgrid.EngineEvent) {
+			if ev.Kind == trustgrid.EventPlaced {
+				placed++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		if err := o.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := o.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Makespan != batch.Summary.Makespan ||
+		res.Summary.AvgResponse != batch.Summary.AvgResponse ||
+		res.Summary.NRisk != batch.Summary.NRisk {
+		t.Fatalf("online summary %+v != batch %+v", res.Summary, batch.Summary)
+	}
+	if placed < 80 {
+		t.Fatalf("saw %d placements for 80 jobs", placed)
+	}
+}
