@@ -1,9 +1,13 @@
 // Command tracegen emits a synthetic NAS-like workload trace in
-// Standard Workload Format, for inspection or use with external tools.
+// Standard Workload Format, for inspection or use with external tools,
+// or — with -churn — a deterministic site-churn trace (JSONL) for the
+// dynamic-grid mode of trustgridd and the batch simulator.
 //
 // Usage:
 //
 //	tracegen [-jobs 16000] [-days 46] [-load 1.15] [-seed 1] [-o FILE]
+//	tracegen -churn [-churn-sites 20] [-churn-horizon 500000]
+//	         [-churn-mtbf SECONDS] [-churn-outage SECONDS] [-seed 1] [-o FILE]
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"trustgrid/internal/grid"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/trace"
 )
@@ -28,8 +33,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	load := fs.Float64("load", 1.15, "offered load vs the 128-node machine")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	churn := fs.Bool("churn", false, "emit a site-churn trace (JSONL) instead of a workload trace")
+	churnSites := fs.Int("churn-sites", 20, "platform size the churn trace targets")
+	churnHorizon := fs.Float64("churn-horizon", 500000, "virtual seconds of churn to generate")
+	churnMTBF := fs.Float64("churn-mtbf", 0, "mean up-time between incidents per site (0 = horizon/2)")
+	churnOutage := fs.Float64("churn-outage", 0, "mean crash/drain down-time (0 = horizon/20)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *churn {
+		return churnMain(*churnSites, *churnHorizon, *churnMTBF, *churnOutage, *seed, *out, stdout, stderr)
 	}
 
 	cfg := trace.DefaultNASConfig()
@@ -62,5 +76,40 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	st := trace.Summarize(gjobs)
 	fmt.Fprintf(stderr, "wrote %d jobs; span %.1f days; mean work %.0f node-s; max nodes %d\n",
 		st.Jobs, st.Span/86400, st.MeanWork, st.MaxNodes)
+	return 0
+}
+
+// churnMain generates and writes a deterministic churn trace. The same
+// (seed, sites, horizon) always yields the same JSONL bytes, so a trace
+// checked into an experiment repo pins the whole dynamic scenario.
+func churnMain(sites int, horizon, mtbf, outage float64, seed uint64, out string, stdout, stderr io.Writer) int {
+	cfg := grid.DefaultChurnConfig(horizon)
+	if mtbf > 0 {
+		cfg.MTBF = mtbf
+	}
+	if outage > 0 {
+		cfg.Outage = outage
+	}
+	events, err := cfg.Generate(rng.New(seed).Derive("churn"), sites)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	w := stdout
+	if out != "" {
+		fh, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		defer fh.Close()
+		w = fh
+	}
+	if err := grid.WriteChurnTrace(w, events); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "wrote %d churn events for %d sites over %.0f virtual seconds\n",
+		len(events), sites, horizon)
 	return 0
 }

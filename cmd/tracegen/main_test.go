@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"trustgrid/internal/grid"
 )
 
 func TestRealMainWritesSWF(t *testing.T) {
@@ -41,5 +43,42 @@ func TestRealMainBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRealMainChurnTrace checks the -churn mode emits a valid,
+// deterministic JSONL churn trace.
+func TestRealMainChurnTrace(t *testing.T) {
+	run := func() []byte {
+		path := filepath.Join(t.TempDir(), "churn.jsonl")
+		var out, errb bytes.Buffer
+		code := realMain([]string{
+			"-churn", "-churn-sites", "6", "-churn-horizon", "100000", "-o", path,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "churn events for 6 sites") {
+			t.Fatalf("summary missing: %s", errb.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("churn trace not deterministic across runs")
+	}
+	events, err := grid.ReadChurnTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty churn trace")
+	}
+	if err := grid.ValidateChurn(events, 6); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -10,6 +10,9 @@
 //	           [-mode secure|risky|frisky] [-f 0.5] [-seed 1]
 //	           [-batch SECONDS] [-tick 100ms] [-manual] [-scale small|paper]
 //	           [-trace-out FILE] [-max-wall DURATION]
+//	           [-churn-mtbf SECONDS] [-churn-outage SECONDS]
+//	           [-churn-horizon SECONDS] [-churn-trace FILE]
+//	           [-reputation] [-deceptive-frac F] [-deceptive-gap G]
 //
 // Every tick of wall-clock time the virtual clock advances by one batch
 // interval and a scheduling round fires; -manual disables the ticker so
@@ -19,6 +22,14 @@
 // (DESIGN.md §6). SIGINT/SIGTERM (or -max-wall expiring) shuts down
 // gracefully: accepted jobs are drained in virtual time and the final
 // summary is printed.
+//
+// The dynamic-grid flags (DESIGN.md §7) put the daemon on a churning
+// platform: -churn-mtbf enables a generated join/leave/degrade schedule
+// (or load one with -churn-trace, e.g. from tracegen -churn),
+// -reputation re-derives the scheduler-visible trust vector online from
+// observed job outcomes, and -deceptive-frac/-deceptive-gap make a
+// fraction of sites truly run below what they declare. Live site state
+// streams at /v1/sites and through site_* events on /v1/events.
 package main
 
 import (
@@ -36,6 +47,10 @@ import (
 	"time"
 
 	"trustgrid/internal/experiments"
+	"trustgrid/internal/fuzzy"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
 	"trustgrid/internal/server"
 	"trustgrid/internal/stats"
 )
@@ -60,7 +75,27 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	train := fs.Bool("train", true, "warm the STGA history table before serving")
 	traceOut := fs.String("trace-out", "", "record the accepted arrival trace (JSONL) to FILE")
 	maxWall := fs.Duration("max-wall", 0, "exit cleanly after this wall-clock duration (0 = until signalled)")
+	churnMTBF := fs.Float64("churn-mtbf", 0, "enable generated site churn with this mean up-time between incidents, virtual seconds (0 = no churn)")
+	churnOutage := fs.Float64("churn-outage", 0, "mean crash/drain down-time, virtual seconds (0 = horizon/20)")
+	churnHorizon := fs.Float64("churn-horizon", 500000, "virtual seconds of generated churn")
+	churnTrace := fs.String("churn-trace", "", "load a churn trace (JSONL, e.g. from tracegen -churn) instead of generating one")
+	reputation := fs.Bool("reputation", false, "re-derive the trust vector online from observed job outcomes")
+	deceptiveFrac := fs.Float64("deceptive-frac", 0, "fraction of sites whose true security level sits below their declaration")
+	deceptiveGap := fs.Float64("deceptive-gap", 0.4, "how far below declaration a deceptive site truly runs")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Reject dependent flags whose primary is absent: a dynamics knob
+	// that silently does nothing would make the operator measure the
+	// wrong scenario.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if (explicit["churn-outage"] || explicit["churn-horizon"]) && *churnMTBF == 0 {
+		fmt.Fprintln(stderr, "trustgridd: -churn-outage/-churn-horizon only shape generated churn; set -churn-mtbf (a -churn-trace carries its own schedule)")
+		return 2
+	}
+	if explicit["deceptive-gap"] && *deceptiveFrac == 0 {
+		fmt.Fprintln(stderr, "trustgridd: -deceptive-gap requires -deceptive-frac > 0")
 		return 2
 	}
 
@@ -113,10 +148,50 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		defer func() { _ = traceW.Flush() }()
 	}
 
+	var dyn *sched.DynamicsConfig
+	if *churnTrace != "" || *churnMTBF > 0 || *reputation || *deceptiveFrac > 0 {
+		dyn = &sched.DynamicsConfig{}
+		switch {
+		case *churnTrace != "":
+			fh, err := os.Open(*churnTrace)
+			if err != nil {
+				fmt.Fprintln(stderr, "trustgridd:", err)
+				return 1
+			}
+			dyn.Churn, err = grid.ReadChurnTrace(fh)
+			fh.Close()
+			if err != nil {
+				fmt.Fprintln(stderr, "trustgridd:", err)
+				return 1
+			}
+		case *churnMTBF > 0:
+			ccfg := grid.DefaultChurnConfig(*churnHorizon)
+			ccfg.MTBF = *churnMTBF
+			if *churnOutage > 0 {
+				ccfg.Outage = *churnOutage
+			}
+			var err error
+			dyn.Churn, err = ccfg.Generate(rng.New(*seed).Derive("churn"), len(w.Sites))
+			if err != nil {
+				fmt.Fprintln(stderr, "trustgridd:", err)
+				return 1
+			}
+		}
+		if *reputation {
+			repCfg := fuzzy.DefaultReputationConfig()
+			dyn.Reputation = &repCfg
+		}
+		if *deceptiveFrac > 0 {
+			dyn.TrueLevels = grid.DeceptiveLevels(w.Sites, *deceptiveFrac, *deceptiveGap,
+				rng.New(*seed).Derive("deceptive"))
+		}
+	}
+
 	cfg := server.Config{
 		Sites: w.Sites, Training: training,
 		Algo: *algo, Mode: *mode, BatchInterval: *batch,
 		Seed: *seed, Setup: setup, Tick: *tick, Manual: *manual,
+		Dynamics: dyn,
 	}
 	if traceW != nil {
 		cfg.TraceWriter = traceW

@@ -81,3 +81,65 @@ func TestRealMainBadAddr(t *testing.T) {
 		t.Fatal("realMain hung on bad address")
 	}
 }
+
+// TestRealMainDynamicGrid boots the daemon with generated churn,
+// reputation feedback and deceptive sites, and checks the clean
+// drain-and-summary path still holds.
+func TestRealMainDynamicGrid(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", "127.0.0.1:0", "-algo", "minmin",
+		"-tick", "10ms", "-max-wall", "150ms",
+		"-churn-mtbf", "100000", "-churn-outage", "20000",
+		"-reputation", "-deceptive-frac", "0.4",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "done —") {
+		t.Fatalf("missing summary:\n%s\n%s", out.String(), errb.String())
+	}
+}
+
+// TestRealMainChurnTraceFile loads an explicit churn trace.
+func TestRealMainChurnTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "churn.jsonl")
+	if err := os.WriteFile(path, []byte(
+		`{"t":100,"site":0,"kind":"crash"}`+"\n"+
+			`{"t":200,"site":0,"kind":"join"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", "127.0.0.1:0", "-tick", "10ms", "-max-wall", "100ms",
+		"-churn-trace", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+// TestRealMainChurnTraceMissing rejects an unreadable churn trace.
+func TestRealMainChurnTraceMissing(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-churn-trace", "/nonexistent/churn.jsonl"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestRealMainRejectsOrphanDynamicsFlags: a dynamics knob whose
+// primary flag is absent must fail loudly, not run a static daemon.
+func TestRealMainRejectsOrphanDynamicsFlags(t *testing.T) {
+	cases := [][]string{
+		{"-churn-outage", "30000"},
+		{"-churn-horizon", "100000"},
+		{"-churn-trace", "x.jsonl", "-churn-outage", "30000"},
+		{"-deceptive-gap", "0.3"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := realMain(args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChurnStudyFeedbackBeatsStatic is the acceptance gate of the
+// dynamic-grid experiment: under churn with deceptive sites, reputation
+// feedback must measurably beat static trust — fewer Eq. 1 failures for
+// every algorithm, and a visible makespan gap overall.
+func TestChurnStudyFeedbackBeatsStatic(t *testing.T) {
+	s := TestSetup()
+	s.Seed = 3
+	res, err := RunChurnStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChurnEvents == 0 {
+		t.Fatal("churn trace is empty; the study is not exercising dynamics")
+	}
+	if res.DeceptiveSites == 0 {
+		t.Fatal("no deceptive sites; the trust gap cannot open")
+	}
+	betterMakespan := 0
+	for i, a := range res.Algorithms {
+		st, fb := res.Static[i], res.Feedback[i]
+		if st.NFail.Mean() == 0 {
+			t.Errorf("%s: static trust saw no failures; deception is not biting", a)
+		}
+		if fb.NFail.Mean() >= st.NFail.Mean() {
+			t.Errorf("%s: feedback Nfail %.0f >= static %.0f",
+				a, fb.NFail.Mean(), st.NFail.Mean())
+		}
+		if st.NInterrupted.Mean() == 0 {
+			t.Errorf("%s: churn interrupted no jobs; crashes are not landing", a)
+		}
+		if fb.Makespan.Mean() < st.Makespan.Mean() {
+			betterMakespan++
+		}
+	}
+	if betterMakespan == 0 {
+		t.Error("feedback improved makespan for no algorithm")
+	}
+}
+
+// TestChurnStudyDeterministic pins the study's reproducibility: two runs
+// from the same seed agree exactly, a different seed does not.
+func TestChurnStudyDeterministic(t *testing.T) {
+	s := TestSetup()
+	s.Seed = 3
+	s.ChurnJobs = 150
+	a, err := RunChurnStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChurnStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("same seed, different results:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+	s.Seed = 4
+	c, err := RunChurnStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() == c.CSV() {
+		t.Fatal("different seeds produced identical study results")
+	}
+}
+
+// TestChurnStudyWorkerInvariance: the fan-out must not change results.
+func TestChurnStudyWorkerInvariance(t *testing.T) {
+	s := TestSetup()
+	s.Seed = 5
+	s.ChurnJobs = 120
+	s.Workers = 1
+	serial, err := RunChurnStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 4
+	parallel, err := RunChurnStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CSV() != parallel.CSV() {
+		t.Fatal("worker count changed churn study results")
+	}
+}

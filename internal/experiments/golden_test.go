@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden-figure regression suite: canonical benchsuite outputs at a
+// small fixed scale, committed under testdata/golden/ and compared
+// byte-for-byte. A refactor that changes any paper number — a reordered
+// rng draw, a float reassociation, an altered tie-break — fails here
+// before it silently rewrites the figures. Regenerate intentionally
+// with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs under testdata/golden/")
+
+// goldenSetup pins the scale and seed of every golden run. Workers is
+// left on auto: the fan-out layer is result-invariant, and the suite
+// doubles as a regression test of that claim.
+func goldenSetup() Setup {
+	s := TestSetup()
+	s.Seed = 11
+	return s
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	if got == "" {
+		t.Fatal("experiment produced empty output")
+	}
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from its golden output.\nIf the change is intentional, rerun with -update and review the diff.\n%s",
+			name, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d vs got %d", len(wl), len(gl))
+}
+
+func TestGoldenFig7a(t *testing.T) {
+	r, err := RunFig7a(goldenSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7a.csv", r.CSV())
+}
+
+func TestGoldenFig10(t *testing.T) {
+	r, err := RunFig10(goldenSetup(), []int{250, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig10.csv", r.CSV())
+}
+
+func TestGoldenChurn(t *testing.T) {
+	r, err := RunChurnStudy(goldenSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "churn.csv", r.CSV())
+}
+
+func TestGoldenFig7b(t *testing.T) {
+	r, err := RunFig7b(goldenSetup(), []int{5, 15, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7b.csv", r.CSV())
+}

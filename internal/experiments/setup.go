@@ -48,6 +48,13 @@ type Setup struct {
 	// than starting at heuristic quality.
 	NoHeuristicSeeds bool
 
+	// Dynamic-grid study (DESIGN.md §7): PSA jobs per run, the fraction
+	// of sites whose true security level sits DeceptiveGap below their
+	// declaration, and the churn regime (see RunChurnStudy).
+	ChurnJobs     int
+	DeceptiveFrac float64
+	DeceptiveGap  float64
+
 	// Workers bounds how many independent sweep points the figure and
 	// table runners execute concurrently (0 = runtime.GOMAXPROCS, 1 =
 	// serial). Every point seeds its own rng streams from (Seed, point
@@ -77,6 +84,9 @@ func DefaultSetup() Setup {
 		TrainBatchSize: 40,
 		Lambda:         grid.DefaultLambda,
 		F:              0.5,
+		ChurnJobs:      1000,
+		DeceptiveFrac:  0.4,
+		DeceptiveGap:   0.4,
 	}
 }
 
@@ -90,6 +100,7 @@ func TestSetup() Setup {
 	s.Generations = 25
 	s.TrainingJobs = 100
 	s.TrainBatchSize = 20
+	s.ChurnJobs = 300
 	return s
 }
 

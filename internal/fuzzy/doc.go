@@ -11,5 +11,11 @@
 // membership functions and a compact rule base to a defuzzified trust
 // index in [0,1], usable directly as grid.Site.SecurityLevel.
 //
-// DESIGN.md §1.1 inventory row: fuzzy-logic trust index (paper's ref [23]): site attributes → security level.
+// On top of the one-shot inference, Reputation makes the success-history
+// input live: per-site EWMA evidence, bucketed by security demand, is
+// folded into the inference after every observed job outcome, so the
+// scheduler-visible trust estimate is re-derived from behavior instead
+// of staying at the site's declaration (DESIGN.md §7.1).
+//
+// DESIGN.md §1.1 inventory row: fuzzy-logic trust index (paper's ref [23]): site attributes → security level; online Reputation feedback (§7.1).
 package fuzzy

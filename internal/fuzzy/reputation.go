@@ -1,0 +1,227 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReputationConfig parameterizes the online per-site reputation model
+// (DESIGN.md §7.1). Trust is re-derived from observed job outcomes: every
+// completion or security failure updates an exponentially weighted moving
+// average of success, bucketed by the job's security demand, and the
+// fuzzy inference of TrustIndex re-runs on the updated success history.
+type ReputationConfig struct {
+	// Alpha is the EWMA gain per observation in (0, 1]: the weight a new
+	// outcome carries against the accumulated history. Larger values
+	// react faster and forget faster.
+	Alpha float64
+	// Prior is the cold-start success expectation in [0, 1]: what the
+	// model believes about a site before any evidence. A freshly joined
+	// (or crash-rejoined) site starts here.
+	Prior float64
+	// PriorWeight is the evidence mass of the site's declaration: how
+	// many observations' worth of behavior it takes for the derived
+	// trust to carry as much credence as the declared level. Zero means
+	// the default.
+	PriorWeight float64
+	// Bands is the number of equal-width security-demand buckets the
+	// evidence is kept in, so a site that serves low-demand jobs well but
+	// fails high-demand ones is not averaged into mediocrity. Zero means
+	// the default.
+	Bands int
+}
+
+// DefaultReputationConfig returns the reference configuration: gain 0.2,
+// prior 0.8 (most grid jobs complete without incident), declaration mass
+// 2, three demand bands.
+func DefaultReputationConfig() ReputationConfig {
+	return ReputationConfig{Alpha: 0.2, Prior: 0.8, PriorWeight: 2, Bands: 3}
+}
+
+// Validate checks the configuration. Zero-valued PriorWeight and Bands
+// are legal (they select defaults); Alpha and Prior must be explicit.
+func (c ReputationConfig) Validate() error {
+	switch {
+	case c.Alpha <= 0 || c.Alpha > 1 || math.IsNaN(c.Alpha):
+		return fmt.Errorf("fuzzy: reputation Alpha %v outside (0,1]", c.Alpha)
+	case c.Prior < 0 || c.Prior > 1 || math.IsNaN(c.Prior):
+		return fmt.Errorf("fuzzy: reputation Prior %v outside [0,1]", c.Prior)
+	case c.PriorWeight < 0 || math.IsNaN(c.PriorWeight):
+		return fmt.Errorf("fuzzy: reputation PriorWeight %v negative", c.PriorWeight)
+	case c.Bands < 0:
+		return fmt.Errorf("fuzzy: reputation Bands %d negative", c.Bands)
+	}
+	return nil
+}
+
+// withDefaults fills the zero-means-default fields.
+func (c ReputationConfig) withDefaults() ReputationConfig {
+	if c.PriorWeight == 0 {
+		c.PriorWeight = DefaultReputationConfig().PriorWeight
+	}
+	if c.Bands == 0 {
+		c.Bands = DefaultReputationConfig().Bands
+	}
+	return c
+}
+
+// Reputation is the online trust state of one site: a credence blend of
+// the site's declared security level and a behavior-derived discount
+// that the fuzzy inference recomputes as evidence accumulates (DESIGN.md
+// §7.1):
+//
+//	Level = declared · ( (1−c) + c · F(posture, history)/F(posture, 1) )
+//	c     = evidence / (evidence + PriorWeight)
+//
+// where F is the SecurityLevel inference, posture is a static attribute
+// score derived from the declared SL, history is the per-band EWMA of
+// observed outcomes, and evidence is the accumulated (decayed)
+// observation mass. The normalization by F(posture, 1) — the best level
+// behavior could ever justify for this posture — makes a spotless
+// record a fixed point: a site that always delivers keeps Level() ==
+// declared, while every failure opens a discount that grows with
+// credence c. The declaration is thus treated as an upper bound that
+// behavior can only confirm or undermine, which is the security-relevant
+// direction: an overstated SL is found out, an understated one is no
+// threat.
+//
+// Not safe for concurrent use; the simulation engine owns it.
+type Reputation struct {
+	cfg      ReputationConfig
+	declared float64
+	posture  float64
+	fmax     float64   // F(posture, 1): best behavior-justified level
+	vals     []float64 // per-band EWMA of success (1) / failure (0)
+	wts      []float64 // per-band decayed observation mass (→ 1/Alpha)
+	n        int       // observations since (re)start
+}
+
+// NewReputation builds the cold-start reputation of a site with the
+// given declared security level in [0, 1].
+func NewReputation(cfg ReputationConfig, declaredSL float64) (*Reputation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if declaredSL < 0 || declaredSL > 1 || math.IsNaN(declaredSL) {
+		return nil, fmt.Errorf("fuzzy: declared SL %v outside [0,1]", declaredSL)
+	}
+	cfg = cfg.withDefaults()
+	r := &Reputation{
+		cfg:      cfg,
+		declared: declaredSL,
+		// Invert the SL clamp of SecurityLevel: [0.4,1] → [0,1] posture.
+		posture: clamp01((declaredSL - 0.4) / 0.6),
+	}
+	r.fmax = r.infer(1)
+	r.Reset()
+	return r, nil
+}
+
+// clamp01 clamps into [0, 1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// infer runs the fuzzy inference for this site's posture at success
+// history h. The inputs are in [0,1] by construction, so the inference
+// cannot fail.
+func (r *Reputation) infer(h float64) float64 {
+	level, err := SecurityLevel(Attributes{
+		IntrusionDetection: r.posture,
+		Firewall:           r.posture,
+		Authentication:     r.posture,
+		SuccessHistory:     h,
+	})
+	if err != nil {
+		panic("fuzzy: reputation inference on invalid attributes: " + err.Error())
+	}
+	return level
+}
+
+// Reset discards all accumulated evidence: the site returns to its
+// cold-start state (Level() == declared SL). The engine calls it when a
+// crashed site rejoins — trust is not portable across a crash.
+func (r *Reputation) Reset() {
+	r.vals = make([]float64, r.cfg.Bands)
+	r.wts = make([]float64, r.cfg.Bands)
+	for i := range r.vals {
+		r.vals[i] = r.cfg.Prior
+	}
+	r.n = 0
+}
+
+// band maps a security demand to its evidence bucket.
+func (r *Reputation) band(sd float64) int {
+	b := int(clamp01(sd) * float64(r.cfg.Bands))
+	if b >= r.cfg.Bands {
+		b = r.cfg.Bands - 1
+	}
+	return b
+}
+
+// Observe folds one job outcome into the evidence: success is a
+// completion without security incident, failure an Eq. 1 security
+// failure. sd is the job's security demand (selects the band).
+func (r *Reputation) Observe(sd float64, success bool) {
+	b := r.band(sd)
+	x := 0.0
+	if success {
+		x = 1
+	}
+	a := r.cfg.Alpha
+	r.vals[b] = (1-a)*r.vals[b] + a*x
+	// Decayed observation mass: one unit per observation, forgetting at
+	// the EWMA rate, so it converges to the EWMA's effective sample size
+	// 1/Alpha rather than growing without bound.
+	r.wts[b] = (1-a)*r.wts[b] + 1
+	r.n++
+}
+
+// History returns the aggregated success history in [0, 1]: the
+// evidence-mass-weighted mean of the band EWMAs, smoothed toward the
+// prior by one observation's mass. With no observations it equals the
+// prior.
+func (r *Reputation) History() float64 {
+	num := r.cfg.Prior
+	den := 1.0
+	for b := range r.vals {
+		num += r.vals[b] * r.wts[b]
+		den += r.wts[b]
+	}
+	return clamp01(num / den)
+}
+
+// Level returns the current trust estimate as a security level in
+// [0, 1]: the declaration scaled by the credence-weighted behavior
+// discount (see the type comment).
+func (r *Reputation) Level() float64 {
+	w := r.Evidence()
+	c := w / (w + r.cfg.PriorWeight)
+	ratio := clamp01(r.infer(r.History()) / r.fmax)
+	return clamp01(r.declared * ((1 - c) + c*ratio))
+}
+
+// Declared returns the anchoring declared security level.
+func (r *Reputation) Declared() float64 { return r.declared }
+
+// Observations returns how many outcomes have been folded in since the
+// last (re)start.
+func (r *Reputation) Observations() int { return r.n }
+
+// Evidence returns the total accumulated evidence mass across bands.
+// It grows toward Bands/Alpha as observations accumulate and is what a
+// monitoring endpoint reports as "how much the estimate is backed by
+// data".
+func (r *Reputation) Evidence() float64 {
+	var w float64
+	for _, x := range r.wts {
+		w += x
+	}
+	return w
+}

@@ -1,0 +1,144 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+)
+
+func mustRep(t *testing.T, declared float64) *Reputation {
+	t.Helper()
+	r, err := NewReputation(DefaultReputationConfig(), declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReputationColdStartEqualsDeclared(t *testing.T) {
+	for _, sl := range []float64{0, 0.4, 0.55, 0.7, 0.85, 0.95, 1.0} {
+		r := mustRep(t, sl)
+		if got := r.Level(); math.Abs(got-sl) > 1e-12 {
+			t.Errorf("cold-start Level() = %v, want declared %v", got, sl)
+		}
+		if r.History() != DefaultReputationConfig().Prior {
+			t.Errorf("cold-start History() = %v, want prior", r.History())
+		}
+		if r.Evidence() != 0 || r.Observations() != 0 {
+			t.Errorf("cold start has evidence %v / %d observations", r.Evidence(), r.Observations())
+		}
+	}
+}
+
+func TestReputationFailuresLowerTrust(t *testing.T) {
+	r := mustRep(t, 0.9)
+	for i := 0; i < 20; i++ {
+		r.Observe(0.8, false)
+	}
+	if got := r.Level(); got >= 0.9 {
+		t.Fatalf("after 20 failures Level() = %v, want < declared 0.9", got)
+	}
+	if h := r.History(); h >= DefaultReputationConfig().Prior {
+		t.Fatalf("History() = %v did not drop below prior", h)
+	}
+}
+
+func TestReputationSuccessesRecoverTrust(t *testing.T) {
+	r := mustRep(t, 0.9)
+	for i := 0; i < 20; i++ {
+		r.Observe(0.8, false)
+	}
+	low := r.Level()
+	for i := 0; i < 200; i++ {
+		r.Observe(0.8, true)
+	}
+	if got := r.Level(); got <= low {
+		t.Fatalf("Level() = %v did not recover above post-failure %v", got, low)
+	}
+}
+
+func TestReputationMonotoneInEvidence(t *testing.T) {
+	// Interleaved outcomes: the estimate must stay within [0,1] and the
+	// history within [0,1] at every step.
+	r := mustRep(t, 0.7)
+	for i := 0; i < 500; i++ {
+		r.Observe(float64(i%10)/10, i%3 != 0)
+		if l := r.Level(); l < 0 || l > 1 || math.IsNaN(l) {
+			t.Fatalf("step %d: Level() = %v outside [0,1]", i, l)
+		}
+		if h := r.History(); h < 0 || h > 1 || math.IsNaN(h) {
+			t.Fatalf("step %d: History() = %v outside [0,1]", i, h)
+		}
+	}
+}
+
+func TestReputationBandsIsolateDemands(t *testing.T) {
+	// Failures confined to the high-demand band must hurt less than the
+	// same failures spread across all bands once low-band successes pile
+	// up: band evidence is mass-weighted, not globally averaged.
+	banded := mustRep(t, 0.9)
+	for i := 0; i < 30; i++ {
+		banded.Observe(0.9, false) // high band fails
+		banded.Observe(0.1, true)  // low band succeeds
+	}
+	uniform := mustRep(t, 0.9)
+	for i := 0; i < 30; i++ {
+		uniform.Observe(0.9, false)
+		uniform.Observe(0.9, false)
+	}
+	if banded.Level() <= uniform.Level() {
+		t.Fatalf("banded Level() %v <= all-failures Level() %v", banded.Level(), uniform.Level())
+	}
+}
+
+func TestReputationResetRestoresDeclared(t *testing.T) {
+	r := mustRep(t, 0.85)
+	for i := 0; i < 50; i++ {
+		r.Observe(0.7, false)
+	}
+	if r.Level() >= 0.85 {
+		t.Fatal("failures did not move the estimate")
+	}
+	r.Reset()
+	if got := r.Level(); math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("after Reset Level() = %v, want declared 0.85", got)
+	}
+	if r.Evidence() != 0 || r.Observations() != 0 {
+		t.Fatal("Reset did not clear evidence")
+	}
+}
+
+func TestReputationDeterministic(t *testing.T) {
+	a, b := mustRep(t, 0.75), mustRep(t, 0.75)
+	for i := 0; i < 100; i++ {
+		sd := float64(i%7) / 7
+		ok := i%4 != 0
+		a.Observe(sd, ok)
+		b.Observe(sd, ok)
+	}
+	if a.Level() != b.Level() || a.History() != b.History() {
+		t.Fatal("identical observation sequences produced different reputations")
+	}
+}
+
+func TestReputationConfigValidate(t *testing.T) {
+	bad := []ReputationConfig{
+		{Alpha: 0, Prior: 0.5},
+		{Alpha: 1.5, Prior: 0.5},
+		{Alpha: 0.2, Prior: -0.1},
+		{Alpha: 0.2, Prior: 1.1},
+		{Alpha: 0.2, Prior: 0.5, PriorWeight: -1},
+		{Alpha: 0.2, Prior: 0.5, Bands: -2},
+		{Alpha: math.NaN(), Prior: 0.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	if err := DefaultReputationConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if _, err := NewReputation(DefaultReputationConfig(), 1.2); err == nil {
+		t.Error("NewReputation accepted SL > 1")
+	}
+}

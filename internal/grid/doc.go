@@ -4,5 +4,11 @@
 // security/risk model of §2 — the exponential failure law (Eq. 1) and the
 // three risk modes (secure, risky, f-risky).
 //
-// DESIGN.md §1.1 inventory row: core model: Job, Site, Eq. 1 SecurityModel, risk-mode admission Policy, platform generators.
+// The dynamic-grid extension adds the site-churn model (DESIGN.md §7.2):
+// ChurnEvent/ChurnConfig describe and generate deterministic, seeded
+// join/leave/outage/degradation traces, serialized as JSONL, and
+// DeceptiveLevels builds ground-truth security vectors for sites that
+// overstate their declarations.
+//
+// DESIGN.md §1.1 inventory row: core model: Job, Site, Eq. 1 SecurityModel, risk-mode admission Policy, platform generators, churn traces (§7.2).
 package grid

@@ -74,7 +74,7 @@ func (k *KPB) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
 	out := make([]sched.Assignment, 0, len(batch))
 	frac := k.percent() / 100
 	for _, j := range batch {
-		eligible, fellBack := k.Policy.EligibleSites(j, st.Sites)
+		eligible, fellBack := st.EligibleSites(k.Policy, j)
 		// Keep the ⌈k%⌉ fastest eligible sites by raw execution time.
 		keep := int(math.Ceil(frac * float64(len(eligible))))
 		if keep < 1 {

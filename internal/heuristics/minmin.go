@@ -101,12 +101,13 @@ func greedyBatch(batch []*grid.Job, st *sched.State, policy grid.Policy, pick pi
 	for i := range remaining {
 		remaining[i] = i
 	}
-	// Pre-compute eligibility once per job: site SLs are static within a
-	// batch, so the eligible set never changes across rounds.
+	// Pre-compute eligibility once per job: site SLs and liveness are
+	// static within a batch, so the eligible set never changes across
+	// rounds. st.EligibleSites folds site liveness into admission.
 	eligible := make([][]int, n)
 	fellBack := make([]bool, n)
 	for i, j := range batch {
-		eligible[i], fellBack[i] = policy.EligibleSites(j, st.Sites)
+		eligible[i], fellBack[i] = st.EligibleSites(policy, j)
 	}
 
 	cands := make([]candidate, 0, n)

@@ -28,7 +28,7 @@ func (m *MCT) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
 	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
 	out := make([]sched.Assignment, 0, len(batch))
 	for _, j := range batch {
-		eligible, fellBack := m.Policy.EligibleSites(j, st.Sites)
+		eligible, fellBack := st.EligibleSites(m.Policy, j)
 		best, bestCT := -1, math.Inf(1)
 		for _, site := range eligible {
 			if ct := work.CompletionTime(j, site); ct < bestCT {
@@ -58,7 +58,7 @@ func (m *MET) Name() string { return fmt.Sprintf("MET %s", m.Policy.Name()) }
 func (m *MET) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
 	out := make([]sched.Assignment, 0, len(batch))
 	for _, j := range batch {
-		eligible, fellBack := m.Policy.EligibleSites(j, st.Sites)
+		eligible, fellBack := st.EligibleSites(m.Policy, j)
 		best, bestET := -1, math.Inf(1)
 		for _, site := range eligible {
 			if et := st.Sites[site].ExecTime(j); et < bestET {
@@ -88,7 +88,7 @@ func (o *OLB) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
 	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
 	out := make([]sched.Assignment, 0, len(batch))
 	for _, j := range batch {
-		eligible, fellBack := o.Policy.EligibleSites(j, st.Sites)
+		eligible, fellBack := st.EligibleSites(o.Policy, j)
 		best, bestReady := -1, math.Inf(1)
 		for _, site := range eligible {
 			r := work.Ready[site]
@@ -122,7 +122,7 @@ func (r *Random) Name() string { return fmt.Sprintf("Random %s", r.Policy.Name()
 func (r *Random) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
 	out := make([]sched.Assignment, 0, len(batch))
 	for _, j := range batch {
-		eligible, fellBack := r.Policy.EligibleSites(j, st.Sites)
+		eligible, fellBack := st.EligibleSites(r.Policy, j)
 		site := eligible[r.Rand.Intn(len(eligible))]
 		out = append(out, sched.Assignment{Job: j, Site: site, FellBack: fellBack})
 	}

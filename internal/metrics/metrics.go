@@ -23,6 +23,9 @@ type JobRecord struct {
 	// FellBack is true if the job was ever dispatched via the
 	// no-eligible-site fallback.
 	FellBack bool
+	// Interrupted is true if a site crash cut at least one of the job's
+	// execution attempts short (dynamic grids only).
+	Interrupted bool
 }
 
 // Validate checks internal consistency of a record.
@@ -58,6 +61,9 @@ type Summary struct {
 	NFail int
 	// Fallbacks counts jobs dispatched via the no-eligible-site fallback.
 	Fallbacks int
+	// NInterrupted counts jobs that lost at least one execution attempt
+	// to a site crash (zero on static platforms).
+	NInterrupted int
 	// SiteUtilization[i] is busy_i / makespan: the fraction of the run
 	// during which site i processed user jobs (including time wasted by
 	// failed attempts, which did occupy the site).
@@ -74,9 +80,9 @@ type Summary struct {
 // summary bit-identical to a batch run's. Compute itself is built on
 // it, which is what keeps the two paths from drifting apart.
 type Accumulator struct {
-	jobs                       int
-	makespan, respSum, servSum float64
-	nrisk, nfail, fallbacks    int
+	jobs                                  int
+	makespan, respSum, servSum            float64
+	nrisk, nfail, fallbacks, ninterrupted int
 }
 
 // Add folds one completed job in.
@@ -96,6 +102,9 @@ func (a *Accumulator) Add(r JobRecord) {
 	if r.FellBack {
 		a.fallbacks++
 	}
+	if r.Interrupted {
+		a.ninterrupted++
+	}
 }
 
 // Summarize renders the summary given per-site busy time. Utilization
@@ -107,6 +116,7 @@ func (a *Accumulator) Summarize(busy []float64) Summary {
 		NRisk:           a.nrisk,
 		NFail:           a.nfail,
 		Fallbacks:       a.fallbacks,
+		NInterrupted:    a.ninterrupted,
 		SiteUtilization: make([]float64, len(busy)),
 	}
 	if a.jobs > 0 {

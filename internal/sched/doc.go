@@ -8,5 +8,13 @@
 // STGA implement, and the discrete-event Engine that drives a full
 // simulation and collects metrics.
 //
-// DESIGN.md §1.1 inventory row: the Fig. 1 online model: periodic batch scheduling, dispatch, Eq. 1 failure sampling, safe re-dispatch; defines the Scheduler contract and the incremental Online engine (§6.3).
+// With RunConfig.Dynamics the fixed platform becomes a dynamic grid
+// (DESIGN.md §7): a churn trace drives sites crashing (interrupting and
+// re-dispatching their running jobs), draining, rejoining and
+// degrading; the Eq. 1 failure law may sample from ground-truth
+// security levels that diverge from declarations; and reputation
+// feedback re-derives the scheduler-visible trust vector from observed
+// outcomes between batches.
+//
+// DESIGN.md §1.1 inventory row: the Fig. 1 online model: periodic batch scheduling, dispatch, Eq. 1 failure sampling, safe re-dispatch; defines the Scheduler contract, the incremental Online engine (§6.3) and the dynamic-grid extension (§7).
 package sched

@@ -61,6 +61,13 @@ type RunConfig struct {
 	// SubmitBuffer sizes the arrival channel of the incremental Online
 	// engine; zero means sim.DefaultArrivalBuffer. Ignored by Run.
 	SubmitBuffer int
+	// Dynamics, when non-nil, enables the dynamic-grid extension: site
+	// churn, ground-truth security divergence and online reputation
+	// feedback (DESIGN.md §7). The engine clones the site list so churn
+	// and trust updates never mutate the caller's platform. Nil is the
+	// paper's original fixed-platform model, bit-identical to before the
+	// extension existed.
+	Dynamics *DynamicsConfig
 }
 
 // check validates everything except the job list, which Run requires
@@ -81,6 +88,11 @@ func (c *RunConfig) check() error {
 	}
 	for _, j := range c.Jobs {
 		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Dynamics != nil {
+		if err := c.Dynamics.check(c.Sites); err != nil {
 			return err
 		}
 	}
@@ -111,11 +123,14 @@ type engineState struct {
 	ready   []float64   // per-site earliest free time
 	busy    []float64   // per-site accumulated occupied time
 	records []metrics.JobRecord
-	// riskTaken / failedOnce / fellBack track per-job flags across
-	// attempts, keyed by job ID.
-	riskTaken map[int]bool
-	failed    map[int]bool
-	fellBack  map[int]bool
+	// riskTaken / failedOnce / fellBack / interrupted track per-job
+	// flags and counts across attempts, keyed by job ID.
+	riskTaken   map[int]bool
+	failed      map[int]bool
+	fellBack    map[int]bool
+	interrupted map[int]int
+	// dyn is the dynamic-grid state (nil on static runs).
+	dyn       *dynState
 	seen      int // jobs that have arrived so far
 	remaining int // jobs not yet successfully completed
 	// acc accumulates the §4.1 summary incrementally, in the same order
@@ -181,6 +196,16 @@ func (st *engineState) runBatch(e *sim.Engine) {
 	if len(st.queue) == 0 {
 		return
 	}
+	if st.dyn != nil && !st.dyn.anyAlive() {
+		// A total outage: hold the queue. If churn will revive a site the
+		// round re-arms until it does; otherwise the jobs can never run.
+		if st.dyn.revives == 0 {
+			e.Fail(fmt.Errorf("sched: every site departed with %d jobs queued and no rejoin pending", len(st.queue)))
+			return
+		}
+		st.ensureBatch(e)
+		return
+	}
 	batch := st.queue
 	st.queue = nil
 	st.batches++
@@ -188,7 +213,7 @@ func (st *engineState) runBatch(e *sim.Engine) {
 	if len(batch) > st.largest {
 		st.largest = len(batch)
 	}
-	state := &State{Now: e.Now(), Sites: st.cfg.Sites, Ready: st.ready}
+	state := &State{Now: e.Now(), Sites: st.cfg.Sites, Ready: st.ready, Alive: st.aliveVec()}
 	wall := time.Now()
 	as := st.cfg.Scheduler.Schedule(batch, state)
 	st.schedTime += time.Since(wall)
@@ -205,8 +230,15 @@ func (st *engineState) runBatch(e *sim.Engine) {
 
 // dispatch starts one execution attempt: advance the site's FIFO queue,
 // sample the Eq. 1 failure law, and schedule the completion or failure.
+// On dynamic grids the failure law samples from the site's ground-truth
+// security level, the attempt is tracked so a crash can interrupt it,
+// and the outcome feeds the site's reputation.
 func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 	job, site := a.Job, st.cfg.Sites[a.Site]
+	if st.dyn != nil && !st.dyn.alive[a.Site] {
+		e.Fail(fmt.Errorf("sched: scheduler dispatched job %d to departed site %d", job.ID, a.Site))
+		return
+	}
 	start := st.ready[a.Site]
 	if now := e.Now(); now > start {
 		start = now
@@ -216,7 +248,8 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 	if a.FellBack {
 		st.fellBack[job.ID] = true
 	}
-	risky := st.cfg.Security.Risky(job.SecurityDemand, site.SecurityLevel)
+	effSL := st.effectiveSL(a.Site)
+	risky := st.cfg.Security.Risky(job.SecurityDemand, effSL)
 	if risky {
 		st.riskTaken[job.ID] = true
 	}
@@ -224,7 +257,7 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 		Kind: EventPlaced, Time: e.Now(), Job: *job, Site: a.Site,
 		Start: start, Finish: start + exec, Risky: risky, FellBack: a.FellBack,
 	})
-	fails := risky && st.failRand.Bool(st.cfg.Security.FailProb(job.SecurityDemand, site.SecurityLevel))
+	fails := risky && st.failRand.Bool(st.cfg.Security.FailProb(job.SecurityDemand, effSL))
 
 	if fails {
 		wasted := exec
@@ -234,9 +267,14 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 		failAt := start + wasted
 		st.ready[a.Site] = failAt
 		st.busy[a.Site] += wasted
-		st.failed[job.ID] = true
 		siteIdx := a.Site
+		att := st.track(job, siteIdx, start, wasted)
 		e.Schedule(failAt, sim.EventFunc(func(e *sim.Engine) {
+			if att != nil && att.cancelled {
+				return // the site crashed first; the job already re-queued
+			}
+			st.untrack(att)
+			st.failed[job.ID] = true
 			job.Failures++
 			if job.Failures > st.cfg.MaxRetries {
 				e.Fail(fmt.Errorf("sched: job %d exceeded %d retries (site %d); platform likely infeasible",
@@ -246,7 +284,11 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 			// Fail-stop: restart from the beginning on a strictly safe
 			// site at the next scheduling round (§2).
 			job.MustBeSafe = true
-			st.emit(EngineEvent{Kind: EventFailed, Time: e.Now(), Job: *job, Site: siteIdx})
+			ev := EngineEvent{Kind: EventFailed, Time: e.Now(), Job: *job, Site: siteIdx}
+			if level := st.observeOutcome(siteIdx, job.SecurityDemand, false); st.dyn != nil && st.dyn.reps != nil {
+				ev.Level = level
+			}
+			st.emit(ev)
 			st.queue = append(st.queue, job)
 			st.ensureBatch(e)
 		}))
@@ -257,16 +299,22 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 	st.ready[a.Site] = finish
 	st.busy[a.Site] += exec
 	siteIdx := a.Site
+	att := st.track(job, siteIdx, start, exec)
 	e.Schedule(finish, sim.EventFunc(func(e *sim.Engine) {
+		if att != nil && att.cancelled {
+			return // the site crashed first; the job already re-queued
+		}
+		st.untrack(att)
 		rec := metrics.JobRecord{
-			ID:         job.ID,
-			Arrival:    job.Arrival,
-			Start:      start,
-			Completion: finish,
-			Site:       siteIdx,
-			TookRisk:   st.riskTaken[job.ID],
-			Failed:     st.failed[job.ID],
-			FellBack:   st.fellBack[job.ID],
+			ID:          job.ID,
+			Arrival:     job.Arrival,
+			Start:       start,
+			Completion:  finish,
+			Site:        siteIdx,
+			TookRisk:    st.riskTaken[job.ID],
+			Failed:      st.failed[job.ID],
+			FellBack:    st.fellBack[job.ID],
+			Interrupted: st.interrupted[job.ID] > 0,
 		}
 		if !st.cfg.DiscardRecords {
 			st.records = append(st.records, rec)
@@ -277,10 +325,15 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 		delete(st.riskTaken, job.ID)
 		delete(st.failed, job.ID)
 		delete(st.fellBack, job.ID)
+		delete(st.interrupted, job.ID)
 		st.remaining--
-		st.emit(EngineEvent{
+		ev := EngineEvent{
 			Kind: EventCompleted, Time: e.Now(), Job: *job, Site: siteIdx,
 			Start: start, Finish: finish,
-		})
+		}
+		if level := st.observeOutcome(siteIdx, job.SecurityDemand, true); st.dyn != nil && st.dyn.reps != nil {
+			ev.Level = level
+		}
+		st.emit(ev)
 	}))
 }

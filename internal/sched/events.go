@@ -18,6 +18,19 @@ const (
 	EventFailed
 	// EventCompleted fires when a job finishes successfully.
 	EventCompleted
+	// EventInterrupted fires when a site crash cuts an execution short
+	// (dynamic grids only); the job re-queues with its risk eligibility
+	// intact — an infrastructure loss is not a security incident.
+	EventInterrupted
+	// EventSiteDown fires when a site leaves service (crash or drain).
+	// Job is a placeholder with ID −1; Site identifies the site.
+	EventSiteDown
+	// EventSiteUp fires when a site (re)joins; Level carries its
+	// scheduler-visible security level after any cold reputation reset.
+	EventSiteUp
+	// EventSiteSpeed fires when a site's capacity degrades or restores;
+	// Speed carries the new effective speed.
+	EventSiteSpeed
 )
 
 // String returns the wire label used by the service layer.
@@ -31,6 +44,14 @@ func (k EventKind) String() string {
 		return "failed"
 	case EventCompleted:
 		return "completed"
+	case EventInterrupted:
+		return "interrupted"
+	case EventSiteDown:
+		return "site_down"
+	case EventSiteUp:
+		return "site_up"
+	case EventSiteSpeed:
+		return "site_speed"
 	default:
 		return "unknown"
 	}
@@ -53,10 +74,18 @@ type EngineEvent struct {
 	// Start and Finish bound the planned execution window (Placed) or the
 	// actual one (Completed). Zero for other kinds.
 	Start, Finish float64
-	// Risky reports that the placement ran SL < SD (Placed only).
+	// Risky reports that the placement ran SL < SD (Placed only). On
+	// dynamic grids with ground-truth divergence this reflects the true
+	// level, not the scheduler's belief.
 	Risky bool
 	// FellBack reports the no-eligible-site fallback was used (Placed only).
 	FellBack bool
+	// Level carries a site's scheduler-visible security level for site
+	// lifecycle events (SiteDown/SiteUp), and the refreshed estimate on
+	// Completed/Failed when reputation feedback is active.
+	Level float64
+	// Speed carries the new effective site speed (SiteSpeed only).
+	Speed float64
 }
 
 // emit forwards an event to the configured observer, if any.

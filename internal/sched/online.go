@@ -40,22 +40,49 @@ func NewOnline(cfg RunConfig) (*Online, error) {
 		cfg.Security = grid.NewSecurityModel()
 	}
 	o := &Online{cfg: cfg}
+	if cfg.Dynamics != nil {
+		// Churn and reputation mutate site speed and security level;
+		// clone the platform so the caller's sites stay pristine.
+		sites := make([]*grid.Site, len(cfg.Sites))
+		for i, s := range cfg.Sites {
+			c := *s
+			sites[i] = &c
+		}
+		o.cfg.Sites = sites
+	}
 	o.st = &engineState{
-		cfg:       &o.cfg,
-		ready:     make([]float64, len(cfg.Sites)),
-		busy:      make([]float64, len(cfg.Sites)),
-		records:   make([]metrics.JobRecord, 0, len(cfg.Jobs)),
-		riskTaken: make(map[int]bool, len(cfg.Jobs)),
-		failed:    make(map[int]bool, len(cfg.Jobs)),
-		fellBack:  make(map[int]bool, len(cfg.Jobs)),
-		failRand:  cfg.Rand.Derive("engine/failures"),
-		timeRand:  cfg.Rand.Derive("engine/failtime"),
+		cfg:         &o.cfg,
+		ready:       make([]float64, len(cfg.Sites)),
+		busy:        make([]float64, len(cfg.Sites)),
+		records:     make([]metrics.JobRecord, 0, len(cfg.Jobs)),
+		riskTaken:   make(map[int]bool, len(cfg.Jobs)),
+		failed:      make(map[int]bool, len(cfg.Jobs)),
+		fellBack:    make(map[int]bool, len(cfg.Jobs)),
+		interrupted: make(map[int]int),
+		failRand:    cfg.Rand.Derive("engine/failures"),
+		timeRand:    cfg.Rand.Derive("engine/failtime"),
 	}
 	o.eng = sim.NewEngine()
 	if cfg.MaxEvents > 0 {
 		o.eng.MaxEvents = cfg.MaxEvents
 	}
 	o.in = sim.NewOnline(o.eng, cfg.SubmitBuffer)
+
+	if o.cfg.Dynamics != nil {
+		dyn, err := newDynState(o.cfg.Dynamics, o.cfg.Sites)
+		if err != nil {
+			return nil, err
+		}
+		o.st.dyn = dyn
+		// Schedule churn ahead of the job preload so that at equal
+		// timestamps churn applies before arrivals — the same relative
+		// order the daemon path sees, where arrivals are always injected
+		// after construction.
+		for _, ev := range o.cfg.Dynamics.Churn {
+			ev := ev
+			o.eng.Schedule(ev.Time, sim.EventFunc(func(e *sim.Engine) { o.st.applyChurn(e, ev) }))
+		}
+	}
 
 	jobs := grid.CloneAll(cfg.Jobs)
 	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
@@ -70,7 +97,13 @@ func NewOnline(cfg RunConfig) (*Online, error) {
 // cover the job, then hand it to the batch loop.
 func (o *Online) admit(e *sim.Engine, j *grid.Job) {
 	if o.cfg.MaxEvents == 0 {
-		o.eng.MaxEvents = 200*uint64(o.st.seen+1) + 10000
+		guard := 200*uint64(o.st.seen+1) + 10000
+		if o.cfg.Dynamics != nil {
+			// Churn events and the empty rounds an outage re-arms also
+			// draw from the budget.
+			guard += 2 * uint64(len(o.cfg.Dynamics.Churn))
+		}
+		o.eng.MaxEvents = guard
 	}
 	o.st.arrive(e, j)
 }

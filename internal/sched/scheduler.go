@@ -10,11 +10,54 @@ import (
 type State struct {
 	// Now is the current simulation time.
 	Now float64
-	// Sites is the (immutable) site list.
+	// Sites is the site list. On static runs it is immutable; on dynamic
+	// grids (RunConfig.Dynamics) the engine refreshes SecurityLevel and
+	// Speed between batches, so schedulers always see the live trust and
+	// capacity vectors.
 	Sites []*grid.Site
 	// Ready[i] is the earliest time site i becomes free given everything
 	// dispatched so far. Schedulers read it; the Engine owns it.
 	Ready []float64
+	// Alive[i] reports whether site i is in service. Nil means every
+	// site is up (static runs). Schedulers must not dispatch to a dead
+	// site; use EligibleSites, which folds liveness into admission.
+	Alive []bool
+}
+
+// SiteAlive reports whether site i is in service.
+func (st *State) SiteAlive(i int) bool { return st.Alive == nil || st.Alive[i] }
+
+// EligibleSites returns the indices of in-service sites the policy
+// admits for job j. If none qualify it falls back to the max-SL site
+// among the live ones (fellBack = true); with no site alive at all —
+// which the engine never lets a batch see — it degrades to the global
+// max-SL site so the API stays total. Schedulers should call this
+// rather than Policy.EligibleSites, which is liveness-blind.
+func (st *State) EligibleSites(p grid.Policy, j *grid.Job) (idx []int, fellBack bool) {
+	if st.Alive == nil {
+		return p.EligibleSites(j, st.Sites)
+	}
+	idx = make([]int, 0, len(st.Sites))
+	bestLive, bestLevel := -1, -1.0
+	for i, s := range st.Sites {
+		if !st.Alive[i] {
+			continue
+		}
+		if s.SecurityLevel > bestLevel {
+			bestLive, bestLevel = i, s.SecurityLevel
+		}
+		if p.Admits(j, s) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) > 0 {
+		return idx, false
+	}
+	if bestLive >= 0 {
+		return []int{bestLive}, true
+	}
+	_, best := grid.MaxSecurityLevel(st.Sites)
+	return []int{best}, true
 }
 
 // CompletionTime returns max(Now, Ready[site]) + ETC(job, site), the

@@ -36,7 +36,9 @@ type submitResponse struct {
 
 // WireEvent is the streamed form of a sched.EngineEvent. Arrived events
 // carry the job spec (they double as the arrival trace); placed events
-// carry the planned execution window.
+// carry the planned execution window; site lifecycle events (site_down,
+// site_up, site_speed — dynamic grids only) carry job −1 plus the
+// site's new level or speed.
 type WireEvent struct {
 	Seq      int64   `json:"seq"`
 	Kind     string  `json:"kind"`
@@ -51,6 +53,8 @@ type WireEvent struct {
 	Workload float64 `json:"workload,omitempty"`
 	Nodes    int     `json:"nodes,omitempty"`
 	SD       float64 `json:"sd,omitempty"`
+	Level    float64 `json:"level,omitempty"`
+	Speed    float64 `json:"speed,omitempty"`
 }
 
 func wireFromEngine(ev sched.EngineEvent) WireEvent {
@@ -66,6 +70,13 @@ func wireFromEngine(ev sched.EngineEvent) WireEvent {
 		w.Risky, w.FellBack = ev.Risky, ev.FellBack
 	case sched.EventCompleted:
 		w.Start, w.Finish = ev.Start, ev.Finish
+		w.Level = ev.Level
+	case sched.EventFailed:
+		w.Level = ev.Level
+	case sched.EventSiteDown, sched.EventSiteUp:
+		w.Level = ev.Level
+	case sched.EventSiteSpeed:
+		w.Speed = ev.Speed
 	}
 	return w
 }
@@ -85,7 +96,9 @@ type MetricsReport struct {
 	InFlight      int              `json:"in_flight"`
 	Placed        int64            `json:"placed"`
 	Failures      int64            `json:"failed_attempts"`
+	Interrupted   int64            `json:"interrupted_attempts"`
 	Completed     int64            `json:"completed"`
+	SitesAlive    int              `json:"sites_alive"`
 	Batches       int              `json:"batches"`
 	LargestBatch  int              `json:"largest_batch"`
 	SubmitRate    float64          `json:"submit_rate_per_s"`
@@ -99,6 +112,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/sites", s.handleSites)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
@@ -301,6 +315,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Backlog:       s.online.Backlog(),
 		Placed:        s.placed.Load(),
 		Failures:      s.failures.Load(),
+		Interrupted:   s.interrupted.Load(),
 		Completed:     s.completed.Load(),
 		Latency:       s.lat.summary(),
 	}
@@ -312,6 +327,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rep.InFlight = s.online.InFlight()
 		rep.Batches = s.online.Batches()
 		rep.LargestBatch = s.online.LargestBatch()
+		for _, st := range s.online.SiteStatuses() {
+			if st.Alive {
+				rep.SitesAlive++
+			}
+		}
 		if sum := s.online.Summary(); sum.Jobs > 0 {
 			rep.Summary = &sum
 		}
@@ -321,6 +341,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, rep)
+}
+
+// handleSites reports the live dynamic-grid state: per-site liveness,
+// effective speed, and the scheduler-visible trust estimate with the
+// reputation evidence behind it. On static runs it reflects the
+// immutable platform.
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	var sites []sched.SiteStatus
+	var now float64
+	err := s.do(r.Context(), func() {
+		sites = s.online.SiteStatuses()
+		now = s.online.Now()
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"virtual_now_s": now, "sites": sites})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -16,4 +16,11 @@
 // test exercises. See DESIGN.md §6 for the architecture and §1 for
 // this package's inventory row (internal/server: HTTP service layer
 // over the online engine).
+//
+// With Config.Dynamics the daemon serves a dynamic grid (DESIGN.md §7):
+// site churn and reputation feedback run inside the engine, live site
+// state (liveness, effective speed, trust estimate and its evidence) is
+// reported at /v1/sites, and site_down/site_up/site_speed/interrupted
+// events join the NDJSON stream. Replay determinism is unchanged — the
+// churn trace is part of the run's recorded input.
 package server

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"trustgrid/internal/experiments"
+	"trustgrid/internal/fuzzy"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/sched"
@@ -28,7 +29,7 @@ func placementLine(b *strings.Builder, job, site int, start, finish float64) {
 // facade's Simulate) with the exact seed derivation the daemon uses and
 // returns the placement stream.
 func batchPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workload,
-	jobs []*grid.Job, algo string, seed uint64) string {
+	jobs []*grid.Job, algo string, seed uint64, dyn *sched.DynamicsConfig) string {
 	t.Helper()
 	root := rng.New(seed)
 	policy := setup.Policy(grid.FRisky, setup.F)
@@ -39,7 +40,7 @@ func batchPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workl
 	var b strings.Builder
 	_, err = sched.Run(sched.RunConfig{
 		Jobs: jobs, Sites: w.Sites, Scheduler: sc, BatchInterval: w.Batch,
-		Security: setup.Model(), Rand: root.Derive("engine"),
+		Security: setup.Model(), Rand: root.Derive("engine"), Dynamics: dyn,
 		OnEvent: func(ev sched.EngineEvent) {
 			if ev.Kind == sched.EventPlaced {
 				placementLine(&b, ev.Job.ID, ev.Site, ev.Start, ev.Finish)
@@ -79,11 +80,12 @@ func requireStatus(t *testing.T, resp *http.Response, want int) {
 // HTTP API in manual-clock mode and returns the placement stream read
 // back from /v1/events.
 func daemonPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workload,
-	jobs []*grid.Job, algo string, seed uint64) string {
+	jobs []*grid.Job, algo string, seed uint64, dyn *sched.DynamicsConfig) string {
 	t.Helper()
 	srv, err := server.New(server.Config{
 		Sites: w.Sites, Training: w.Training, Algo: algo, Mode: "frisky",
 		BatchInterval: w.Batch, Seed: seed, Setup: setup, Manual: true,
+		Dynamics: dyn,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -155,13 +157,42 @@ func TestTraceReplayParity(t *testing.T) {
 
 	for _, algo := range []string{"minmin", "stga"} {
 		t.Run(algo, func(t *testing.T) {
-			want := batchPlacements(t, setup, w, jobs, algo, seed)
-			got := daemonPlacements(t, setup, w, jobs, algo, seed)
+			want := batchPlacements(t, setup, w, jobs, algo, seed, nil)
+			got := daemonPlacements(t, setup, w, jobs, algo, seed, nil)
 			if want == "" {
 				t.Fatal("batch run produced no placements")
 			}
 			if got != want {
 				t.Fatalf("placement streams differ:\nbatch (%d bytes) vs daemon (%d bytes)\nfirst batch lines:\n%s\nfirst daemon lines:\n%s",
+					len(want), len(got), firstLines(want, 5), firstLines(got, 5))
+			}
+		})
+	}
+
+	// The dynamic-grid extension must uphold the same contract: with an
+	// identical churn trace, deceptive ground truth and reputation
+	// feedback wired into both paths, the daemon still replays the batch
+	// simulator byte-for-byte.
+	root := rng.New(seed)
+	churn, err := grid.DefaultChurnConfig(float64(len(jobs))/0.008).Generate(root.Derive("churn"), len(w.Sites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCfg := fuzzy.DefaultReputationConfig()
+	dyn := &sched.DynamicsConfig{
+		Churn:      churn,
+		Reputation: &repCfg,
+		TrueLevels: grid.DeceptiveLevels(w.Sites, 0.4, 0.4, root.Derive("deceptive")),
+	}
+	for _, algo := range []string{"minmin", "stga"} {
+		t.Run(algo+"-churn", func(t *testing.T) {
+			want := batchPlacements(t, setup, w, jobs, algo, seed, dyn)
+			got := daemonPlacements(t, setup, w, jobs, algo, seed, dyn)
+			if want == "" {
+				t.Fatal("batch run produced no placements")
+			}
+			if got != want {
+				t.Fatalf("churn placement streams differ:\nbatch (%d bytes) vs daemon (%d bytes)\nfirst batch lines:\n%s\nfirst daemon lines:\n%s",
 					len(want), len(got), firstLines(want, 5), firstLines(got, 5))
 			}
 		})

@@ -56,6 +56,14 @@ type Config struct {
 	// older events are evicted and slow readers restart at the oldest.
 	EventBuffer int
 
+	// Dynamics, when non-nil, runs the daemon on a dynamic grid: a
+	// deterministic site-churn trace, optional ground-truth security
+	// divergence and optional online reputation feedback (DESIGN.md §7).
+	// Replay determinism is preserved: the churn trace is part of the
+	// run's input, so (arrival trace, churn trace, seed) reproduces every
+	// placement through the batch simulator.
+	Dynamics *sched.DynamicsConfig
+
 	// TraceWriter, when non-nil, receives one JSON line per accepted
 	// arrival — the replay artifact of the determinism contract.
 	TraceWriter io.Writer
@@ -126,12 +134,13 @@ type Server struct {
 	idMu    sync.Mutex
 	usedIDs map[int]struct{} // manual mode: explicit-ID dedupe (bounded by trace size)
 
-	submitted atomic.Int64 // accepted by the HTTP layer
-	arrived   atomic.Int64 // ingested by the engine
-	placed    atomic.Int64 // placement events (retries included)
-	completed atomic.Int64
-	failures  atomic.Int64 // failed execution attempts
-	started   time.Time
+	submitted   atomic.Int64 // accepted by the HTTP layer
+	arrived     atomic.Int64 // ingested by the engine
+	placed      atomic.Int64 // placement events (retries included)
+	completed   atomic.Int64
+	failures    atomic.Int64 // failed execution attempts
+	interrupted atomic.Int64 // attempts cut short by site crashes
+	started     time.Time
 }
 
 // New builds the service and starts its loop goroutine.
@@ -180,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 		Rand:          root.Derive("engine"),
 		OnEvent:       s.onEvent,
 		SubmitBuffer:  cfg.SubmitBuffer,
+		Dynamics:      cfg.Dynamics,
 		// A daemon serves jobs indefinitely; per-job records would grow
 		// without bound. The incremental summary carries the metrics.
 		DiscardRecords: true,
@@ -314,6 +324,8 @@ func (s *Server) onEvent(ev sched.EngineEvent) {
 		s.failures.Add(1)
 	case sched.EventCompleted:
 		s.completed.Add(1)
+	case sched.EventInterrupted:
+		s.interrupted.Add(1)
 	}
 	s.log.Append(wireFromEngine(ev))
 }

@@ -1,0 +1,101 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/fuzzy"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/server"
+)
+
+// TestSitesEndpoint drives a manual-clock daemon over a churn trace and
+// checks /v1/sites reports liveness, degraded speed and reputation
+// evidence, and that /v1/metrics counts the interruption.
+func TestSitesEndpoint(t *testing.T) {
+	setup := experiments.TestSetup()
+	const seed = 21
+	w, err := setup.PSAWorkload(seed, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCfg := fuzzy.DefaultReputationConfig()
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Training: w.Training, Algo: "minmin", Mode: "frisky",
+		BatchInterval: w.Batch, Seed: seed, Setup: setup, Manual: true,
+		Dynamics: &sched.DynamicsConfig{
+			Churn: []grid.ChurnEvent{
+				{Time: w.Batch * 1.5, Site: 0, Kind: grid.ChurnCrash},
+				{Time: w.Batch * 2.5, Site: 1, Kind: grid.ChurnDegrade, Factor: 0.5},
+			},
+			Reputation: &repCfg,
+			TrueLevels: grid.DeceptiveLevels(w.Sites, 0.5, 0.4, rng.New(seed)),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, j := range w.Jobs {
+		id, arr := j.ID, j.Arrival
+		resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"jobs": []server.JobSpec{{
+			ID: &id, Arrival: &arr, Workload: j.Workload, Nodes: j.Nodes, SD: j.SecurityDemand,
+		}}})
+		requireStatus(t, resp, http.StatusOK)
+	}
+	resp := postJSON(t, ts.URL+"/v1/drain", map[string]any{})
+	requireStatus(t, resp, http.StatusOK)
+
+	sites, err := http.Get(ts.URL + "/v1/sites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sites.Body.Close()
+	var rep struct {
+		VirtualNow float64            `json:"virtual_now_s"`
+		Sites      []sched.SiteStatus `json:"sites"`
+	}
+	if err := json.NewDecoder(sites.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sites) != len(w.Sites) {
+		t.Fatalf("%d sites reported, want %d", len(rep.Sites), len(w.Sites))
+	}
+	if rep.Sites[0].Alive {
+		t.Error("site 0 should be crashed")
+	}
+	if rep.Sites[1].Speed != rep.Sites[1].BaseSpeed*0.5 {
+		t.Errorf("site 1 speed %v, want half of %v", rep.Sites[1].Speed, rep.Sites[1].BaseSpeed)
+	}
+	obs := 0
+	for _, st := range rep.Sites {
+		obs += st.Observations
+	}
+	if obs == 0 {
+		t.Error("no reputation observations recorded across the platform")
+	}
+
+	metrics, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var m server.MetricsReport
+	if err := json.NewDecoder(metrics.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SitesAlive != len(w.Sites)-1 {
+		t.Errorf("SitesAlive = %d, want %d", m.SitesAlive, len(w.Sites)-1)
+	}
+	if m.Completed != int64(len(w.Jobs)) {
+		t.Errorf("completed %d of %d", m.Completed, len(w.Jobs))
+	}
+}

@@ -6,10 +6,10 @@ import (
 	"sort"
 )
 
-// Mean returns the arithmetic mean (0 for empty input).
+// Mean returns the arithmetic mean (NaN for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	var sum float64
 	for _, x := range xs {
@@ -18,7 +18,8 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// StdDev returns the sample standard deviation (0 for n < 2).
+// StdDev returns the sample standard deviation (0 for n < 2: one
+// observation has no measured spread; see the package contract).
 func StdDev(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
@@ -35,7 +36,8 @@ func StdDev(xs []float64) float64 {
 
 // CI95 returns the half-width of an approximate 95% confidence interval
 // for the mean (normal approximation; replication counts here are small
-// so this is indicative, not inferential).
+// so this is indicative, not inferential). 0 for n < 2, matching
+// StdDev.
 func CI95(xs []float64) float64 {
 	if len(xs) < 2 {
 		return 0

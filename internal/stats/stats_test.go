@@ -12,7 +12,6 @@ func TestMean(t *testing.T) {
 		in   []float64
 		want float64
 	}{
-		{nil, 0},
 		{[]float64{5}, 5},
 		{[]float64{1, 2, 3}, 2},
 		{[]float64{-1, 1}, 0},
@@ -22,6 +21,71 @@ func TestMean(t *testing.T) {
 			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
 		}
 	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) must be NaN (package contract)")
+	}
+}
+
+// TestDegenerateInputContract pins the package-level contract for every
+// helper: empty aggregates are NaN, spread of n<2 is 0, empty index
+// selection is -1, and NaN elements propagate without panicking.
+func TestDegenerateInputContract(t *testing.T) {
+	// Empty input.
+	for name, got := range map[string]float64{
+		"Mean":       Mean(nil),
+		"Min":        Min(nil),
+		"Max":        Max(nil),
+		"Median":     Median(nil),
+		"Percentile": Percentile(nil, 50),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s(nil) = %v, want NaN", name, got)
+		}
+	}
+	if StdDev(nil) != 0 || CI95(nil) != 0 {
+		t.Error("spread of empty input must be 0")
+	}
+	if ArgMin(nil) != -1 {
+		t.Error("ArgMin(nil) must be -1")
+	}
+
+	// Single element: aggregates are the element, spread is 0.
+	one := []float64{7.5}
+	for name, got := range map[string]float64{
+		"Mean":       Mean(one),
+		"Min":        Min(one),
+		"Max":        Max(one),
+		"Median":     Median(one),
+		"Percentile": Percentile(one, 99),
+	} {
+		if got != 7.5 {
+			t.Errorf("%s([7.5]) = %v, want 7.5", name, got)
+		}
+	}
+	if StdDev(one) != 0 || CI95(one) != 0 {
+		t.Error("spread of a single observation must be 0")
+	}
+	if ArgMin(one) != 0 {
+		t.Error("ArgMin of one element must be 0")
+	}
+
+	// NaN-bearing input: no panic, NaN propagates through the mean, and
+	// the order statistics stay defined (sort places NaN first).
+	withNaN := []float64{1, math.NaN(), 3}
+	if !math.IsNaN(Mean(withNaN)) {
+		t.Error("Mean with a NaN element must be NaN")
+	}
+	if !math.IsNaN(StdDev(withNaN)) {
+		t.Error("StdDev with a NaN element must be NaN")
+	}
+	if got := Max(withNaN); got != 3 {
+		t.Errorf("Max with NaN element = %v, want 3", got)
+	}
+	if got := Percentile(withNaN, 100); got != 3 {
+		t.Errorf("P100 with NaN element = %v, want 3", got)
+	}
+	_ = Median(withNaN) // defined by sort order; must not panic
+	_ = ArgMin(withNaN)
 }
 
 func TestStdDev(t *testing.T) {

@@ -245,7 +245,9 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	allowed := make([][]int, len(batch))
 	fellBack := make([]bool, len(batch))
 	for i, j := range batch {
-		allowed[i], fellBack[i] = s.cfg.Policy.EligibleSites(j, st.Sites)
+		// Liveness-aware: a departed site never enters a gene's allowed
+		// set, so the GA cannot evolve placements onto it.
+		allowed[i], fellBack[i] = st.EligibleSites(s.cfg.Policy, j)
 	}
 	ready, etc, sd := batchInputs(batch, st)
 

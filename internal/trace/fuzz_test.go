@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The fuzz contract of every trace parser: arbitrary input must produce
+// either an error or a slice of simulable records — never a panic — and
+// the record→job conversions must yield jobs that pass Validate. Seed
+// corpora live under testdata/fuzz/; CI runs each target briefly on
+// every PR (-fuzztime smoke) and the corpus regression always runs with
+// plain `go test`.
+
+func FuzzParseSWF(f *testing.F) {
+	f.Add([]byte("; comment\n1 0.0 5 120 8 -1 -1 8 120 -1 1 -1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("2 10 0 -1 4\n3 11 0 60 -1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("1 2 3 4"))
+	f.Add([]byte("NaN NaN NaN NaN NaN"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ParseSWF(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, r := range recs {
+			if r.Runtime < 0 || r.Processors <= 0 {
+				t.Fatalf("record %d not simulable: %+v", i, r)
+			}
+			if r.Submit < 0 || math.IsNaN(r.Submit) || math.IsInf(r.Submit, 0) {
+				t.Fatalf("record %d has bad submit: %+v", i, r)
+			}
+		}
+		for i, j := range JobsFromSWF(recs, 0.5, func(int) float64 { return 0.7 }) {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("job %d from accepted SWF is invalid: %v", i, err)
+			}
+		}
+	})
+}
+
+func FuzzParseNAS(f *testing.F) {
+	f.Add([]byte("; accounting\n0 8 120.5\n30 128 3600\n"))
+	f.Add([]byte("60 -1 100\n90 16 -1\n"))
+	f.Add([]byte("1 2"))
+	f.Add([]byte("1e9 1 0\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ParseNAS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, r := range recs {
+			if r.Nodes <= 0 || r.Runtime < 0 || r.Submit < 0 {
+				t.Fatalf("record %d not simulable: %+v", i, r)
+			}
+		}
+		for i, j := range JobsFromNAS(recs, func(int) float64 { return 0.8 }) {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("job %d from accepted NAS is invalid: %v", i, err)
+			}
+		}
+	})
+}
+
+func FuzzParsePSA(f *testing.F) {
+	f.Add([]byte("id,arrival,workload,nodes,sd\n0,12.5,15000,1,0.65\n"))
+	f.Add([]byte("# comment\n1,0,300000,1,0.9\n"))
+	f.Add([]byte("1,2,3\n"))
+	f.Add([]byte("0,0,1,1,0\n0,0,1,1,1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, err := ParsePSA(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, j := range jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("accepted PSA job %d is invalid: %v", i, err)
+			}
+		}
+		// Accepted campaigns round-trip bit-exactly through WritePSA.
+		var buf bytes.Buffer
+		if err := WritePSA(&buf, jobs); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParsePSA(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing written campaign: %v", err)
+		}
+		if len(back) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d vs %d", len(back), len(jobs))
+		}
+		for i := range jobs {
+			if *back[i] != *jobs[i] {
+				t.Fatalf("job %d differs after round trip: %+v vs %+v", i, back[i], jobs[i])
+			}
+		}
+	})
+}

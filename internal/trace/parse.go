@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"trustgrid/internal/grid"
+)
+
+// This file holds the textual trace parsers beyond SWF (swf.go):
+// ParseNAS reads the compact three-column accounting export of the
+// NASA Ames iPSC/860 characterization, and ParsePSA round-trips the
+// repository's own PSA campaign format. All parsers share the contract
+// the fuzz targets enforce: malformed input returns an error — never a
+// panic — and accepted records are always simulable.
+
+// NASRecord is one job of a compact NAS accounting export: the
+// (submit, nodes, runtime) triple that the Feitelson & Nitzberg
+// characterization is built on. The genuine archive trace is
+// distributed in SWF (use ParseSWF); this format is what remains after
+// stripping the archive metadata down to the fields the simulator
+// consumes.
+type NASRecord struct {
+	Submit  float64 // seconds since trace start
+	Nodes   int
+	Runtime float64 // seconds
+}
+
+// ParseNAS reads a compact NAS accounting stream: ';' comment lines,
+// then whitespace-separated records `submit nodes runtime` (at least 3
+// fields; extras are ignored so annotated exports still load). Records
+// with unknown (-1) runtime or node count are skipped, as in SWF
+// replays; any other malformed field is an error.
+func ParseNAS(r io.Reader) ([]NASRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []NASRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: NAS line %d has %d fields, need >= 3", lineNo, len(fields))
+		}
+		submit, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: NAS line %d submit: %v", lineNo, err)
+		}
+		nodes, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: NAS line %d nodes: %v", lineNo, err)
+		}
+		runtime, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: NAS line %d runtime: %v", lineNo, err)
+		}
+		if math.IsNaN(submit) || math.IsInf(submit, 0) || submit < 0 {
+			return nil, fmt.Errorf("trace: NAS line %d has bad submit %v", lineNo, submit)
+		}
+		if math.IsNaN(nodes) || nodes != math.Trunc(nodes) || nodes > float64(1<<30) {
+			return nil, fmt.Errorf("trace: NAS line %d has non-integral node count %q", lineNo, fields[1])
+		}
+		if math.IsNaN(runtime) || math.IsInf(runtime, 0) {
+			return nil, fmt.Errorf("trace: NAS line %d has bad runtime %q", lineNo, fields[2])
+		}
+		if runtime < 0 || nodes <= 0 {
+			continue // unknown (-1) runtime / nodes: cannot simulate
+		}
+		out = append(out, NASRecord{Submit: submit, Nodes: int(nodes), Runtime: runtime})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading NAS: %w", err)
+	}
+	return out, nil
+}
+
+// JobsFromNAS converts accounting records into simulator jobs under the
+// aggregate-speed model (workload = runtime × nodes); security demands
+// are drawn from sd, as in JobsFromSWF.
+func JobsFromNAS(recs []NASRecord, sd func(i int) float64) []*grid.Job {
+	jobs := make([]*grid.Job, 0, len(recs))
+	for i, r := range recs {
+		runtime := r.Runtime
+		if runtime <= 0 {
+			runtime = 1 // zero-runtime accounting records: clamp to 1s
+		}
+		jobs = append(jobs, &grid.Job{
+			ID:             i,
+			Arrival:        r.Submit,
+			Workload:       runtime * float64(r.Nodes),
+			Nodes:          r.Nodes,
+			SecurityDemand: sd(i),
+		})
+	}
+	return jobs
+}
+
+// psaHeader is the column line WritePSA emits and ParsePSA accepts.
+const psaHeader = "id,arrival,workload,nodes,sd"
+
+// ParsePSA reads a PSA campaign file: '#' comment lines, an optional
+// header line, then CSV records `id,arrival,workload,nodes,sd`. Every
+// accepted job satisfies grid.Job.Validate; anything else is an error
+// with a line number.
+func ParsePSA(r io.Reader) ([]*grid.Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []*grid.Job
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || line == psaHeader {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: PSA line %d has %d columns, need 5 (%s)", lineNo, len(fields), psaHeader)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: PSA line %d id: %v", lineNo, err)
+		}
+		var vals [4]float64
+		for i := 1; i < 5; i++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: PSA line %d column %d: %v", lineNo, i+1, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("trace: PSA line %d column %d is %v", lineNo, i+1, v)
+			}
+			vals[i-1] = v
+		}
+		nodes := vals[2]
+		if nodes != math.Trunc(nodes) || math.Abs(nodes) > float64(1<<30) {
+			return nil, fmt.Errorf("trace: PSA line %d has non-integral node count %q", lineNo, fields[3])
+		}
+		j := &grid.Job{
+			ID:             id,
+			Arrival:        vals[0],
+			Workload:       vals[1],
+			Nodes:          int(nodes),
+			SecurityDemand: vals[3],
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: PSA line %d: %w", lineNo, err)
+		}
+		out = append(out, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading PSA: %w", err)
+	}
+	return out, nil
+}
+
+// WritePSA writes jobs in the PSA campaign format ParsePSA reads.
+func WritePSA(w io.Writer, jobs []*grid.Job) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, psaHeader); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if _, err := fmt.Fprintf(bw, "%d,%g,%g,%d,%g\n",
+			j.ID, j.Arrival, j.Workload, j.Nodes, j.SecurityDemand); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

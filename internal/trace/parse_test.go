@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trustgrid/internal/rng"
+)
+
+func TestParseNAS(t *testing.T) {
+	in := strings.Join([]string{
+		"; NAS accounting export",
+		"",
+		"0 8 120.5",
+		"30 128 3600 annotated-extra-field",
+		"60 -1 100", // unknown nodes: skipped
+		"90 16 -1",  // unknown runtime: skipped
+		"120 4 0",
+	}, "\n")
+	recs, err := ParseNAS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	if recs[1].Nodes != 128 || recs[1].Runtime != 3600 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	jobs := JobsFromNAS(recs, func(int) float64 { return 0.7 })
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("JobsFromNAS produced invalid job: %v", err)
+		}
+	}
+	// Zero-runtime record clamps to 1s of work per node.
+	if jobs[2].Workload != 4 {
+		t.Fatalf("zero-runtime workload = %v, want 4", jobs[2].Workload)
+	}
+}
+
+func TestParseNASErrors(t *testing.T) {
+	cases := []string{
+		"1 2",           // too few fields
+		"x 8 120",       // bad submit
+		"10 8.5 120",    // fractional nodes
+		"10 8 wat",      // bad runtime
+		"-5 8 120",      // negative submit
+		"NaN 8 120",     // NaN submit
+		"10 8 +Inf",     // infinite runtime
+		"10 1e300 120",  // node count overflow
+		"10 8 1e400000", // malformed float
+	}
+	for _, in := range cases {
+		if _, err := ParseNAS(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseNAS accepted %q", in)
+		}
+	}
+}
+
+func TestParsePSARoundTrip(t *testing.T) {
+	jobs, err := DefaultPSAConfig(50).Generate(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePSA(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePSA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		if *back[i] != *jobs[i] {
+			t.Fatalf("job %d differs after round trip: %+v vs %+v", i, back[i], jobs[i])
+		}
+	}
+}
+
+func TestParsePSAAcceptsCommentsAndHeader(t *testing.T) {
+	in := "# campaign A\nid,arrival,workload,nodes,sd\n3, 10.5, 15000, 1, 0.75\n"
+	jobs, err := ParsePSA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != 3 || jobs[0].SecurityDemand != 0.75 {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+func TestParsePSAErrors(t *testing.T) {
+	cases := []string{
+		"1,2,3",                           // too few columns
+		"x,1,100,1,0.7",                   // bad id
+		"1,abc,100,1,0.7",                 // bad arrival
+		"1,-5,100,1,0.7",                  // negative arrival
+		"1,10,0,1,0.7",                    // zero workload
+		"1,10,100,0,0.7",                  // zero nodes
+		"1,10,100,1.5,0.7",                // fractional nodes
+		"1,10,100,1,1.5",                  // SD out of range
+		"1,NaN,100,1,0.7",                 // NaN
+		"1,10,+Inf,1,0.7",                 // Inf
+		"1,10,100,9e99,0.7",               // node overflow
+		"1,10,100,-1e30,0.7",              // negative node overflow
+		"1,10,100,1,0.7,extra",            // too many columns
+		"9223372036854775808,1,100,1,0.7", // id overflow
+	}
+	for _, in := range cases {
+		if _, err := ParsePSA(strings.NewReader(in)); err == nil {
+			t.Errorf("ParsePSA accepted %q", in)
+		}
+	}
+}
+
+func TestParseSWFRejectsCorruptFields(t *testing.T) {
+	cases := []string{
+		"NaN 1 1 10 4",
+		"1 Inf 1 10 4",
+		"1 -5 1 10 4",    // negative submit
+		"1.5 1 1 10 4",   // fractional job id
+		"1 1 1 10 1e300", // processor overflow
+		"9e99 1 1 10 4",  // job id overflow
+	}
+	for _, in := range cases {
+		if _, err := ParseSWF(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseSWF accepted %q", in)
+		}
+	}
+}

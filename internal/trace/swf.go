@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -46,7 +47,22 @@ func ParseSWF(r io.Reader) ([]SWFRecord, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: SWF line %d field %d: %v", lineNo, i+1, err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("trace: SWF line %d field %d is %v", lineNo, i+1, v)
+			}
 			vals[i] = v
+		}
+		// Bound the integral fields before converting: float→int
+		// conversion out of range is implementation-defined, and a job ID
+		// or processor count beyond 2^30 is corrupt data, not a workload.
+		if vals[0] != math.Trunc(vals[0]) || math.Abs(vals[0]) > float64(1<<30) {
+			return nil, fmt.Errorf("trace: SWF line %d has bad job id %q", lineNo, fields[0])
+		}
+		if vals[4] != math.Trunc(vals[4]) || math.Abs(vals[4]) > float64(1<<30) {
+			return nil, fmt.Errorf("trace: SWF line %d has bad processor count %q", lineNo, fields[4])
+		}
+		if vals[1] < 0 {
+			return nil, fmt.Errorf("trace: SWF line %d has negative submit time %v", lineNo, vals[1])
 		}
 		rec := SWFRecord{
 			JobID:      int(vals[0]),

@@ -33,6 +33,7 @@ package trustgrid
 
 import (
 	"trustgrid/internal/experiments"
+	"trustgrid/internal/fuzzy"
 	"trustgrid/internal/ga"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/heuristics"
@@ -93,6 +94,24 @@ type (
 	EngineEvent = sched.EngineEvent
 	// EventKind labels an EngineEvent.
 	EventKind = sched.EventKind
+	// DynamicsConfig turns a simulation into a dynamic grid: site churn,
+	// ground-truth security divergence and online reputation feedback
+	// (DESIGN.md §7). Attach via SimConfig.Dynamics.
+	DynamicsConfig = sched.DynamicsConfig
+	// ChurnEvent is one timed site transition (crash, drain, join,
+	// degrade, restore) of a churn trace.
+	ChurnEvent = grid.ChurnEvent
+	// ChurnConfig generates seeded churn traces (grid.ChurnConfig).
+	ChurnConfig = grid.ChurnConfig
+	// ReputationConfig parameterizes the online per-site trust model:
+	// EWMA evidence per security-demand band feeding the fuzzy
+	// inference.
+	ReputationConfig = fuzzy.ReputationConfig
+	// Reputation is one site's online trust state.
+	Reputation = fuzzy.Reputation
+	// SiteStatus is a site's live dynamic-grid state, as reported by
+	// Online.SiteStatuses and the daemon's /v1/sites endpoint.
+	SiteStatus = sched.SiteStatus
 	// ServiceConfig configures the embeddable trustgridd HTTP service.
 	ServiceConfig = server.Config
 	// Service is a running trusted-scheduling HTTP service instance:
@@ -101,12 +120,26 @@ type (
 	Service = server.Server
 )
 
-// Job lifecycle transitions reported through SimConfig.OnEvent.
+// Job lifecycle transitions reported through SimConfig.OnEvent. The
+// Interrupted and Site* kinds fire only on dynamic grids.
 const (
-	EventArrived   = sched.EventArrived
-	EventPlaced    = sched.EventPlaced
-	EventFailed    = sched.EventFailed
-	EventCompleted = sched.EventCompleted
+	EventArrived     = sched.EventArrived
+	EventPlaced      = sched.EventPlaced
+	EventFailed      = sched.EventFailed
+	EventCompleted   = sched.EventCompleted
+	EventInterrupted = sched.EventInterrupted
+	EventSiteDown    = sched.EventSiteDown
+	EventSiteUp      = sched.EventSiteUp
+	EventSiteSpeed   = sched.EventSiteSpeed
+)
+
+// Site churn transition kinds.
+const (
+	ChurnCrash   = grid.ChurnCrash
+	ChurnDrain   = grid.ChurnDrain
+	ChurnJoin    = grid.ChurnJoin
+	ChurnDegrade = grid.ChurnDegrade
+	ChurnRestore = grid.ChurnRestore
 )
 
 // Risk modes (paper §2).
@@ -118,6 +151,25 @@ const (
 
 // NewRand returns a deterministic random stream for the given seed.
 func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// DefaultChurnConfig returns a moderate churn regime over the horizon.
+func DefaultChurnConfig(horizon float64) ChurnConfig { return grid.DefaultChurnConfig(horizon) }
+
+// DefaultReputationConfig returns the reference online-trust model.
+func DefaultReputationConfig() ReputationConfig { return fuzzy.DefaultReputationConfig() }
+
+// NewReputation builds the cold-start reputation of one site with the
+// given declared security level.
+func NewReputation(cfg ReputationConfig, declaredSL float64) (*Reputation, error) {
+	return fuzzy.NewReputation(cfg, declaredSL)
+}
+
+// DeceptiveLevels builds a ground-truth security vector where a
+// fraction of sites truly run gap below their declaration, for
+// DynamicsConfig.TrueLevels.
+func DeceptiveLevels(sites []*Site, frac, gap float64, r *Rand) []float64 {
+	return grid.DeceptiveLevels(sites, frac, gap, r)
+}
 
 // SecurePolicy admits only sites with SL >= SD.
 func SecurePolicy() Policy { return grid.SecurePolicy() }
