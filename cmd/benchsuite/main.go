@@ -1,10 +1,14 @@
-// Command benchsuite regenerates every table and figure of the paper.
+// Command benchsuite regenerates every table and figure of the paper,
+// and doubles as the benchmark-trajectory harness.
 //
 // Usage:
 //
 //	benchsuite [-exp all|fig5|fig7a|fig7b|fig8|fig9|fig10|table2|ablations]
 //	           [-seed N] [-reps N] [-out DIR] [-scale small|paper]
 //	           [-workers N] [-gaworkers N]
+//	benchsuite -bench-json FILE [-bench-smoke]
+//	           [-bench-compare BASELINE] [-bench-threshold 1.5]
+//	           [-bench-ns-threshold 0]
 //
 // -workers fans independent sweep points out across goroutines and
 // -gaworkers parallelizes GA fitness evaluation inside each point; both
@@ -13,6 +17,17 @@
 //
 // Results are printed to stdout and, when -out is given, written as CSV
 // files to the directory.
+//
+// -bench-json switches to the kernel-path benchmark suite
+// (internal/benchkit): it runs the cases under testing.Benchmark,
+// writes ns/op + allocs/op as JSON to FILE (the repository's
+// BENCH_<date>.json trajectory format), and — when -bench-compare
+// names a committed baseline — fails with exit 1 on gated regressions.
+// allocs/op is gated at -bench-threshold (default 1.5x, generous on
+// purpose; allocation counts are hardware-independent so this cannot
+// flake across machines). ns/op is advisory by default and only gates
+// when -bench-ns-threshold > 0, for same-hardware comparisons.
+// -bench-smoke restricts to the quick subset CI runs per PR.
 package main
 
 import (
@@ -24,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"trustgrid/internal/benchkit"
 	"trustgrid/internal/experiments"
 )
 
@@ -49,8 +65,20 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	scale := fs.String("scale", "paper", "paper (Table 1 sizes) or small (quick smoke)")
 	workers := fs.Int("workers", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
 	gaWorkers := fs.Int("gaworkers", 0, "GA fitness-evaluation goroutines per sweep point (0 = auto: cores not already used by -workers; 1 = serial); results are identical at any setting")
+	benchJSON := fs.String("bench-json", "", "run the kernel-path benchmark suite and write ns/op + allocs/op JSON to FILE (skips the experiments)")
+	benchSmoke := fs.Bool("bench-smoke", false, "restrict -bench-json to the quick smoke subset CI runs per PR")
+	benchCompare := fs.String("bench-compare", "", "baseline BENCH_<date>.json to compare the -bench-json run against; regressions past the thresholds exit 1")
+	benchThreshold := fs.Float64("bench-threshold", 1.5, "multiplicative allocs/op regression threshold for -bench-compare (hardware-independent, so safe to gate on)")
+	benchNsThreshold := fs.Float64("bench-ns-threshold", 0, "multiplicative ns/op regression threshold for -bench-compare; 0 (default) makes wall-time differences advisory-only, since committed baselines usually come from different hardware")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *benchCompare != "" && *benchJSON == "" {
+		fmt.Fprintln(stderr, "benchsuite: -bench-compare requires -bench-json")
+		return 2
+	}
+	if *benchJSON != "" {
+		return runBenchJSON(stdout, stderr, *benchJSON, *benchSmoke, *benchCompare, *benchNsThreshold, *benchThreshold)
 	}
 	if !knownExps[*exp] {
 		fmt.Fprintf(stderr, "benchsuite: unknown experiment %q\n", *exp)
@@ -194,5 +222,46 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if failed {
 		return 1
 	}
+	return 0
+}
+
+// runBenchJSON runs the benchkit suite, writes the trajectory point,
+// and optionally gates against a committed baseline.
+func runBenchJSON(stdout, stderr io.Writer, path string, smoke bool, comparePath string, nsThreshold, allocThreshold float64) int {
+	var baseline benchkit.File
+	if comparePath != "" {
+		// Read the baseline before burning minutes on the suite: a bad
+		// path should fail immediately.
+		var err error
+		baseline, err = benchkit.ReadFile(comparePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsuite:", err)
+			return 1
+		}
+	}
+	f := benchkit.Run(smoke, time.Now())
+	for _, r := range f.Records {
+		fmt.Fprintf(stdout, "%-36s %14.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if err := f.Write(path); err != nil {
+		fmt.Fprintln(stderr, "benchsuite:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchsuite: wrote %d benchmark records to %s\n", len(f.Records), path)
+	if comparePath == "" {
+		return 0
+	}
+	problems, advisories := benchkit.Compare(baseline, f, nsThreshold, allocThreshold)
+	for _, a := range advisories {
+		fmt.Fprintln(stdout, "benchsuite:", a)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(stderr, "benchsuite: regression:", p)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchsuite: no gated regressions vs %s\n", comparePath)
 	return 0
 }

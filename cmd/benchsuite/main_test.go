@@ -58,3 +58,26 @@ func TestRealMainBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestRealMainBenchCompareRequiresJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-bench-compare", "BENCH_x.json"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-bench-compare requires -bench-json") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRealMainBenchBadBaseline(t *testing.T) {
+	// The baseline is read before the suite runs, so a bad path fails
+	// fast instead of after minutes of benchmarking.
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-bench-json", filepath.Join(t.TempDir(), "out.json"),
+		"-bench-compare", filepath.Join(t.TempDir(), "missing.json"),
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}

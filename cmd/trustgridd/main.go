@@ -9,7 +9,7 @@
 //	trustgridd [-addr :8421] [-workload psa|nas] [-algo minmin|...|stga]
 //	           [-mode secure|risky|frisky] [-f 0.5] [-seed 1]
 //	           [-batch SECONDS] [-tick 100ms] [-manual] [-scale small|paper]
-//	           [-trace-out FILE] [-max-wall DURATION]
+//	           [-trace-out FILE] [-max-wall DURATION] [-pprof-addr ADDR]
 //	           [-churn-mtbf SECONDS] [-churn-outage SECONDS]
 //	           [-churn-horizon SECONDS] [-churn-trace FILE]
 //	           [-reputation] [-deceptive-frac F] [-deceptive-gap G]
@@ -41,6 +41,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +64,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("trustgridd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8421", "HTTP listen address")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address for production profiling of the scheduling kernel (empty = disabled)")
 	workload := fs.String("workload", "psa", "platform family: psa (20 sites) or nas (12 sites)")
 	algo := fs.String("algo", "minmin", "scheduler: minmin, sufferage, mct, met, olb, random, stga, coldga")
 	mode := fs.String("mode", "frisky", "heuristic admission mode: secure, risky, frisky")
@@ -206,6 +208,25 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "trustgridd:", err)
 		return 1
+	}
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling surface
+		// stays off the public API port and off by default.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "trustgridd:", err)
+			return 1
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux}
+		go func() { _ = psrv.Serve(pln) }()
+		defer psrv.Close()
+		fmt.Fprintf(stdout, "trustgridd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 	clock := fmt.Sprintf("tick %s", *tick)
 	if *manual {

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -141,5 +144,77 @@ func TestRealMainRejectsOrphanDynamicsFlags(t *testing.T) {
 		if code := realMain(args, &out, &errb); code != 2 {
 			t.Errorf("%v: exit %d, want 2 (stderr: %s)", args, code, errb.String())
 		}
+	}
+}
+
+// syncWriter is a goroutine-safe buffer: the pprof smoke test polls it
+// while realMain is still writing.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestRealMainPprof boots the daemon with -pprof-addr on an ephemeral
+// port and requires the pprof index to actually serve while the daemon
+// runs — the smoke test for production profiling of the scheduling
+// kernel.
+func TestRealMainPprof(t *testing.T) {
+	var out syncWriter
+	var errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- realMain([]string{
+			"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0",
+			"-tick", "10ms", "-max-wall", "2s",
+		}, &out, &errb)
+	}()
+	// Wait for the pprof line, then hit the endpoint.
+	var pprofURL string
+	deadline := time.Now().Add(5 * time.Second)
+	for pprofURL == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("pprof address never announced; output:\n%s\n%s", out.String(), errb.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "trustgridd: pprof on "); ok {
+				pprofURL = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %.200s", resp.StatusCode, body)
+	}
+	if code := <-done; code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+// TestRealMainPprofBadAddr: an unusable pprof address must fail fast,
+// not silently serve nothing.
+func TestRealMainPprofBadAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{
+		"-addr", "127.0.0.1:0", "-pprof-addr", "256.0.0.1:99999", "-max-wall", "10ms",
+	}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
 	}
 }

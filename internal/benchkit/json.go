@@ -1,0 +1,128 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Record is one benchmark's measurement.
+type Record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// File is one point of the benchmark trajectory (a BENCH_<date>.json).
+type File struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Smoke      bool     `json:"smoke_subset"`
+	Records    []Record `json:"records"`
+}
+
+// Run executes the suite (or its smoke subset) under testing.Benchmark
+// and collects the measurements.
+func Run(smokeOnly bool, now time.Time) File {
+	f := File{
+		Date:       now.Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Smoke:      smokeOnly,
+	}
+	for _, c := range Suite() {
+		if smokeOnly && !c.Smoke {
+			continue
+		}
+		r := testing.Benchmark(c.F)
+		f.Records = append(f.Records, Record{
+			Name:        c.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+	return f
+}
+
+// Write emits the file as indented JSON.
+func (f File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a trajectory point.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchkit: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Compare checks current against baseline benchstat-style but
+// deliberately coarse. allocThreshold is the multiplicative fail bound
+// on allocs/op (e.g. 1.5 = fail when 50% worse, plus a small absolute
+// slack so zero-alloc cases aren't special): allocation counts are
+// hardware-independent, so this is the gate that can block a merge
+// without flaking. nsThreshold gates ns/op the same way, but only when
+// > 0 — a committed baseline usually travels across hardware, where
+// wall-time ratios flake; pass 0 to make ns/op differences advisory
+// (reported with an "advisory:" prefix in the second return value,
+// never failing). Cases present in the baseline but missing from
+// current fail loudly — a renamed benchmark must update the committed
+// baseline.
+func Compare(baseline, current File, nsThreshold, allocThreshold float64) (problems, advisories []string) {
+	cur := make(map[string]Record, len(current.Records))
+	for _, r := range current.Records {
+		cur[r.Name] = r
+	}
+	for _, base := range baseline.Records {
+		r, ok := cur[base.Name]
+		if !ok {
+			// A smoke run against a full baseline covers only the
+			// intersection; anything else missing is a real problem.
+			if c, err := Find(base.Name); current.Smoke && err == nil && !c.Smoke {
+				continue
+			}
+			problems = append(problems, fmt.Sprintf("%s: present in baseline, missing from current run", base.Name))
+			continue
+		}
+		if base.NsPerOp > 0 {
+			if nsThreshold > 0 && r.NsPerOp > base.NsPerOp*nsThreshold {
+				problems = append(problems, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (>%.2fx)",
+					base.Name, r.NsPerOp, base.NsPerOp, nsThreshold))
+			} else if nsThreshold <= 0 && r.NsPerOp > base.NsPerOp*advisoryNsRatio {
+				advisories = append(advisories, fmt.Sprintf("advisory: %s: %.0f ns/op vs baseline %.0f (>%.2fx, not gated)",
+					base.Name, r.NsPerOp, base.NsPerOp, advisoryNsRatio))
+			}
+		}
+		if float64(r.AllocsPerOp) > float64(base.AllocsPerOp)*allocThreshold+8 {
+			problems = append(problems, fmt.Sprintf("%s: %d allocs/op vs baseline %d (>%.2fx)",
+				base.Name, r.AllocsPerOp, base.AllocsPerOp, allocThreshold))
+		}
+	}
+	return problems, advisories
+}
+
+// advisoryNsRatio is the reporting (not failing) bound for ns/op when
+// the wall-time gate is disabled.
+const advisoryNsRatio = 1.5

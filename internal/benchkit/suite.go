@@ -1,0 +1,218 @@
+package benchkit
+
+import (
+	"fmt"
+	"testing"
+
+	"trustgrid/internal/ga"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/heuristics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/sched/kernel"
+	"trustgrid/internal/stga"
+)
+
+// Case is one benchmark of the suite.
+type Case struct {
+	// Name follows go-test sub-benchmark convention (slash-separated).
+	Name string
+	// Smoke marks the CI subset: quick cases whose JSON is compared
+	// against the committed baseline on every PR.
+	Smoke bool
+	F     func(b *testing.B)
+}
+
+// benchBatch mirrors the root bench_test.go generator: the PSA platform
+// with n uniform jobs.
+func benchBatch(n int) ([]*grid.Job, []*grid.Site) {
+	r := rng.New(1)
+	sites, err := grid.PSAPlatform().Generate(r.Derive("sites"))
+	if err != nil {
+		panic(err)
+	}
+	jobs := make([]*grid.Job, n)
+	for i := range jobs {
+		jobs[i] = &grid.Job{
+			ID: i, Workload: 1000 + r.Float64()*200000, Nodes: 1,
+			SecurityDemand: r.Uniform(0.6, 0.9),
+		}
+	}
+	return jobs, sites
+}
+
+func freshState(sites []*grid.Site) *sched.State {
+	return &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+}
+
+// greedyCase benchmarks one greedy heuristic the way the engine runs
+// it: a Builder-rebuilt snapshot (reused arenas) plus the Schedule
+// call, per round.
+func greedyCase(n int, mk func(grid.Policy) sched.Scheduler) func(b *testing.B) {
+	return func(b *testing.B) {
+		jobs, sites := benchBatch(n)
+		s := mk(grid.FRiskyPolicy(0.5))
+		var kb kernel.Builder
+		ready := make([]float64, len(sites))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := freshState(sites)
+			st.Kern = kb.Build(0, sites, ready, nil, jobs)
+			s.Schedule(jobs, st)
+		}
+	}
+}
+
+// fitnessPathCase builds the steady-state fitness-path benchmark: a
+// converged population receiving Table 1 mutation traffic, evaluated
+// every generation (the access pattern inside ga.Run). delta toggles
+// incremental evaluation against the full decode; both arms replay the
+// identical edit script.
+func fitnessPathCase(n, m, pop int, delta bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		r := rng.New(7)
+		base := make([]float64, m)
+		etc := make([]float64, n*m)
+		for i := range base {
+			base[i] = r.Float64() * 1e4
+		}
+		for i := range etc {
+			etc[i] = r.Float64() * 1e3 * float64(1+r.Intn(1000))
+		}
+		full := stga.MakespanFitness(m, base, etc, 0)
+		inc := stga.NewDeltaEvaluator(base, etc, n, m)
+		const gens = 16
+		type edit struct{ idx, gene, val int }
+		script := make([][]edit, gens)
+		er := r.Derive("script")
+		for g := range script {
+			for idx := 0; idx < pop; idx++ {
+				for gene := 0; gene < n; gene++ {
+					if er.Bool(0.01) {
+						script[g] = append(script[g], edit{idx, gene, er.Intn(m)})
+					}
+				}
+			}
+		}
+		incumbent := make(ga.Chromosome, n)
+		for i := range incumbent {
+			incumbent[i] = r.Intn(m)
+		}
+		chroms := make([]ga.Chromosome, pop)
+		states := make([]ga.IncState, pop)
+		for i := range chroms {
+			chroms[i] = incumbent.Clone()
+			if delta {
+				states[i] = inc.NewState()
+				inc.Reset(states[i], chroms[i])
+			}
+		}
+		sink := 0.0
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			for _, e := range script[it%gens] {
+				if old := chroms[e.idx][e.gene]; old != e.val {
+					if delta {
+						inc.Update(states[e.idx], e.gene, old, e.val)
+					}
+					chroms[e.idx][e.gene] = e.val
+				}
+			}
+			if delta {
+				for i := range chroms {
+					sink += inc.Value(states[i], chroms[i])
+				}
+			} else {
+				for i := range chroms {
+					sink += full(chroms[i])
+				}
+			}
+		}
+		_ = sink
+	}
+}
+
+// Suite returns the kernel-path benchmark cases.
+func Suite() []Case {
+	return []Case{
+		{Name: "KernelBuild/batch=50", Smoke: true, F: func(b *testing.B) {
+			jobs, sites := benchBatch(50)
+			ready := make([]float64, len(sites))
+			var kb kernel.Builder
+			p := grid.FRiskyPolicy(0.5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := kb.Build(0, sites, ready, nil, jobs)
+				// Touch the eligibility cache the way schedulers do.
+				for j := range jobs {
+					_ = s.Eligible(p, j)
+				}
+			}
+		}},
+		{Name: "GreedyMinMin/batch=50", Smoke: true,
+			F: greedyCase(50, func(p grid.Policy) sched.Scheduler { return heuristics.NewMinMin(p) })},
+		{Name: "GreedyMinMin/batch=200", Smoke: true,
+			F: greedyCase(200, func(p grid.Policy) sched.Scheduler { return heuristics.NewMinMin(p) })},
+		{Name: "GreedySufferage/batch=50", Smoke: true,
+			F: greedyCase(50, func(p grid.Policy) sched.Scheduler { return heuristics.NewSufferage(p) })},
+		{Name: "STGASchedule/batch=50", Smoke: true, F: func(b *testing.B) {
+			jobs, sites := benchBatch(50)
+			cfg := stga.DefaultConfig()
+			cfg.GA.PopulationSize = 50
+			cfg.GA.Generations = 30
+			s := stga.New(cfg, rng.New(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(jobs, freshState(sites))
+			}
+		}},
+		{Name: "STGASchedule/batch=200", Smoke: false, F: func(b *testing.B) {
+			jobs, sites := benchBatch(200)
+			s := stga.New(stga.DefaultConfig(), rng.New(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(jobs, freshState(sites))
+			}
+		}},
+		{Name: "FitnessPath/full-decode/batch=50", Smoke: true, F: fitnessPathCase(50, 20, 200, false)},
+		{Name: "FitnessPath/delta/batch=50", Smoke: true, F: fitnessPathCase(50, 20, 200, true)},
+		{Name: "FitnessPath/full-decode/batch=200", Smoke: false, F: fitnessPathCase(200, 20, 200, false)},
+		{Name: "FitnessPath/delta/batch=200", Smoke: false, F: fitnessPathCase(200, 20, 200, true)},
+		{Name: "OnlineEngine/jobs=1000", Smoke: true, F: func(b *testing.B) {
+			jobs, sites := benchBatch(1000)
+			for i := range jobs {
+				jobs[i].Arrival = float64(i) * 300
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := sched.NewOnline(sched.RunConfig{
+					Sites:         sites,
+					Scheduler:     heuristics.NewMCT(grid.FRiskyPolicy(0.5)),
+					BatchInterval: 5000,
+					Rand:          rng.New(uint64(i)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, j := range jobs {
+					if err := o.Submit(j); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := o.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// Find returns the named case or an error listing what exists.
+func Find(name string) (Case, error) {
+	for _, c := range Suite() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("benchkit: unknown case %q", name)
+}

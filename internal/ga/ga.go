@@ -47,7 +47,17 @@ type Config struct {
 	// cannot know whether the closure carries scratch state. Selection,
 	// crossover and mutation always consume the single master rng.Stream,
 	// so every worker count produces bit-identical evolution.
+	//
+	// A Problem with an Incremental evaluator bypasses the pool
+	// entirely: delta evaluation is cheaper than fanning full decodes
+	// out, and its values are bit-identical by contract, so Workers has
+	// no effect on such problems.
 	Workers int
+	// VerifyIncremental cross-checks every incremental fitness value
+	// against the full decode (Problem.Fitness/NewFitness) and panics on
+	// the first divergence. Debug/test only: it re-adds the full decode
+	// cost the incremental path exists to avoid.
+	VerifyIncremental bool
 }
 
 // DefaultConfig returns the Table 1 hyper-parameters.
@@ -90,6 +100,13 @@ type Problem struct {
 	// function — workers differ only in which population slice they
 	// score. When NewFitness is set, Fitness may be nil.
 	NewFitness func() Fitness
+	// Incremental, when non-nil, switches evaluation to the delta path:
+	// per-individual decode states maintained through selection,
+	// crossover and mutation, with Value() exactly equal to the full
+	// decode (see incremental.go). Takes precedence over the worker
+	// pool. When set, Fitness/NewFitness are only needed for
+	// Config.VerifyIncremental.
+	Incremental Incremental
 }
 
 // Validate checks the problem definition.
@@ -105,7 +122,7 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("ga: gene %d has empty allowed set", i)
 		}
 	}
-	if p.Fitness == nil && p.NewFitness == nil {
+	if p.Fitness == nil && p.NewFitness == nil && p.Incremental == nil {
 		return fmt.Errorf("ga: nil fitness function")
 	}
 	return nil
@@ -156,6 +173,14 @@ type Result struct {
 // wheel on 1/fitness with elitism), crossover, mutate. seeds (may be
 // empty) are inserted into the initial population after repair; the
 // remainder is random.
+//
+// The generation loop is allocation-free: the population is
+// double-buffered against a preallocated twin, selection produces pick
+// indices that are copied in place, and the roulette/rank scratch
+// vectors are reused across generations. None of this changes a single
+// rng draw, so evolution is bit-identical to the allocating
+// implementation it replaced (and to the serial path at any worker
+// count, as before).
 func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -180,18 +205,54 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 		pop = append(pop, p.RandomChromosome(r))
 	}
 
-	eval := newEvaluator(p, cfg)
-	defer eval.close()
-
+	// Delta evaluation when the problem provides it; otherwise the
+	// (possibly pooled) full-decode evaluator.
+	var ir *incRun
+	var eval *evaluator
+	if p.Incremental != nil {
+		ir = newIncRun(p, cfg, cfg.PopulationSize)
+		for i, c := range pop {
+			ir.inc.Reset(ir.states[i], c)
+		}
+	} else {
+		eval = newEvaluator(p, cfg)
+		defer eval.close()
+	}
 	fit := make([]float64, len(pop))
-	eval.evaluate(pop, fit)
+	evaluate := func() {
+		if ir != nil {
+			ir.evaluate(pop, fit)
+		} else {
+			eval.evaluate(pop, fit)
+		}
+	}
+
+	evaluate()
 	bestIdx := argMin(fit)
 	best := pop[bestIdx].Clone()
 	bestFit := fit[bestIdx]
+	if ir != nil {
+		ir.inc.Copy(ir.bestState, ir.states[bestIdx])
+	}
 	trajectory := make([]float64, 0, cfg.Generations+1)
 	trajectory = append(trajectory, bestFit)
 
 	next := make([]Chromosome, len(pop))
+	for i := range next {
+		next[i] = make(Chromosome, p.Length)
+	}
+	picks := make([]int, len(pop))
+	// Scratch for roulette (weights, cum) and rank (order reuses picks'
+	// sizing, weights shared).
+	weights := make([]float64, len(pop))
+	cum := make([]float64, len(pop))
+	order := make([]int, len(pop))
+	// Precomputed Bernoulli comparators: bit-identical to
+	// r.Bool(CrossoverProb)/r.Bool(MutationProb), minus the per-draw
+	// float arithmetic (mutation draws once per gene per individual).
+	crossDraw := rng.NewBernoulli(cfg.CrossoverProb)
+	mutDraw := rng.NewBernoulli(cfg.MutationProb)
+
 	for g := 0; g < cfg.Generations; g++ {
 		switch cfg.Selection {
 		case TournamentSelection:
@@ -199,25 +260,40 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 			if k == 0 {
 				k = 3
 			}
-			selectTournament(pop, fit, next, k, r)
+			selectTournament(fit, picks, k, r)
 		case RankSelection:
-			selectRank(pop, fit, next, r)
+			selectRank(fit, picks, order, weights, r)
 		default:
-			selectRoulette(pop, fit, next, r)
+			selectRoulette(fit, picks, weights, cum, r)
+		}
+		for i, src := range picks {
+			copy(next[i], pop[src])
+			if ir != nil {
+				ir.inc.Copy(ir.nextStates[i], ir.states[src])
+			}
 		}
 		pop, next = next, pop
+		if ir != nil {
+			ir.states, ir.nextStates = ir.nextStates, ir.states
+		}
 
 		// Crossover in adjacent pairs (the selection output is already a
 		// random sample, so pairing neighbours is unbiased).
 		for i := 0; i+1 < len(pop); i += 2 {
-			if r.Bool(cfg.CrossoverProb) {
+			if crossDraw.Hit(r) {
+				a, b := pop[i], pop[i+1]
+				var sa, sb IncState
+				var inc Incremental
+				if ir != nil {
+					sa, sb, inc = ir.states[i], ir.states[i+1], ir.inc
+				}
 				switch cfg.Crossover {
 				case TwoPointCrossover:
-					crossoverTwoPoint(pop[i], pop[i+1], r)
+					crossoverTwoPoint(a, b, sa, sb, inc, r)
 				case UniformCrossover:
-					crossoverUniform(pop[i], pop[i+1], r)
+					crossoverUniform(a, b, sa, sb, inc, r)
 				default:
-					crossover(pop[i], pop[i+1], r)
+					crossover(a, b, sa, sb, inc, r)
 				}
 			}
 		}
@@ -225,19 +301,31 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 		// probability MutationProb (the standard per-gene reading of the
 		// paper's "mutation probability 0.01"; a per-chromosome reading
 		// leaves 40-gene chromosomes nearly frozen).
-		for i := range pop {
-			mutate(pop[i], p, cfg.MutationProb, r)
+		if ir != nil {
+			for i := range pop {
+				mutateInc(pop[i], p, mutDraw, ir.states[i], ir.inc, r)
+			}
+		} else {
+			for i := range pop {
+				mutate(pop[i], p, mutDraw, r)
+			}
 		}
-		eval.evaluate(pop, fit)
+		evaluate()
 		genBest := argMin(fit)
 		if fit[genBest] < bestFit {
-			best = pop[genBest].Clone()
+			copy(best, pop[genBest])
 			bestFit = fit[genBest]
+			if ir != nil {
+				ir.inc.Copy(ir.bestState, ir.states[genBest])
+			}
 		} else if cfg.Elitism {
 			// Re-insert the incumbent over the worst individual.
 			worst := argMax(fit)
-			pop[worst] = best.Clone()
+			copy(pop[worst], best)
 			fit[worst] = bestFit
+			if ir != nil {
+				ir.inc.Copy(ir.states[worst], ir.bestState)
+			}
 		}
 		trajectory = append(trajectory, bestFit)
 	}
@@ -274,14 +362,16 @@ func argMax(xs []float64) int {
 	return best
 }
 
-// selectRoulette fills next with individuals sampled proportionally to
-// their value on a windowed scale: w = (worst − f) + 10% of the spread.
-// This is the paper's value-based roulette wheel with standard window
-// scaling — raw 1/f weights degenerate to uniform selection once the
-// population's makespans cluster within a few percent, which stalls the
-// search entirely.
-func selectRoulette(pop []Chromosome, fit []float64, next []Chromosome, r *rng.Stream) {
-	n := len(pop)
+// selectRoulette fills picks with population indices sampled
+// proportionally to their value on a windowed scale: w = (worst − f) +
+// 10% of the spread. This is the paper's value-based roulette wheel
+// with standard window scaling — raw 1/f weights degenerate to uniform
+// selection once the population's makespans cluster within a few
+// percent, which stalls the search entirely. weights and cum are
+// caller-owned scratch (len == len(fit)); the draw sequence is the one
+// the cloning implementation consumed.
+func selectRoulette(fit []float64, picks []int, weights, cum []float64, r *rng.Stream) {
+	n := len(fit)
 	worst, best := fit[0], fit[0]
 	for _, f := range fit {
 		if f > worst && !math.IsInf(f, 1) {
@@ -296,7 +386,6 @@ func selectRoulette(pop []Chromosome, fit []float64, next []Chromosome, r *rng.S
 	if spread == 0 {
 		floor = 1 // uniform selection when all fitnesses are equal
 	}
-	weights := make([]float64, n)
 	var total float64
 	for i, f := range fit {
 		w := 0.0
@@ -314,7 +403,6 @@ func selectRoulette(pop []Chromosome, fit []float64, next []Chromosome, r *rng.S
 		total = float64(n)
 	}
 	// Cumulative wheel + binary search keeps selection O(n log n).
-	cum := make([]float64, n)
 	acc := 0.0
 	for i, w := range weights {
 		acc += w
@@ -331,29 +419,57 @@ func selectRoulette(pop []Chromosome, fit []float64, next []Chromosome, r *rng.S
 				hi = mid
 			}
 		}
-		next[i] = pop[lo].Clone()
+		picks[i] = lo
 	}
 }
 
 // crossover performs single-point crossover in place: both tails beyond a
 // random cut point are swapped. Genes stay legal because each position's
-// allowed set is position-specific and both parents are legal.
-func crossover(a, b Chromosome, r *rng.Stream) {
+// allowed set is position-specific and both parents are legal. When inc
+// is non-nil, the exchanged range is reported wholesale through
+// SwapRange — cheaper than per-gene updates because the incremental
+// state can reconcile whole bitset words.
+func crossover(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) {
 	if len(a) < 2 {
 		return
 	}
 	cut := 1 + r.Intn(len(a)-1)
+	differed := false
 	for i := cut; i < len(a); i++ {
-		a[i], b[i] = b[i], a[i]
+		if a[i] != b[i] {
+			a[i], b[i] = b[i], a[i]
+			differed = true
+		}
+	}
+	// Crossing two identical individuals — increasingly common as the
+	// population converges — is a no-op; skip the state reconciliation.
+	if differed && inc != nil {
+		inc.SwapRange(sa, sb, a, b, cut, len(a))
 	}
 }
 
-// mutate re-draws each gene from its allowed set with probability prob.
-func mutate(c Chromosome, p *Problem, prob float64, r *rng.Stream) {
+// mutate re-draws each gene from its allowed set with the prob
+// Bernoulli (identical draws to r.Bool(MutationProb)).
+func mutate(c Chromosome, p *Problem, prob rng.Bernoulli, r *rng.Stream) {
 	for i := range c {
-		if r.Bool(prob) {
+		if prob.Hit(r) {
 			a := p.Allowed[i]
 			c[i] = a[r.Intn(len(a))]
+		}
+	}
+}
+
+// mutateInc is mutate with incremental-state maintenance: identical rng
+// draws, with each effective gene change reported through Update.
+func mutateInc(c Chromosome, p *Problem, prob rng.Bernoulli, s IncState, inc Incremental, r *rng.Stream) {
+	for i := range c {
+		if prob.Hit(r) {
+			a := p.Allowed[i]
+			v := a[r.Intn(len(a))]
+			if v != c[i] {
+				inc.Update(s, i, c[i], v)
+				c[i] = v
+			}
 		}
 	}
 }

@@ -213,7 +213,7 @@ func TestCrossoverPreservesLengthAndGenes(t *testing.T) {
 	r := rng.New(7)
 	a := Chromosome{1, 2, 3, 4, 5}
 	b := Chromosome{6, 7, 8, 9, 10}
-	crossover(a, b, r)
+	crossover(a, b, nil, nil, nil, r)
 	if len(a) != 5 || len(b) != 5 {
 		t.Fatal("crossover changed length")
 	}
@@ -230,7 +230,7 @@ func TestCrossoverPreservesLengthAndGenes(t *testing.T) {
 func TestCrossoverLengthOneNoop(t *testing.T) {
 	r := rng.New(8)
 	a, b := Chromosome{1}, Chromosome{2}
-	crossover(a, b, r)
+	crossover(a, b, nil, nil, nil, r)
 	if a[0] != 1 || b[0] != 2 {
 		t.Fatal("length-1 crossover must be a no-op")
 	}
@@ -240,7 +240,6 @@ func TestRouletteFavorsFit(t *testing.T) {
 	r := rng.New(9)
 	pop := []Chromosome{{0}, {1}}
 	fit := []float64{1, 100} // chromosome 0 is 100× fitter
-	next := make([]Chromosome, 1000)
 	// Run selection over a large sample.
 	big := make([]Chromosome, 1000)
 	bigFit := make([]float64, 1000)
@@ -248,10 +247,13 @@ func TestRouletteFavorsFit(t *testing.T) {
 		big[i] = pop[i%2]
 		bigFit[i] = fit[i%2]
 	}
-	selectRoulette(big, bigFit, next, r)
+	picks := make([]int, 1000)
+	weights := make([]float64, 1000)
+	cum := make([]float64, 1000)
+	selectRoulette(bigFit, picks, weights, cum, r)
 	zeros := 0
-	for _, c := range next {
-		if c[0] == 0 {
+	for _, src := range picks {
+		if big[src][0] == 0 {
 			zeros++
 		}
 	}

@@ -1,0 +1,96 @@
+// Incremental (delta) fitness evaluation.
+//
+// The GA's evaluation cost used to be a full chromosome decode per
+// individual per generation, even when crossover and mutation had
+// changed a handful of genes. The Incremental interface lets a problem
+// carry a per-individual decode state through the evolution instead:
+// selection copies it, crossover and mutation report each gene edit
+// through Update, and Value reads the fitness off the maintained state.
+//
+// The hard constraint is exactness: Value must return the bit-identical
+// float64 the full decode would, every time, because fitness values
+// steer selection and the repository's determinism suite pins schedules
+// byte-for-byte. Implementations achieve this by keeping enough
+// structure to replay the full decode's floating-point operation order
+// for any part of the state they rebuild (see the STGA's per-site
+// membership bitsets). Config.VerifyIncremental cross-checks every
+// evaluation against the full decode at runtime for tests and debugging.
+package ga
+
+// IncState is an opaque per-individual decode state owned by an
+// Incremental implementation.
+type IncState any
+
+// Incremental maintains per-individual fitness state under gene edits.
+// All methods are called from the single goroutine running the GA.
+type Incremental interface {
+	// NewState allocates one individual's state (called once per
+	// population slot at the start of a run).
+	NewState() IncState
+	// Reset decodes c into s from scratch.
+	Reset(s IncState, c Chromosome)
+	// Copy makes dst an exact copy of src (selection).
+	Copy(dst, src IncState)
+	// Update applies one gene edit: gene changed from oldVal to newVal.
+	// Only called when oldVal != newVal.
+	Update(s IncState, gene, oldVal, newVal int)
+	// SwapRange records that genes [lo, hi) were exchanged between
+	// chromosomes a and b (single-point and two-point crossover). The
+	// chromosomes have already been swapped when it is called; positions
+	// where both parents agreed are no-ops the implementation detects
+	// with one scan instead of one interface call per gene.
+	SwapRange(sa, sb IncState, a, b Chromosome, lo, hi int)
+	// Value returns the fitness of chromosome c, whose edits since the
+	// last Reset/Value have all been reported to s. Implementations pick
+	// the cheaper of replaying the deltas and rescanning c (the
+	// chromosome is the same one the edits described, so both agree).
+	// The result must equal the full decode bit-for-bit.
+	Value(s IncState, c Chromosome) float64
+}
+
+// incRun is the per-run incremental evaluation context: the population's
+// states, double-buffered alongside pop/next, plus the incumbent's.
+type incRun struct {
+	inc        Incremental
+	states     []IncState
+	nextStates []IncState
+	bestState  IncState
+	// verify, when non-nil, is the full-decode fitness every Value call
+	// is cross-checked against (Config.VerifyIncremental).
+	verify Fitness
+}
+
+func newIncRun(p *Problem, cfg Config, popSize int) *incRun {
+	ir := &incRun{inc: p.Incremental}
+	ir.states = make([]IncState, popSize)
+	ir.nextStates = make([]IncState, popSize)
+	for i := 0; i < popSize; i++ {
+		ir.states[i] = ir.inc.NewState()
+		ir.nextStates[i] = ir.inc.NewState()
+	}
+	ir.bestState = ir.inc.NewState()
+	if cfg.VerifyIncremental {
+		ir.verify = p.Fitness
+		if ir.verify == nil && p.NewFitness != nil {
+			ir.verify = p.NewFitness()
+		}
+		if ir.verify == nil {
+			// Silently verifying nothing would defeat the flag's whole
+			// point; this is a configuration bug, not an input condition.
+			panic("ga: VerifyIncremental set but the problem has no full-decode fitness to check against")
+		}
+	}
+	return ir
+}
+
+// evaluate fills fit from the maintained states.
+func (ir *incRun) evaluate(pop []Chromosome, fit []float64) {
+	for i := range pop {
+		fit[i] = ir.inc.Value(ir.states[i], pop[i])
+		if ir.verify != nil {
+			if full := ir.verify(pop[i]); full != fit[i] {
+				panic("ga: incremental fitness diverged from full decode")
+			}
+		}
+	}
+}

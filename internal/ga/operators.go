@@ -61,13 +61,13 @@ func (m CrossoverMethod) String() string {
 	}
 }
 
-// selectTournament fills next by K-way tournaments.
-func selectTournament(pop []Chromosome, fit []float64, next []Chromosome, k int, r *rng.Stream) {
+// selectTournament fills picks by K-way tournaments.
+func selectTournament(fit []float64, picks []int, k int, r *rng.Stream) {
 	if k < 2 {
 		k = 2
 	}
-	n := len(pop)
-	for i := range next {
+	n := len(fit)
+	for i := range picks {
 		best := r.Intn(n)
 		for round := 1; round < k; round++ {
 			c := r.Intn(n)
@@ -75,16 +75,16 @@ func selectTournament(pop []Chromosome, fit []float64, next []Chromosome, k int,
 				best = c
 			}
 		}
-		next[i] = pop[best].Clone()
+		picks[i] = best
 	}
 }
 
-// selectRank fills next with probability proportional to inverse rank:
-// the best individual gets weight n, the worst weight 1.
-func selectRank(pop []Chromosome, fit []float64, next []Chromosome, r *rng.Stream) {
-	n := len(pop)
+// selectRank fills picks with probability proportional to inverse rank:
+// the best individual gets weight n, the worst weight 1. order and
+// weights are caller-owned scratch (len == len(fit)).
+func selectRank(fit []float64, picks []int, order []int, weights []float64, r *rng.Stream) {
+	n := len(fit)
 	// Rank via argsort of fitness ascending (best first).
-	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
@@ -94,12 +94,11 @@ func selectRank(pop []Chromosome, fit []float64, next []Chromosome, r *rng.Strea
 			order[k], order[k-1] = order[k-1], order[k]
 		}
 	}
-	weights := make([]float64, n)
 	for rank, idx := range order {
 		weights[idx] = float64(n - rank)
 	}
 	total := float64(n) * float64(n+1) / 2
-	for i := range next {
+	for i := range picks {
 		x := r.Float64() * total
 		acc := 0.0
 		chosen := n - 1
@@ -110,12 +109,14 @@ func selectRank(pop []Chromosome, fit []float64, next []Chromosome, r *rng.Strea
 				break
 			}
 		}
-		next[i] = pop[chosen].Clone()
+		picks[i] = chosen
 	}
 }
 
-// crossoverTwoPoint swaps the segment between two random cuts in place.
-func crossoverTwoPoint(a, b Chromosome, r *rng.Stream) {
+// crossoverTwoPoint swaps the segment between two random cuts in place,
+// reporting the exchanged range to the incremental states when inc is
+// non-nil.
+func crossoverTwoPoint(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) {
 	if len(a) < 2 {
 		return
 	}
@@ -124,15 +125,32 @@ func crossoverTwoPoint(a, b Chromosome, r *rng.Stream) {
 	if i > k {
 		i, k = k, i
 	}
+	differed := false
 	for p := i; p < k; p++ {
-		a[p], b[p] = b[p], a[p]
+		if a[p] != b[p] {
+			a[p], b[p] = b[p], a[p]
+			differed = true
+		}
+	}
+	if differed && inc != nil {
+		inc.SwapRange(sa, sb, a, b, i, k)
 	}
 }
 
-// crossoverUniform swaps each gene with probability ½ in place.
-func crossoverUniform(a, b Chromosome, r *rng.Stream) {
+// crossoverUniform swaps each gene with probability ½ in place,
+// reporting effective gene changes to the incremental states when inc
+// is non-nil. The coin is flipped for every gene (including equal
+// ones), exactly as before.
+func crossoverUniform(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) {
 	for i := range a {
 		if r.Bool(0.5) {
+			if a[i] == b[i] {
+				continue
+			}
+			if inc != nil {
+				inc.Update(sa, i, a[i], b[i])
+				inc.Update(sb, i, b[i], a[i])
+			}
 			a[i], b[i] = b[i], a[i]
 		}
 	}

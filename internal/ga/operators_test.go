@@ -28,11 +28,11 @@ func TestTournamentFavorsFit(t *testing.T) {
 		big[i] = pop[i%2]
 		fit[i] = float64(1 + i%2*99) // even indices fit, odd unfit
 	}
-	next := make([]Chromosome, 1000)
-	selectTournament(big, fit, next, 3, r)
+	picks := make([]int, 1000)
+	selectTournament(fit, picks, 3, r)
 	fitCount := 0
-	for _, c := range next {
-		if c[0] == 0 {
+	for _, src := range picks {
+		if big[src][0] == 0 {
 			fitCount++
 		}
 	}
@@ -48,12 +48,14 @@ func TestRankSelectionScaleInvariant(t *testing.T) {
 	pop := []Chromosome{{0}, {1}, {2}, {3}}
 	fitA := []float64{1, 2, 3, 4}
 	fitB := []float64{1, 2000, 300000, 4e9} // same ranks, wild scale
-	nextA := make([]Chromosome, 400)
-	nextB := make([]Chromosome, 400)
-	selectRank(pop, fitA, nextA, r1)
-	selectRank(pop, fitB, nextB, r2)
-	for i := range nextA {
-		if nextA[i][0] != nextB[i][0] {
+	picksA := make([]int, 400)
+	picksB := make([]int, 400)
+	order := make([]int, 4)
+	weights := make([]float64, 4)
+	selectRank(fitA, picksA, order, weights, r1)
+	selectRank(fitB, picksB, order, weights, r2)
+	for i := range picksA {
+		if pop[picksA[i]][0] != pop[picksB[i]][0] {
 			t.Fatal("rank selection must depend only on ranks")
 		}
 	}
@@ -63,11 +65,13 @@ func TestRankSelectionDistribution(t *testing.T) {
 	r := rng.New(3)
 	pop := []Chromosome{{0}, {1}, {2}, {3}}
 	fit := []float64{10, 20, 30, 40}
-	next := make([]Chromosome, 10000)
-	selectRank(pop, fit, next, r)
+	picks := make([]int, 10000)
+	order := make([]int, 4)
+	weights := make([]float64, 4)
+	selectRank(fit, picks, order, weights, r)
 	counts := make([]int, 4)
-	for _, c := range next {
-		counts[c[0]]++
+	for _, src := range picks {
+		counts[pop[src][0]]++
 	}
 	// Expected weights 4:3:2:1 → 4000, 3000, 2000, 1000.
 	if counts[0] < 3600 || counts[3] > 1400 {
@@ -83,7 +87,7 @@ func TestTwoPointCrossoverPreservesMultiset(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		a := Chromosome{1, 2, 3, 4, 5, 6}
 		b := Chromosome{7, 8, 9, 10, 11, 12}
-		crossoverTwoPoint(a, b, r)
+		crossoverTwoPoint(a, b, nil, nil, nil, r)
 		sum := 0
 		for i := range a {
 			sum += a[i] + b[i]
@@ -110,7 +114,7 @@ func TestUniformCrossoverColumns(t *testing.T) {
 		a[i] = 0
 		b[i] = 1
 	}
-	crossoverUniform(a, b, r)
+	crossoverUniform(a, b, nil, nil, nil, r)
 	swapped := 0
 	for i := range a {
 		if a[i] == 1 {

@@ -1,0 +1,183 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+)
+
+// referenceGreedy is a frozen copy of the pre-kernel greedyBatch: every
+// round recomputes every unscheduled job's best and second-best
+// completion times from scratch. The incremental implementation must
+// reproduce it assignment-for-assignment — including every tie — on any
+// input, which TestGreedyMatchesReference checks over randomized
+// instances. Keep this in sync with nothing: it is the oracle.
+func referenceGreedy(batch []*grid.Job, st *sched.State, policy grid.Policy, rule string) []sched.Assignment {
+	type cand struct {
+		jobIdx   int
+		bestSite int
+		bestCT   float64
+		secondCT float64
+		fellBack bool
+	}
+	pick := func(cands []cand) int {
+		best := 0
+		switch rule {
+		case "minmin":
+			for i := 1; i < len(cands); i++ {
+				if cands[i].bestCT < cands[best].bestCT {
+					best = i
+				}
+			}
+		case "maxmin":
+			for i := 1; i < len(cands); i++ {
+				if cands[i].bestCT > cands[best].bestCT {
+					best = i
+				}
+			}
+		case "sufferage":
+			bestVal := cands[0].secondCT - cands[0].bestCT
+			for i := 1; i < len(cands); i++ {
+				if v := cands[i].secondCT - cands[i].bestCT; v > bestVal {
+					best, bestVal = i, v
+				}
+			}
+		}
+		return best
+	}
+
+	n := len(batch)
+	out := make([]sched.Assignment, 0, n)
+	if n == 0 {
+		return out
+	}
+	ready := make([]float64, len(st.Ready))
+	copy(ready, st.Ready)
+	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	eligible := make([][]int, n)
+	fellBack := make([]bool, n)
+	for i, j := range batch {
+		eligible[i], fellBack[i] = st.EligibleSites(policy, j)
+	}
+
+	var cands []cand
+	for len(remaining) > 0 {
+		cands = cands[:0]
+		for _, jobIdx := range remaining {
+			j := batch[jobIdx]
+			c := cand{jobIdx: jobIdx, bestSite: -1,
+				bestCT: math.Inf(1), secondCT: math.Inf(1), fellBack: fellBack[jobIdx]}
+			for _, site := range eligible[jobIdx] {
+				ct := work.CompletionTime(j, site)
+				switch {
+				case ct < c.bestCT:
+					c.secondCT = c.bestCT
+					c.bestCT = ct
+					c.bestSite = site
+				case ct < c.secondCT:
+					c.secondCT = ct
+				}
+			}
+			cands = append(cands, c)
+		}
+		winner := cands[pick(cands)]
+		j := batch[winner.jobIdx]
+		out = append(out, sched.Assignment{Job: j, Site: winner.bestSite, FellBack: winner.fellBack})
+		work.Ready[winner.bestSite] = winner.bestCT
+		for k, idx := range remaining {
+			if idx == winner.jobIdx {
+				remaining = append(remaining[:k], remaining[k+1:]...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// randomGreedyInstance mirrors the kernel property tests' generator:
+// duplicate SLs and speeds (real ties), impossible demands, dead sites.
+func randomGreedyInstance(r *rng.Stream) ([]*grid.Job, *sched.State) {
+	m := 1 + r.Intn(10)
+	levels := []float64{0.3, 0.5, 0.5, 0.8, 1.0}
+	speeds := []float64{10, 10, 20, 40, 80}
+	sites := make([]*grid.Site, m)
+	for k := range sites {
+		sites[k] = &grid.Site{ID: k, Speed: speeds[r.Intn(len(speeds))], Nodes: 1,
+			SecurityLevel: levels[r.Intn(len(levels))]}
+	}
+	n := 1 + r.Intn(25)
+	jobs := make([]*grid.Job, n)
+	workloads := []float64{100, 100, 5000, 5000, 90000}
+	for i := range jobs {
+		jobs[i] = &grid.Job{ID: i, Workload: workloads[r.Intn(len(workloads))], Nodes: 1,
+			SecurityDemand: r.Float64(), MustBeSafe: r.Bool(0.2)}
+	}
+	ready := make([]float64, m)
+	for k := range ready {
+		// Coarse grid so ready-time ties actually occur.
+		ready[k] = float64(r.Intn(4)) * 100
+	}
+	var alive []bool
+	if r.Bool(0.4) {
+		alive = make([]bool, m)
+		for k := range alive {
+			alive[k] = r.Bool(0.8)
+		}
+		alive[r.Intn(m)] = true // the engine never hands a batch a dead grid
+	}
+	return jobs, &sched.State{Now: float64(r.Intn(3)) * 150, Sites: sites, Ready: ready, Alive: alive}
+}
+
+// TestGreedyMatchesReference pins the incremental greedyBatch to the
+// full-recompute oracle, bit for bit, across random instances designed
+// to hit ties, fallbacks and dead sites.
+func TestGreedyMatchesReference(t *testing.T) {
+	r := rng.New(20260730)
+	rules := []struct {
+		name string
+		mk   func(grid.Policy) sched.Scheduler
+	}{
+		{"minmin", func(p grid.Policy) sched.Scheduler { return NewMinMin(p) }},
+		{"maxmin", func(p grid.Policy) sched.Scheduler { return NewMaxMin(p) }},
+		{"sufferage", func(p grid.Policy) sched.Scheduler { return NewSufferage(p) }},
+	}
+	for trial := 0; trial < 400; trial++ {
+		jobs, st := randomGreedyInstance(r)
+		var policy grid.Policy
+		switch r.Intn(3) {
+		case 0:
+			policy = grid.SecurePolicy()
+		case 1:
+			policy = grid.RiskyPolicy()
+		default:
+			policy = grid.FRiskyPolicy(r.Float64())
+		}
+		for _, rule := range rules {
+			want := referenceGreedy(jobs, st, policy, rule.name)
+			// Fresh state per run: Schedule caches the snapshot on it.
+			got := rule.mk(policy).Schedule(jobs, &sched.State{
+				Now: st.Now, Sites: st.Sites, Ready: st.Ready, Alive: st.Alive,
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: %d assignments, want %d", trial, rule.name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Job.ID != want[i].Job.ID || got[i].Site != want[i].Site ||
+					got[i].FellBack != want[i].FellBack {
+					t.Fatalf("trial %d %s: assignment %d = (job %d, site %d, fb %v), want (job %d, site %d, fb %v)",
+						trial, rule.name, i,
+						got[i].Job.ID, got[i].Site, got[i].FellBack,
+						want[i].Job.ID, want[i].Site, want[i].FellBack)
+				}
+			}
+		}
+	}
+}

@@ -28,13 +28,15 @@ func (m *MaxMin) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment
 	return greedyBatch(batch, st, m.Policy, pickMaxMin)
 }
 
-// pickMaxMin chooses the candidate with the maximum earliest completion
-// time.
-func pickMaxMin(cands []candidate) int {
+// pickMaxMin chooses the position whose job has the maximum earliest
+// completion time. Tie rule: strict > keeps the first (lowest batch
+// index) of any equal-valued run.
+func pickMaxMin(g *greedyRun, remaining []int) int {
 	best := 0
-	for i := 1; i < len(cands); i++ {
-		if cands[i].bestCT > cands[best].bestCT {
-			best = i
+	bestVal := g.bestCT[remaining[0]]
+	for p := 1; p < len(remaining); p++ {
+		if v := g.bestCT[remaining[p]]; v > bestVal {
+			best, bestVal = p, v
 		}
 	}
 	return best
@@ -69,38 +71,44 @@ func (k *KPB) percent() float64 {
 
 // Schedule implements sched.Scheduler.
 func (k *KPB) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
-	ready := append([]float64(nil), st.Ready...)
-	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+	kern := st.Snapshot(batch)
+	ready := append([]float64(nil), kern.Ready...)
 	out := make([]sched.Assignment, 0, len(batch))
 	frac := k.percent() / 100
-	for _, j := range batch {
-		eligible, fellBack := st.EligibleSites(k.Policy, j)
+	subset := make([]int, kern.M)
+	for i, j := range batch {
+		elig := kern.Eligible(k.Policy, i)
+		row := kern.ETC[i*kern.M : (i+1)*kern.M]
 		// Keep the ⌈k%⌉ fastest eligible sites by raw execution time.
-		keep := int(math.Ceil(frac * float64(len(eligible))))
+		keep := int(math.Ceil(frac * float64(len(elig.Sites))))
 		if keep < 1 {
 			keep = 1
 		}
-		subset := append([]int(nil), eligible...)
-		// Selection sort of the first `keep` by ExecTime: subsets are tiny.
+		subset = subset[:len(elig.Sites)]
+		copy(subset, elig.Sites)
+		// Selection sort of the first `keep` by ETC: subsets are tiny.
 		for i := 0; i < keep; i++ {
 			best := i
 			for p := i + 1; p < len(subset); p++ {
-				if st.Sites[subset[p]].ExecTime(j) < st.Sites[subset[best]].ExecTime(j) {
+				if row[subset[p]] < row[subset[best]] {
 					best = p
 				}
 			}
 			subset[i], subset[best] = subset[best], subset[i]
 		}
-		subset = subset[:keep]
 
 		bestSite, bestCT := -1, math.Inf(1)
-		for _, site := range subset {
-			if ct := work.CompletionTime(j, site); ct < bestCT {
+		for _, site := range subset[:keep] {
+			start := ready[site]
+			if kern.Now > start {
+				start = kern.Now
+			}
+			if ct := start + row[site]; ct < bestCT {
 				bestSite, bestCT = site, ct
 			}
 		}
-		work.Ready[bestSite] = bestCT
-		out = append(out, sched.Assignment{Job: j, Site: bestSite, FellBack: fellBack})
+		ready[bestSite] = bestCT
+		out = append(out, sched.Assignment{Job: j, Site: bestSite, FellBack: elig.FellBack})
 	}
 	return out
 }

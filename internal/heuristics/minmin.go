@@ -6,6 +6,7 @@ import (
 
 	"trustgrid/internal/grid"
 	"trustgrid/internal/sched"
+	"trustgrid/internal/sched/kernel"
 )
 
 // MinMin is the security-driven Min-Min heuristic: repeatedly pick the
@@ -44,104 +45,138 @@ func (s *Sufferage) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	return greedyBatch(batch, st, s.Policy, pickSufferage)
 }
 
-// candidate is one job's best options in the current greedy round.
-type candidate struct {
-	jobIdx   int
-	bestSite int
-	bestCT   float64
-	secondCT float64 // +Inf when only one eligible site
-	fellBack bool
+// greedyRun is the incremental state of one Min-Min/Sufferage/Max-Min
+// batch: each unscheduled job's best and second-best completion times,
+// kept current as assignments consume site availability. All slices are
+// allocated once per batch; the round loop allocates nothing.
+type greedyRun struct {
+	k     *kernel.Snapshot
+	ready []float64         // working copy of the snapshot's ready vector
+	elig  []*kernel.EligSet // per batch job, shared class sets
+	// bestSite/bestCT/secondCT are each unscheduled job's current best
+	// option: the earliest-completing eligible site, its completion
+	// time, and the second-smallest completion time (+Inf with a single
+	// eligible site).
+	bestSite []int
+	bestCT   []float64
+	secondCT []float64
 }
 
-// picker selects which candidate wins the current round.
-type picker func(cands []candidate) int
+// recompute rescans job i's eligible sites against the current working
+// ready vector. The scan visits sites in ascending index order with
+// strict comparisons, so ties resolve to the lowest site index — the
+// rule the pre-kernel implementation applied implicitly.
+func (g *greedyRun) recompute(i int) {
+	row := g.k.ETC[i*g.k.M : (i+1)*g.k.M]
+	now := g.k.Now
+	best, bestCT, secondCT := -1, math.Inf(1), math.Inf(1)
+	for _, site := range g.elig[i].Sites {
+		start := g.ready[site]
+		if now > start {
+			start = now
+		}
+		ct := start + row[site]
+		switch {
+		case ct < bestCT:
+			secondCT = bestCT
+			bestCT = ct
+			best = site
+		case ct < secondCT:
+			secondCT = ct
+		}
+	}
+	g.bestSite[i], g.bestCT[i], g.secondCT[i] = best, bestCT, secondCT
+}
 
-// pickMinMin chooses the candidate with the minimum earliest completion
-// time (ties: lower job index, for determinism).
-func pickMinMin(cands []candidate) int {
+// picker selects which position in remaining wins the current round.
+// Every picker is a single pass with a strict comparison, so the
+// deterministic tie rule is shared: among equal-valued candidates the
+// earliest position in remaining wins, and remaining preserves batch
+// submission order, so ties always resolve to the lowest batch index.
+type picker func(g *greedyRun, remaining []int) int
+
+// pickMinMin chooses the position whose job has the minimum earliest
+// completion time. Tie rule: strict < keeps the first (lowest batch
+// index) of any equal-valued run.
+func pickMinMin(g *greedyRun, remaining []int) int {
 	best := 0
-	for i := 1; i < len(cands); i++ {
-		if cands[i].bestCT < cands[best].bestCT {
-			best = i
+	bestVal := g.bestCT[remaining[0]]
+	for p := 1; p < len(remaining); p++ {
+		if v := g.bestCT[remaining[p]]; v < bestVal {
+			best, bestVal = p, v
 		}
 	}
 	return best
 }
 
-// pickSufferage chooses the candidate with the maximum sufferage value
-// (second-best CT minus best CT). Jobs with a single eligible site have
-// infinite sufferage and are placed first, as in the original heuristic.
-func pickSufferage(cands []candidate) int {
+// pickSufferage chooses the position whose job has the maximum sufferage
+// value (second-best CT minus best CT). Jobs with a single eligible site
+// have infinite sufferage and are placed first, as in the original
+// heuristic. Tie rule: strict > keeps the first (lowest batch index) of
+// any equal-valued run, including among the +Inf singletons.
+func pickSufferage(g *greedyRun, remaining []int) int {
 	best := 0
-	bestVal := cands[0].secondCT - cands[0].bestCT
-	for i := 1; i < len(cands); i++ {
-		v := cands[i].secondCT - cands[i].bestCT
-		if v > bestVal {
-			best, bestVal = i, v
+	bestVal := g.secondCT[remaining[0]] - g.bestCT[remaining[0]]
+	for p := 1; p < len(remaining); p++ {
+		if v := g.secondCT[remaining[p]] - g.bestCT[remaining[p]]; v > bestVal {
+			best, bestVal = p, v
 		}
 	}
 	return best
 }
 
-// greedyBatch runs the shared Min-Min/Sufferage loop: each round,
-// recompute every unscheduled job's best (and second-best) completion
-// times over its eligible sites, let pick choose the winner, dispatch it
-// on the working copy of the ready vector, repeat.
+// greedyBatch runs the shared Min-Min/Sufferage/Max-Min loop on the
+// columnar snapshot. Instead of recomputing every unscheduled job's
+// candidate sites each round (O(n²·m) with per-round allocations), it
+// computes each job's best/second-best once (O(n·m)) and then, after
+// assigning a job to site s, rescans only the jobs whose stored values
+// could be stale: those for which s's previous completion time was
+// within their best two. For every other job, CT(·, s) sat strictly
+// above its second-best and has only increased, so best and second-best
+// are unchanged — the values (and therefore the schedule) are
+// bit-identical to the full-recompute implementation, which
+// TestGreedyMatchesReference pins against a reference copy.
 func greedyBatch(batch []*grid.Job, st *sched.State, policy grid.Policy, pick picker) []sched.Assignment {
 	n := len(batch)
 	out := make([]sched.Assignment, 0, n)
 	if n == 0 {
 		return out
 	}
-	ready := make([]float64, len(st.Ready))
-	copy(ready, st.Ready)
-	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
-
+	k := st.Snapshot(batch)
+	m := k.M
+	g := &greedyRun{
+		k:        k,
+		ready:    append([]float64(nil), k.Ready...),
+		elig:     make([]*kernel.EligSet, n),
+		bestSite: make([]int, n),
+		bestCT:   make([]float64, n),
+		secondCT: make([]float64, n),
+	}
+	for i := range batch {
+		g.elig[i] = k.Eligible(policy, i)
+		g.recompute(i)
+	}
 	remaining := make([]int, n)
 	for i := range remaining {
 		remaining[i] = i
 	}
-	// Pre-compute eligibility once per job: site SLs and liveness are
-	// static within a batch, so the eligible set never changes across
-	// rounds. st.EligibleSites folds site liveness into admission.
-	eligible := make([][]int, n)
-	fellBack := make([]bool, n)
-	for i, j := range batch {
-		eligible[i], fellBack[i] = st.EligibleSites(policy, j)
-	}
-
-	cands := make([]candidate, 0, n)
 	for len(remaining) > 0 {
-		cands = cands[:0]
-		for _, jobIdx := range remaining {
-			j := batch[jobIdx]
-			c := candidate{jobIdx: jobIdx, bestSite: -1,
-				bestCT: math.Inf(1), secondCT: math.Inf(1), fellBack: fellBack[jobIdx]}
-			for _, site := range eligible[jobIdx] {
-				ct := work.CompletionTime(j, site)
-				switch {
-				case ct < c.bestCT:
-					c.secondCT = c.bestCT
-					c.bestCT = ct
-					c.bestSite = site
-				case ct < c.secondCT:
-					c.secondCT = ct
-				}
-			}
-			cands = append(cands, c)
-		}
-		winner := cands[pick(cands)]
-		j := batch[winner.jobIdx]
-		out = append(out, sched.Assignment{Job: j, Site: winner.bestSite, FellBack: winner.fellBack})
+		pos := pick(g, remaining)
+		win := remaining[pos]
+		site := g.bestSite[win]
+		out = append(out, sched.Assignment{Job: batch[win], Site: site, FellBack: g.elig[win].FellBack})
 		// Dispatch on the working copy: the site is busy until completion.
-		work.Ready[winner.bestSite] = winner.bestCT
-
-		// Remove the winner from remaining (order-preserving for
-		// deterministic tie behaviour).
-		for k, idx := range remaining {
-			if idx == winner.jobIdx {
-				remaining = append(remaining[:k], remaining[k+1:]...)
-				break
+		oldStart := g.ready[site]
+		if k.Now > oldStart {
+			oldStart = k.Now
+		}
+		g.ready[site] = g.bestCT[win]
+		// Remove the winner (order-preserving, so the pickers' first-wins
+		// tie rule keeps resolving to the lowest batch index).
+		remaining = append(remaining[:pos], remaining[pos+1:]...)
+		for _, i := range remaining {
+			if g.elig[i].Has(site) && oldStart+k.ETC[i*m+site] <= g.secondCT[i] {
+				g.recompute(i)
 			}
 		}
 	}

@@ -24,19 +24,24 @@ func (m *MCT) Name() string { return fmt.Sprintf("MCT %s", m.Policy.Name()) }
 
 // Schedule implements sched.Scheduler.
 func (m *MCT) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
-	ready := append([]float64(nil), st.Ready...)
-	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+	k := st.Snapshot(batch)
+	ready := append([]float64(nil), k.Ready...)
 	out := make([]sched.Assignment, 0, len(batch))
-	for _, j := range batch {
-		eligible, fellBack := st.EligibleSites(m.Policy, j)
+	for i, j := range batch {
+		elig := k.Eligible(m.Policy, i)
+		row := k.ETC[i*k.M : (i+1)*k.M]
 		best, bestCT := -1, math.Inf(1)
-		for _, site := range eligible {
-			if ct := work.CompletionTime(j, site); ct < bestCT {
+		for _, site := range elig.Sites {
+			start := ready[site]
+			if k.Now > start {
+				start = k.Now
+			}
+			if ct := start + row[site]; ct < bestCT {
 				best, bestCT = site, ct
 			}
 		}
-		work.Ready[best] = bestCT
-		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: fellBack})
+		ready[best] = bestCT
+		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: elig.FellBack})
 	}
 	return out
 }
@@ -56,16 +61,18 @@ func (m *MET) Name() string { return fmt.Sprintf("MET %s", m.Policy.Name()) }
 
 // Schedule implements sched.Scheduler.
 func (m *MET) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	k := st.Snapshot(batch)
 	out := make([]sched.Assignment, 0, len(batch))
-	for _, j := range batch {
-		eligible, fellBack := st.EligibleSites(m.Policy, j)
+	for i, j := range batch {
+		elig := k.Eligible(m.Policy, i)
+		row := k.ETC[i*k.M : (i+1)*k.M]
 		best, bestET := -1, math.Inf(1)
-		for _, site := range eligible {
-			if et := st.Sites[site].ExecTime(j); et < bestET {
+		for _, site := range elig.Sites {
+			if et := row[site]; et < bestET {
 				best, bestET = site, et
 			}
 		}
-		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: fellBack})
+		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: elig.FellBack})
 	}
 	return out
 }
@@ -84,23 +91,23 @@ func (o *OLB) Name() string { return fmt.Sprintf("OLB %s", o.Policy.Name()) }
 
 // Schedule implements sched.Scheduler.
 func (o *OLB) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
-	ready := append([]float64(nil), st.Ready...)
-	work := sched.State{Now: st.Now, Sites: st.Sites, Ready: ready}
+	k := st.Snapshot(batch)
+	ready := append([]float64(nil), k.Ready...)
 	out := make([]sched.Assignment, 0, len(batch))
-	for _, j := range batch {
-		eligible, fellBack := st.EligibleSites(o.Policy, j)
+	for i, j := range batch {
+		elig := k.Eligible(o.Policy, i)
 		best, bestReady := -1, math.Inf(1)
-		for _, site := range eligible {
-			r := work.Ready[site]
-			if st.Now > r {
-				r = st.Now
+		for _, site := range elig.Sites {
+			r := ready[site]
+			if k.Now > r {
+				r = k.Now
 			}
 			if r < bestReady {
 				best, bestReady = site, r
 			}
 		}
-		work.Ready[best] = work.CompletionTime(j, best)
-		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: fellBack})
+		ready[best] = bestReady + k.ETC[i*k.M+best]
+		out = append(out, sched.Assignment{Job: j, Site: best, FellBack: elig.FellBack})
 	}
 	return out
 }
@@ -120,11 +127,12 @@ func (r *Random) Name() string { return fmt.Sprintf("Random %s", r.Policy.Name()
 
 // Schedule implements sched.Scheduler.
 func (r *Random) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
+	k := st.Snapshot(batch)
 	out := make([]sched.Assignment, 0, len(batch))
-	for _, j := range batch {
-		eligible, fellBack := st.EligibleSites(r.Policy, j)
-		site := eligible[r.Rand.Intn(len(eligible))]
-		out = append(out, sched.Assignment{Job: j, Site: site, FellBack: fellBack})
+	for i, j := range batch {
+		elig := k.Eligible(r.Policy, i)
+		site := elig.Sites[r.Rand.Intn(len(elig.Sites))]
+		out = append(out, sched.Assignment{Job: j, Site: site, FellBack: elig.FellBack})
 	}
 	return out
 }

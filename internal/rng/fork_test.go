@@ -99,9 +99,9 @@ func TestJumpDecorrelates(t *testing.T) {
 
 func TestJumpChangesState(t *testing.T) {
 	a := New(23)
-	before := a.s
+	before := *a
 	a.Jump()
-	if a.s == before {
+	if *a == before {
 		t.Fatal("Jump left the state unchanged")
 	}
 }

@@ -31,19 +31,22 @@ func hashLabel(label string) uint64 {
 
 // Stream is a deterministic pseudo-random stream (xoshiro256**).
 // It is not safe for concurrent use; derive one stream per goroutine.
+// The four state words are named fields rather than an array so the
+// Uint64 step stays within the compiler's inlining budget (see Uint64).
 type Stream struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New creates a stream from a 64-bit seed. Any seed, including zero, yields
 // a valid, well-mixed state.
 func New(seed uint64) *Stream {
-	st := &Stream{}
 	sm := seed
-	for i := range st.s {
-		st.s[i] = splitMix64(&sm)
+	return &Stream{
+		s0: splitMix64(&sm),
+		s1: splitMix64(&sm),
+		s2: splitMix64(&sm),
+		s3: splitMix64(&sm),
 	}
-	return st
 }
 
 // Derive returns an independent child stream identified by label. The same
@@ -53,7 +56,7 @@ func (r *Stream) Derive(label string) *Stream {
 	// We hash the current state so sibling derivations at different times
 	// differ; callers wanting stable siblings should derive all children
 	// up front (the simulator does).
-	seed := r.s[0] ^ (r.s[1] << 1) ^ hashLabel(label)
+	seed := r.s0 ^ (r.s1 << 1) ^ hashLabel(label)
 	return New(seed)
 }
 
@@ -75,13 +78,14 @@ func (r *Stream) Fork(i int) *Stream {
 	// Fold the full 256-bit state and the index into a SplitMix64 seed.
 	// The rotations keep sibling states from cancelling; the golden-ratio
 	// multiplier separates adjacent indices by a full avalanche.
-	sm := r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 27) ^ rotl(r.s[3], 41) ^
+	sm := r.s0 ^ rotl(r.s1, 13) ^ rotl(r.s2, 27) ^ rotl(r.s3, 41) ^
 		(uint64(i)+1)*0x9e3779b97f4a7c15
-	st := &Stream{}
-	for k := range st.s {
-		st.s[k] = splitMix64(&sm)
+	return &Stream{
+		s0: splitMix64(&sm),
+		s1: splitMix64(&sm),
+		s2: splitMix64(&sm),
+		s3: splitMix64(&sm),
 	}
-	return st
 }
 
 // jumpPoly is the xoshiro256** 2^128-step jump polynomial.
@@ -96,29 +100,37 @@ func (r *Stream) Jump() {
 	for _, jp := range jumpPoly {
 		for b := 0; b < 64; b++ {
 			if jp&(1<<uint(b)) != 0 {
-				s0 ^= r.s[0]
-				s1 ^= r.s[1]
-				s2 ^= r.s[2]
-				s3 ^= r.s[3]
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
 			}
 			r.Uint64()
 		}
 	}
-	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64 uniformly random bits.
+// Uint64 returns the next 64 uniformly random bits. The body is the
+// standard xoshiro256** step spelled out with locals and literal
+// rotations so it fits the compiler's inlining budget: Bool/Float64/
+// Intn sit in the GA's per-gene hot loops (mutation alone draws one
+// Bool per gene per individual per generation), and inlining the whole
+// chain removes a call per draw. The state transition is identical to
+// the textbook formulation, so every stream produces the same sequence
+// as before.
 func (r *Stream) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
+	s1 := r.s1
+	x := s1 * 5
+	result := ((x << 7) | (x >> 57)) * 9
+	s2 := r.s2 ^ r.s0
+	s3 := r.s3 ^ s1
+	r.s1 = s1 ^ s2
+	r.s0 ^= s3
+	r.s2 = s2 ^ (s1 << 17)
+	r.s3 = (s3 << 45) | (s3 >> 19)
 	return result
 }
 
@@ -195,6 +207,48 @@ func (r *Stream) Bool(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// Bernoulli is a precomputed Bool(p): Hit consumes exactly the draws
+// Bool(p) would and returns the identical answer, but replaces the
+// per-draw float conversion, division and comparison with one integer
+// compare against a precomputed threshold. Build one outside a hot loop
+// (the GA's mutation operator draws one Bool per gene per individual
+// per generation, which makes Bool the single hottest call in the
+// repository).
+type Bernoulli struct {
+	threshold     uint64
+	always, never bool
+}
+
+// NewBernoulli precomputes the comparator for probability p.
+//
+// Bool's draw is Float64() < p with Float64() = y/2^53 for the integer
+// y = Uint64()>>11, and division by 2^53 is exact, so the draw hits iff
+// y < p·2^53 in real arithmetic — iff y < ⌈p·2^53⌉ for integer y.
+// Ldexp(p, 53) scales by a power of two, which is also exact for every
+// p in (0, 1), so the threshold below is the exact ceiling and Hit
+// reproduces Bool bit-for-bit.
+func NewBernoulli(p float64) Bernoulli {
+	if p <= 0 {
+		return Bernoulli{never: true}
+	}
+	if p >= 1 {
+		return Bernoulli{always: true}
+	}
+	return Bernoulli{threshold: uint64(math.Ceil(math.Ldexp(p, 53)))}
+}
+
+// Hit draws from r and reports success. It consumes one Uint64 when
+// 0 < p < 1 and none otherwise, exactly like Bool(p).
+func (b Bernoulli) Hit(r *Stream) bool {
+	if b.never {
+		return false
+	}
+	if b.always {
+		return true
+	}
+	return r.Uint64()>>11 < b.threshold
 }
 
 // Exp returns an exponential variate with the given rate (mean 1/rate).

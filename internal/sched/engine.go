@@ -7,6 +7,7 @@ import (
 	"trustgrid/internal/grid"
 	"trustgrid/internal/metrics"
 	"trustgrid/internal/rng"
+	"trustgrid/internal/sched/kernel"
 	"trustgrid/internal/sim"
 )
 
@@ -143,6 +144,8 @@ type engineState struct {
 	failRand  *rng.Stream
 	timeRand  *rng.Stream
 	batchOpen bool // a batch event is already scheduled
+	// kb rebuilds the columnar snapshot each round into reused storage.
+	kb kernel.Builder
 }
 
 // Run executes the full simulation and aggregates metrics. It is the
@@ -215,6 +218,13 @@ func (st *engineState) runBatch(e *sim.Engine) {
 	}
 	state := &State{Now: e.Now(), Sites: st.cfg.Sites, Ready: st.ready, Alive: st.aliveVec()}
 	wall := time.Now()
+	// Build the columnar snapshot once per round; every scheduler
+	// (including the online daemon path, which drives this same batch
+	// loop) streams over it instead of re-deriving eligibility and
+	// completion times per probe. The build is scheduling work, so it
+	// stays inside the SchedulerTime window; the builder reuses its
+	// storage, so steady-state rounds allocate nothing here.
+	state.Kern = st.kb.Build(state.Now, state.Sites, state.Ready, state.Alive, batch)
 	as := st.cfg.Scheduler.Schedule(batch, state)
 	st.schedTime += time.Since(wall)
 	if st.cfg.Validate {

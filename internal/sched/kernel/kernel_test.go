@@ -1,0 +1,220 @@
+// Property tests for the columnar snapshot. The external test package
+// lets these compare the kernel directly against sched.State, the
+// liveness-aware admission oracle the schedulers used before the
+// kernel existed.
+package kernel_test
+
+import (
+	"math"
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/sched/kernel"
+)
+
+// randomInstance draws a random platform, batch and liveness vector.
+// Extremes are deliberately over-represented: duplicate security
+// levels (ties in the max-SL fallback), impossible demands (fallback
+// path), must-be-safe jobs, dead sites including all-but-one and
+// all-dead.
+func randomInstance(r *rng.Stream) (sites []*grid.Site, batch []*grid.Job, ready []float64, alive []bool) {
+	m := 1 + r.Intn(12)
+	levels := []float64{0.1, 0.3, 0.5, 0.5, 0.8, 0.95, 1.0}
+	sites = make([]*grid.Site, m)
+	for k := range sites {
+		sites[k] = &grid.Site{
+			ID:            k,
+			Speed:         1 + r.Float64()*99,
+			Nodes:         1,
+			SecurityLevel: levels[r.Intn(len(levels))],
+		}
+	}
+	n := 1 + r.Intn(20)
+	batch = make([]*grid.Job, n)
+	for i := range batch {
+		batch[i] = &grid.Job{
+			ID:             i,
+			Workload:       1 + r.Float64()*1e5,
+			Nodes:          1,
+			SecurityDemand: r.Float64(), // the whole range, not just [0.6, 0.9]
+			MustBeSafe:     r.Bool(0.3),
+		}
+	}
+	ready = make([]float64, m)
+	for k := range ready {
+		ready[k] = r.Float64() * 1e4
+	}
+	switch r.Intn(4) {
+	case 0: // static grid
+		alive = nil
+	case 1: // sparse churn
+		alive = make([]bool, m)
+		for k := range alive {
+			alive[k] = r.Bool(0.8)
+		}
+	case 2: // one survivor
+		alive = make([]bool, m)
+		alive[r.Intn(m)] = true
+	case 3: // total outage (the engine never shows this to a batch, but
+		// the API is total and must agree with State's degradation)
+		alive = make([]bool, m)
+	}
+	return sites, batch, ready, alive
+}
+
+func policies(r *rng.Stream) []grid.Policy {
+	return []grid.Policy{
+		grid.SecurePolicy(),
+		grid.RiskyPolicy(),
+		grid.FRiskyPolicy(r.Float64()),
+	}
+}
+
+// TestEligibleBitsetMatchesState is the property gate of the issue:
+// kernel.EligibleBitset(policy, job) must equal State.EligibleSites for
+// randomized grids including dead sites and the fallback path — same
+// site set, same order, same fellBack flag.
+func TestEligibleBitsetMatchesState(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 500; trial++ {
+		sites, batch, ready, alive := randomInstance(r)
+		st := &sched.State{Now: r.Float64() * 1e4, Sites: sites, Ready: ready, Alive: alive}
+		snap := kernel.Build(st.Now, sites, ready, alive, batch)
+		for _, p := range policies(r) {
+			for i, j := range batch {
+				wantIdx, wantFB := st.EligibleSites(p, j)
+				e := snap.Eligible(p, i)
+				bits, gotFB := snap.EligibleBitset(p, i)
+				if gotFB != wantFB {
+					t.Fatalf("trial %d job %d policy %s: fellBack %v != %v",
+						trial, i, p.Name(), gotFB, wantFB)
+				}
+				if len(e.Sites) != len(wantIdx) {
+					t.Fatalf("trial %d job %d policy %s: %d eligible sites, want %d",
+						trial, i, p.Name(), len(e.Sites), len(wantIdx))
+				}
+				for k := range wantIdx {
+					if e.Sites[k] != wantIdx[k] {
+						t.Fatalf("trial %d job %d policy %s: site list %v != %v",
+							trial, i, p.Name(), e.Sites, wantIdx)
+					}
+				}
+				// Bitset agrees with the list and with Has.
+				inList := make(map[int]bool, len(wantIdx))
+				for _, k := range wantIdx {
+					inList[k] = true
+				}
+				for k := range sites {
+					has := bits[k>>6]&(1<<(uint(k)&63)) != 0
+					if has != inList[k] || e.Has(k) != inList[k] {
+						t.Fatalf("trial %d job %d policy %s: bitset disagrees at site %d",
+							trial, i, p.Name(), k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotColumnsMatchState pins the numeric columns: the ETC
+// matrix must be grid.ETCMatrix bit-for-bit and CT must equal
+// State.CompletionTime for every (job, site).
+func TestSnapshotColumnsMatchState(t *testing.T) {
+	r := rng.New(778)
+	for trial := 0; trial < 200; trial++ {
+		sites, batch, ready, alive := randomInstance(r)
+		st := &sched.State{Now: r.Float64() * 1e4, Sites: sites, Ready: ready, Alive: alive}
+		snap := kernel.Build(st.Now, sites, ready, alive, batch)
+		etc := grid.ETCMatrix(batch, sites)
+		for i := range etc {
+			if snap.ETC[i] != etc[i] {
+				t.Fatalf("trial %d: ETC[%d] %v != %v", trial, i, snap.ETC[i], etc[i])
+			}
+		}
+		for i, j := range batch {
+			if snap.Workload[i] != j.Workload || snap.SD[i] != j.SecurityDemand ||
+				snap.MustBeSafe[i] != j.MustBeSafe {
+				t.Fatalf("trial %d: job column %d mismatch", trial, i)
+			}
+			for k := range sites {
+				if got, want := snap.CT(i, k), st.CompletionTime(j, k); got != want {
+					t.Fatalf("trial %d: CT(%d,%d) %v != %v", trial, i, k, got, want)
+				}
+			}
+		}
+		for k, s := range sites {
+			if snap.Speed[k] != s.Speed || snap.SecLevel[k] != s.SecurityLevel ||
+				snap.Ready[k] != ready[k] {
+				t.Fatalf("trial %d: site column %d mismatch", trial, k)
+			}
+			if snap.SiteAlive(k) != st.SiteAlive(k) {
+				t.Fatalf("trial %d: SiteAlive(%d) disagrees", trial, k)
+			}
+		}
+	}
+}
+
+// TestBuilderReuseMatchesFreshBuild drives one Builder through many
+// rounds of different shapes and checks every round against a fresh
+// one-shot Build — the arenas and cleared caches must never leak state
+// across rounds.
+func TestBuilderReuseMatchesFreshBuild(t *testing.T) {
+	r := rng.New(779)
+	var b kernel.Builder
+	for round := 0; round < 100; round++ {
+		sites, batch, ready, alive := randomInstance(r)
+		now := r.Float64() * 1e4
+		reused := b.Build(now, sites, ready, alive, batch)
+		fresh := kernel.Build(now, sites, ready, alive, batch)
+		if reused.N != fresh.N || reused.M != fresh.M || reused.Now != fresh.Now {
+			t.Fatalf("round %d: shape mismatch", round)
+		}
+		for i := range fresh.ETC {
+			if reused.ETC[i] != fresh.ETC[i] {
+				t.Fatalf("round %d: ETC[%d] differs after reuse", round, i)
+			}
+		}
+		for _, p := range policies(r) {
+			for i := range batch {
+				a, b := reused.Eligible(p, i), fresh.Eligible(p, i)
+				if a.FellBack != b.FellBack || len(a.Sites) != len(b.Sites) {
+					t.Fatalf("round %d: eligibility differs after reuse", round)
+				}
+				for k := range a.Sites {
+					if a.Sites[k] != b.Sites[k] {
+						t.Fatalf("round %d: eligibility order differs after reuse", round)
+					}
+				}
+			}
+		}
+		if !reused.ForBatch(batch) {
+			t.Fatalf("round %d: ForBatch rejects its own batch", round)
+		}
+		if len(batch) > 0 && reused.ForBatch(batch[:0]) {
+			t.Fatalf("round %d: ForBatch accepts a truncated batch", round)
+		}
+	}
+}
+
+// TestEligibilityClassSharing: jobs with equal (SD, MustBeSafe) must
+// share one cached class object — the point of per-class caching.
+func TestEligibilityClassSharing(t *testing.T) {
+	r := rng.New(780)
+	sites, _, ready, _ := randomInstance(r)
+	twinA := &grid.Job{ID: 0, Workload: 10, Nodes: 1, SecurityDemand: 0.7}
+	twinB := &grid.Job{ID: 1, Workload: 99, Nodes: 1, SecurityDemand: 0.7}
+	other := &grid.Job{ID: 2, Workload: 10, Nodes: 1, SecurityDemand: 0.7, MustBeSafe: true}
+	snap := kernel.Build(0, sites, ready, nil, []*grid.Job{twinA, twinB, other})
+	p := grid.FRiskyPolicy(0.5)
+	if snap.Eligible(p, 0) != snap.Eligible(p, 1) {
+		t.Fatal("equal (SD, MustBeSafe) jobs must share one eligibility class")
+	}
+	if snap.Eligible(p, 0) == snap.Eligible(p, 2) {
+		t.Fatal("a MustBeSafe job must not share the unrestricted class")
+	}
+	if math.IsNaN(snap.CT(0, 0)) {
+		t.Fatal("CT must be finite")
+	}
+}

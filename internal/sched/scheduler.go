@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trustgrid/internal/grid"
+	"trustgrid/internal/sched/kernel"
 )
 
 // State is the scheduler-visible grid state at a scheduling event.
@@ -22,6 +23,24 @@ type State struct {
 	// site is up (static runs). Schedulers must not dispatch to a dead
 	// site; use EligibleSites, which folds liveness into admission.
 	Alive []bool
+	// Kern is the columnar snapshot of the current batch. The engine
+	// builds it once per Δ-round; schedulers obtain it through Snapshot,
+	// which falls back to building one lazily when the state was
+	// constructed by hand (tests, Train). The snapshot's eligibility
+	// cache is shared by everything scheduling the same batch — the
+	// STGA's Min-Min/Sufferage seeding reuses the sets the GA's allowed
+	// genes are built from.
+	Kern *kernel.Snapshot
+}
+
+// Snapshot returns the columnar view of this batch, building and
+// caching it on first use. The batch must be the exact slice the
+// engine passed to Scheduler.Schedule.
+func (st *State) Snapshot(batch []*grid.Job) *kernel.Snapshot {
+	if st.Kern == nil || !st.Kern.ForBatch(batch) {
+		st.Kern = kernel.Build(st.Now, st.Sites, st.Ready, st.Alive, batch)
+	}
+	return st.Kern
 }
 
 // SiteAlive reports whether site i is in service.

@@ -1,0 +1,214 @@
+package stga
+
+import (
+	"trustgrid/internal/ga"
+)
+
+// makespanInc is the delta (incremental) form of makespanFitness: it
+// implements ga.Incremental so the GA pays for re-decoding only the
+// sites a generation's operators actually touched — a gene-diff path
+// for mutation (Update), a dirty-site path for crossover (SwapRange) —
+// instead of a full chromosome decode per individual per evaluation.
+// Used whenever Config.LoadWeight == 0 (the paper's fitness); the
+// total-load term is an order-dependent sum over all genes, so
+// configurations using it fall back to the full decode.
+//
+// Exactness invariant (gated by TestDeltaFitnessMatchesFullDecode and
+// ga.Config.VerifyIncremental): Value returns the bit-identical float64
+// makespanFitness would. The full decode accumulates each site's load
+// by scanning genes in ascending index order, and per-site sums depend
+// only on that site's own genes — so rebuilding a dirty site's load
+// with one ascending scan of the chromosome (skipping clean sites)
+// replays the exact floating-point operation sequence of the full
+// decode, while clean sites keep their already-exact loads untouched.
+// The span is a max, which is scan-order independent, so it may be
+// tightened from a cached value (see Value).
+type makespanInc struct {
+	n, m int
+	base []float64 // max(now, ready) per site
+	etc  []float64 // fitness ETC matrix, row-major job-major
+}
+
+func newMakespanInc(base, etc []float64, n, m int) *makespanInc {
+	return &makespanInc{n: n, m: m, base: base, etc: etc}
+}
+
+// makespanState is one individual's decode state: per-site load
+// aggregates plus the dirty bookkeeping that says which of them are
+// stale.
+type makespanState struct {
+	loads []float64
+	// dirty marks sites whose loads must be rebuilt before the next
+	// Value; dirtyList is the same set in insertion order.
+	dirty     []bool
+	dirtyList []int
+	// val caches the last computed fitness; valid until the next
+	// effective gene change, so individuals untouched by a generation's
+	// operators (or crossed with an identical partner) evaluate in O(1).
+	// spanSite is a site achieving val: while it stays clean, a later
+	// Value only needs to max the dirty sites against the cached span
+	// instead of rescanning every site (a max does not depend on scan
+	// order, so the value is still exactly the full decode's). -1 when
+	// unknown.
+	val      float64
+	valid    bool
+	spanSite int
+}
+
+func (st *makespanState) markDirty(site int) {
+	if !st.dirty[site] {
+		st.dirty[site] = true
+		st.dirtyList = append(st.dirtyList, site)
+	}
+}
+
+// NewState implements ga.Incremental.
+func (f *makespanInc) NewState() ga.IncState {
+	return &makespanState{
+		loads:     make([]float64, f.m),
+		dirty:     make([]bool, f.m),
+		dirtyList: make([]int, 0, f.m),
+		spanSite:  -1,
+	}
+}
+
+// Reset implements ga.Incremental: a full decode of c into the state.
+func (f *makespanInc) Reset(s ga.IncState, c ga.Chromosome) {
+	st := s.(*makespanState)
+	for i := range st.loads {
+		st.loads[i] = 0
+	}
+	for i := range st.dirty {
+		st.dirty[i] = false
+	}
+	st.dirtyList = st.dirtyList[:0]
+	st.valid = false
+	st.spanSite = -1
+	for i, site := range c {
+		st.loads[site] += f.etc[i*f.m+site]
+	}
+}
+
+// Copy implements ga.Incremental.
+func (f *makespanInc) Copy(dst, src ga.IncState) {
+	d, s := dst.(*makespanState), src.(*makespanState)
+	copy(d.loads, s.loads)
+	copy(d.dirty, s.dirty)
+	d.dirtyList = append(d.dirtyList[:0], s.dirtyList...)
+	d.val, d.valid, d.spanSite = s.val, s.valid, s.spanSite
+}
+
+// Update implements ga.Incremental: job `gene` moved from site oldVal
+// to site newVal (mutation's gene-diff path).
+func (f *makespanInc) Update(s ga.IncState, gene, oldVal, newVal int) {
+	st := s.(*makespanState)
+	st.valid = false
+	st.markDirty(oldVal)
+	st.markDirty(newVal)
+}
+
+// SwapRange implements ga.Incremental: genes [lo, hi) were exchanged
+// between the two individuals (crossover's dirty-site path). One
+// ascending scan of the already-swapped range finds the genes where the
+// parents disagreed; each such job left one site and joined the other
+// in both children, so those two sites go dirty in both states.
+func (f *makespanInc) SwapRange(sa, sb ga.IncState, a, b ga.Chromosome, lo, hi int) {
+	sta, stb := sa.(*makespanState), sb.(*makespanState)
+	for i := lo; i < hi; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		sta.valid, stb.valid = false, false
+		x, y := a[i], b[i]
+		if !sta.dirty[x] {
+			sta.dirty[x] = true
+			sta.dirtyList = append(sta.dirtyList, x)
+		}
+		if !sta.dirty[y] {
+			sta.dirty[y] = true
+			sta.dirtyList = append(sta.dirtyList, y)
+		}
+		if !stb.dirty[x] {
+			stb.dirty[x] = true
+			stb.dirtyList = append(stb.dirtyList, x)
+		}
+		if !stb.dirty[y] {
+			stb.dirty[y] = true
+			stb.dirtyList = append(stb.dirtyList, y)
+		}
+		// A maximally disruptive crossover saturates both dirty sets
+		// long before the tail ends; nothing left to learn.
+		if len(sta.dirtyList) == f.m && len(stb.dirtyList) == f.m {
+			return
+		}
+	}
+}
+
+// Value implements ga.Incremental: rebuild the dirty sites' loads with
+// one ascending chromosome scan, then take the span. Untouched
+// individuals return the cached value outright.
+func (f *makespanInc) Value(s ga.IncState, c ga.Chromosome) float64 {
+	st := s.(*makespanState)
+	if st.valid {
+		return st.val
+	}
+	nd := len(st.dirtyList)
+	if nd > 0 {
+		m := f.m
+		if 2*nd >= m {
+			// Most sites are stale: a branch-free full decode beats the
+			// per-gene dirty probe, and clean sites just recompute their
+			// already-exact values.
+			for i := range st.loads {
+				st.loads[i] = 0
+			}
+			for i, site := range c {
+				st.loads[site] += f.etc[i*m+site]
+			}
+		} else {
+			for _, k := range st.dirtyList {
+				st.loads[k] = 0
+			}
+			for i, site := range c {
+				if st.dirty[site] {
+					st.loads[site] += f.etc[i*m+site]
+				}
+			}
+		}
+	}
+	// Span. Since the last cached span only the dirty sites' loads
+	// changed; if the site that achieved it is clean, that value is
+	// still attained and only the dirty sites can exceed it — an
+	// O(dirty) max instead of an O(sites) rescan.
+	if st.spanSite >= 0 && nd > 0 && !st.dirty[st.spanSite] {
+		span, site := st.val, st.spanSite
+		for _, k := range st.dirtyList {
+			st.dirty[k] = false
+			l := st.loads[k]
+			if l == 0 {
+				continue
+			}
+			if v := f.base[k] + l; v > span {
+				span, site = v, k
+			}
+		}
+		st.dirtyList = st.dirtyList[:0]
+		st.val, st.valid, st.spanSite = span, true, site
+		return span
+	}
+	for _, k := range st.dirtyList {
+		st.dirty[k] = false
+	}
+	st.dirtyList = st.dirtyList[:0]
+	span, site := 0.0, -1
+	for k, l := range st.loads {
+		if l == 0 {
+			continue
+		}
+		if v := f.base[k] + l; v > span {
+			span, site = v, k
+		}
+	}
+	st.val, st.valid, st.spanSite = span, true, site
+	return span
+}

@@ -1,0 +1,107 @@
+package stga
+
+import (
+	"fmt"
+	"testing"
+
+	"trustgrid/internal/ga"
+	"trustgrid/internal/rng"
+)
+
+// geneEdit is one scripted mutation: individual idx's gene set to val.
+type geneEdit struct {
+	idx, gene, val int
+}
+
+// fitnessPathScript precomputes a steady-state generation's worth of
+// gene edits per script slot, drawn with the GA's own per-gene mutation
+// probability (Table 1: 0.01). Both benchmark arms replay the identical
+// script, so the measured difference is purely the evaluation strategy.
+func fitnessPathScript(r *rng.Stream, gens, pop, n, m int) [][]geneEdit {
+	script := make([][]geneEdit, gens)
+	for g := range script {
+		for idx := 0; idx < pop; idx++ {
+			for gene := 0; gene < n; gene++ {
+				if r.Bool(0.01) {
+					script[g] = append(script[g], geneEdit{idx: idx, gene: gene, val: r.Intn(m)})
+				}
+			}
+		}
+	}
+	return script
+}
+
+// BenchmarkFitnessPath isolates the GA's fitness-evaluation stage in
+// its steady-state regime — a converged population (clones of one
+// incumbent, as elitism plus selection pressure produce from roughly a
+// third of the run onward, and from the first generation on
+// history-seeded STGA batches) receiving Table 1 mutation traffic —
+// and evaluates every individual each generation, the exact access
+// pattern inside ga.Run:
+//
+//	full-decode — the pre-kernel path: one O(n) chromosome decode per
+//	              individual per generation, regardless of what changed
+//	delta       — the incremental path (Config.UseDelta): per-site load
+//	              aggregates updated per gene edit; untouched
+//	              individuals evaluate from cache in O(1)
+//
+// Both arms replay the identical edit script and produce bit-identical
+// fitness vectors (TestDeltaFitnessMatchesFullDecode gates that); the
+// ratio of the two timings is the fitness-path speedup.
+func BenchmarkFitnessPath(b *testing.B) {
+	const pop, m, gens = 200, 20, 16
+	for _, n := range []int{50, 200} {
+		r := rng.New(7)
+		inc, full := randomFitnessInstance(r, n, m)
+		script := fitnessPathScript(r.Derive("script"), gens, pop, n, m)
+		incumbent := make(ga.Chromosome, n)
+		for i := range incumbent {
+			incumbent[i] = r.Intn(m)
+		}
+		newPop := func() []ga.Chromosome {
+			chroms := make([]ga.Chromosome, pop)
+			for i := range chroms {
+				chroms[i] = incumbent.Clone()
+			}
+			return chroms
+		}
+		sink := 0.0
+
+		b.Run(fmt.Sprintf("full-decode/batch=%d", n), func(b *testing.B) {
+			chroms := newPop()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				edits := script[it%gens]
+				for _, e := range edits {
+					chroms[e.idx][e.gene] = e.val
+				}
+				for i := range chroms {
+					sink += full(chroms[i])
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("delta/batch=%d", n), func(b *testing.B) {
+			chroms := newPop()
+			states := make([]ga.IncState, pop)
+			for i := range states {
+				states[i] = inc.NewState()
+				inc.Reset(states[i], chroms[i])
+			}
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				edits := script[it%gens]
+				for _, e := range edits {
+					if old := chroms[e.idx][e.gene]; old != e.val {
+						inc.Update(states[e.idx], e.gene, old, e.val)
+						chroms[e.idx][e.gene] = e.val
+					}
+				}
+				for i := range chroms {
+					sink += inc.Value(states[i], chroms[i])
+				}
+			}
+		})
+		_ = sink
+	}
+}

@@ -1,0 +1,136 @@
+package stga
+
+import (
+	"testing"
+
+	"trustgrid/internal/ga"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+)
+
+// randomFitnessInstance builds a random (base, etc) problem of the given
+// shape plus the two evaluators under test.
+func randomFitnessInstance(r *rng.Stream, n, m int) (inc *makespanInc, full ga.Fitness) {
+	base := make([]float64, m)
+	etc := make([]float64, n*m)
+	for i := range base {
+		base[i] = r.Float64() * 1e4
+	}
+	for i := range etc {
+		// Skewed magnitudes so float addition order genuinely matters:
+		// any deviation from the full decode's operation sequence would
+		// show up as a ULP-level mismatch.
+		etc[i] = r.Float64() * 1e3 * float64(1+r.Intn(1000))
+	}
+	return newMakespanInc(base, etc, n, m), makespanFitness(m, base, etc, 0)
+}
+
+// TestDeltaFitnessMatchesFullDecode is the fuzz-style exactness gate:
+// over random problem shapes and long random edit histories (gene
+// mutations, range swaps between individuals, state copies), the delta
+// evaluator must return the bit-identical float64 of the full decode at
+// every step. No tolerance — equality is ==.
+func TestDeltaFitnessMatchesFullDecode(t *testing.T) {
+	r := rng.New(20260729)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(64)
+		m := 1 + r.Intn(24)
+		inc, full := randomFitnessInstance(r, n, m)
+
+		// Two individuals so SwapRange has a partner.
+		a := make(ga.Chromosome, n)
+		b := make(ga.Chromosome, n)
+		for i := range a {
+			a[i] = r.Intn(m)
+			b[i] = r.Intn(m)
+		}
+		sa, sb := inc.NewState(), inc.NewState()
+		inc.Reset(sa, a)
+		inc.Reset(sb, b)
+
+		check := func(tag string, s ga.IncState, c ga.Chromosome) {
+			t.Helper()
+			got, want := inc.Value(s, c), full(c)
+			if got != want {
+				t.Fatalf("trial %d %s: delta fitness %v != full decode %v (n=%d m=%d)",
+					trial, tag, got, want, n, m)
+			}
+		}
+		check("after reset a", sa, a)
+		check("after reset b", sb, b)
+
+		for step := 0; step < 40; step++ {
+			switch r.Intn(4) {
+			case 0: // mutation-style single-gene edit
+				g := r.Intn(n)
+				v := r.Intn(m)
+				if v != a[g] {
+					inc.Update(sa, g, a[g], v)
+					a[g] = v
+				}
+			case 1: // crossover-style range swap
+				lo := r.Intn(n)
+				hi := lo + r.Intn(n-lo)
+				for i := lo; i < hi; i++ {
+					a[i], b[i] = b[i], a[i]
+				}
+				inc.SwapRange(sa, sb, a, b, lo, hi)
+			case 2: // selection-style copy (b becomes a clone of a)
+				inc.Copy(sb, sa)
+				copy(b, a)
+			case 3: // repeated Value calls must be stable (cached path)
+				check("cached", sa, a)
+			}
+			check("a", sa, a)
+			check("b", sb, b)
+		}
+	}
+}
+
+// TestUseDeltaBitIdentical runs the same STGA workload with and without
+// the delta evaluator and requires identical placements — the
+// end-to-end form of the exactness invariant — and then once more with
+// the runtime cross-check armed, which panics inside ga.Run on the
+// first diverging evaluation.
+func TestUseDeltaBitIdentical(t *testing.T) {
+	run := func(useDelta, verify bool) []sched.Assignment {
+		cfg := DefaultConfig()
+		cfg.GA.PopulationSize = 40
+		cfg.GA.Generations = 25
+		cfg.UseDelta = useDelta
+		cfg.GA.VerifyIncremental = verify
+		s := New(cfg, rng.New(99))
+		r := rng.New(41)
+		sites, err := grid.PSAPlatform().Generate(r.Derive("sites"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := make([]*grid.Job, 60)
+		for i := range jobs {
+			jobs[i] = &grid.Job{ID: i, Workload: 1000 + r.Float64()*100000, Nodes: 1,
+				SecurityDemand: r.Uniform(0.6, 0.9)}
+		}
+		var out []sched.Assignment
+		st := &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+		for lo := 0; lo < len(jobs); lo += 20 {
+			out = append(out, s.Schedule(jobs[lo:lo+20], &sched.State{
+				Sites: sites, Ready: append([]float64(nil), st.Ready...),
+			})...)
+		}
+		return out
+	}
+	full := run(false, false)
+	delta := run(true, false)
+	if len(full) != len(delta) {
+		t.Fatalf("assignment counts differ: %d vs %d", len(full), len(delta))
+	}
+	for i := range full {
+		if full[i].Job.ID != delta[i].Job.ID || full[i].Site != delta[i].Site {
+			t.Fatalf("placement %d diverged: full (job %d → %d) vs delta (job %d → %d)",
+				i, full[i].Job.ID, full[i].Site, delta[i].Job.ID, delta[i].Site)
+		}
+	}
+	// The armed cross-check would panic on any divergence.
+	run(true, true)
+}

@@ -66,6 +66,18 @@ type Config struct {
 	// the paper wins; the ablations show the load term only helps when
 	// the policy is fully Risky on wide-speed-spread platforms.
 	LoadWeight float64
+	// UseDelta switches GA evaluation to the incremental (delta) fitness
+	// (delta.go): per-site load aggregates maintained through selection,
+	// crossover and mutation instead of a full decode per evaluation.
+	// Requires LoadWeight == 0. Results are bit-identical either way
+	// (test-gated, and checkable at runtime via GA.VerifyIncremental);
+	// only the cost profile differs. Off by default: at the paper's
+	// platform sizes (≤ 20 sites) the measured winner is the full decode
+	// — its single scratch buffer stays cache-hot across the whole
+	// population, while per-individual delta states add memory traffic
+	// that outweighs the skipped arithmetic except for individuals the
+	// operators left untouched (DESIGN.md §8.3 has the numbers).
+	UseDelta bool
 }
 
 // DefaultConfig returns the Table 1 configuration.
@@ -118,22 +130,36 @@ func (s *Scheduler) Name() string {
 // Table exposes the history table for inspection (tests, ablations).
 func (s *Scheduler) Table() *HistoryTable { return s.table }
 
-// batchInputs builds the three Eq. 2 parameter vectors for a batch.
+// batchInputs builds the three Eq. 2 parameter vectors for a batch from
+// the columnar snapshot. The ETC matrix and SD vector are the
+// snapshot's own columns (kernel.Build computes them with exactly
+// grid.ETCMatrix's layout and arithmetic); history entries retain them,
+// which is safe because snapshots are immutable once built.
 func batchInputs(batch []*grid.Job, st *sched.State) (ready, etc, sd []float64) {
-	ready = make([]float64, len(st.Ready))
-	for i, r := range st.Ready {
-		rel := r - st.Now
+	k := st.Snapshot(batch)
+	ready = make([]float64, len(k.Ready))
+	for i, r := range k.Ready {
+		rel := r - k.Now
 		if rel < 0 {
 			rel = 0
 		}
 		ready[i] = rel
 	}
-	etc = grid.ETCMatrix(batch, st.Sites)
-	sd = make([]float64, len(batch))
-	for i, j := range batch {
-		sd[i] = j.SecurityDemand
+	return ready, k.ETC, k.SD
+}
+
+// fitnessBase returns max(Now, Ready) per site — the availability
+// offsets both the full-decode and the delta fitness add loads to.
+func fitnessBase(st *sched.State) []float64 {
+	base := make([]float64, len(st.Ready))
+	for i, r := range st.Ready {
+		if st.Now > r {
+			base[i] = st.Now
+		} else {
+			base[i] = r
+		}
 	}
-	return ready, etc, sd
+	return base
 }
 
 // makespanFitness returns the GA fitness function: the batch makespan of
@@ -143,18 +169,34 @@ func batchInputs(batch []*grid.Job, st *sched.State) (ready, etc, sd []float64) 
 // term exists for Risky-policy configurations on wide-speed-spread
 // platforms, where pure makespan treats every placement below the batch
 // maximum as free; under the default f-risky policy it is disabled
-// (loadWeight = 0), matching the paper's fitness exactly.
-func makespanFitness(batch []*grid.Job, st *sched.State, etc []float64, loadWeight float64) ga.Fitness {
-	nSites := len(st.Sites)
-	base := make([]float64, nSites)
-	for i, r := range st.Ready {
-		if st.Now > r {
-			base[i] = st.Now
-		} else {
-			base[i] = r
+// (loadWeight = 0), matching the paper's fitness exactly. The zero-
+// weight case gets a span-only decode without the total accumulation:
+// span + 0·total/m == span bit-for-bit, and this closure is the GA's
+// hottest loop.
+func makespanFitness(nSites int, base, etc []float64, loadWeight float64) ga.Fitness {
+	loads := make([]float64, nSites) // scratch, reused across calls
+	if loadWeight == 0 {
+		return func(c ga.Chromosome) float64 {
+			for i := range loads {
+				loads[i] = 0
+			}
+			off := 0
+			for _, site := range c {
+				loads[site] += etc[off+site]
+				off += nSites
+			}
+			span := 0.0
+			for i, l := range loads {
+				if l == 0 {
+					continue
+				}
+				if f := base[i] + l; f > span {
+					span = f
+				}
+			}
+			return span
 		}
 	}
-	loads := make([]float64, nSites) // scratch, reused across calls
 	return func(c ga.Chromosome) float64 {
 		for i := range loads {
 			loads[i] = 0
@@ -242,12 +284,15 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	s.batch++
 	runRand := s.rand.DeriveIndexed("batch", s.batch)
 
+	kern := st.Snapshot(batch)
 	allowed := make([][]int, len(batch))
 	fellBack := make([]bool, len(batch))
-	for i, j := range batch {
+	for i := range batch {
 		// Liveness-aware: a departed site never enters a gene's allowed
-		// set, so the GA cannot evolve placements onto it.
-		allowed[i], fellBack[i] = st.EligibleSites(s.cfg.Policy, j)
+		// set, so the GA cannot evolve placements onto it. The snapshot's
+		// eligibility classes are shared with the heuristic seeding below.
+		elig := kern.Eligible(s.cfg.Policy, i)
+		allowed[i], fellBack[i] = elig.Sites, elig.FellBack
 	}
 	ready, etc, sd := batchInputs(batch, st)
 
@@ -280,14 +325,22 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	}
 	// The fitness closure keeps a per-instance scratch buffer, so the
 	// parallel evaluator gets a factory producing one instance per
-	// worker; the bare Fitness covers the serial path.
+	// worker; the bare Fitness covers the serial path. Config.UseDelta
+	// swaps in the incremental evaluator, which is bit-identical by
+	// construction (the full decode stays available as the
+	// VerifyIncremental cross-check).
+	base := fitnessBase(st)
+	nSites := len(st.Sites)
 	problem := &ga.Problem{
 		Length:  len(batch),
 		Allowed: allowed,
-		Fitness: makespanFitness(batch, st, fitEtc, s.cfg.LoadWeight),
+		Fitness: makespanFitness(nSites, base, fitEtc, s.cfg.LoadWeight),
 		NewFitness: func() ga.Fitness {
-			return makespanFitness(batch, st, fitEtc, s.cfg.LoadWeight)
+			return makespanFitness(nSites, base, fitEtc, s.cfg.LoadWeight)
 		},
+	}
+	if s.cfg.UseDelta && s.cfg.LoadWeight == 0 {
+		problem.Incremental = newMakespanInc(base, fitEtc, len(batch), nSites)
 	}
 	res, err := ga.Run(problem, s.cfg.GA, seeds, runRand)
 	if err != nil {
@@ -302,7 +355,14 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	}
 
 	if !s.cfg.DisableHistory {
-		s.table.Insert(&Entry{Ready: ready, ETC: etc, SD: sd, Best: res.Best.Clone()})
+		// The ETC/SD slices alias the round's snapshot, whose storage the
+		// engine reuses next round; the table outlives it, so copy.
+		s.table.Insert(&Entry{
+			Ready: ready,
+			ETC:   append([]float64(nil), etc...),
+			SD:    append([]float64(nil), sd...),
+			Best:  res.Best.Clone(),
+		})
 	}
 
 	// Emit each site's jobs shortest-first (SPT). The per-site job sets —
@@ -310,7 +370,6 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	// but serving short jobs first minimizes the mean completion time
 	// within each site's queue, which is what the response-time and
 	// slowdown metrics reward.
-	nSites := len(st.Sites)
 	type emit struct {
 		a   sched.Assignment
 		etc float64
@@ -372,6 +431,13 @@ func (s *Scheduler) Train(jobs []*grid.Job, sites []*grid.Site, batchSize int) {
 			best[pos[a.Job.ID]] = a.Site
 			ready[a.Site] = st.CompletionTime(a.Job, a.Site)
 		}
-		s.table.Insert(&Entry{Ready: readyVec, ETC: etc, SD: sd, Best: best})
+		// Copy the snapshot-aliased slices for the same reason Schedule
+		// does: entries outlive the batch.
+		s.table.Insert(&Entry{
+			Ready: readyVec,
+			ETC:   append([]float64(nil), etc...),
+			SD:    append([]float64(nil), sd...),
+			Best:  best,
+		})
 	}
 }

@@ -362,7 +362,7 @@ func TestMakespanFitnessMatchesSimulation(t *testing.T) {
 	st := freshState(sites)
 	st.Ready[0] = 50
 	etc := grid.ETCMatrix(batch, sites)
-	fit := makespanFitness(batch, st, etc, 0.1)
+	fit := makespanFitness(len(sites), fitnessBase(st), etc, 0.1)
 	c := make(ga.Chromosome, len(batch))
 	r := rng.New(18)
 	for i := range c {
