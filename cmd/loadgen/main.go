@@ -3,36 +3,52 @@
 // percentiles. "Open loop" means submission timing never waits for the
 // server: every flush interval it submits however many jobs the target
 // rate says are due, so server slowdown shows up as latency, not as a
-// reduced offered load.
+// reduced offered load. All traffic goes through the typed client
+// package (internal/client) — loadgen is also the client's field test.
 //
 // Usage:
 //
 //	loadgen [-addr http://127.0.0.1:8421] [-rate 1000] [-duration 5s]
 //	        [-seed 1] [-flush 5ms] [-wait 10s] [-min-rate 0]
+//	        [-tenants gold:4,silver:2,bronze:1:40]
+//	        [-require-tenant-placements] [-require-429]
+//
+// With -tenants (comma-separated id:weight[:maxqueue] entries) loadgen
+// registers the tenants on the daemon and spreads the offered load
+// round-robin across them; the daemon's weighted fair-share admission
+// then shapes per-tenant throughput. A submission rejected with 429
+// (queue quota) is retried after the server's Retry-After hint and
+// counted; -require-429 makes a run fail unless at least one 429 was
+// observed AND successfully retried (the CI admission-control gate),
+// and -require-tenant-placements fails unless every registered tenant
+// saw at least one placement (the CI fair-share gate).
 //
 // Latency is measured client-side: the wall-clock time from a flush's
 // submission instant to the job's placement event observed on the
-// /v1/events stream. Exit status is non-zero if the daemon is
-// unreachable, no placements are observed, or the achieved submission
-// rate falls below -min-rate (the CI smoke gate).
+// event stream. Exit status is non-zero if the daemon is unreachable,
+// no placements are observed, the achieved submission rate falls below
+// -min-rate, or a -require-* gate trips. The achieved rate counts only
+// first-attempt acceptances against the submission window — batches
+// recovered by a post-429 retry land after sleeping on Retry-After and
+// are reported separately, so quota throttling cannot inflate the rate
+// gate.
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"trustgrid/internal/api"
+	"trustgrid/internal/client"
 	"trustgrid/internal/rng"
-	"trustgrid/internal/server"
 	"trustgrid/internal/stats"
 )
 
@@ -47,6 +63,7 @@ type tracker struct {
 	resolved  map[int]bool      // jobs whose first placement was sampled
 	samples   []float64         // ms; one per first placement of a job we submitted
 	placed    int               // placement events seen, retries included
+	byTenant  map[string]int    // first placements per tenant
 }
 
 func (tr *tracker) submitted(ids []int, at time.Time) {
@@ -65,7 +82,7 @@ func (tr *tracker) submitted(ids []int, at time.Time) {
 	tr.mu.Unlock()
 }
 
-func (tr *tracker) placedEvent(id int, at time.Time) {
+func (tr *tracker) placedEvent(id int, tenant string, at time.Time) {
 	tr.mu.Lock()
 	tr.placed++
 	switch {
@@ -75,12 +92,50 @@ func (tr *tracker) placedEvent(id int, at time.Time) {
 		tr.samples = append(tr.samples, float64(at.Sub(tr.submit[id]))/float64(time.Millisecond))
 		delete(tr.submit, id)
 		tr.resolved[id] = true
+		tr.byTenant[tenant]++
 	default:
 		if _, seen := tr.unmatched[id]; !seen {
 			tr.unmatched[id] = at
+			tr.byTenant[tenant]++
 		}
 	}
 	tr.mu.Unlock()
+}
+
+// tenantLoad is one target tenant's spec and rolling counters.
+type tenantLoad struct {
+	spec      api.TenantSpec
+	submitted int64 // accepted jobs
+	rejected  int64 // 429 responses observed
+	recovered int64 // 429'd batches that eventually got accepted
+}
+
+// parseTenants parses "id:weight[:maxqueue]" entries.
+func parseTenants(spec string) ([]*tenantLoad, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []*tenantLoad
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad tenant entry %q (want id:weight[:maxqueue])", entry)
+		}
+		w, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad tenant weight in %q", entry)
+		}
+		t := &tenantLoad{spec: api.TenantSpec{ID: parts[0], Weight: w}}
+		if len(parts) == 3 {
+			q, err := strconv.Atoi(parts[2])
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("bad tenant maxqueue in %q", entry)
+			}
+			t.spec.MaxQueue = q
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 func realMain(args []string, stdout, stderr io.Writer) int {
@@ -95,45 +150,72 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	minRate := fs.Float64("min-rate", 0, "fail (exit 1) if the achieved rate is below this")
 	levels := fs.Int("levels", 20, "discrete workload levels (PSA-style)")
 	maxWorkload := fs.Float64("max-workload", 300000, "workload of the top level")
+	tenantsSpec := fs.String("tenants", "", "register and drive these tenants (id:weight[:maxqueue],...); empty = default tenant via /v1")
+	requireTenantPlacements := fs.Bool("require-tenant-placements", false, "fail unless every tenant saw >= 1 placement")
+	require429 := fs.Bool("require-429", false, "fail unless >= 1 submission was rejected 429 and then successfully retried")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	base := strings.TrimRight(*addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	tenants, err := parseTenants(*tenantsSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 2
+	}
+	if (*requireTenantPlacements || *require429) && len(tenants) == 0 {
+		fmt.Fprintln(stderr, "loadgen: -require-tenant-placements/-require-429 need -tenants")
+		return 2
 	}
 
-	client := &http.Client{Timeout: 10 * time.Second}
-	hz, err := client.Get(base + "/v1/healthz")
-	if err != nil {
+	c := client.New(*addr)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
 		fmt.Fprintln(stderr, "loadgen: daemon unreachable:", err)
 		return 1
 	}
-	hz.Body.Close()
-	if hz.StatusCode != http.StatusOK {
-		fmt.Fprintf(stderr, "loadgen: daemon unhealthy: %s\n", hz.Status)
-		return 1
+	for _, t := range tenants {
+		if _, err := c.CreateTenant(ctx, t.spec); err != nil && !errors.Is(err, client.ErrConflict) {
+			fmt.Fprintln(stderr, "loadgen: register tenant:", err)
+			return 1
+		}
 	}
 
 	tr := &tracker{
 		submit:    make(map[int]time.Time),
 		unmatched: make(map[int]time.Time),
 		resolved:  make(map[int]bool),
+		byTenant:  make(map[string]int),
 	}
 
 	// Placement watcher: follow the event stream for the whole run.
-	ctx, cancel := context.WithCancel(context.Background())
+	watchCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	watcherDone := make(chan error, 1)
-	go func() { watcherDone <- watchPlacements(ctx, base, tr) }()
+	go func() { watcherDone <- watchPlacements(watchCtx, c, tr) }()
 
-	// Open-loop submission phase.
+	// Open-loop submission phase. Jobs are assigned to tenants
+	// round-robin; the server's fair-share admission does the shaping.
 	r := rng.New(*seed).Derive("loadgen")
 	step := *maxWorkload / float64(*levels)
-	submitted := 0
+	tenantIDs := []string{""}
+	if len(tenants) > 0 {
+		tenantIDs = tenantIDs[:0]
+		for _, t := range tenants {
+			tenantIDs = append(tenantIDs, t.spec.ID)
+		}
+	}
+	byID := make(map[string]*tenantLoad, len(tenants))
+	for _, t := range tenants {
+		byID[t.spec.ID] = t
+	}
+	var mu sync.Mutex // guards tenantLoad counters and the acceptance tallies
+	accepted := 0     // first-attempt acceptances: the -min-rate numerator
+	recovered := 0    // jobs accepted on a post-429 retry (may land after the window)
+	offered := 0
+	retryDeadline := time.Now().Add(*duration + *wait)
 	var submitWG sync.WaitGroup
 	var errOnce sync.Once
 	var submitErr error
+	nextTenant := 0
 	start := time.Now()
 	ticker := time.NewTicker(*flush)
 	for now := range ticker.C {
@@ -141,29 +223,77 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if elapsed >= *duration {
 			break
 		}
-		due := int(*rate*elapsed.Seconds()) - submitted
+		due := int(*rate*elapsed.Seconds()) - offered
 		if due <= 0 {
 			continue
 		}
-		specs := make([]server.JobSpec, due)
-		for i := range specs {
-			specs[i] = server.JobSpec{
+		// Split the due jobs across tenants, rotating the start so no
+		// tenant systematically gets the remainder.
+		perTenant := make(map[string][]api.JobSpec, len(tenantIDs))
+		for i := 0; i < due; i++ {
+			id := tenantIDs[nextTenant%len(tenantIDs)]
+			nextTenant++
+			perTenant[id] = append(perTenant[id], api.JobSpec{
 				Workload: step * float64(r.Level(*levels)),
 				SD:       r.Uniform(0.6, 0.9),
-			}
+			})
 		}
-		submitted += due
+		offered += due
 		flushAt := time.Now()
-		submitWG.Add(1)
-		go func(specs []server.JobSpec) {
-			defer submitWG.Done()
-			ids, err := postJobs(client, base, specs)
-			if err != nil {
-				errOnce.Do(func() { submitErr = err })
-				return
-			}
-			tr.submitted(ids, flushAt)
-		}(specs)
+		for id, specs := range perTenant {
+			submitWG.Add(1)
+			go func(tenant string, specs []api.JobSpec) {
+				defer submitWG.Done()
+				retried := false
+				for {
+					ids, err := c.Submit(ctx, tenant, specs)
+					switch {
+					case err == nil:
+						tr.submitted(ids, flushAt)
+						mu.Lock()
+						// Retried batches can be accepted long after the
+						// submission window closed (they slept on
+						// Retry-After), so they do not count toward the
+						// achieved-rate gate — only toward the placement
+						// tail and the per-tenant report.
+						if retried {
+							recovered += len(ids)
+						} else {
+							accepted += len(ids)
+						}
+						if t := byID[tenant]; t != nil {
+							t.submitted += int64(len(ids))
+							if retried {
+								t.recovered++
+							}
+						}
+						mu.Unlock()
+						return
+					case errors.Is(err, client.ErrOverQuota):
+						// Admission control said "come back later": honor
+						// the Retry-After hint, bounded so a hard-capped
+						// tenant cannot stall the report forever.
+						mu.Lock()
+						if t := byID[tenant]; t != nil {
+							t.rejected++
+						}
+						mu.Unlock()
+						retried = true
+						backoff := client.RetryAfter(err)
+						if backoff <= 0 {
+							backoff = 100 * time.Millisecond
+						}
+						if time.Now().Add(backoff).After(retryDeadline) {
+							return // give up; the rejection stays counted
+						}
+						time.Sleep(backoff)
+					default:
+						errOnce.Do(func() { submitErr = err })
+						return
+					}
+				}
+			}(id, specs)
+		}
 	}
 	ticker.Stop()
 	elapsed := time.Since(start)
@@ -172,9 +302,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: submit failed:", submitErr)
 		return 1
 	}
-	achieved := float64(submitted) / elapsed.Seconds()
+	mu.Lock()
+	submitted := accepted + recovered // total in the daemon, for the placement tail
+	achieved := float64(accepted) / elapsed.Seconds()
+	recoveredJobs := recovered
+	mu.Unlock()
 
-	// Wait for the tail: every submitted job placed at least once. A
+	// Wait for the tail: every accepted job placed at least once. A
 	// dead event stream ends the wait immediately — nothing more is
 	// coming.
 	deadline := time.Now().Add(*wait)
@@ -182,7 +316,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	watcherEnded := false
 	for !watcherEnded {
 		tr.mu.Lock()
-		firstPlaced := len(tr.samples)
+		firstPlaced := len(tr.samples) + len(tr.unmatched)
 		tr.mu.Unlock()
 		if firstPlaced >= submitted || time.Now().After(deadline) {
 			break
@@ -201,12 +335,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tr.mu.Lock()
 	placed := tr.placed
 	samples := append([]float64(nil), tr.samples...)
+	perTenantPlaced := make(map[string]int, len(tr.byTenant))
+	for k, v := range tr.byTenant {
+		perTenantPlaced[k] = v
+	}
 	tr.mu.Unlock()
 
-	fmt.Fprintf(stdout, "loadgen report (%s)\n", base)
+	fmt.Fprintf(stdout, "loadgen report (%s)\n", c.BaseURL())
 	fmt.Fprintf(stdout, "  target rate:     %.1f jobs/s for %s\n", *rate, *duration)
-	fmt.Fprintf(stdout, "  submitted:       %d in %.2fs (achieved %.1f jobs/s)\n",
-		submitted, elapsed.Seconds(), achieved)
+	fmt.Fprintf(stdout, "  submitted:       %d in %.2fs (achieved %.1f jobs/s first-attempt, %d offered, %d recovered via retry)\n",
+		submitted, elapsed.Seconds(), achieved, offered, recoveredJobs)
 	fmt.Fprintf(stdout, "  jobs placed:     %d/%d (%.1f%%); %d placement events incl. retries\n",
 		len(samples), submitted, 100*float64(len(samples))/float64(max(submitted, 1)), placed)
 	if len(samples) > 0 {
@@ -214,7 +352,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			stats.Percentile(samples, 50), stats.Percentile(samples, 90),
 			stats.Percentile(samples, 99), stats.Max(samples), len(samples))
 	}
-	if rep, err := fetchMetrics(client, base); err == nil {
+	var total429, totalRecovered int64
+	for _, t := range tenants {
+		mu.Lock()
+		sub, rej, rec := t.submitted, t.rejected, t.recovered
+		mu.Unlock()
+		total429 += rej
+		totalRecovered += rec
+		fmt.Fprintf(stdout, "  tenant %-12s weight %g: accepted %d, placed %d, 429s %d (recovered %d)\n",
+			t.spec.ID, t.spec.Weight, sub, perTenantPlaced[t.spec.ID], rej, rec)
+	}
+	if rep, err := c.Metrics(ctx, ""); err == nil {
 		fmt.Fprintf(stdout, "  server:          arrived %d, placed %d, completed %d, batches %d, virtual now %.0fs\n",
 			rep.Arrived, rep.Placed, rep.Completed, rep.Batches, rep.VirtualNow)
 		fmt.Fprintf(stdout, "  server latency:  p50 %.1fms  p99 %.1fms  (n=%d)\n",
@@ -232,73 +380,41 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "loadgen: achieved %.1f jobs/s below -min-rate %.1f\n", achieved, *minRate)
 		return 1
 	}
+	if *requireTenantPlacements {
+		for _, t := range tenants {
+			if perTenantPlaced[t.spec.ID] == 0 {
+				fmt.Fprintf(stderr, "loadgen: tenant %s saw no placements\n", t.spec.ID)
+				return 1
+			}
+		}
+	}
+	if *require429 {
+		if total429 == 0 {
+			fmt.Fprintln(stderr, "loadgen: -require-429 but no 429 was observed")
+			return 1
+		}
+		if totalRecovered == 0 {
+			fmt.Fprintln(stderr, "loadgen: -require-429 but no 429'd batch was successfully retried")
+			return 1
+		}
+	}
 	return 0
 }
 
-func postJobs(client *http.Client, base string, specs []server.JobSpec) ([]int, error) {
-	body, err := json.Marshal(map[string]any{"jobs": specs})
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("submit: %s: %s", resp.Status, msg)
-	}
-	var out struct {
-		IDs []int `json:"ids"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return out.IDs, nil
-}
-
-// watchPlacements follows /v1/events and feeds the tracker until ctx is
+// watchPlacements follows the event stream through the typed client
+// (cursor-resuming across drops) and feeds the tracker until ctx is
 // cancelled.
-func watchPlacements(ctx context.Context, base string, tr *tracker) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		base+"/v1/events?follow=1&kinds=placed", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("event stream: %s: %s", resp.Status, msg)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		if len(sc.Bytes()) == 0 {
-			continue
+func watchPlacements(ctx context.Context, c *client.Client, tr *tracker) error {
+	es := c.Events(ctx, client.EventsOptions{Follow: true, Kinds: []string{"placed"}})
+	defer es.Close()
+	for {
+		ev, err := es.Next()
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, io.EOF) {
+				return nil // stream ends on cancel or server shutdown
+			}
+			return err
 		}
-		var ev server.WireEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			continue
-		}
-		tr.placedEvent(ev.Job, time.Now())
+		tr.placedEvent(ev.Job, ev.Tenant, time.Now())
 	}
-	return nil // stream ends on cancel or server shutdown
-}
-
-func fetchMetrics(client *http.Client, base string) (*server.MetricsReport, error) {
-	resp, err := client.Get(base + "/v1/metrics")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var rep server.MetricsReport
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
-		return nil, err
-	}
-	return &rep, nil
 }

@@ -77,6 +77,56 @@ func TestRealMainMinRateGate(t *testing.T) {
 	}
 }
 
+// TestRealMainMultiTenant429 drives three tenants of unequal weight,
+// one with a tiny queue quota, against a live in-process daemon: every
+// tenant must see placements, and the capped tenant must observe at
+// least one 429 that a Retry-After retry then recovers — the same gates
+// the CI daemon-smoke job runs over real processes.
+func TestRealMainMultiTenant429(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 5000, Tick: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", ts.URL, "-rate", "400", "-duration", "1200ms",
+		"-flush", "2ms", "-wait", "8s",
+		"-tenants", "gold:4,silver:2,bronze:1:1",
+		"-require-tenant-placements", "-require-429",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	for _, want := range []string{"tenant gold", "tenant silver", "tenant bronze", "429s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRealMainBadTenantSpec pins -tenants parsing errors to exit 2.
+func TestRealMainBadTenantSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-tenants", "nocolon"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if code := realMain([]string{"-require-429"}, &out, &errb); code != 2 {
+		t.Fatalf("gates without -tenants: exit should be 2")
+	}
+}
+
 func TestRealMainUnreachable(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := realMain([]string{"-addr", "127.0.0.1:1", "-duration", "10ms"}, &out, &errb)

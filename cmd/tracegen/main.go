@@ -1,13 +1,19 @@
 // Command tracegen emits a synthetic NAS-like workload trace in
-// Standard Workload Format, for inspection or use with external tools,
-// or — with -churn — a deterministic site-churn trace (JSONL) for the
-// dynamic-grid mode of trustgridd and the batch simulator.
+// Standard Workload Format, for inspection or use with external tools;
+// with -churn, a deterministic site-churn trace (JSONL) for the
+// dynamic-grid mode of trustgridd and the batch simulator; or, with
+// -arrivals, a multi-tenant arrival trace (JSONL, the daemon's
+// -trace-out format with its v2 tenant column) replayable through the
+// manual-mode daemon or the batch simulator.
 //
 // Usage:
 //
 //	tracegen [-jobs 16000] [-days 46] [-load 1.15] [-seed 1] [-o FILE]
 //	tracegen -churn [-churn-sites 20] [-churn-horizon 500000]
 //	         [-churn-mtbf SECONDS] [-churn-outage SECONDS] [-seed 1] [-o FILE]
+//	tracegen -arrivals [-jobs 1000] [-arrival-rate 0.008]
+//	         [-tenants gold,silver,bronze] [-levels 20]
+//	         [-max-workload 300000] [-seed 1] [-o FILE]
 package main
 
 import (
@@ -15,7 +21,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"trustgrid/internal/api"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/trace"
@@ -38,12 +46,24 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	churnHorizon := fs.Float64("churn-horizon", 500000, "virtual seconds of churn to generate")
 	churnMTBF := fs.Float64("churn-mtbf", 0, "mean up-time between incidents per site (0 = horizon/2)")
 	churnOutage := fs.Float64("churn-outage", 0, "mean crash/drain down-time (0 = horizon/20)")
+	arrivals := fs.Bool("arrivals", false, "emit a (multi-tenant) arrival trace (JSONL) instead of a workload trace")
+	arrivalRate := fs.Float64("arrival-rate", 0.008, "arrivals: mean arrival rate, jobs per virtual second")
+	tenants := fs.String("tenants", "", "arrivals: comma-separated tenant ids assigned round-robin (empty = single-tenant)")
+	levels := fs.Int("levels", 20, "arrivals: discrete workload levels (PSA-style)")
+	maxWorkload := fs.Float64("max-workload", 300000, "arrivals: workload of the top level")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *churn && *arrivals {
+		fmt.Fprintln(stderr, "tracegen: -churn and -arrivals are mutually exclusive")
 		return 2
 	}
 
 	if *churn {
 		return churnMain(*churnSites, *churnHorizon, *churnMTBF, *churnOutage, *seed, *out, stdout, stderr)
+	}
+	if *arrivals {
+		return arrivalsMain(*jobs, *arrivalRate, *tenants, *levels, *maxWorkload, *seed, *out, stdout, stderr)
 	}
 
 	cfg := trace.DefaultNASConfig()
@@ -76,6 +96,65 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	st := trace.Summarize(gjobs)
 	fmt.Fprintf(stderr, "wrote %d jobs; span %.1f days; mean work %.0f node-s; max nodes %d\n",
 		st.Jobs, st.Span/86400, st.MeanWork, st.MaxNodes)
+	return 0
+}
+
+// arrivalsMain generates and writes a deterministic multi-tenant
+// arrival trace: Poisson arrivals at the given rate, PSA-style leveled
+// workloads, SD uniform on [0.6, 0.9] (Table 1), tenants assigned
+// round-robin. The same flags always yield the same JSONL bytes, so a
+// generated trace pins a whole replay scenario — feed it to the
+// manual-mode daemon or materialize it with api.JobsFromTrace for the
+// batch simulator.
+func arrivalsMain(jobs int, rate float64, tenantList string, levels int, maxWorkload float64,
+	seed uint64, out string, stdout, stderr io.Writer) int {
+	if jobs <= 0 || rate <= 0 || levels <= 0 || maxWorkload <= 0 {
+		fmt.Fprintln(stderr, "tracegen: -jobs, -arrival-rate, -levels and -max-workload must be positive")
+		return 2
+	}
+	var tenants []string
+	if tenantList != "" {
+		for _, t := range strings.Split(tenantList, ",") {
+			t = strings.TrimSpace(t)
+			if err := (&api.TenantSpec{ID: t}).Validate(); err != nil {
+				fmt.Fprintln(stderr, "tracegen:", err)
+				return 2
+			}
+			tenants = append(tenants, t)
+		}
+	}
+	r := rng.New(seed).Derive("arrivals")
+	step := maxWorkload / float64(levels)
+	w := stdout
+	if out != "" {
+		fh, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		defer fh.Close()
+		w = fh
+	}
+	now := 0.0
+	for i := 1; i <= jobs; i++ {
+		now += r.Exp(rate)
+		rec := api.TraceRecord{
+			ID:       i,
+			Arrival:  now,
+			Workload: step * float64(r.Level(levels)),
+			Nodes:    1,
+			SD:       r.Uniform(0.6, 0.9),
+		}
+		if len(tenants) > 0 {
+			rec.Tenant = tenants[(i-1)%len(tenants)]
+		}
+		if err := api.WriteTraceRecord(w, rec); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "wrote %d arrivals over %.0f virtual seconds for %d tenant(s)\n",
+		jobs, now, max(len(tenants), 1))
 	return 0
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"trustgrid/internal/api"
 	"trustgrid/internal/grid"
 )
 
@@ -43,6 +44,75 @@ func TestRealMainBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRealMainArrivalsTrace checks the -arrivals mode emits a
+// deterministic multi-tenant arrival trace that round-trips through the
+// shared trace reader with tenants assigned and arrivals monotone.
+func TestRealMainArrivalsTrace(t *testing.T) {
+	run := func() []byte {
+		path := filepath.Join(t.TempDir(), "arrivals.jsonl")
+		var out, errb bytes.Buffer
+		code := realMain([]string{
+			"-arrivals", "-jobs", "30", "-arrival-rate", "0.01",
+			"-tenants", "gold,silver,bronze", "-o", path,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "wrote 30 arrivals") ||
+			!strings.Contains(errb.String(), "3 tenant(s)") {
+			t.Fatalf("summary missing: %s", errb.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("arrival trace not deterministic across runs")
+	}
+	recs, err := api.ReadTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 30 {
+		t.Fatalf("got %d records, want 30", len(recs))
+	}
+	tenants := map[string]bool{}
+	for i, r := range recs {
+		if i > 0 && r.Arrival < recs[i-1].Arrival {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		if r.SD < 0.6 || r.SD > 0.9 || r.Workload <= 0 {
+			t.Fatalf("record %d out of range: %+v", i, r)
+		}
+		tenants[r.Tenant] = true
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("tenant column: %v", tenants)
+	}
+	for _, j := range api.JobsFromTrace(recs) {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRealMainArrivalsRejectsBadSpec pins -arrivals flag validation.
+func TestRealMainArrivalsRejectsBadSpec(t *testing.T) {
+	for _, args := range [][]string{
+		{"-arrivals", "-jobs", "0"},
+		{"-arrivals", "-tenants", "bad id!"},
+		{"-arrivals", "-churn"},
+	} {
+		var out, errb bytes.Buffer
+		if code := realMain(args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
 	}
 }
 

@@ -9,7 +9,8 @@
 //	trustgridd [-addr :8421] [-workload psa|nas] [-algo minmin|...|stga]
 //	           [-mode secure|risky|frisky] [-f 0.5] [-seed 1]
 //	           [-batch SECONDS] [-tick 100ms] [-manual] [-scale small|paper]
-//	           [-trace-out FILE] [-max-wall DURATION] [-pprof-addr ADDR]
+//	           [-round-budget N] [-trace-out FILE] [-max-wall DURATION]
+//	           [-pprof-addr ADDR]
 //	           [-churn-mtbf SECONDS] [-churn-outage SECONDS]
 //	           [-churn-horizon SECONDS] [-churn-trace FILE]
 //	           [-reputation] [-deceptive-frac F] [-deceptive-gap G]
@@ -30,6 +31,13 @@
 // observed job outcomes, and -deceptive-frac/-deceptive-gap make a
 // fraction of sites truly run below what they declare. Live site state
 // streams at /v1/sites and through site_* events on /v1/events.
+//
+// The daemon serves the multi-tenant /v2 API alongside the /v1 shim
+// (DESIGN.md §9): tenants register over POST /v2/tenants (their own
+// weight, queue quota, SD defaults and risk policy), submit to
+// /v2/tenants/{id}/jobs, and -round-budget caps each Δ-round's batch —
+// under backlog, jobs enter rounds in weighted deficit-round-robin
+// order by tenant. Prometheus counters are at /metrics.prom.
 package main
 
 import (
@@ -73,6 +81,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Float64("batch", 0, "virtual seconds per scheduling round (0 = workload default)")
 	tick := fs.Duration("tick", 100*time.Millisecond, "wall-clock duration of one batch interval (live mode)")
 	manual := fs.Bool("manual", false, "manual clock: clients drive /v1/advance and /v1/drain")
+	roundBudget := fs.Int("round-budget", 0, "max jobs admitted per Δ-round; excess backlog is rationed by weighted deficit-round-robin across tenants (0 = unlimited)")
 	scale := fs.String("scale", "small", "GA sizing: small (service defaults) or paper (Table 1)")
 	train := fs.Bool("train", true, "warm the STGA history table before serving")
 	traceOut := fs.String("trace-out", "", "record the accepted arrival trace (JSONL) to FILE")
@@ -193,7 +202,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Sites: w.Sites, Training: training,
 		Algo: *algo, Mode: *mode, BatchInterval: *batch,
 		Seed: *seed, Setup: setup, Tick: *tick, Manual: *manual,
-		Dynamics: dyn,
+		Dynamics: dyn, RoundBudget: *roundBudget,
 	}
 	if traceW != nil {
 		cfg.TraceWriter = traceW

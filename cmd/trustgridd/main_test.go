@@ -47,6 +47,23 @@ func TestRealMainTraceOut(t *testing.T) {
 	}
 }
 
+// TestRealMainRoundBudget boots the daemon with fair-share admission on
+// and checks the clean-shutdown path; a negative budget must be
+// rejected at construction.
+func TestRealMainRoundBudget(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", "127.0.0.1:0", "-algo", "minmin",
+		"-tick", "10ms", "-max-wall", "150ms", "-round-budget", "16",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if code := realMain([]string{"-round-budget", "-3", "-max-wall", "10ms"}, &out, &errb); code != 1 {
+		t.Fatalf("negative budget: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
 func TestRealMainBadAlgo(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := realMain([]string{"-algo", "bogus", "-max-wall", "10ms"}, &out, &errb); code != 1 {

@@ -1,0 +1,93 @@
+package api
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTenantSpecValidate(t *testing.T) {
+	good := []TenantSpec{
+		{ID: "a"},
+		{ID: "Tenant-1_x.y", Weight: 2.5, MaxQueue: 10},
+		{ID: "d", SDDefault: 0.7, MaxSD: 0.9},
+		{ID: strings.Repeat("x", 64)},
+	}
+	for _, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%+v: unexpected error %v", spec, err)
+		}
+	}
+	bad := []TenantSpec{
+		{},
+		{ID: strings.Repeat("x", 65)},
+		{ID: "has space"},
+		{ID: "slash/ok?"},
+		{ID: "w", Weight: -1},
+		{ID: "q", MaxQueue: -1},
+		{ID: "s", SDDefault: -0.1},
+		{ID: "s", SDDefault: 1.1},
+		{ID: "s", MaxSD: 2},
+		{ID: "s", SDDefault: 0.8, MaxSD: 0.5},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%+v: expected validation error", spec)
+		}
+	}
+}
+
+// TestTraceRoundTrip: records — including the v2 tenant and safe_only
+// columns — survive write/read, materialize into equivalent jobs, and
+// single-tenant records keep the v1 line format (no tenant key at all).
+func TestTraceRoundTrip(t *testing.T) {
+	recs := []TraceRecord{
+		{ID: 1, Arrival: 0, Workload: 100, Nodes: 1, SD: 0.7},
+		{ID: 2, Arrival: 3.5, Workload: 200, Nodes: 4, SD: 0.85, Tenant: "acme", SafeOnly: true},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if err := WriteTraceRecord(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if strings.Contains(lines[0], "tenant") || strings.Contains(lines[0], "safe_only") {
+		t.Fatalf("untenanted record must omit the v2 columns (pre-v2 compatibility): %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"tenant":"acme"`) || !strings.Contains(lines[1], `"safe_only":true`) {
+		t.Fatalf("v2 columns missing: %s", lines[1])
+	}
+
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	jobs := JobsFromTrace(got)
+	if jobs[1].Tenant != "acme" || !jobs[1].SafeOnly || jobs[1].SecurityDemand != 0.85 {
+		t.Fatalf("bad job materialization: %+v", jobs[1])
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{bad json\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	recs, err := ReadTrace(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("blank lines: %v %v", recs, err)
+	}
+}

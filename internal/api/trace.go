@@ -1,0 +1,84 @@
+package api
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"trustgrid/internal/grid"
+)
+
+// TraceRecord is one accepted arrival — the complete deterministic
+// input of the scheduling pipeline. A recorded trace plus the daemon's
+// seed (and, multi-tenant, the admission config) reproduces every
+// placement byte-for-byte, whether replayed through the daemon in
+// manual mode or through sched.Run (DESIGN.md §6.4, §9.4); the parity
+// test enforces exactly that. Tenant and SafeOnly are the v2 columns;
+// both are omitempty, so pre-v2 traces parse unchanged (tenant "") and
+// hand-written single-tenant records stay compact. Daemon recordings
+// always label ownership — /v1 submissions record as the default
+// tenant.
+type TraceRecord struct {
+	ID       int     `json:"id"`
+	Arrival  float64 `json:"arrival"` // effective (post-clamp) virtual seconds
+	Workload float64 `json:"workload"`
+	Nodes    int     `json:"nodes"`
+	SD       float64 `json:"sd"`
+	Tenant   string  `json:"tenant,omitempty"`
+	// SafeOnly records the owning tenant's secure-only policy as it
+	// applied to this job, so a batch replay needs no tenant registry.
+	SafeOnly bool `json:"safe_only,omitempty"`
+}
+
+// Job materializes the record as a simulator job.
+func (t TraceRecord) Job() *grid.Job {
+	return &grid.Job{
+		ID: t.ID, Arrival: t.Arrival, Workload: t.Workload,
+		Nodes: t.Nodes, SecurityDemand: t.SD,
+		Tenant: t.Tenant, SafeOnly: t.SafeOnly,
+	}
+}
+
+// WriteTraceRecord appends one JSONL line.
+func WriteTraceRecord(w io.Writer, rec TraceRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadTrace parses a JSONL arrival trace.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	var out []TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("api: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JobsFromTrace materializes a whole trace, preserving order.
+func JobsFromTrace(recs []TraceRecord) []*grid.Job {
+	jobs := make([]*grid.Job, len(recs))
+	for i, r := range recs {
+		jobs[i] = r.Job()
+	}
+	return jobs
+}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trustgrid/internal/api"
+)
+
+// Error classes for errors.Is. Every non-2xx response decodes into an
+// *APIError whose Is method matches the class its status code belongs
+// to, so callers branch on semantics, not numbers:
+//
+//	if errors.Is(err, client.ErrOverQuota) { backOff(client.RetryAfter(err)) }
+var (
+	// ErrBadRequest: the request is malformed or violates tenant policy (400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrNotFound: unknown tenant or route (404).
+	ErrNotFound = errors.New("not found")
+	// ErrConflict: duplicate tenant, or a manual-clock call on a live daemon (409).
+	ErrConflict = errors.New("conflict")
+	// ErrOverQuota: the tenant's queue quota rejected the submission (429).
+	ErrOverQuota = errors.New("over quota")
+	// ErrUnavailable: the daemon is stopped or its scheduling loop died (503).
+	ErrUnavailable = errors.New("unavailable")
+)
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's decoded error string.
+	Message string
+	// RetryAfter is the server's Retry-After hint (429/503), zero if absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("trustgridd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Is maps status codes onto the package's error classes.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrBadRequest:
+		return e.StatusCode == http.StatusBadRequest
+	case ErrNotFound:
+		return e.StatusCode == http.StatusNotFound
+	case ErrConflict:
+		return e.StatusCode == http.StatusConflict
+	case ErrOverQuota:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrUnavailable:
+		return e.StatusCode == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// RetryAfter extracts the server's backoff hint from an error chain,
+// zero if the error carries none.
+func RetryAfter(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// errorFromResponse builds the typed error for a non-2xx response.
+// The body is drained (bounded) so the connection can be reused.
+func errorFromResponse(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	e := &APIError{StatusCode: resp.StatusCode}
+	var eb api.ErrorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		e.Message = eb.Error
+	} else {
+		e.Message = string(body)
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

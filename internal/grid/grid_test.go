@@ -27,13 +27,17 @@ func TestJobValidate(t *testing.T) {
 }
 
 func TestJobClone(t *testing.T) {
-	j := &Job{ID: 1, Workload: 5, Nodes: 1, SecurityDemand: 0.8, MustBeSafe: true, Failures: 2}
+	j := &Job{ID: 1, Tenant: "acme", Workload: 5, Nodes: 1, SecurityDemand: 0.8,
+		SafeOnly: true, MustBeSafe: true, Failures: 2}
 	c := j.Clone()
 	if c.MustBeSafe || c.Failures != 0 {
 		t.Fatal("Clone must reset runtime state")
 	}
 	if c.ID != 1 || c.Workload != 5 || c.SecurityDemand != 0.8 {
 		t.Fatal("Clone must keep static fields")
+	}
+	if c.Tenant != "acme" || !c.SafeOnly {
+		t.Fatal("Clone must keep identity and declared policy (Tenant, SafeOnly)")
 	}
 	c.Workload = 99
 	if j.Workload != 5 {

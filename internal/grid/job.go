@@ -4,7 +4,15 @@ import "fmt"
 
 // Job is an atomic, non-malleable unit of program execution (paper §1).
 type Job struct {
-	ID      int
+	ID int
+	// Tenant names the principal the job belongs to. The paper's batch
+	// model is single-tenant ("" everywhere); the multi-tenant service
+	// layer stamps the owning tenant here and it rides through the
+	// engine, the kernel snapshot, events, metrics records and the
+	// arrival trace. Tenant is identity, not runtime state: Clone keeps
+	// it, and the scheduling core treats it as an opaque label (only
+	// fair-share batch formation interprets it, via AdmissionConfig).
+	Tenant  string
 	Arrival float64 // submission time, seconds
 	// Workload is the total computational demand in work units. For
 	// NAS-style traces this is node-seconds (runtime × requested nodes);
@@ -16,6 +24,14 @@ type Job struct {
 	Nodes int
 	// SecurityDemand is SD in the paper: [0.6, 0.9] uniform (Table 1).
 	SecurityDemand float64
+
+	// SafeOnly is a per-job risk policy: the job may only ever run
+	// strictly safely (SL > SD), regardless of the scheduler's admission
+	// mode. Tenants with a secure-only policy stamp it at submission.
+	// Unlike MustBeSafe it is declared intent, not runtime state, so
+	// Clone preserves it; the engine folds it into MustBeSafe at arrival
+	// so the scheduling core needs no second flag.
+	SafeOnly bool
 
 	// MustBeSafe marks a job that already failed once: the scheduler must
 	// dispatch it only to sites with SL > SD ("the scheduler will not
@@ -42,7 +58,7 @@ func (j *Job) Validate() error {
 
 // Clone returns a copy of the job with runtime state (MustBeSafe,
 // Failures) reset, for re-running the same workload through another
-// scheduler.
+// scheduler. Identity and declared policy (Tenant, SafeOnly) are kept.
 func (j *Job) Clone() *Job {
 	c := *j
 	c.MustBeSafe = false

@@ -11,7 +11,10 @@ import (
 // waiting (response − service), matching the paper's accounting where a
 // failed job "restarts from the beginning" elsewhere.
 type JobRecord struct {
-	ID         int
+	ID int
+	// Tenant is the owning principal ("" on single-tenant runs); per-job
+	// accounting can be grouped by it downstream.
+	Tenant     string
 	Arrival    float64
 	Start      float64
 	Completion float64

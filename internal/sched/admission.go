@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"fmt"
+
+	"trustgrid/internal/grid"
+)
+
+// AdmissionConfig bounds how many jobs one Δ-round may admit and how the
+// budget is shared between tenants when the backlog exceeds it. It is
+// the engine-level half of the service's multi-tenant API: the server
+// enforces per-tenant queue quotas (429) at the HTTP layer, while batch
+// formation here decides which queued jobs enter the next round.
+//
+// With RoundBudget <= 0 (or a backlog within the budget) behavior is
+// bit-identical to the original engine: the whole queue is scheduled in
+// arrival order. When the backlog exceeds the budget, jobs are admitted
+// in weighted deficit-round-robin order: each rationed round every
+// backlogged tenant earns RoundBudget·wᵗ/Σw credit, and jobs are popped
+// one at a time from the tenant with the largest accumulated deficit
+// (ties broken by first-arrival order of the tenants). Unused credit
+// carries over, so long-run placement shares converge to the weight
+// vector under saturation; a tenant whose backlog empties — at the
+// start of a rationed round or during its service — forfeits its
+// balance (the classic DRR empty-queue rule, which keeps the deficit a
+// bounded fairness corrector rather than a bankable currency).
+//
+// Everything here is a pure function of the arrival sequence and the
+// config, so a recorded multi-tenant trace replays byte-identically
+// through the batch simulator (the parity contract of DESIGN.md §6).
+type AdmissionConfig struct {
+	// RoundBudget is the maximum number of jobs one scheduling round may
+	// admit; 0 means unlimited (the original single-tenant behavior).
+	RoundBudget int
+	// Weights maps tenant ID to fair-share weight. Missing tenants (and
+	// non-positive entries) weigh 1. The engine copies the map, so later
+	// mutation by the caller has no effect; use Online.SetTenantWeight
+	// to change a weight on a running engine.
+	Weights map[string]float64
+}
+
+func (c *AdmissionConfig) check() error {
+	if c.RoundBudget < 0 {
+		return fmt.Errorf("sched: negative round budget %d", c.RoundBudget)
+	}
+	for t, w := range c.Weights {
+		if w < 0 {
+			return fmt.Errorf("sched: tenant %q has negative weight %v", t, w)
+		}
+	}
+	return nil
+}
+
+// admState is the engine's fair-share batch former.
+type admState struct {
+	budget  int
+	weights map[string]float64
+	deficit map[string]float64
+	// order lists tenants by first arrival — the deterministic
+	// tie-break and iteration order (map iteration would not replay).
+	order []string
+	seen  map[string]bool
+
+	// scratch reused across rounds.
+	perTenant map[string][]*grid.Job
+	backlog   []string
+}
+
+func newAdmState(cfg *AdmissionConfig) *admState {
+	a := &admState{
+		budget:    cfg.RoundBudget,
+		weights:   make(map[string]float64, len(cfg.Weights)),
+		deficit:   make(map[string]float64),
+		seen:      make(map[string]bool),
+		perTenant: make(map[string][]*grid.Job),
+	}
+	for t, w := range cfg.Weights {
+		a.weights[t] = w
+	}
+	return a
+}
+
+// note registers a tenant the first time one of its jobs arrives, fixing
+// the deterministic tie-break order.
+func (a *admState) note(tenant string) {
+	if !a.seen[tenant] {
+		a.seen[tenant] = true
+		a.order = append(a.order, tenant)
+	}
+}
+
+func (a *admState) weight(tenant string) float64 {
+	if w := a.weights[tenant]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// form splits the queue into the batch the round admits and the leftover
+// that stays queued. Order within a tenant is always FIFO; the admitted
+// batch interleaves tenants in deficit order, and the leftover keeps the
+// original queue order.
+func (a *admState) form(queue []*grid.Job) (batch, leftover []*grid.Job) {
+	if a.budget <= 0 || len(queue) <= a.budget {
+		return queue, nil
+	}
+	// Partition by tenant, preserving arrival order. A tenant that
+	// somehow bypassed note (defensive; arrive always notes) is added so
+	// its jobs cannot be silently dropped.
+	for t := range a.perTenant {
+		a.perTenant[t] = a.perTenant[t][:0]
+	}
+	for _, j := range queue {
+		a.note(j.Tenant)
+		a.perTenant[j.Tenant] = append(a.perTenant[j.Tenant], j)
+	}
+	a.backlog = a.backlog[:0]
+	var wsum float64
+	for _, t := range a.order {
+		if len(a.perTenant[t]) > 0 {
+			a.backlog = append(a.backlog, t)
+			wsum += a.weight(t)
+		} else {
+			// Idle tenants forfeit their balance: credit is a share of
+			// *this* round's budget, not a bankable currency.
+			delete(a.deficit, t)
+		}
+	}
+	for _, t := range a.backlog {
+		a.deficit[t] += float64(a.budget) * a.weight(t) / wsum
+	}
+
+	batch = make([]*grid.Job, 0, a.budget)
+	for len(batch) < a.budget {
+		best, bestD := "", 0.0
+		found := false
+		for _, t := range a.backlog {
+			if len(a.perTenant[t]) == 0 {
+				continue
+			}
+			if !found || a.deficit[t] > bestD {
+				best, bestD, found = t, a.deficit[t], true
+			}
+		}
+		if !found {
+			break // fewer queued jobs than budget (cannot happen: guarded above)
+		}
+		q := a.perTenant[best]
+		batch = append(batch, q[0])
+		a.perTenant[best] = q[1:]
+		if len(q) == 1 {
+			// The tenant got everything it wanted this round: zero the
+			// balance (the classic DRR empty-queue rule). Without this a
+			// never-idle but under-demanding tenant would bank credit
+			// round after round and later burst past everyone.
+			a.deficit[best] = 0
+		} else {
+			a.deficit[best]--
+		}
+	}
+
+	// Bound the carryover to one round's credit (at least ±1 so small
+	// weights keep their fractional carry). The positive side limits
+	// banking beyond the empty-queue reset above; the negative side
+	// forgives debt a tenant ran up serving surplus that others forfeited
+	// — without it, a perpetually over-served tenant sinks without bound
+	// and a later fair claim by anyone else turns into a monopoly burst.
+	for _, t := range a.backlog {
+		cap := float64(a.budget) * a.weight(t) / wsum
+		if cap < 1 {
+			cap = 1
+		}
+		if d := a.deficit[t]; d > cap {
+			a.deficit[t] = cap
+		} else if d < -cap {
+			a.deficit[t] = -cap
+		}
+	}
+
+	admitted := make(map[*grid.Job]bool, len(batch))
+	for _, j := range batch {
+		admitted[j] = true
+	}
+	leftover = make([]*grid.Job, 0, len(queue)-len(batch))
+	for _, j := range queue {
+		if !admitted[j] {
+			leftover = append(leftover, j)
+		}
+	}
+	return batch, leftover
+}

@@ -1,0 +1,277 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+)
+
+func admTestSites(m int) []*grid.Site {
+	sites := make([]*grid.Site, m)
+	for i := range sites {
+		sites[i] = &grid.Site{ID: i, Speed: 100, Nodes: 1, SecurityLevel: 0.95}
+	}
+	return sites
+}
+
+// TestAdmissionFormOrder pins the deficit-round-robin mechanics on a
+// hand-checkable case: budget 4, weights a=2 b=1, six queued jobs.
+// Round 1 credits a with 8/3 and b with 4/3, so service order is
+// a,a,b,a (deficits 8/3→5/3→2/3 for a, 4/3→1/3 for b, with a winning
+// the opening tie via first-arrival order); the leftover keeps arrival
+// order.
+func TestAdmissionFormOrder(t *testing.T) {
+	a := newAdmState(&AdmissionConfig{RoundBudget: 4, Weights: map[string]float64{"a": 2, "b": 1}})
+	var queue []*grid.Job
+	for i := 0; i < 3; i++ {
+		queue = append(queue, &grid.Job{ID: 10 + i, Tenant: "a", Workload: 1, Nodes: 1})
+		queue = append(queue, &grid.Job{ID: 20 + i, Tenant: "b", Workload: 1, Nodes: 1})
+	}
+	for _, j := range queue {
+		a.note(j.Tenant)
+	}
+	batch, leftover := a.form(queue)
+	gotBatch := fmt.Sprint(idsOf(batch))
+	if gotBatch != "[10 11 20 12]" {
+		t.Fatalf("batch order %s, want [10 11 20 12]", gotBatch)
+	}
+	if got := fmt.Sprint(idsOf(leftover)); got != "[21 22]" {
+		t.Fatalf("leftover %s, want [21 22] in arrival order", got)
+	}
+
+	// The second round is under-subscribed (2 jobs, budget 4), so the
+	// whole leftover drains in arrival order.
+	batch, leftover = a.form(leftover)
+	if len(batch) != 2 || len(leftover) != 0 {
+		t.Fatalf("drain round: batch %v leftover %v", idsOf(batch), idsOf(leftover))
+	}
+}
+
+// TestAdmissionUnlimitedIsIdentity pins the compatibility contract: a
+// zero budget (or a backlog within budget) returns the queue unchanged,
+// same slice, same order — bit-identical to the pre-tenant engine.
+func TestAdmissionUnlimitedIsIdentity(t *testing.T) {
+	queue := []*grid.Job{{ID: 1}, {ID: 2}, {ID: 3}}
+	for _, cfg := range []*AdmissionConfig{
+		{RoundBudget: 0},
+		{RoundBudget: 3},
+		{RoundBudget: 100},
+	} {
+		a := newAdmState(cfg)
+		batch, leftover := a.form(queue)
+		if len(leftover) != 0 || len(batch) != 3 || &batch[0] != &queue[0] {
+			t.Fatalf("budget %d: not the identity", cfg.RoundBudget)
+		}
+	}
+}
+
+// TestAdmissionDeficitNotBankable is the regression test for unbounded
+// credit banking: a tenant that keeps exactly one job queued every
+// rationed round (never idle, never saturating) must not accumulate
+// deficit it can later spend as a monopoly burst. After many such
+// rounds it bursts a deep backlog; the very next round must still split
+// close to the weight vector.
+func TestAdmissionDeficitNotBankable(t *testing.T) {
+	a := newAdmState(&AdmissionConfig{RoundBudget: 4, Weights: map[string]float64{"drip": 1, "bulk": 1}})
+	a.note("drip")
+	a.note("bulk")
+	mkJobs := func(tenant string, n int) []*grid.Job {
+		out := make([]*grid.Job, n)
+		for i := range out {
+			out[i] = &grid.Job{ID: i, Tenant: tenant}
+		}
+		return out
+	}
+	for round := 0; round < 200; round++ {
+		queue := append(mkJobs("drip", 1), mkJobs("bulk", 40)...)
+		batch, _ := a.form(queue)
+		if len(batch) != 4 {
+			t.Fatalf("round %d: batch size %d", round, len(batch))
+		}
+	}
+	if d := a.deficit["drip"]; d > 2 {
+		t.Fatalf("drip banked %v deficit across 200 under-demanding rounds", d)
+	}
+	// The burst round: drip shows up with a deep backlog. Equal weights
+	// mean it is owed about half the budget — not the whole round.
+	batch, _ := a.form(append(mkJobs("drip", 40), mkJobs("bulk", 40)...))
+	drip := 0
+	for _, j := range batch {
+		if j.Tenant == "drip" {
+			drip++
+		}
+	}
+	if drip > 3 {
+		t.Fatalf("burst round gave drip %d of 4 slots (banked credit leaked through)", drip)
+	}
+}
+
+func idsOf(jobs []*grid.Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+// TestDeficitRoundRobinConvergesToWeights is the fair-share acceptance
+// gate: under saturation (every tenant always backlogged), long-run
+// placement shares converge to the tenant weight vector. Three tenants
+// at weights 1:2:4 submit equal offered load; the engine rations every
+// Δ-round to a budget of 7; the placement stream's per-tenant shares
+// over the saturated prefix must match 1/7 : 2/7 : 4/7 within 2%.
+func TestDeficitRoundRobinConvergesToWeights(t *testing.T) {
+	const (
+		perTenant = 700
+		budget    = 7
+	)
+	weights := map[string]float64{"w1": 1, "w2": 2, "w4": 4}
+	var jobs []*grid.Job
+	id := 0
+	for i := 0; i < perTenant; i++ {
+		for _, tenant := range []string{"w1", "w2", "w4"} {
+			id++
+			jobs = append(jobs, &grid.Job{
+				ID: id, Tenant: tenant, Workload: 100, Nodes: 1,
+				SecurityDemand: 0.7, Arrival: 0,
+			})
+		}
+	}
+
+	var placedOrder []string
+	_, err := Run(RunConfig{
+		Jobs:          jobs,
+		Sites:         admTestSites(4),
+		Scheduler:     &eligibleScheduler{policy: grid.RiskyPolicy()},
+		BatchInterval: 1000,
+		Rand:          rng.New(1),
+		Admission:     &AdmissionConfig{RoundBudget: budget, Weights: weights},
+		OnEvent: func(ev EngineEvent) {
+			if ev.Kind == EventPlaced {
+				placedOrder = append(placedOrder, ev.Job.Tenant)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placedOrder) != 3*perTenant {
+		t.Fatalf("placed %d, want %d", len(placedOrder), 3*perTenant)
+	}
+
+	// The lightest tenant exhausts last; while every tenant still has
+	// backlog the shares must track the weights. Measure over the prefix
+	// during which all three are saturated: tenant w1 drains 1/7 of each
+	// round, so saturation surely holds for the first perTenant/ (4/7)
+	// ... conservatively, the first 60% of w4's jobs: 0.6*perTenant*7/4
+	// placements.
+	prefix := int(0.6 * perTenant * 7 / 4)
+	counts := map[string]int{}
+	for _, tenant := range placedOrder[:prefix] {
+		counts[tenant]++
+	}
+	total := float64(prefix)
+	for tenant, w := range weights {
+		want := w / 7
+		got := float64(counts[tenant]) / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("tenant %s share %.4f, want %.4f±0.02 (counts %v over %d)",
+				tenant, got, want, counts, prefix)
+		}
+	}
+
+	// Every round after the first must admit exactly the budget while
+	// saturated — check via the largest-batch stat.
+	res, err := Run(RunConfig{
+		Jobs:          jobs,
+		Sites:         admTestSites(4),
+		Scheduler:     &eligibleScheduler{policy: grid.RiskyPolicy()},
+		BatchInterval: 1000,
+		Rand:          rng.New(1),
+		Admission:     &AdmissionConfig{RoundBudget: budget, Weights: weights},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LargestBatch != budget {
+		t.Fatalf("largest batch %d, want the budget %d", res.LargestBatch, budget)
+	}
+}
+
+// TestAdmissionNilIsBitIdentical pins that threading the admission
+// layer through the engine changed nothing when it is absent: a run
+// with nil Admission and one with an unlimited AdmissionConfig produce
+// identical placement streams.
+func TestAdmissionNilIsBitIdentical(t *testing.T) {
+	mk := func(adm *AdmissionConfig) string {
+		var out string
+		jobs := make([]*grid.Job, 60)
+		for i := range jobs {
+			jobs[i] = &grid.Job{
+				ID: i + 1, Arrival: float64(i * 37 % 11), Workload: float64(100 + i*13%70),
+				Nodes: 1, SecurityDemand: 0.6 + float64(i%30)/100,
+				Tenant: fmt.Sprintf("t%d", i%3),
+			}
+		}
+		_, err := Run(RunConfig{
+			Jobs:          jobs,
+			Sites:         admTestSites(5),
+			Scheduler:     &eligibleScheduler{policy: grid.FRiskyPolicy(0.5)},
+			BatchInterval: 10,
+			Rand:          rng.New(42),
+			Admission:     adm,
+			OnEvent: func(ev EngineEvent) {
+				if ev.Kind == EventPlaced {
+					out += fmt.Sprintf("%d@%d:%.17g;", ev.Job.ID, ev.Site, ev.Start)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain := mk(nil)
+	unlimited := mk(&AdmissionConfig{Weights: map[string]float64{"t0": 9}})
+	if plain == "" || plain != unlimited {
+		t.Fatalf("unlimited admission diverged from nil admission")
+	}
+}
+
+// TestSafeOnlyFoldsIntoMustBeSafe: a SafeOnly job is never placed
+// riskily, even under a fully risky policy, and never fails.
+func TestSafeOnlyFoldsIntoMustBeSafe(t *testing.T) {
+	sites := []*grid.Site{
+		{ID: 0, Speed: 1000, Nodes: 1, SecurityLevel: 0.3}, // fast but untrusted
+		{ID: 1, Speed: 10, Nodes: 1, SecurityLevel: 0.99},  // slow and safe
+	}
+	jobs := make([]*grid.Job, 40)
+	for i := range jobs {
+		jobs[i] = &grid.Job{
+			ID: i + 1, Workload: 100, Nodes: 1,
+			SecurityDemand: 0.9, SafeOnly: true, Tenant: "sec",
+		}
+	}
+	risky := 0
+	res, err := Run(RunConfig{
+		Jobs:          jobs,
+		Sites:         sites,
+		Scheduler:     &eligibleScheduler{policy: grid.RiskyPolicy()},
+		BatchInterval: 10,
+		Rand:          rng.New(3),
+		OnEvent: func(ev EngineEvent) {
+			if ev.Kind == EventPlaced && ev.Risky {
+				risky++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risky != 0 || res.Summary.NRisk != 0 || res.Summary.NFail != 0 {
+		t.Fatalf("SafeOnly jobs took risk: risky=%d summary=%+v", risky, res.Summary)
+	}
+}

@@ -69,6 +69,12 @@ type RunConfig struct {
 	// paper's original fixed-platform model, bit-identical to before the
 	// extension existed.
 	Dynamics *DynamicsConfig
+	// Admission, when non-nil, bounds each Δ-round's batch and shares
+	// the budget between tenants in weighted deficit-round-robin order
+	// (DESIGN.md §9). Nil — or a zero RoundBudget — is the original
+	// drain-everything behavior, bit-identical to before multi-tenancy
+	// existed. The engine copies the config.
+	Admission *AdmissionConfig
 }
 
 // check validates everything except the job list, which Run requires
@@ -94,6 +100,11 @@ func (c *RunConfig) check() error {
 	}
 	if c.Dynamics != nil {
 		if err := c.Dynamics.check(c.Sites); err != nil {
+			return err
+		}
+	}
+	if c.Admission != nil {
+		if err := c.Admission.check(); err != nil {
 			return err
 		}
 	}
@@ -131,7 +142,9 @@ type engineState struct {
 	fellBack    map[int]bool
 	interrupted map[int]int
 	// dyn is the dynamic-grid state (nil on static runs).
-	dyn       *dynState
+	dyn *dynState
+	// adm is the fair-share batch former (nil without RunConfig.Admission).
+	adm       *admState
 	seen      int // jobs that have arrived so far
 	remaining int // jobs not yet successfully completed
 	// acc accumulates the §4.1 summary incrementally, in the same order
@@ -170,6 +183,15 @@ func Run(cfg RunConfig) (*Result, error) {
 func (st *engineState) arrive(e *sim.Engine, j *grid.Job) {
 	if j.Arrival < e.Now() {
 		j.Arrival = e.Now()
+	}
+	// A tenant-declared secure-only policy becomes the same per-job
+	// constraint a prior failure imposes; downstream of this point the
+	// scheduling core has a single safety flag.
+	if j.SafeOnly {
+		j.MustBeSafe = true
+	}
+	if st.adm != nil {
+		st.adm.note(j.Tenant)
 	}
 	st.seen++
 	st.remaining++
@@ -211,6 +233,17 @@ func (st *engineState) runBatch(e *sim.Engine) {
 	}
 	batch := st.queue
 	st.queue = nil
+	if st.adm != nil {
+		var leftover []*grid.Job
+		batch, leftover = st.adm.form(batch)
+		if len(leftover) > 0 {
+			// Rationed round: the remainder stays queued and the next
+			// Δ-round is armed now, so a saturated backlog keeps draining
+			// at budget jobs per round even with no further arrivals.
+			st.queue = leftover
+			st.ensureBatch(e)
+		}
+	}
 	st.batches++
 
 	if len(batch) > st.largest {
@@ -317,6 +350,7 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 		st.untrack(att)
 		rec := metrics.JobRecord{
 			ID:          job.ID,
+			Tenant:      job.Tenant,
 			Arrival:     job.Arrival,
 			Start:       start,
 			Completion:  finish,

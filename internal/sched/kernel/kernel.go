@@ -67,6 +67,11 @@ type Snapshot struct {
 	Workload   []float64
 	SD         []float64
 	MustBeSafe []bool
+	// Tenant is the owning principal of each batch job ("" on
+	// single-tenant runs). The kernel itself never branches on it;
+	// per-tenant consumers (accounting hooks, tenancy-aware scheduler
+	// extensions) read the column instead of chasing Jobs[i].Tenant.
+	Tenant []string
 
 	// ETC is the n×m execution-time matrix, row-major (job-major):
 	// ETC[i*M+k] = Workload[i]/Speed[k], exactly grid.ETCMatrix's layout
@@ -102,6 +107,7 @@ type Builder struct {
 	etc      []float64
 	alive    []bool
 	safe     []bool
+	tenants  []string
 }
 
 // Build constructs the snapshot for one batch. ready and alive are
@@ -148,6 +154,10 @@ func (b *Builder) Build(now float64, sites []*grid.Site, ready []float64, alive 
 		b.safe = make([]bool, n)
 	}
 	s.MustBeSafe = b.safe[:n]
+	if cap(b.tenants) < n {
+		b.tenants = make([]string, n)
+	}
+	s.Tenant = b.tenants[:n]
 	if cap(b.etc) < n*m {
 		b.etc = make([]float64, n*m)
 	}
@@ -156,6 +166,7 @@ func (b *Builder) Build(now float64, sites []*grid.Site, ready []float64, alive 
 		s.Workload[i] = j.Workload
 		s.SD[i] = j.SecurityDemand
 		s.MustBeSafe[i] = j.MustBeSafe
+		s.Tenant[i] = j.Tenant
 		row := s.ETC[i*m : (i+1)*m]
 		for k, site := range sites {
 			row[k] = site.ExecTime(j)

@@ -218,3 +218,34 @@ func TestEligibilityClassSharing(t *testing.T) {
 		t.Fatal("CT must be finite")
 	}
 }
+
+// TestTenantColumn: the snapshot carries each batch job's tenant as a
+// per-job column, refreshed correctly across Builder reuse (a stale
+// column from a larger previous round must not leak).
+func TestTenantColumn(t *testing.T) {
+	r := rng.New(912)
+	sites, _, ready, _ := randomInstance(r)
+	mk := func(n int) []*grid.Job {
+		batch := make([]*grid.Job, n)
+		for i := range batch {
+			batch[i] = &grid.Job{
+				ID: i, Workload: 10, Nodes: 1, SecurityDemand: 0.7,
+				Tenant: []string{"gold", "silver", ""}[i%3],
+			}
+		}
+		return batch
+	}
+	var b kernel.Builder
+	for _, n := range []int{9, 4, 12} {
+		batch := mk(n)
+		snap := b.Build(0, sites, ready, nil, batch)
+		if len(snap.Tenant) != n {
+			t.Fatalf("n=%d: tenant column has %d entries", n, len(snap.Tenant))
+		}
+		for i, j := range batch {
+			if snap.Tenant[i] != j.Tenant {
+				t.Fatalf("n=%d: Tenant[%d] = %q, want %q", n, i, snap.Tenant[i], j.Tenant)
+			}
+		}
+	}
+}

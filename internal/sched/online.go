@@ -40,6 +40,12 @@ func NewOnline(cfg RunConfig) (*Online, error) {
 		cfg.Security = grid.NewSecurityModel()
 	}
 	o := &Online{cfg: cfg}
+	if cfg.Admission != nil {
+		// Copy so SetTenantWeight and later caller-side map mutation
+		// cannot race or retroactively change a recorded run's config.
+		c := *cfg.Admission
+		o.cfg.Admission = &c
+	}
 	if cfg.Dynamics != nil {
 		// Churn and reputation mutate site speed and security level;
 		// clone the platform so the caller's sites stay pristine.
@@ -61,6 +67,9 @@ func NewOnline(cfg RunConfig) (*Online, error) {
 		interrupted: make(map[int]int),
 		failRand:    cfg.Rand.Derive("engine/failures"),
 		timeRand:    cfg.Rand.Derive("engine/failtime"),
+	}
+	if o.cfg.Admission != nil {
+		o.st.adm = newAdmState(o.cfg.Admission)
 	}
 	o.eng = sim.NewEngine()
 	if cfg.MaxEvents > 0 {
@@ -202,6 +211,21 @@ func (o *Online) Result() (*Result, error) {
 		SchedulerTime: o.st.schedTime,
 		LargestBatch:  o.st.largest,
 	}, nil
+}
+
+// SetTenantWeight sets (or updates) a tenant's fair-share weight for
+// deficit-round-robin batch formation. Loop goroutine only. Weights are
+// part of the determinism contract: for a replayable run, set them
+// before the tenant's first arrival is ingested (the daemon registers
+// tenants up front, and the batch simulator takes the same vector in
+// AdmissionConfig.Weights). A non-positive weight is treated as 1 at
+// scheduling time. No-op on engines built without RunConfig.Admission —
+// without a round budget there is nothing for a weight to share.
+func (o *Online) SetTenantWeight(tenant string, weight float64) {
+	if o.st.adm == nil {
+		return
+	}
+	o.st.adm.weights[tenant] = weight
 }
 
 // Now returns the current virtual time. Loop goroutine only.

@@ -8,63 +8,39 @@ import (
 	"strings"
 	"time"
 
+	"trustgrid/internal/api"
 	"trustgrid/internal/grid"
-	"trustgrid/internal/metrics"
 	"trustgrid/internal/sched"
 )
 
-// JobSpec is the submission wire format. In live mode the server stamps
-// identity and arrival itself (the wall-clock side of the determinism
-// boundary), so client-supplied id/arrival are rejected; in manual mode
-// both are honored, which is what trace replay needs.
-type JobSpec struct {
-	ID       *int     `json:"id,omitempty"`
-	Arrival  *float64 `json:"arrival,omitempty"` // virtual seconds
-	Workload float64  `json:"workload"`
-	Nodes    int      `json:"nodes,omitempty"` // default 1
-	SD       float64  `json:"sd"`
-}
+// Wire types are defined once in the shared format package
+// (internal/api) and re-exported here under their historical names so
+// existing embedders keep compiling; see api's package comment.
+type (
+	// JobSpec is the submission wire format.
+	JobSpec = api.JobSpec
+	// WireEvent is the streamed form of a sched.EngineEvent.
+	WireEvent = api.Event
+	// MetricsReport is the /v1/metrics and /v2/metrics response.
+	MetricsReport = api.MetricsReport
+)
 
-type submitRequest struct {
-	Jobs []JobSpec `json:"jobs"`
-}
-
-type submitResponse struct {
-	IDs      []int `json:"ids"`
-	Accepted int   `json:"accepted"`
-}
-
-// WireEvent is the streamed form of a sched.EngineEvent. Arrived events
-// carry the job spec (they double as the arrival trace); placed events
-// carry the planned execution window; site lifecycle events (site_down,
-// site_up, site_speed — dynamic grids only) carry job −1 plus the
-// site's new level or speed.
-type WireEvent struct {
-	Seq      int64   `json:"seq"`
-	Kind     string  `json:"kind"`
-	Time     float64 `json:"t"`
-	Job      int     `json:"job"`
-	Site     int     `json:"site"`
-	Start    float64 `json:"start,omitempty"`
-	Finish   float64 `json:"finish,omitempty"`
-	Risky    bool    `json:"risky,omitempty"`
-	FellBack bool    `json:"fell_back,omitempty"`
-	Arrival  float64 `json:"arrival,omitempty"`
-	Workload float64 `json:"workload,omitempty"`
-	Nodes    int     `json:"nodes,omitempty"`
-	SD       float64 `json:"sd,omitempty"`
-	Level    float64 `json:"level,omitempty"`
-	Speed    float64 `json:"speed,omitempty"`
-}
+type submitRequest = api.SubmitRequest
 
 func wireFromEngine(ev sched.EngineEvent) WireEvent {
 	w := WireEvent{Kind: ev.Kind.String(), Time: ev.Time, Job: ev.Job.ID, Site: ev.Site}
+	switch ev.Kind {
+	case sched.EventArrived, sched.EventPlaced, sched.EventFailed,
+		sched.EventCompleted, sched.EventInterrupted:
+		w.Tenant = ev.Job.Tenant
+	}
 	switch ev.Kind {
 	case sched.EventArrived:
 		w.Arrival = ev.Job.Arrival
 		w.Workload = ev.Job.Workload
 		w.Nodes = ev.Job.Nodes
 		w.SD = ev.Job.SecurityDemand
+		w.SafeOnly = ev.Job.SafeOnly
 	case sched.EventPlaced:
 		w.Start, w.Finish = ev.Start, ev.Finish
 		w.Risky, w.FellBack = ev.Risky, ev.FellBack
@@ -81,48 +57,45 @@ func wireFromEngine(ev sched.EngineEvent) WireEvent {
 	return w
 }
 
-// MetricsReport is the /v1/metrics response.
-type MetricsReport struct {
-	Algo          string           `json:"algo"`
-	Mode          string           `json:"mode"`
-	Manual        bool             `json:"manual"`
-	BatchInterval float64          `json:"batch_interval_s"`
-	TickMS        float64          `json:"tick_ms"`
-	UptimeS       float64          `json:"uptime_s"`
-	VirtualNow    float64          `json:"virtual_now_s"`
-	Submitted     int64            `json:"submitted"`
-	Arrived       int64            `json:"arrived"`
-	Backlog       int              `json:"backlog"`
-	InFlight      int              `json:"in_flight"`
-	Placed        int64            `json:"placed"`
-	Failures      int64            `json:"failed_attempts"`
-	Interrupted   int64            `json:"interrupted_attempts"`
-	Completed     int64            `json:"completed"`
-	SitesAlive    int              `json:"sites_alive"`
-	Batches       int              `json:"batches"`
-	LargestBatch  int              `json:"largest_batch"`
-	SubmitRate    float64          `json:"submit_rate_per_s"`
-	Latency       LatencySummary   `json:"sched_latency"`
-	Summary       *metrics.Summary `json:"summary,omitempty"`
-}
-
-// Handler returns the service's HTTP API.
+// Handler returns the service's HTTP API. /v2 is the multi-tenant
+// surface; the /v1 routes are a compatibility shim over the default
+// tenant — same handlers, with submissions landing on
+// api.DefaultTenant (DESIGN.md §9.3). /metrics.prom is unversioned, as
+// Prometheus convention expects a stable scrape path.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	// v1 compatibility shim.
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, api.DefaultTenant)
+	})
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/sites", s.handleSites)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	// v2: tenants are first-class.
+	mux.HandleFunc("POST /v2/tenants", s.handleTenantCreate)
+	mux.HandleFunc("GET /v2/tenants", s.handleTenantList)
+	mux.HandleFunc("GET /v2/tenants/{tenant}", s.handleTenantGet)
+	mux.HandleFunc("POST /v2/tenants/{tenant}/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, r.PathValue("tenant"))
+	})
+	mux.HandleFunc("GET /v2/events", s.handleEvents)
+	mux.HandleFunc("GET /v2/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v2/sites", s.handleSites)
+	mux.HandleFunc("GET /v2/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v2/advance", s.handleAdvance)
+	mux.HandleFunc("POST /v2/drain", s.handleDrain)
+	// Prometheus text exposition of the existing counters.
+	mux.HandleFunc("GET /metrics.prom", s.handleProm)
 	return mux
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(api.ErrorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -130,9 +103,78 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
 	if s.stopped() {
 		httpError(w, http.StatusServiceUnavailable, "%v", s.stoppedErr())
+		return
+	}
+	var spec api.TenantSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Registry insert and engine weight install happen in ONE loop
+	// command: the loop goroutine orders registration against arrival
+	// ingestion (the determinism contract asks operators to register
+	// tenants before traffic, §9.4), and atomicity means a request that
+	// dies early leaves nothing behind — no half-registered tenant whose
+	// weight never reached the fair-share former and whose re-register
+	// retry would bounce off 409. s.do honors the context only until the
+	// command is enqueued; once enqueued both effects happen.
+	var regErr error
+	if err := s.do(r.Context(), func() {
+		if regErr = s.tenants.register(spec); regErr != nil {
+			return
+		}
+		spec, _ = s.tenants.get(spec.ID) // normalized (defaulted weight)
+		s.online.SetTenantWeight(spec.ID, spec.Weight)
+	}); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if regErr != nil {
+		httpError(w, http.StatusConflict, "%v", regErr)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, spec)
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, api.TenantList{Tenants: s.tenants.list()})
+}
+
+func (s *Server) handleTenantGet(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.tenants.get(r.PathValue("tenant"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", r.PathValue("tenant"))
+		return
+	}
+	writeJSON(w, spec)
+}
+
+// retryAfterSeconds is the Retry-After hint on 429 responses: one batch
+// tick is when queued jobs next get a chance to place and free quota.
+func (s *Server) retryAfterSeconds() int {
+	secs := int(s.cfg.Tick / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID string) {
+	if s.stopped() {
+		httpError(w, http.StatusServiceUnavailable, "%v", s.stoppedErr())
+		return
+	}
+	spec, ok := s.tenants.get(tenantID)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", tenantID)
 		return
 	}
 	var req submitRequest
@@ -145,37 +187,70 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	accepted := time.Now()
+	// Validate the WHOLE request before claiming anything: a claimed ID
+	// is burned forever in manual mode, so claiming before validation
+	// would make a replayed trace unretryable after one malformed job
+	// (the request fails, the IDs stay used, the retry hits duplicate-ID
+	// rejections). Nothing below this loop can 400.
 	jobs := make([]*grid.Job, 0, len(req.Jobs))
-	ids := make([]int, 0, len(req.Jobs))
-	for i, spec := range req.Jobs {
-		if !s.cfg.Manual && (spec.ID != nil || spec.Arrival != nil) {
+	for i, js := range req.Jobs {
+		if !s.cfg.Manual && (js.ID != nil || js.Arrival != nil) {
 			httpError(w, http.StatusBadRequest,
 				"job %d: id/arrival are server-assigned in live mode (manual mode honors them)", i)
 			return
 		}
-		j := &grid.Job{Workload: spec.Workload, Nodes: spec.Nodes, SecurityDemand: spec.SD}
+		j := &grid.Job{
+			Workload: js.Workload, Nodes: js.Nodes,
+			SecurityDemand: js.SD, Tenant: tenantID,
+			SafeOnly: spec.SecureOnly,
+		}
 		if j.Nodes == 0 {
 			j.Nodes = 1
 		}
-		id, err := s.claimID(spec.ID)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+		if j.SecurityDemand == 0 {
+			j.SecurityDemand = spec.SDDefault
+		}
+		if spec.MaxSD > 0 && j.SecurityDemand > spec.MaxSD {
+			httpError(w, http.StatusBadRequest,
+				"job %d: sd %v exceeds tenant %q max_sd %v", i, j.SecurityDemand, tenantID, spec.MaxSD)
 			return
 		}
-		j.ID = id
-		if spec.Arrival != nil {
-			j.Arrival = *spec.Arrival
+		if js.Arrival != nil {
+			j.Arrival = *js.Arrival
 		}
 		if err := j.Validate(); err != nil {
 			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
 			return
 		}
 		jobs = append(jobs, j)
-		ids = append(ids, j.ID)
 	}
-	// Per-job accounting happens only after a job is genuinely handed to
-	// the engine, so a rejected tail never inflates `submitted` or
-	// strands latency-tracker entries for jobs that will never place.
+	// Admission control: all-or-nothing against the tenant's queue
+	// quota, so a 429'd client retries the same batch.
+	if ok, over := s.tenants.reserve(tenantID, len(jobs)); !ok {
+		if over {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests,
+				"tenant %q queue quota (%d) exceeded", tenantID, spec.MaxQueue)
+			return
+		}
+		httpError(w, http.StatusNotFound, "unknown tenant %q", tenantID)
+		return
+	}
+	// IDs are claimed only now, atomically for the whole request, after
+	// every other reason to reject has been ruled out.
+	ids, err := s.claimIDs(req.Jobs)
+	if err != nil {
+		s.tenants.release(tenantID, len(jobs))
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for i, j := range jobs {
+		j.ID = ids[i]
+		// Pending entries exist before injection so a placement racing
+		// this handler (live mode) always finds its submission — the
+		// latency sample and the quota release both depend on it.
+		s.lat.submitted(j.ID, tenantID, accepted)
+	}
 	injected := 0
 	var subErr error
 	if s.cfg.Manual {
@@ -204,23 +279,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			injected++
 		}
 	}
-	for _, j := range jobs[:injected] {
-		s.lat.submitted(j.ID, accepted)
-	}
 	s.submitted.Add(int64(injected))
+	s.tenants.addSubmitted(tenantID, injected)
 	if subErr != nil {
+		// The tail never reached the engine: unwind its accounting.
+		for _, j := range jobs[injected:] {
+			s.lat.forget(j.ID)
+		}
+		s.tenants.release(tenantID, len(jobs)-injected)
 		httpError(w, http.StatusServiceUnavailable,
 			"submit: %v (%d of %d jobs were already accepted)", subErr, injected, len(jobs))
 		return
 	}
-	writeJSON(w, submitResponse{IDs: ids, Accepted: len(jobs)})
+	writeJSON(w, api.SubmitResponse{IDs: ids, Accepted: len(jobs)})
 }
 
 // handleEvents streams the event log as NDJSON. Query parameters:
 // since (cursor, default 0), max (page size: without follow the
 // response stops after one page of max events — paginate with the last
 // event's seq+1), follow (keep the connection open and stream new
-// events), and kinds (comma-separated filter, e.g. "placed,completed").
+// events), kinds (comma-separated filter, e.g. "placed,completed") and
+// tenant (only that tenant's job events; site lifecycle events carry no
+// tenant and are filtered out).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	cursor := int64(0)
@@ -249,10 +329,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			kinds[strings.TrimSpace(k)] = true
 		}
 	}
+	tenant := q.Get("tenant")
 
 	var match func(*WireEvent) bool
-	if kinds != nil {
-		match = func(ev *WireEvent) bool { return kinds[ev.Kind] }
+	if kinds != nil || tenant != "" {
+		match = func(ev *WireEvent) bool {
+			if kinds != nil && !kinds[ev.Kind] {
+				return false
+			}
+			return tenant == "" || ev.Tenant == tenant
+		}
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -302,13 +388,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// buildReport assembles the metrics report; tenant (optional) narrows
+// the per-tenant section. Shared by the JSON and Prometheus endpoints.
+func (s *Server) buildReport(r *http.Request, tenant string) (MetricsReport, error) {
 	rep := MetricsReport{
 		Algo:          s.sched.Name(),
 		Mode:          s.cfg.Mode,
 		Manual:        s.cfg.Manual,
 		BatchInterval: s.cfg.BatchInterval,
 		TickMS:        float64(s.cfg.Tick) / float64(time.Millisecond),
+		RoundBudget:   s.cfg.RoundBudget,
 		UptimeS:       time.Since(s.started).Seconds(),
 		Submitted:     s.submitted.Load(),
 		Arrived:       s.arrived.Load(),
@@ -317,7 +406,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Failures:      s.failures.Load(),
 		Interrupted:   s.interrupted.Load(),
 		Completed:     s.completed.Load(),
+		Rejected:      s.tenants.rejectedTotal(),
 		Latency:       s.lat.summary(),
+		Tenants:       s.tenants.metrics(s.lat, tenant),
 	}
 	if rep.UptimeS > 0 {
 		rep.SubmitRate = float64(rep.Submitted) / rep.UptimeS
@@ -336,6 +427,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			rep.Summary = &sum
 		}
 	})
+	return rep, err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	if tenant != "" {
+		if _, ok := s.tenants.get(tenant); !ok {
+			httpError(w, http.StatusNotFound, "unknown tenant %q", tenant)
+			return
+		}
+	}
+	rep, err := s.buildReport(r, tenant)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -348,17 +451,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // reputation evidence behind it. On static runs it reflects the
 // immutable platform.
 func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
-	var sites []sched.SiteStatus
-	var now float64
+	var rep api.SitesReport
 	err := s.do(r.Context(), func() {
-		sites = s.online.SiteStatuses()
-		now = s.online.Now()
+		rep.Sites = s.online.SiteStatuses()
+		rep.VirtualNow = s.online.Now()
 	})
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	writeJSON(w, map[string]any{"virtual_now_s": now, "sites": sites})
+	writeJSON(w, rep)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -369,17 +471,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"ok": true})
 }
 
-type advanceRequest struct {
-	To float64 `json:"to"` // absolute virtual time
-	DT float64 `json:"dt"` // or a relative step
-}
-
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if !s.cfg.Manual {
 		httpError(w, http.StatusConflict, "advance requires manual clock mode")
 		return
 	}
-	var req advanceRequest
+	var req api.AdvanceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -411,7 +508,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, "advance: %v", err)
 		return
 	}
-	writeJSON(w, map[string]float64{"virtual_now_s": now})
+	writeJSON(w, api.AdvanceResponse{VirtualNow: now})
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
@@ -433,9 +530,9 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "drain: %v", err)
 		return
 	}
-	writeJSON(w, map[string]any{
-		"virtual_now_s": now,
-		"summary":       res.Summary,
-		"batches":       res.Batches,
+	writeJSON(w, api.DrainResponse{
+		VirtualNow: now,
+		Summary:    res.Summary,
+		Batches:    res.Batches,
 	})
 }

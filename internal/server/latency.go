@@ -5,19 +5,32 @@ import (
 	"sync"
 	"time"
 
+	"trustgrid/internal/api"
 	"trustgrid/internal/stats"
 )
 
 // latencyTracker measures wall-clock scheduling latency: the time from
 // a job's acceptance by the HTTP layer to its first placement event.
-// Submissions record under the job ID; the loop goroutine resolves them
-// as placements stream past.
+// Submissions record under the job ID (with the owning tenant);
+// the loop goroutine resolves them as placements stream past, feeding
+// both the global window and the tenant's own.
 type latencyTracker struct {
 	mu       sync.Mutex
-	pending  map[int]time.Time
+	pending  map[int]pendingSubmit
 	samples  []float64 // milliseconds, resolved placements
-	max      int       // sample retention bound
-	resolved int64     // total samples ever recorded
+	byTenant map[string]*latencyWindow
+	max      int   // sample retention bound
+	resolved int64 // total samples ever recorded
+}
+
+type pendingSubmit struct {
+	at     time.Time
+	tenant string
+}
+
+type latencyWindow struct {
+	samples  []float64
+	resolved int64
 }
 
 const defaultLatencySamples = 1 << 16
@@ -26,45 +39,79 @@ func newLatencyTracker(max int) *latencyTracker {
 	if max <= 0 {
 		max = defaultLatencySamples
 	}
-	return &latencyTracker{pending: make(map[int]time.Time), max: max}
+	return &latencyTracker{
+		pending:  make(map[int]pendingSubmit),
+		byTenant: make(map[string]*latencyWindow),
+		max:      max,
+	}
 }
 
 // submitted records the acceptance time of a job ID.
-func (t *latencyTracker) submitted(id int, at time.Time) {
+func (t *latencyTracker) submitted(id int, tenant string, at time.Time) {
 	t.mu.Lock()
-	t.pending[id] = at
+	t.pending[id] = pendingSubmit{at: at, tenant: tenant}
 	t.mu.Unlock()
 }
 
 // placedNow resolves a placement against its pending submission, if
-// any. Re-placements after failures find no pending entry and are
-// ignored — latency is first-placement latency.
-func (t *latencyTracker) placedNow(id int) {
+// any, and reports the owning tenant. Re-placements after failures find
+// no pending entry and are ignored (first=false) — latency is
+// first-placement latency, and the tenant's queued-quota slot is
+// released exactly once.
+func (t *latencyTracker) placedNow(id int) (tenant string, first bool) {
 	now := time.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	at, ok := t.pending[id]
+	p, ok := t.pending[id]
 	if !ok {
-		return
+		return "", false
 	}
 	delete(t.pending, id)
-	if len(t.samples) >= t.max {
-		// Drop the oldest half in one copy; percentiles stay dominated
-		// by recent traffic.
-		t.samples = append(t.samples[:0], t.samples[len(t.samples)/2:]...)
-	}
-	t.samples = append(t.samples, float64(now.Sub(at))/float64(time.Millisecond))
+	ms := float64(now.Sub(p.at)) / float64(time.Millisecond)
+	t.samples = trimAppend(t.samples, ms, t.max)
 	t.resolved++
+	w := t.byTenant[p.tenant]
+	if w == nil {
+		w = &latencyWindow{}
+		t.byTenant[p.tenant] = w
+	}
+	w.samples = trimAppend(w.samples, ms, t.max)
+	w.resolved++
+	return p.tenant, true
 }
 
-// LatencySummary reports scheduling-latency percentiles in
-// milliseconds over the retained sample window.
-type LatencySummary struct {
-	Count int64   `json:"count"`
-	P50   float64 `json:"p50_ms"`
-	P90   float64 `json:"p90_ms"`
-	P99   float64 `json:"p99_ms"`
-	Max   float64 `json:"max_ms"`
+// forget drops a pending submission whose job never reached the engine
+// (a failed tail of a partially injected request).
+func (t *latencyTracker) forget(id int) {
+	t.mu.Lock()
+	delete(t.pending, id)
+	t.mu.Unlock()
+}
+
+// trimAppend appends a sample, dropping the oldest half in one copy when
+// the bound is hit; percentiles stay dominated by recent traffic.
+func trimAppend(s []float64, v float64, max int) []float64 {
+	if len(s) >= max {
+		s = append(s[:0], s[len(s)/2:]...)
+	}
+	return append(s, v)
+}
+
+// LatencySummary is re-exported from the wire-format package.
+type LatencySummary = api.LatencySummary
+
+func summarize(resolved int64, samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{Count: resolved}
+	}
+	sort.Float64s(samples)
+	return LatencySummary{
+		Count: resolved,
+		P50:   stats.PercentileOfSorted(samples, 50),
+		P90:   stats.PercentileOfSorted(samples, 90),
+		P99:   stats.PercentileOfSorted(samples, 99),
+		Max:   samples[len(samples)-1],
+	}
 }
 
 func (t *latencyTracker) summary() LatencySummary {
@@ -74,15 +121,19 @@ func (t *latencyTracker) summary() LatencySummary {
 	resolved := t.resolved
 	sorted := append([]float64(nil), t.samples...)
 	t.mu.Unlock()
-	if len(sorted) == 0 {
-		return LatencySummary{Count: resolved}
+	return summarize(resolved, sorted)
+}
+
+// tenantSummary reports one tenant's scheduling-latency percentiles.
+func (t *latencyTracker) tenantSummary(tenant string) LatencySummary {
+	t.mu.Lock()
+	w := t.byTenant[tenant]
+	var resolved int64
+	var sorted []float64
+	if w != nil {
+		resolved = w.resolved
+		sorted = append([]float64(nil), w.samples...)
 	}
-	sort.Float64s(sorted)
-	return LatencySummary{
-		Count: resolved,
-		P50:   stats.PercentileOfSorted(sorted, 50),
-		P90:   stats.PercentileOfSorted(sorted, 90),
-		P99:   stats.PercentileOfSorted(sorted, 99),
-		Max:   sorted[len(sorted)-1],
-	}
+	t.mu.Unlock()
+	return summarize(resolved, sorted)
 }

@@ -1,16 +1,17 @@
 package server_test
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"net/http"
+	"io"
+	"math"
 	"net/http/httptest"
 	"sort"
 	"strings"
 	"testing"
 
+	"trustgrid/internal/api"
+	"trustgrid/internal/client"
 	"trustgrid/internal/experiments"
 	"trustgrid/internal/fuzzy"
 	"trustgrid/internal/grid"
@@ -27,9 +28,11 @@ func placementLine(b *strings.Builder, job, site int, start, finish float64) {
 
 // batchPlacements runs the closed-world simulator (sched.Run, i.e. the
 // facade's Simulate) with the exact seed derivation the daemon uses and
-// returns the placement stream.
+// returns the placement stream. adm mirrors the daemon's admission
+// config for multi-tenant runs (nil = unlimited single-tenant).
 func batchPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workload,
-	jobs []*grid.Job, algo string, seed uint64, dyn *sched.DynamicsConfig) string {
+	jobs []*grid.Job, algo string, seed uint64, dyn *sched.DynamicsConfig,
+	adm *sched.AdmissionConfig) string {
 	t.Helper()
 	root := rng.New(seed)
 	policy := setup.Policy(grid.FRisky, setup.F)
@@ -41,6 +44,7 @@ func batchPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workl
 	_, err = sched.Run(sched.RunConfig{
 		Jobs: jobs, Sites: w.Sites, Scheduler: sc, BatchInterval: w.Batch,
 		Security: setup.Model(), Rand: root.Derive("engine"), Dynamics: dyn,
+		Admission: adm,
 		OnEvent: func(ev sched.EngineEvent) {
 			if ev.Kind == sched.EventPlaced {
 				placementLine(&b, ev.Job.ID, ev.Site, ev.Start, ev.Finish)
@@ -53,39 +57,19 @@ func batchPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workl
 	return b.String()
 }
 
-func postJSON(t *testing.T, url string, body any) *http.Response {
-	t.Helper()
-	buf, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp
-}
-
-func requireStatus(t *testing.T, resp *http.Response, want int) {
-	t.Helper()
-	defer resp.Body.Close()
-	if resp.StatusCode != want {
-		var buf bytes.Buffer
-		_, _ = buf.ReadFrom(resp.Body)
-		t.Fatalf("status %d, want %d: %s", resp.StatusCode, want, buf.String())
-	}
-}
-
-// daemonPlacements replays the same arrival trace through trustgridd's
-// HTTP API in manual-clock mode and returns the placement stream read
-// back from /v1/events.
+// daemonPlacements replays the same arrival trace through trustgridd in
+// manual-clock mode — tenants registered first, every request through
+// the typed client package (the client IS the wire contract; no
+// hand-rolled HTTP here) — and returns the placement stream read back
+// from the event iterator.
 func daemonPlacements(t *testing.T, setup experiments.Setup, w *experiments.Workload,
-	jobs []*grid.Job, algo string, seed uint64, dyn *sched.DynamicsConfig) string {
+	jobs []*grid.Job, algo string, seed uint64, dyn *sched.DynamicsConfig,
+	tenants []api.TenantSpec, budget int) string {
 	t.Helper()
 	srv, err := server.New(server.Config{
 		Sites: w.Sites, Training: w.Training, Algo: algo, Mode: "frisky",
 		BatchInterval: w.Batch, Seed: seed, Setup: setup, Manual: true,
-		Dynamics: dyn,
+		Dynamics: dyn, Tenants: tenants, RoundBudget: budget,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,46 +77,50 @@ func daemonPlacements(t *testing.T, setup experiments.Setup, w *experiments.Work
 	defer srv.Stop(false)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
 
-	// Submit the recorded trace in arrival order, in chunks, with
-	// explicit IDs and arrival stamps (manual mode honors both).
+	// Submit the recorded trace in arrival order with explicit IDs and
+	// arrival stamps (manual mode honors both). Ingestion order is part
+	// of the determinism contract, so chunks break at tenant boundaries:
+	// consecutive same-tenant runs go to that tenant's endpoint, and the
+	// global order the engine sees matches the trace exactly.
 	const chunk = 100
-	for start := 0; start < len(jobs); start += chunk {
-		end := min(start+chunk, len(jobs))
-		specs := make([]server.JobSpec, 0, end-start)
+	for start := 0; start < len(jobs); {
+		tenant := jobs[start].Tenant
+		end := start + 1
+		for end < len(jobs) && end-start < chunk && jobs[end].Tenant == tenant {
+			end++
+		}
+		specs := make([]api.JobSpec, 0, end-start)
 		for _, j := range jobs[start:end] {
 			id, arr := j.ID, j.Arrival
-			specs = append(specs, server.JobSpec{
+			specs = append(specs, api.JobSpec{
 				ID: &id, Arrival: &arr, Workload: j.Workload,
 				Nodes: j.Nodes, SD: j.SecurityDemand,
 			})
 		}
-		resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"jobs": specs})
-		requireStatus(t, resp, http.StatusOK)
+		if _, err := c.Submit(ctx, tenant, specs); err != nil {
+			t.Fatal(err)
+		}
+		start = end
 	}
-	resp := postJSON(t, ts.URL+"/v1/drain", map[string]any{})
-	requireStatus(t, resp, http.StatusOK)
-
-	events, err := http.Get(ts.URL + "/v1/events?kinds=placed")
-	if err != nil {
+	if _, err := c.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	defer events.Body.Close()
+
+	es := c.Events(ctx, client.EventsOptions{Kinds: []string{"placed"}})
+	defer es.Close()
 	var b strings.Builder
-	sc := bufio.NewScanner(events.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		if len(sc.Bytes()) == 0 {
-			continue
+	for {
+		ev, err := es.Next()
+		if err == io.EOF {
+			break
 		}
-		var ev server.WireEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		if err != nil {
+			t.Fatal(err)
 		}
 		placementLine(&b, ev.Job, ev.Site, ev.Start, ev.Finish)
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
 	}
 	return b.String()
 }
@@ -157,8 +145,8 @@ func TestTraceReplayParity(t *testing.T) {
 
 	for _, algo := range []string{"minmin", "stga"} {
 		t.Run(algo, func(t *testing.T) {
-			want := batchPlacements(t, setup, w, jobs, algo, seed, nil)
-			got := daemonPlacements(t, setup, w, jobs, algo, seed, nil)
+			want := batchPlacements(t, setup, w, jobs, algo, seed, nil, nil)
+			got := daemonPlacements(t, setup, w, jobs, algo, seed, nil, nil, 0)
 			if want == "" {
 				t.Fatal("batch run produced no placements")
 			}
@@ -186,13 +174,47 @@ func TestTraceReplayParity(t *testing.T) {
 	}
 	for _, algo := range []string{"minmin", "stga"} {
 		t.Run(algo+"-churn", func(t *testing.T) {
-			want := batchPlacements(t, setup, w, jobs, algo, seed, dyn)
-			got := daemonPlacements(t, setup, w, jobs, algo, seed, dyn)
+			want := batchPlacements(t, setup, w, jobs, algo, seed, dyn, nil)
+			got := daemonPlacements(t, setup, w, jobs, algo, seed, dyn, nil, 0)
 			if want == "" {
 				t.Fatal("batch run produced no placements")
 			}
 			if got != want {
 				t.Fatalf("churn placement streams differ:\nbatch (%d bytes) vs daemon (%d bytes)\nfirst batch lines:\n%s\nfirst daemon lines:\n%s",
+					len(want), len(got), firstLines(want, 5), firstLines(got, 5))
+			}
+		})
+	}
+
+	// Multi-tenant parity: three tenants of unequal weight under a
+	// round budget small enough that every early round is rationed, so
+	// the deficit-round-robin batch former is genuinely on the replayed
+	// path. Arrivals are compressed into the first Δ-interval to force a
+	// deep backlog.
+	const budget = 8
+	tenantNames := []string{"gold", "silver", "bronze"}
+	weights := map[string]float64{"gold": 4, "silver": 2, "bronze": 1}
+	mtJobs := grid.CloneAll(jobs)
+	for i, j := range mtJobs {
+		j.Tenant = tenantNames[i%len(tenantNames)]
+		j.Arrival = math.Mod(j.Arrival, w.Batch)
+	}
+	sort.SliceStable(mtJobs, func(i, k int) bool { return mtJobs[i].Arrival < mtJobs[k].Arrival })
+	tenants := []api.TenantSpec{
+		{ID: "gold", Weight: 4},
+		{ID: "silver", Weight: 2},
+		{ID: "bronze", Weight: 1},
+	}
+	adm := &sched.AdmissionConfig{RoundBudget: budget, Weights: weights}
+	for _, algo := range []string{"minmin", "stga"} {
+		t.Run(algo+"-tenants", func(t *testing.T) {
+			want := batchPlacements(t, setup, w, mtJobs, algo, seed, nil, adm)
+			got := daemonPlacements(t, setup, w, mtJobs, algo, seed, nil, tenants, budget)
+			if want == "" {
+				t.Fatal("batch run produced no placements")
+			}
+			if got != want {
+				t.Fatalf("multi-tenant placement streams differ:\nbatch (%d bytes) vs daemon (%d bytes)\nfirst batch lines:\n%s\nfirst daemon lines:\n%s",
 					len(want), len(got), firstLines(want, 5), firstLines(got, 5))
 			}
 		})

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleProm renders the existing counters in Prometheus text
+// exposition format (version 0.0.4) — no client library, just the
+// format: `# TYPE` lines, optional {tenant="..."} labels, one sample
+// per line. Scrape path: GET /metrics.prom.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.buildReport(r, "")
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	var b strings.Builder
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("trustgrid_submitted_jobs_total", "Jobs accepted by the HTTP layer.", float64(rep.Submitted))
+	counter("trustgrid_arrived_jobs_total", "Jobs ingested by the engine.", float64(rep.Arrived))
+	counter("trustgrid_placed_total", "Placement events, retries included.", float64(rep.Placed))
+	counter("trustgrid_failed_attempts_total", "Failed execution attempts (Eq. 1).", float64(rep.Failures))
+	counter("trustgrid_interrupted_attempts_total", "Attempts cut short by site crashes.", float64(rep.Interrupted))
+	counter("trustgrid_completed_jobs_total", "Jobs completed successfully.", float64(rep.Completed))
+	counter("trustgrid_rejected_jobs_total", "Submissions rejected with 429 (quota).", float64(rep.Rejected))
+	counter("trustgrid_batches_total", "Scheduling rounds that dispatched jobs.", float64(rep.Batches))
+	gauge("trustgrid_backlog_jobs", "Submitted jobs not yet ingested.", float64(rep.Backlog))
+	gauge("trustgrid_in_flight_jobs", "Ingested jobs not yet completed.", float64(rep.InFlight))
+	gauge("trustgrid_sites_alive", "Sites currently in service.", float64(rep.SitesAlive))
+	gauge("trustgrid_virtual_time_seconds", "Engine virtual clock.", rep.VirtualNow)
+	gauge("trustgrid_uptime_seconds", "Wall-clock uptime.", rep.UptimeS)
+	gauge("trustgrid_sched_latency_p50_milliseconds", "Submit-to-first-placement latency p50.", rep.Latency.P50)
+	gauge("trustgrid_sched_latency_p99_milliseconds", "Submit-to-first-placement latency p99.", rep.Latency.P99)
+
+	// Per-tenant counters, deterministically ordered for scrape diffs.
+	ids := make([]string, 0, len(rep.Tenants))
+	for id := range rep.Tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	// %q escapes exactly what the exposition format needs for label
+	// values (backslash, quote, newline); tenant IDs are restricted to
+	// [a-zA-Z0-9._-] anyway, this covers unknown tenants from replayed
+	// traces.
+	tc := func(name, help string, val func(t string) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%s{tenant=%q} %g\n", name, id, val(id))
+		}
+	}
+	tc("trustgrid_tenant_submitted_jobs_total", "Jobs accepted per tenant.",
+		func(t string) float64 { return float64(rep.Tenants[t].Submitted) })
+	tc("trustgrid_tenant_placed_total", "Placement events per tenant.",
+		func(t string) float64 { return float64(rep.Tenants[t].Placed) })
+	tc("trustgrid_tenant_completed_jobs_total", "Completed jobs per tenant.",
+		func(t string) float64 { return float64(rep.Tenants[t].Completed) })
+	tc("trustgrid_tenant_rejected_jobs_total", "429-rejected submissions per tenant.",
+		func(t string) float64 { return float64(rep.Tenants[t].Rejected) })
+	fmt.Fprintf(&b, "# HELP trustgrid_tenant_queued_jobs Jobs accepted but not yet placed, per tenant.\n"+
+		"# TYPE trustgrid_tenant_queued_jobs gauge\n")
+	for _, id := range ids {
+		fmt.Fprintf(&b, "trustgrid_tenant_queued_jobs{tenant=%q} %g\n",
+			id, float64(rep.Tenants[id].Queued))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trustgrid/internal/api"
 	"trustgrid/internal/experiments"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/rng"
@@ -48,6 +49,17 @@ type Config struct {
 	// and drive the clock through /v1/advance and /v1/drain. This is the
 	// deterministic trace-replay mode.
 	Manual bool
+
+	// Tenants pre-registers tenants at startup (the default tenant that
+	// backs the /v1 shim always exists and need not be listed). More can
+	// be registered at runtime through POST /v2/tenants; for replayable
+	// runs, register everything before traffic (DESIGN.md §9.4).
+	Tenants []api.TenantSpec
+	// RoundBudget caps how many jobs one Δ-round may admit; when the
+	// backlog exceeds it, jobs enter the round in weighted
+	// deficit-round-robin order by tenant (DESIGN.md §9.2). 0 keeps the
+	// original drain-everything behavior.
+	RoundBudget int
 
 	// SubmitBuffer sizes the arrival channel (0 = sim default); a full
 	// channel blocks submitters, which is the service's backpressure.
@@ -117,11 +129,12 @@ func (c *Config) fillDefaults() {
 // Server is a running trusted-scheduling service instance. Create with
 // New, expose Handler over HTTP, stop with Stop.
 type Server struct {
-	cfg    Config
-	online *sched.Online
-	sched  sched.Scheduler
-	log    *eventLog
-	lat    *latencyTracker
+	cfg     Config
+	online  *sched.Online
+	sched   sched.Scheduler
+	log     *eventLog
+	lat     *latencyTracker
+	tenants *tenantRegistry
 
 	cmds     chan func()
 	quit     chan struct{}
@@ -172,6 +185,7 @@ func New(cfg Config) (*Server, error) {
 		sched:    scheduler,
 		log:      newEventLog(cfg.EventBuffer),
 		lat:      newLatencyTracker(0),
+		tenants:  newTenantRegistry(),
 		cmds:     make(chan func()),
 		quit:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -179,6 +193,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Manual {
 		s.usedIDs = make(map[int]struct{})
+	}
+	// Pre-registered tenants seed both the registry and the engine's
+	// fair-share weight vector (the default tenant is implicit).
+	weights := map[string]float64{api.DefaultTenant: 1}
+	for _, t := range cfg.Tenants {
+		if err := s.tenants.register(t); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		norm, _ := s.tenants.get(t.ID)
+		weights[norm.ID] = norm.Weight
 	}
 	s.online, err = sched.NewOnline(sched.RunConfig{
 		Sites:         cfg.Sites,
@@ -190,6 +214,7 @@ func New(cfg Config) (*Server, error) {
 		OnEvent:       s.onEvent,
 		SubmitBuffer:  cfg.SubmitBuffer,
 		Dynamics:      cfg.Dynamics,
+		Admission:     &sched.AdmissionConfig{RoundBudget: cfg.RoundBudget, Weights: weights},
 		// A daemon serves jobs indefinitely; per-job records would grow
 		// without bound. The incremental summary carries the metrics.
 		DiscardRecords: true,
@@ -263,33 +288,63 @@ func (s *Server) stoppedErr() error {
 // does not leave a zombie process serving 503s.
 func (s *Server) Done() <-chan struct{} { return s.loopDone }
 
-// claimID allocates a job ID. Live mode always server-assigns; manual
-// mode honors an explicit ID but rejects duplicates (a replayed trace
-// must round-trip) and keeps auto-assigned IDs clear of explicit ones.
-func (s *Server) claimID(explicit *int) (int, error) {
+// claimIDs allocates IDs for one whole submission, atomically: either
+// every spec gets its ID or none is burned. Live mode always
+// server-assigns; manual mode honors explicit IDs but rejects
+// duplicates — against earlier requests AND within this one — before
+// recording anything, so a rejected request leaves no claimed IDs
+// behind (a replayed trace must round-trip even after a failed retry).
+// Auto-assigned IDs stay clear of explicit ones.
+func (s *Server) claimIDs(specs []JobSpec) ([]int, error) {
+	ids := make([]int, len(specs))
 	if !s.cfg.Manual {
-		return int(s.nextID.Add(1)), nil
+		for i := range specs {
+			ids[i] = int(s.nextID.Add(1))
+		}
+		return ids, nil
 	}
 	s.idMu.Lock()
 	defer s.idMu.Unlock()
-	if explicit != nil {
-		id := *explicit
-		if _, dup := s.usedIDs[id]; dup {
-			return 0, fmt.Errorf("duplicate job id %d", id)
+	inReq := make(map[int]int, len(specs)) // id -> spec index, for dup reporting
+	for i, spec := range specs {
+		if spec.ID == nil {
+			continue
 		}
+		id := *spec.ID
+		if _, dup := s.usedIDs[id]; dup {
+			return nil, fmt.Errorf("job %d: duplicate job id %d", i, id)
+		}
+		if k, dup := inReq[id]; dup {
+			return nil, fmt.Errorf("job %d: duplicate job id %d (also job %d in this request)", i, id, k)
+		}
+		inReq[id] = i
+	}
+	// All clear: commit. Nothing past this point can fail.
+	for i, spec := range specs {
+		if spec.ID == nil {
+			continue
+		}
+		id := *spec.ID
 		s.usedIDs[id] = struct{}{}
 		if int64(id) > s.nextID.Load() {
 			s.nextID.Store(int64(id))
 		}
-		return id, nil
+		ids[i] = id
 	}
-	for {
-		id := int(s.nextID.Add(1))
-		if _, dup := s.usedIDs[id]; !dup {
-			s.usedIDs[id] = struct{}{}
-			return id, nil
+	for i, spec := range specs {
+		if spec.ID != nil {
+			continue
+		}
+		for {
+			id := int(s.nextID.Add(1))
+			if _, dup := s.usedIDs[id]; !dup {
+				s.usedIDs[id] = struct{}{}
+				ids[i] = id
+				break
+			}
 		}
 	}
+	return ids, nil
 }
 
 func (s *Server) stopped() bool {
@@ -314,16 +369,20 @@ func (s *Server) onEvent(ev sched.EngineEvent) {
 			_ = WriteTraceRecord(s.cfg.TraceWriter, TraceRecord{
 				ID: ev.Job.ID, Arrival: ev.Job.Arrival,
 				Workload: ev.Job.Workload, Nodes: ev.Job.Nodes,
-				SD: ev.Job.SecurityDemand,
+				SD:     ev.Job.SecurityDemand,
+				Tenant: ev.Job.Tenant, SafeOnly: ev.Job.SafeOnly,
 			})
 		}
 	case sched.EventPlaced:
 		s.placed.Add(1)
-		s.lat.placedNow(ev.Job.ID)
+		_, first := s.lat.placedNow(ev.Job.ID)
+		s.tenants.event(ev.Job.Tenant, "placed", first)
 	case sched.EventFailed:
 		s.failures.Add(1)
+		s.tenants.event(ev.Job.Tenant, "failed", false)
 	case sched.EventCompleted:
 		s.completed.Add(1)
+		s.tenants.event(ev.Job.Tenant, "completed", false)
 	case sched.EventInterrupted:
 		s.interrupted.Add(1)
 	}

@@ -14,6 +14,33 @@ import (
 	"trustgrid/internal/server"
 )
 
+// postJSON/requireStatus are the raw-HTTP helpers for the server's own
+// wire tests. (Tooling and the parity tests go through internal/client
+// instead — this file deliberately keeps one layer of raw requests so
+// the handler surface itself stays covered without the client.)
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func requireStatus(t *testing.T, resp *http.Response, want int) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, want, buf.String())
+	}
+}
+
 func newLiveServer(t *testing.T, tick time.Duration) (*server.Server, *httptest.Server) {
 	t.Helper()
 	setup := experiments.TestSetup()

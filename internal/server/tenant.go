@@ -1,0 +1,195 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"trustgrid/internal/api"
+)
+
+// tenantState is one tenant's registry entry: its registered spec plus
+// the admission-control and accounting counters. Counters are written
+// from two places — the HTTP handlers (submitted, rejected, queued
+// reservations) and the loop goroutine's event hook (placed, failed,
+// completed, queued releases) — so everything is guarded by the
+// registry mutex.
+type tenantState struct {
+	spec api.TenantSpec
+
+	queued    int // accepted, not yet first-placed (the MaxQueue quantity)
+	submitted int64
+	placed    int64
+	failed    int64
+	completed int64
+	rejected  int64 // submissions turned away with 429
+}
+
+// tenantRegistry is the server's tenant table. The default tenant is
+// registered at construction; POST /v2/tenants adds more at runtime.
+type tenantRegistry struct {
+	mu    sync.Mutex
+	m     map[string]*tenantState
+	order []string // registration order, for deterministic listings
+}
+
+func newTenantRegistry() *tenantRegistry {
+	r := &tenantRegistry{m: make(map[string]*tenantState)}
+	// The default tenant backs the /v1 shim: weight 1, no quota, no
+	// policy — exactly the single-tenant service that existed before v2.
+	_ = r.register(api.TenantSpec{ID: api.DefaultTenant, Weight: 1})
+	return r
+}
+
+// register adds a tenant; duplicate IDs are the caller's conflict.
+func (r *tenantRegistry) register(spec api.TenantSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if spec.Weight == 0 {
+		spec.Weight = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[spec.ID]; dup {
+		return fmt.Errorf("tenant %q already registered", spec.ID)
+	}
+	r.m[spec.ID] = &tenantState{spec: spec}
+	r.order = append(r.order, spec.ID)
+	return nil
+}
+
+// get returns a tenant's registered spec.
+func (r *tenantRegistry) get(id string) (api.TenantSpec, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.m[id]
+	if !ok {
+		return api.TenantSpec{}, false
+	}
+	return t.spec, true
+}
+
+// list returns every registered spec in registration order.
+func (r *tenantRegistry) list() []api.TenantSpec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]api.TenantSpec, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.m[id].spec)
+	}
+	return out
+}
+
+// reserve atomically admits n jobs against the tenant's queue quota.
+// All-or-nothing per request: a request that would push the tenant past
+// MaxQueue is rejected whole (overQuota = true, counted as one 429), so
+// a retry resubmits the same batch rather than an arbitrary prefix.
+// Only `queued` moves here — `submitted` is a monotonic counter (it
+// feeds a Prometheus counter series) and advances via addSubmitted once
+// jobs have genuinely reached the engine.
+func (r *tenantRegistry) reserve(id string, n int) (ok, overQuota bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, exists := r.m[id]
+	if !exists {
+		return false, false
+	}
+	if t.spec.MaxQueue > 0 && t.queued+n > t.spec.MaxQueue {
+		t.rejected++
+		return false, true
+	}
+	t.queued += n
+	return true, false
+}
+
+// release undoes part of a reservation after a downstream submit
+// failure: the jobs never reached the engine.
+func (r *tenantRegistry) release(id string, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.m[id]; t != nil {
+		t.queued -= n
+	}
+}
+
+// addSubmitted advances the tenant's monotonic acceptance counter by
+// the number of jobs actually handed to the engine.
+func (r *tenantRegistry) addSubmitted(id string, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.m[id]; t != nil {
+		t.submitted += int64(n)
+	}
+}
+
+// event folds one engine transition into the tenant's counters.
+// firstPlacement releases the job's queue-quota slot.
+func (r *tenantRegistry) event(id, kind string, firstPlacement bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.m[id]
+	if t == nil {
+		// Jobs can carry tenants the registry has never seen (e.g. a
+		// replayed trace naming tenants nobody re-registered). Track
+		// them so accounting never silently drops a principal.
+		t = &tenantState{spec: api.TenantSpec{ID: id, Weight: 1}}
+		r.m[id] = t
+		r.order = append(r.order, id)
+	}
+	switch kind {
+	case "placed":
+		t.placed++
+		if firstPlacement {
+			t.queued--
+		}
+	case "failed":
+		t.failed++
+	case "completed":
+		t.completed++
+	}
+}
+
+// rejectedTotal sums 429 rejections across tenants.
+func (r *tenantRegistry) rejectedTotal() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, t := range r.m {
+		n += t.rejected
+	}
+	return n
+}
+
+// metrics renders the per-tenant section of the metrics report. lat
+// supplies each tenant's latency window. When only is non-empty the
+// map is narrowed to that tenant.
+func (r *tenantRegistry) metrics(lat *latencyTracker, only string) map[string]api.TenantMetrics {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.order))
+	states := make([]tenantState, 0, len(r.order))
+	for _, id := range r.order {
+		if only != "" && id != only {
+			continue
+		}
+		ids = append(ids, id)
+		states = append(states, *r.m[id])
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]api.TenantMetrics, len(ids))
+	for i, id := range ids {
+		st := states[i]
+		out[id] = api.TenantMetrics{
+			Weight:    st.spec.Weight,
+			MaxQueue:  st.spec.MaxQueue,
+			Queued:    st.queued,
+			Submitted: st.submitted,
+			Placed:    st.placed,
+			Failed:    st.failed,
+			Completed: st.completed,
+			Rejected:  st.rejected,
+			Latency:   lat.tenantSummary(id),
+		}
+	}
+	return out
+}

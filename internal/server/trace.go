@@ -1,74 +1,22 @@
 package server
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
 	"io"
 
+	"trustgrid/internal/api"
 	"trustgrid/internal/grid"
 )
 
-// TraceRecord is one accepted arrival — the complete deterministic
-// input of the scheduling pipeline. A recorded trace plus the daemon's
-// seed reproduces every placement byte-for-byte, whether replayed
-// through the daemon in manual mode or through sched.Run (DESIGN.md
-// §6.4); the parity test enforces exactly that.
-type TraceRecord struct {
-	ID       int     `json:"id"`
-	Arrival  float64 `json:"arrival"` // effective (post-clamp) virtual seconds
-	Workload float64 `json:"workload"`
-	Nodes    int     `json:"nodes"`
-	SD       float64 `json:"sd"`
-}
-
-// Job materializes the record as a simulator job.
-func (t TraceRecord) Job() *grid.Job {
-	return &grid.Job{
-		ID: t.ID, Arrival: t.Arrival, Workload: t.Workload,
-		Nodes: t.Nodes, SecurityDemand: t.SD,
-	}
-}
+// TraceRecord is one accepted arrival; the canonical definition lives
+// in the shared wire-format package (api.TraceRecord), re-exported here
+// for the daemon and existing callers.
+type TraceRecord = api.TraceRecord
 
 // WriteTraceRecord appends one JSONL line.
-func WriteTraceRecord(w io.Writer, rec TraceRecord) error {
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	_, err = w.Write(b)
-	return err
-}
+func WriteTraceRecord(w io.Writer, rec TraceRecord) error { return api.WriteTraceRecord(w, rec) }
 
 // ReadTrace parses a JSONL arrival trace.
-func ReadTrace(r io.Reader) ([]TraceRecord, error) {
-	var out []TraceRecord
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var rec TraceRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("server: trace line %d: %w", line, err)
-		}
-		out = append(out, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
+func ReadTrace(r io.Reader) ([]TraceRecord, error) { return api.ReadTrace(r) }
 
 // JobsFromTrace materializes a whole trace, preserving order.
-func JobsFromTrace(recs []TraceRecord) []*grid.Job {
-	jobs := make([]*grid.Job, len(recs))
-	for i, r := range recs {
-		jobs[i] = r.Job()
-	}
-	return jobs
-}
+func JobsFromTrace(recs []TraceRecord) []*grid.Job { return api.JobsFromTrace(recs) }

@@ -32,6 +32,10 @@
 package trustgrid
 
 import (
+	"time"
+
+	"trustgrid/internal/api"
+	"trustgrid/internal/client"
 	"trustgrid/internal/experiments"
 	"trustgrid/internal/fuzzy"
 	"trustgrid/internal/ga"
@@ -118,7 +122,47 @@ type (
 	// mount Handler() on any mux, Stop(drain) to shut down. The
 	// cmd/trustgridd daemon is a thin wrapper around it.
 	Service = server.Server
+	// AdmissionConfig bounds each Δ-round's batch and shares the budget
+	// between tenants by weighted deficit-round-robin (DESIGN.md §9.2).
+	// Attach via SimConfig.Admission; the service layer builds it from
+	// ServiceConfig.RoundBudget and the tenant registry.
+	AdmissionConfig = sched.AdmissionConfig
+	// TenantSpec registers or describes a tenant of the v2 API: weight,
+	// queue quota, SD defaults and risk policy.
+	TenantSpec = api.TenantSpec
+	// JobSpec is the v1/v2 job submission wire format.
+	JobSpec = api.JobSpec
+	// TraceRecord is one accepted arrival of the replayable trace
+	// format (with the v2 tenant column).
+	TraceRecord = api.TraceRecord
+	// Client is the typed Go client for a trustgridd instance; see
+	// NewClient. Tooling in this repo (loadgen, the parity tests) talks
+	// to the daemon exclusively through it.
+	Client = client.Client
+	// ClientEventsOptions filters and positions a client event stream.
+	ClientEventsOptions = client.EventsOptions
+	// MetricsReport is the daemon's metrics document (global and
+	// per-tenant counters, latency percentiles).
+	MetricsReport = api.MetricsReport
 )
+
+// DefaultTenant is the tenant the /v1 compatibility shim submits to.
+const DefaultTenant = api.DefaultTenant
+
+// Client error classes, matched with errors.Is against any error a
+// Client method returns. ErrOverQuota (429) carries a Retry-After
+// hint, surfaced by ClientRetryAfter.
+var (
+	ErrBadRequest  = client.ErrBadRequest
+	ErrNotFound    = client.ErrNotFound
+	ErrConflict    = client.ErrConflict
+	ErrOverQuota   = client.ErrOverQuota
+	ErrUnavailable = client.ErrUnavailable
+)
+
+// ClientRetryAfter extracts the server's backoff hint from a client
+// error chain (zero if the error carries none).
+func ClientRetryAfter(err error) time.Duration { return client.RetryAfter(err) }
 
 // Job lifecycle transitions reported through SimConfig.OnEvent. The
 // Interrupted and Site* kinds fire only on dynamic grids.
@@ -208,6 +252,12 @@ func NewOnline(cfg SimConfig) (*Online, error) { return sched.NewOnline(cfg) }
 // NewService builds an embeddable trusted-scheduling HTTP service (the
 // engine behind cmd/trustgridd) and starts its scheduling loop.
 func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
+
+// NewClient returns a typed client for the trustgridd instance at base
+// (scheme optional). Errors map onto the client package's classes
+// (client.ErrOverQuota etc.); the event iterator resumes its cursor
+// across dropped connections.
+func NewClient(base string) *Client { return client.New(base) }
 
 // DefaultSetup returns the paper's Table 1 experiment configuration.
 func DefaultSetup() Setup { return experiments.DefaultSetup() }

@@ -1,6 +1,9 @@
 package trustgrid_test
 
 import (
+	"context"
+	"errors"
+	"net/http/httptest"
 	"testing"
 
 	"trustgrid"
@@ -134,5 +137,71 @@ func TestFacadeOnline(t *testing.T) {
 	}
 	if placed < 80 {
 		t.Fatalf("saw %d placements for 80 jobs", placed)
+	}
+}
+
+// TestFacadeMultiTenantService runs the README's multi-tenant quick
+// start through the facade only: an embedded service, the typed
+// client, tenant registration, fair-share config, quota errors and the
+// event iterator.
+func TestFacadeMultiTenantService(t *testing.T) {
+	w, err := trustgrid.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := trustgrid.DefaultSetup()
+	setup.Population, setup.Generations = 8, 4
+	svc, err := trustgrid.NewService(trustgrid.ServiceConfig{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 1000, Manual: true, RoundBudget: 4,
+		Tenants: []trustgrid.TenantSpec{{ID: "gold", Weight: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop(false)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	c := trustgrid.NewClient(ts.URL)
+	ctx := context.Background()
+	if _, err := c.CreateTenant(ctx, trustgrid.TenantSpec{ID: "bronze", Weight: 1, MaxQueue: 1}); err != nil {
+		t.Fatal(err)
+	}
+	arr := 0.0
+	if _, err := c.Submit(ctx, "gold", []trustgrid.JobSpec{{Arrival: &arr, Workload: 1000, SD: 0.7}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, "bronze", []trustgrid.JobSpec{{Arrival: &arr, Workload: 1000, SD: 0.7}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, "bronze", []trustgrid.JobSpec{{Arrival: &arr, Workload: 1000, SD: 0.7}})
+	if !errors.Is(err, trustgrid.ErrOverQuota) {
+		t.Fatalf("want ErrOverQuota, got %v", err)
+	}
+	if trustgrid.ClientRetryAfter(err) <= 0 {
+		t.Fatal("Retry-After hint missing")
+	}
+	if _, err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	es := c.Events(ctx, trustgrid.ClientEventsOptions{Kinds: []string{"placed"}})
+	defer es.Close()
+	placed := 0
+	for {
+		if _, err := es.Next(); err != nil {
+			break
+		}
+		placed++
+	}
+	if placed < 2 {
+		t.Fatalf("placed %d events, want >= 2 (one per job, retries extra)", placed)
+	}
+	rep, err := c.Metrics(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundBudget != 4 || rep.Tenants["gold"].Weight != 4 {
+		t.Fatalf("report: budget %d tenants %+v", rep.RoundBudget, rep.Tenants)
 	}
 }
