@@ -235,3 +235,107 @@ func TestRealMainPprofBadAddr(t *testing.T) {
 		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
 	}
 }
+
+// TestRealMainConfigFile: flags come from a flat YAML file, and an
+// explicit command-line flag still beats a file value.
+func TestRealMainConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "daemon.yaml")
+	if err := os.WriteFile(path, []byte(`# daemon config
+algo: bogus          # overridden by the explicit -algo below
+mode: risky
+tick: 10ms
+max-wall: 150ms
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", "127.0.0.1:0", "-config", path, "-algo", "sufferage",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "algo sufferage/risky") {
+		t.Fatalf("flag should beat file, file should beat default:\n%s", out.String())
+	}
+}
+
+// TestRealMainEnvOverride: TRUSTGRIDD_* beats the file, the file's
+// other keys still apply, and TRUSTGRIDD_CONFIG can name the file.
+func TestRealMainEnvOverride(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "daemon.yaml")
+	if err := os.WriteFile(path, []byte("algo: bogus\nmode: secure\ntick: 10ms\nmax-wall: 150ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("TRUSTGRIDD_CONFIG", path)
+	t.Setenv("TRUSTGRIDD_ALGO", "mct")
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-addr", "127.0.0.1:0"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "algo mct/secure") {
+		t.Fatalf("env should beat file:\n%s", out.String())
+	}
+}
+
+// TestRealMainConfigErrors: unknown keys, unreadable files and
+// structured YAML are usage errors, not silent boots.
+func TestRealMainConfigErrors(t *testing.T) {
+	dir := t.TempDir()
+	unknown := filepath.Join(dir, "unknown.yaml")
+	if err := os.WriteFile(unknown, []byte("allgo: stga\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nested := filepath.Join(dir, "nested.yaml")
+	if err := os.WriteFile(nested, []byte("server:\n  addr: :8421\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{unknown, nested, filepath.Join(dir, "missing.yaml")} {
+		var out, errb bytes.Buffer
+		if code := realMain([]string{"-config", path}, &out, &errb); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", path, code, errb.String())
+		}
+	}
+	// A file-set dynamics knob without its primary is the same usage
+	// error as the flag form.
+	orphan := filepath.Join(dir, "orphan.yaml")
+	if err := os.WriteFile(orphan, []byte("churn-outage: 30000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-config", orphan}, &out, &errb); code != 2 {
+		t.Errorf("orphan dynamics key via file: exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestRealMainWALRecovery: two live runs over the same -wal-dir — the
+// first leaves a snapshot behind, the second recovers from it.
+func TestRealMainWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	for run := 0; run < 2; run++ {
+		var out, errb bytes.Buffer
+		code := realMain([]string{
+			"-addr", "127.0.0.1:0", "-tick", "10ms", "-max-wall", "150ms",
+			"-wal-dir", dir, "-snapshot-every", "64", "-wal-keep", "2",
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("run %d: exit %d, stderr: %s", run, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "durable state in "+dir) {
+			t.Fatalf("run %d: missing durable-state line:\n%s", run, out.String())
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveSnap, haveSeg bool
+	for _, e := range entries {
+		haveSnap = haveSnap || strings.HasPrefix(e.Name(), "snap-")
+		haveSeg = haveSeg || strings.HasPrefix(e.Name(), "wal-")
+	}
+	if !haveSnap || !haveSeg {
+		t.Fatalf("wal dir after two runs: snap=%v seg=%v (%v)", haveSnap, haveSeg, entries)
+	}
+}

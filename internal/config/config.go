@@ -1,0 +1,178 @@
+package config
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// keyRe is the accepted key shape: flag names.
+var keyRe = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// Load reads and parses a config file. See Parse for the format.
+func Load(path string) (map[string]string, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer fh.Close()
+	vals, err := Parse(fh)
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return vals, nil
+}
+
+// Parse reads flat `key: value` YAML from r. Blank lines, full-line
+// comments, a leading document marker (---) and trailing comments are
+// accepted; indentation (nesting), list items, duplicate keys and
+// malformed lines are errors.
+func Parse(r io.Reader) (map[string]string, error) {
+	vals := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if lineNo == 1 && trimmed == "---" {
+			continue
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			return nil, fmt.Errorf("line %d: indented line — nested structures are not supported (flat key: value only)", lineNo)
+		}
+		if strings.HasPrefix(trimmed, "- ") {
+			return nil, fmt.Errorf("line %d: list item — lists are not supported (flat key: value only)", lineNo)
+		}
+		key, rawVal, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: not a key: value pair", lineNo)
+		}
+		key = strings.TrimSpace(key)
+		if !keyRe.MatchString(key) {
+			return nil, fmt.Errorf("line %d: invalid key %q (keys are flag names)", lineNo, key)
+		}
+		if _, dup := vals[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", lineNo, key)
+		}
+		val, err := parseValue(strings.TrimSpace(rawVal))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: key %q: %w", lineNo, key, err)
+		}
+		vals[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// parseValue strips an optional quoted wrapper or a trailing comment
+// from a raw scalar.
+func parseValue(v string) (string, error) {
+	if v == "" {
+		return "", nil
+	}
+	if q := v[0]; q == '"' || q == '\'' {
+		end := strings.IndexByte(v[1:], q)
+		if end < 0 {
+			return "", fmt.Errorf("unterminated quoted value")
+		}
+		val, rest := v[1:1+end], strings.TrimSpace(v[2+end:])
+		if rest != "" && !strings.HasPrefix(rest, "#") {
+			return "", fmt.Errorf("trailing characters after quoted value: %q", rest)
+		}
+		return val, nil
+	}
+	// Unquoted: a trailing comment needs whitespace before the '#'
+	// (YAML's rule), so values like sha#1 stay intact.
+	for i := 1; i < len(v); i++ {
+		if v[i] == '#' && (v[i-1] == ' ' || v[i-1] == '\t') {
+			return strings.TrimSpace(v[:i]), nil
+		}
+	}
+	return v, nil
+}
+
+// EnvKey maps a flag name to its environment override: dashes become
+// underscores, uppercased, prefixed — `round-budget` with prefix
+// TRUSTGRIDD is TRUSTGRIDD_ROUND_BUDGET.
+func EnvKey(prefix, name string) string {
+	return prefix + "_" + strings.ToUpper(strings.ReplaceAll(name, "-", "_"))
+}
+
+// Apply resolves the precedence chain onto fs, which must already be
+// Parsed: flags set on the command line are left alone, then
+// environment variables under envPrefix, then file values fill what
+// remains. Values go through flag.Set, so they get each flag's own
+// parsing and validation. Unknown file keys and unknown <prefix>_*
+// environment variables are errors, as is any attempt to set the
+// "config" flag itself from a file (the file cannot name the file).
+// After Apply, fs.Visit reports file- and env-set flags as set, so
+// cross-flag validation downstream treats every source alike.
+func Apply(fs *flag.FlagSet, envPrefix string, file map[string]string) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	envToName := map[string]string{}
+	known := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		known[f.Name] = true
+		envToName[EnvKey(envPrefix, f.Name)] = f.Name
+	})
+
+	fileKeys := make([]string, 0, len(file))
+	for k := range file {
+		fileKeys = append(fileKeys, k)
+	}
+	sort.Strings(fileKeys)
+	for _, k := range fileKeys {
+		if !known[k] {
+			return fmt.Errorf("config: unknown key %q (keys are flag names; see -h)", k)
+		}
+		if k == "config" {
+			return fmt.Errorf("config: a config file cannot set %q", k)
+		}
+	}
+
+	prefix := envPrefix + "_"
+	env := os.Environ()
+	sort.Strings(env)
+	for _, kv := range env {
+		name, val, _ := strings.Cut(kv, "=")
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if name == EnvKey(envPrefix, "config") {
+			continue // names the config file; the command consumes it before Apply
+		}
+		flagName, ok := envToName[name]
+		if !ok {
+			return fmt.Errorf("config: unknown environment override %s (overrides are %s<FLAG-NAME>)", name, prefix)
+		}
+		if set[flagName] {
+			continue // explicit flag wins
+		}
+		if err := fs.Set(flagName, val); err != nil {
+			return fmt.Errorf("config: %s=%q: %w", name, val, err)
+		}
+		set[flagName] = true // and env beats the file
+	}
+
+	for _, k := range fileKeys {
+		if set[k] {
+			continue
+		}
+		if err := fs.Set(k, file[k]); err != nil {
+			return fmt.Errorf("config: key %q = %q: %w", k, file[k], err)
+		}
+	}
+	return nil
+}

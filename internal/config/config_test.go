@@ -1,0 +1,220 @@
+package config
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, src string) map[string]string {
+	t.Helper()
+	vals, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return vals
+}
+
+func TestParseFlat(t *testing.T) {
+	vals := parse(t, `---
+# daemon config
+algo: stga
+mode: frisky        # trailing comment
+addr: "127.0.0.1:8421"
+trace-out: ''
+f: 0.5
+wal-dir: '/var/lib/trustgrid # not a comment'
+manual: true
+`)
+	want := map[string]string{
+		"algo": "stga", "mode": "frisky", "addr": "127.0.0.1:8421",
+		"trace-out": "", "f": "0.5",
+		"wal-dir": "/var/lib/trustgrid # not a comment", "manual": "true",
+	}
+	if len(vals) != len(want) {
+		t.Fatalf("got %d keys %v, want %d", len(vals), vals, len(want))
+	}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Errorf("key %q = %q, want %q", k, vals[k], v)
+		}
+	}
+}
+
+func TestParseKeepsUnquotedHash(t *testing.T) {
+	vals := parse(t, "addr: host#1:8421\n")
+	if vals["addr"] != "host#1:8421" {
+		t.Fatalf("got %q — a '#' without leading whitespace is not a comment", vals["addr"])
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"nested":        "server:\n  addr: :8421\n",
+		"tab indent":    "algo: x\n\tmode: y\n",
+		"list":          "- algo\n",
+		"no colon":      "just words\n",
+		"bad key":       "Algo: stga\n",
+		"duplicate":     "algo: a\nalgo: b\n",
+		"open quote":    "algo: \"stga\n",
+		"quote garbage": "algo: 'stga' extra\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+// newTestFlagSet mirrors the daemon's flag shapes: string, float,
+// duration, bool, int.
+func newTestFlagSet() (*flag.FlagSet, map[string]any) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	ptrs := map[string]any{
+		"algo":         fs.String("algo", "minmin", ""),
+		"f":            fs.Float64("f", 0.5, ""),
+		"tick":         fs.Duration("tick", 100*time.Millisecond, ""),
+		"manual":       fs.Bool("manual", false, ""),
+		"round-budget": fs.Int("round-budget", 0, ""),
+		"config":       fs.String("config", "", ""),
+	}
+	return fs, ptrs
+}
+
+// TestApplyPrecedence pins the full chain on one flag set: an explicit
+// flag beats the environment, the environment beats the file, the file
+// beats the default, and an untouched flag keeps its default.
+func TestApplyPrecedence(t *testing.T) {
+	t.Setenv("TG_ALGO", "sufferage")
+	t.Setenv("TG_ROUND_BUDGET", "8")
+	fs, ptrs := newTestFlagSet()
+	if err := fs.Parse([]string{"-algo", "stga"}); err != nil {
+		t.Fatal(err)
+	}
+	file := map[string]string{
+		"algo":         "mct",   // loses to env, which loses to the flag
+		"round-budget": "99",    // loses to env
+		"tick":         "250ms", // wins: nothing above it
+		"manual":       "true",  // wins
+	}
+	if err := Apply(fs, "TG", file); err != nil {
+		t.Fatal(err)
+	}
+	if got := *ptrs["algo"].(*string); got != "stga" {
+		t.Errorf("algo = %q, want flag value stga", got)
+	}
+	if got := *ptrs["round-budget"].(*int); got != 8 {
+		t.Errorf("round-budget = %d, want env value 8", got)
+	}
+	if got := *ptrs["tick"].(*time.Duration); got != 250*time.Millisecond {
+		t.Errorf("tick = %v, want file value 250ms", got)
+	}
+	if got := *ptrs["manual"].(*bool); !got {
+		t.Error("manual = false, want file value true")
+	}
+	if got := *ptrs["f"].(*float64); got != 0.5 {
+		t.Errorf("f = %v, want untouched default 0.5", got)
+	}
+	// Downstream cross-flag validation sees env/file-set flags as set.
+	seen := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+	for _, name := range []string{"algo", "round-budget", "tick", "manual"} {
+		if !seen[name] {
+			t.Errorf("flag %q not reported as set after Apply", name)
+		}
+	}
+	if seen["f"] {
+		t.Error("untouched flag reported as set")
+	}
+}
+
+func TestApplyRejectsUnknownFileKey(t *testing.T) {
+	fs, _ := newTestFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	err := Apply(fs, "TG", map[string]string{"allgo": "stga"})
+	if err == nil || !strings.Contains(err.Error(), "allgo") {
+		t.Fatalf("unknown key: %v", err)
+	}
+}
+
+func TestApplyRejectsConfigKeyInFile(t *testing.T) {
+	fs, _ := newTestFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(fs, "TG", map[string]string{"config": "other.yaml"}); err == nil {
+		t.Fatal("a config file naming another config file was accepted")
+	}
+}
+
+func TestApplyRejectsUnknownEnv(t *testing.T) {
+	t.Setenv("TG_ALGOO", "stga")
+	fs, _ := newTestFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	err := Apply(fs, "TG", nil)
+	if err == nil || !strings.Contains(err.Error(), "TG_ALGOO") {
+		t.Fatalf("unknown env override: %v", err)
+	}
+}
+
+func TestApplyIgnoresConfigEnv(t *testing.T) {
+	t.Setenv("TG_CONFIG", "daemon.yaml")
+	fs, _ := newTestFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(fs, "TG", nil); err != nil {
+		t.Fatalf("TG_CONFIG must be left to the command: %v", err)
+	}
+}
+
+func TestApplyBadValue(t *testing.T) {
+	fs, _ := newTestFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(fs, "TG", map[string]string{"round-budget": "many"}); err == nil {
+		t.Fatal("unparseable int accepted")
+	}
+	t.Setenv("TG_TICK", "fast")
+	if err := Apply(fs, "TG", nil); err == nil {
+		t.Fatal("unparseable duration accepted")
+	}
+}
+
+// TestLoad covers the file-backed entry point: a real file parses, a
+// missing path errors, and a parse error carries the file name.
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "daemon.yaml")
+	if err := os.WriteFile(path, []byte("algo: stga\ntick: 250ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["algo"] != "stga" || vals["tick"] != "250ms" {
+		t.Fatalf("loaded %v", vals)
+	}
+	if _, err := Load(filepath.Join(dir, "absent.yaml")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad.yaml")
+	if err := os.WriteFile(bad, []byte("server:\n  addr: :8421\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(bad)
+	if err == nil || !strings.Contains(err.Error(), "bad.yaml") {
+		t.Fatalf("parse error must name the file: %v", err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package config layers a flat YAML config file and environment
+// variables under a command's flag set, with fixed precedence:
+// command-line flag > environment override > config file > flag
+// default.
+//
+// The file format is deliberately a flat subset of YAML — one
+// `key: value` pair per line, full-line and trailing `#` comments,
+// optional single or double quotes around values — and nothing else: no
+// nesting, no lists, no multi-document streams. Keys are flag names
+// verbatim (`round-budget: 8` configures -round-budget), so the set of
+// valid keys is exactly `trustgridd -h` and never drifts from it.
+// Unknown keys, duplicate keys and structured YAML are hard errors: a
+// config file that silently misconfigures a daemon is worse than one
+// that refuses to load.
+//
+// Environment overrides use the same mapping with a prefix:
+// TRUSTGRIDD_ROUND_BUDGET overrides `round-budget` (dashes become
+// underscores, uppercased). Unknown variables under the prefix are
+// rejected too — a typo in an override must fail the boot, not be
+// ignored. The one exception is <PREFIX>_CONFIG, which names the config
+// file itself and is consumed by the command before Apply runs.
+package config

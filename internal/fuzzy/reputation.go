@@ -207,6 +207,38 @@ func (r *Reputation) Level() float64 {
 	return clamp01(r.declared * ((1 - c) + c*ratio))
 }
 
+// ReputationState is the serializable evidence of a Reputation: the
+// per-band EWMAs, the decayed observation masses, and the observation
+// count. Everything else (config, declaration, posture) is re-derived
+// from the same inputs on restore, so state stays minimal.
+type ReputationState struct {
+	Vals []float64 `json:"vals"`
+	Wts  []float64 `json:"wts"`
+	N    int       `json:"n"`
+}
+
+// State captures the accumulated evidence.
+func (r *Reputation) State() ReputationState {
+	return ReputationState{
+		Vals: append([]float64(nil), r.vals...),
+		Wts:  append([]float64(nil), r.wts...),
+		N:    r.n,
+	}
+}
+
+// SetState restores captured evidence into a reputation built with the
+// same configuration (band counts must match).
+func (r *Reputation) SetState(s ReputationState) error {
+	if len(s.Vals) != r.cfg.Bands || len(s.Wts) != r.cfg.Bands {
+		return fmt.Errorf("fuzzy: reputation state has %d/%d bands, config has %d",
+			len(s.Vals), len(s.Wts), r.cfg.Bands)
+	}
+	r.vals = append(r.vals[:0], s.Vals...)
+	r.wts = append(r.wts[:0], s.Wts...)
+	r.n = s.N
+	return nil
+}
+
 // Declared returns the anchoring declared security level.
 func (r *Reputation) Declared() float64 { return r.declared }
 

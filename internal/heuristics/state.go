@@ -1,0 +1,31 @@
+package heuristics
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"trustgrid/internal/rng"
+)
+
+// randomState is the serializable cross-batch state of the Random
+// scheduler: just its stream position. The deterministic heuristics
+// (Min-Min, Sufferage, MCT, MET, OLB) carry no state between batches
+// and need no counterpart.
+type randomState struct {
+	Rand rng.State `json:"rand"`
+}
+
+// SaveState implements sched.StatefulScheduler.
+func (r *Random) SaveState() ([]byte, error) {
+	return json.Marshal(randomState{Rand: r.Rand.State()})
+}
+
+// RestoreState implements sched.StatefulScheduler.
+func (r *Random) RestoreState(data []byte) error {
+	var st randomState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("heuristics: restore: %w", err)
+	}
+	r.Rand.SetState(st.Rand)
+	return nil
+}

@@ -110,6 +110,38 @@ func (a *Accumulator) Add(r JobRecord) {
 	}
 }
 
+// AccumulatorState is the serializable form of an Accumulator, used by
+// the engine snapshot so a recovered service's incremental summary
+// continues from exactly where the crashed run stood.
+type AccumulatorState struct {
+	Jobs         int     `json:"jobs"`
+	Makespan     float64 `json:"makespan"`
+	RespSum      float64 `json:"resp_sum"`
+	ServSum      float64 `json:"serv_sum"`
+	NRisk        int     `json:"nrisk"`
+	NFail        int     `json:"nfail"`
+	Fallbacks    int     `json:"fallbacks"`
+	NInterrupted int     `json:"ninterrupted"`
+}
+
+// State captures the accumulator.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{
+		Jobs: a.jobs, Makespan: a.makespan,
+		RespSum: a.respSum, ServSum: a.servSum,
+		NRisk: a.nrisk, NFail: a.nfail,
+		Fallbacks: a.fallbacks, NInterrupted: a.ninterrupted,
+	}
+}
+
+// SetState restores a captured accumulator.
+func (a *Accumulator) SetState(s AccumulatorState) {
+	a.jobs, a.makespan = s.Jobs, s.Makespan
+	a.respSum, a.servSum = s.RespSum, s.ServSum
+	a.nrisk, a.nfail = s.NRisk, s.NFail
+	a.fallbacks, a.ninterrupted = s.Fallbacks, s.NInterrupted
+}
+
 // Summarize renders the summary given per-site busy time. Utilization
 // above 1 is silently capped; Compute is the validating variant.
 func (a *Accumulator) Summarize(busy []float64) Summary {

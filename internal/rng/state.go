@@ -1,0 +1,28 @@
+package rng
+
+// State is the serializable form of a Stream: the four xoshiro256**
+// state words in order. Capturing and restoring it reproduces the
+// stream's future output exactly, which is what lets an engine snapshot
+// resume mid-sequence — the recovery parity contract depends on every
+// post-restore draw matching the draw the uninterrupted run would have
+// made. The words round-trip exactly through encoding/json because they
+// decode into uint64 fields directly (no float64 intermediate).
+type State [4]uint64
+
+// State captures the stream's current position.
+func (r *Stream) State() State {
+	return State{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState repositions the stream. The next Uint64 equals what a stream
+// that originally reached s would produce next.
+func (r *Stream) SetState(s State) {
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+}
+
+// FromState builds a stream positioned at s.
+func FromState(s State) *Stream {
+	r := &Stream{}
+	r.SetState(s)
+	return r
+}

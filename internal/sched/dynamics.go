@@ -56,16 +56,26 @@ func (d *DynamicsConfig) check(sites []*grid.Site) error {
 	return nil
 }
 
-// attempt is one execution in flight on a site, tracked so a crash can
-// interrupt it: the completion (or Eq. 1 failure) event it scheduled
-// checks cancelled before acting.
+// attempt is one execution in flight on a site. It is also its own
+// outcome event: dispatch precomputes whether the attempt fails (the
+// Eq. 1 draw) and when the outcome manifests (at), then schedules the
+// attempt itself, so the whole pending outcome is plain data a snapshot
+// can serialize and a restore can re-schedule. On dynamic grids a crash
+// interrupts it by setting cancelled; the event then no-ops.
 type attempt struct {
+	st        *engineState
 	job       *grid.Job
 	site      int
 	start     float64 // when the site begins executing it
 	busy      float64 // site occupancy charged at dispatch time
+	at        float64 // when the outcome event fires (start + busy)
+	fails     bool    // outcome: Eq. 1 security failure vs completion
+	seq       uint64  // event-queue sequence of the outcome (durable mode)
 	cancelled bool
 }
+
+// Execute implements sim.Event: the attempt's outcome fires at att.at.
+func (att *attempt) Execute(e *sim.Engine) { att.st.finishAttempt(e, att) }
 
 // dynState is the engine's dynamic-grid state. Nil on static runs — the
 // paper's original closed-world model pays nothing for the extension.
@@ -130,20 +140,28 @@ func (d *dynState) anyAlive() bool {
 	return false
 }
 
-// track registers an in-flight execution attempt; static runs skip it.
-func (st *engineState) track(job *grid.Job, site int, start, busy float64) *attempt {
-	if st.dyn == nil {
-		return nil
+// launch schedules an attempt's outcome event and registers the attempt
+// with every tracker that needs it: the per-site in-flight lists on
+// dynamic grids (so a crash can cancel it) and the durable registry (so
+// a snapshot can re-create it).
+func (st *engineState) launch(e *sim.Engine, att *attempt) {
+	e.Schedule(att.at, att)
+	if st.cfg.Durable {
+		att.seq = e.LastSeq()
+		st.attempts[att] = struct{}{}
 	}
-	att := &attempt{job: job, site: site, start: start, busy: busy}
-	st.dyn.inflight[site] = append(st.dyn.inflight[site], att)
-	return att
+	if st.dyn != nil {
+		st.dyn.inflight[att.site] = append(st.dyn.inflight[att.site], att)
+	}
 }
 
 // untrack removes an attempt that ran to its scheduled completion or
 // failure.
 func (st *engineState) untrack(att *attempt) {
-	if att == nil {
+	if st.cfg.Durable {
+		delete(st.attempts, att)
+	}
+	if st.dyn == nil {
 		return
 	}
 	list := st.dyn.inflight[att.site]
@@ -207,6 +225,13 @@ func (st *engineState) applyChurn(e *sim.Engine, ev grid.ChurnEvent) {
 		requeued := 0
 		for _, att := range d.inflight[i] {
 			att.cancelled = true
+			if st.cfg.Durable {
+				// The attempt's outcome event stays on the queue but will
+				// no-op; count it so snapshot accounting stays exact and
+				// restore knows not to re-create it.
+				delete(st.attempts, att)
+				st.deadEvents++
+			}
 			// Reverse the dispatch-time occupancy charge and charge only
 			// the time the site actually spent before crashing.
 			st.busy[i] -= att.busy

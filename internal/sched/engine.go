@@ -75,6 +75,16 @@ type RunConfig struct {
 	// drain-everything behavior, bit-identical to before multi-tenancy
 	// existed. The engine copies the config.
 	Admission *AdmissionConfig
+	// Durable enables snapshot support (DESIGN.md §10): the engine
+	// tracks every pending event — future arrivals, in-flight execution
+	// attempts, the armed Δ-round — together with its event-queue
+	// sequence number, so Online.Snapshot can serialize the full engine
+	// state and RestoreOnline can re-schedule it in the original
+	// execution order. Off by default: the bookkeeping costs a map
+	// insert/delete per job and per attempt, and a run that will never
+	// snapshot should not pay it. Durable runs never change placements —
+	// the tracking observes the event queue, it does not alter it.
+	Durable bool
 }
 
 // check validates everything except the job list, which Run requires
@@ -159,6 +169,26 @@ type engineState struct {
 	batchOpen bool // a batch event is already scheduled
 	// kb rebuilds the columnar snapshot each round into reused storage.
 	kb kernel.Builder
+
+	// Durable-mode pending-event ledger (nil/zero otherwise): every event
+	// sitting on the sim queue is accounted for here so Snapshot can
+	// serialize it and RestoreOnline can re-schedule it in the original
+	// (time, seq) order. attempts holds live in-flight outcomes; pendArr
+	// holds scheduled, not-yet-admitted arrivals; batchSeq/batchAt locate
+	// the armed Δ-round when batchOpen; deadEvents counts cancelled
+	// attempts whose no-op outcome event has not fired yet.
+	attempts   map[*attempt]struct{}
+	pendArr    map[*grid.Job]pendingArrival
+	batchSeq   uint64
+	batchAt    float64
+	deadEvents int
+}
+
+// pendingArrival records a scheduled, not-yet-admitted arrival event:
+// when it fires and where it sits in the event order.
+type pendingArrival struct {
+	at  float64
+	seq uint64
 }
 
 // Run executes the full simulation and aggregates metrics. It is the
@@ -181,6 +211,9 @@ func Run(cfg RunConfig) (*Result, error) {
 // round. A stale arrival stamp (before the current clock) is clamped to
 // now — the job arrives "now" as far as the simulation is concerned.
 func (st *engineState) arrive(e *sim.Engine, j *grid.Job) {
+	if st.cfg.Durable {
+		delete(st.pendArr, j)
+	}
 	if j.Arrival < e.Now() {
 		j.Arrival = e.Now()
 	}
@@ -212,6 +245,10 @@ func (st *engineState) ensureBatch(e *sim.Engine) {
 	k := int(e.Now()/delta) + 1
 	next := float64(k) * delta
 	e.Schedule(next, sim.EventFunc(st.runBatch))
+	if st.cfg.Durable {
+		st.batchSeq = e.LastSeq()
+		st.batchAt = next
+	}
 }
 
 // runBatch drains the queue through the scheduler and dispatches the
@@ -302,82 +339,89 @@ func (st *engineState) dispatch(e *sim.Engine, a Assignment) {
 	})
 	fails := risky && st.failRand.Bool(st.cfg.Security.FailProb(job.SecurityDemand, effSL))
 
-	if fails {
-		wasted := exec
-		if st.cfg.FailureTiming == FailUniform {
-			wasted = exec * st.timeRand.Float64()
+	// The outcome is fully determined at dispatch: whether the attempt
+	// fails, how long the site is occupied (the full execution on
+	// success, the sampled detection point on failure), and when the
+	// outcome event fires. The attempt carries all of it as plain data —
+	// which is what lets a snapshot serialize in-flight work and a
+	// restore re-schedule it bit-identically.
+	busy := exec
+	if fails && st.cfg.FailureTiming == FailUniform {
+		busy = exec * st.timeRand.Float64()
+	}
+	at := start + busy
+	st.ready[a.Site] = at
+	st.busy[a.Site] += busy
+	st.launch(e, &attempt{
+		st: st, job: job, site: a.Site,
+		start: start, busy: busy, at: at, fails: fails,
+	})
+}
+
+// finishAttempt executes an attempt's outcome at att.at: the Eq. 1
+// security failure when att.fails, the completion otherwise.
+func (st *engineState) finishAttempt(e *sim.Engine, att *attempt) {
+	if att.cancelled {
+		// The site crashed first; the job already re-queued. The event was
+		// counted dead at cancellation time.
+		if st.cfg.Durable {
+			st.deadEvents--
 		}
-		failAt := start + wasted
-		st.ready[a.Site] = failAt
-		st.busy[a.Site] += wasted
-		siteIdx := a.Site
-		att := st.track(job, siteIdx, start, wasted)
-		e.Schedule(failAt, sim.EventFunc(func(e *sim.Engine) {
-			if att != nil && att.cancelled {
-				return // the site crashed first; the job already re-queued
-			}
-			st.untrack(att)
-			st.failed[job.ID] = true
-			job.Failures++
-			if job.Failures > st.cfg.MaxRetries {
-				e.Fail(fmt.Errorf("sched: job %d exceeded %d retries (site %d); platform likely infeasible",
-					job.ID, st.cfg.MaxRetries, siteIdx))
-				return
-			}
-			// Fail-stop: restart from the beginning on a strictly safe
-			// site at the next scheduling round (§2).
-			job.MustBeSafe = true
-			ev := EngineEvent{Kind: EventFailed, Time: e.Now(), Job: *job, Site: siteIdx}
-			if level := st.observeOutcome(siteIdx, job.SecurityDemand, false); st.dyn != nil && st.dyn.reps != nil {
-				ev.Level = level
-			}
-			st.emit(ev)
-			st.queue = append(st.queue, job)
-			st.ensureBatch(e)
-		}))
 		return
 	}
+	st.untrack(att)
+	job := att.job
 
-	finish := start + exec
-	st.ready[a.Site] = finish
-	st.busy[a.Site] += exec
-	siteIdx := a.Site
-	att := st.track(job, siteIdx, start, exec)
-	e.Schedule(finish, sim.EventFunc(func(e *sim.Engine) {
-		if att != nil && att.cancelled {
-			return // the site crashed first; the job already re-queued
+	if att.fails {
+		st.failed[job.ID] = true
+		job.Failures++
+		if job.Failures > st.cfg.MaxRetries {
+			e.Fail(fmt.Errorf("sched: job %d exceeded %d retries (site %d); platform likely infeasible",
+				job.ID, st.cfg.MaxRetries, att.site))
+			return
 		}
-		st.untrack(att)
-		rec := metrics.JobRecord{
-			ID:          job.ID,
-			Tenant:      job.Tenant,
-			Arrival:     job.Arrival,
-			Start:       start,
-			Completion:  finish,
-			Site:        siteIdx,
-			TookRisk:    st.riskTaken[job.ID],
-			Failed:      st.failed[job.ID],
-			FellBack:    st.fellBack[job.ID],
-			Interrupted: st.interrupted[job.ID] > 0,
-		}
-		if !st.cfg.DiscardRecords {
-			st.records = append(st.records, rec)
-		}
-		st.acc.Add(rec)
-		// The job is done; its flag entries would otherwise grow without
-		// bound in a long-running online engine.
-		delete(st.riskTaken, job.ID)
-		delete(st.failed, job.ID)
-		delete(st.fellBack, job.ID)
-		delete(st.interrupted, job.ID)
-		st.remaining--
-		ev := EngineEvent{
-			Kind: EventCompleted, Time: e.Now(), Job: *job, Site: siteIdx,
-			Start: start, Finish: finish,
-		}
-		if level := st.observeOutcome(siteIdx, job.SecurityDemand, true); st.dyn != nil && st.dyn.reps != nil {
+		// Fail-stop: restart from the beginning on a strictly safe
+		// site at the next scheduling round (§2).
+		job.MustBeSafe = true
+		ev := EngineEvent{Kind: EventFailed, Time: e.Now(), Job: *job, Site: att.site}
+		if level := st.observeOutcome(att.site, job.SecurityDemand, false); st.dyn != nil && st.dyn.reps != nil {
 			ev.Level = level
 		}
 		st.emit(ev)
-	}))
+		st.queue = append(st.queue, job)
+		st.ensureBatch(e)
+		return
+	}
+
+	rec := metrics.JobRecord{
+		ID:          job.ID,
+		Tenant:      job.Tenant,
+		Arrival:     job.Arrival,
+		Start:       att.start,
+		Completion:  att.at,
+		Site:        att.site,
+		TookRisk:    st.riskTaken[job.ID],
+		Failed:      st.failed[job.ID],
+		FellBack:    st.fellBack[job.ID],
+		Interrupted: st.interrupted[job.ID] > 0,
+	}
+	if !st.cfg.DiscardRecords {
+		st.records = append(st.records, rec)
+	}
+	st.acc.Add(rec)
+	// The job is done; its flag entries would otherwise grow without
+	// bound in a long-running online engine.
+	delete(st.riskTaken, job.ID)
+	delete(st.failed, job.ID)
+	delete(st.fellBack, job.ID)
+	delete(st.interrupted, job.ID)
+	st.remaining--
+	ev := EngineEvent{
+		Kind: EventCompleted, Time: e.Now(), Job: *job, Site: att.site,
+		Start: att.start, Finish: att.at,
+	}
+	if level := st.observeOutcome(att.site, job.SecurityDemand, true); st.dyn != nil && st.dyn.reps != nil {
+		ev.Level = level
+	}
+	st.emit(ev)
 }

@@ -29,7 +29,13 @@ type Online struct {
 // NewOnline builds an incremental engine. cfg.Jobs may be empty; any
 // jobs present are pre-loaded exactly as Run would load them (cloned,
 // stably sorted by arrival).
-func NewOnline(cfg RunConfig) (*Online, error) {
+func NewOnline(cfg RunConfig) (*Online, error) { return newOnline(cfg, nil) }
+
+// newOnline is the shared construction path of NewOnline and
+// RestoreOnline: with snap == nil it starts a fresh run; with a snapshot
+// it rebuilds the engine mid-run (clock repositioned, state restored,
+// pending events re-scheduled in their original order).
+func newOnline(cfg RunConfig, snap *EngineSnapshot) (*Online, error) {
 	if err := cfg.check(); err != nil {
 		return nil, err
 	}
@@ -68,10 +74,22 @@ func NewOnline(cfg RunConfig) (*Online, error) {
 		failRand:    cfg.Rand.Derive("engine/failures"),
 		timeRand:    cfg.Rand.Derive("engine/failtime"),
 	}
+	if o.cfg.Durable {
+		o.st.attempts = make(map[*attempt]struct{})
+		o.st.pendArr = make(map[*grid.Job]pendingArrival)
+	}
 	if o.cfg.Admission != nil {
 		o.st.adm = newAdmState(o.cfg.Admission)
 	}
 	o.eng = sim.NewEngine()
+	if snap != nil {
+		// Reposition the (still empty) engine at the snapshot's clock so
+		// everything re-scheduled below lands exactly where the saved run
+		// stood.
+		if err := o.eng.RestoreClock(snap.Now, snap.Executed); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.MaxEvents > 0 {
 		o.eng.MaxEvents = cfg.MaxEvents
 	}
@@ -86,18 +104,34 @@ func NewOnline(cfg RunConfig) (*Online, error) {
 		// Schedule churn ahead of the job preload so that at equal
 		// timestamps churn applies before arrivals — the same relative
 		// order the daemon path sees, where arrivals are always injected
-		// after construction.
+		// after construction. On restore, only the churn still ahead of
+		// the snapshot clock goes back on the queue; because churn is
+		// scheduled before anything else ever is, its sequence numbers
+		// are below every runtime event's and scheduling it first here
+		// reproduces the original tie-break order.
 		for _, ev := range o.cfg.Dynamics.Churn {
+			if snap != nil && ev.Time <= snap.Now {
+				continue
+			}
 			ev := ev
 			o.eng.Schedule(ev.Time, sim.EventFunc(func(e *sim.Engine) { o.st.applyChurn(e, ev) }))
 		}
 	}
 
+	if snap != nil {
+		if err := o.restore(snap); err != nil {
+			return nil, err
+		}
+		return o, nil
+	}
 	jobs := grid.CloneAll(cfg.Jobs)
 	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
 	for _, j := range jobs {
 		j := j
 		o.eng.Schedule(j.Arrival, sim.EventFunc(func(e *sim.Engine) { o.admit(e, j) }))
+		if o.cfg.Durable {
+			o.st.pendArr[j] = pendingArrival{at: j.Arrival, seq: o.eng.LastSeq()}
+		}
 	}
 	return o, nil
 }
@@ -156,11 +190,14 @@ func (o *Online) SubmitLocal(j *grid.Job) error {
 		return err
 	}
 	c := j.Clone()
-	at := c.Arrival
+	at := j.Arrival
 	if at < o.eng.Now() {
 		at = o.eng.Now()
 	}
 	o.eng.Schedule(at, sim.EventFunc(func(e *sim.Engine) { o.admit(e, c) }))
+	if o.cfg.Durable {
+		o.st.pendArr[c] = pendingArrival{at: at, seq: o.eng.LastSeq()}
+	}
 	return nil
 }
 

@@ -110,6 +110,22 @@ type Scheduler interface {
 	Schedule(batch []*grid.Job, st *State) []Assignment
 }
 
+// StatefulScheduler is a Scheduler whose decisions depend on mutable
+// cross-batch state — the STGA's history table and GA stream, Random's
+// stream. Online.Snapshot captures that state and RestoreOnline feeds
+// it back, so a recovered engine's future placements match the
+// uninterrupted run's. Stateless schedulers (Min-Min, Sufferage, MCT,
+// MET, OLB) need not implement it.
+type StatefulScheduler interface {
+	Scheduler
+	// SaveState serializes the cross-batch decision state.
+	SaveState() ([]byte, error)
+	// RestoreState replaces the cross-batch decision state with a saved
+	// one. The scheduler must have been constructed with the same
+	// configuration that produced the blob.
+	RestoreState([]byte) error
+}
+
 // ValidateAssignments checks the scheduling contract: every batch job
 // assigned exactly once, site indices in range. Used by tests and the
 // engine's debug mode.

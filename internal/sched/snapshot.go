@@ -1,0 +1,462 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"trustgrid/internal/fuzzy"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/metrics"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sim"
+)
+
+// EngineSnapshot is the complete serializable state of a durable Online
+// engine at a quiescent point: everything needed to rebuild an engine
+// whose future placements are byte-identical to the uninterrupted run's
+// (DESIGN.md §10). "Quiescent" means no event at or before the clock is
+// still pending — the state right after AdvanceTo(T) returns.
+//
+// The snapshot carries three kinds of state. Scalars and per-site
+// vectors reproduce the visible simulation state (clock, ready/busy
+// times, counters, incremental summary). The rng positions and the
+// scheduler blob reproduce every future random draw and history-table
+// lookup. The pending list reproduces the event queue itself: each
+// not-yet-fired arrival, in-flight execution outcome, and the armed
+// Δ-round, tagged with its original sequence number so a restore can
+// re-schedule them in the exact (time, seq) order the saved run would
+// have executed them.
+type EngineSnapshot struct {
+	// Scheduler is the algorithm's Name(); RestoreOnline refuses a
+	// config whose scheduler reports a different one.
+	Scheduler string  `json:"scheduler"`
+	Now       float64 `json:"now"`
+	Executed  uint64  `json:"executed"`
+	Seen      int     `json:"seen"`
+	Remaining int     `json:"remaining"`
+	Batches   int     `json:"batches"`
+	Largest   int     `json:"largest"`
+
+	Ready []float64 `json:"ready"`
+	Busy  []float64 `json:"busy"`
+
+	// Queue is the scheduling backlog in exact queue order.
+	Queue []grid.Job `json:"queue,omitempty"`
+	// Pending is every event still on the sim queue, in no particular
+	// order; restore sorts by Seq.
+	Pending []PendingItem `json:"pending,omitempty"`
+
+	// Per-job flags for jobs still in the system (completed jobs shed
+	// theirs), as sorted ID lists.
+	RiskTaken   []int            `json:"risk_taken,omitempty"`
+	Failed      []int            `json:"failed,omitempty"`
+	FellBack    []int            `json:"fell_back,omitempty"`
+	Interrupted []InterruptCount `json:"interrupted,omitempty"`
+
+	Acc      metrics.AccumulatorState `json:"acc"`
+	FailRand rng.State                `json:"fail_rand"`
+	TimeRand rng.State                `json:"time_rand"`
+
+	Admission *AdmissionSnapshot `json:"admission,omitempty"`
+	Dynamics  *DynamicsSnapshot  `json:"dynamics,omitempty"`
+
+	// SchedState is the StatefulScheduler blob (STGA history table and
+	// GA stream, Random's stream); nil for stateless heuristics.
+	SchedState []byte `json:"sched_state,omitempty"`
+}
+
+// PendingItem is one event still on the sim queue.
+type PendingItem struct {
+	// Kind is "arrival" (a scheduled, not-yet-admitted job), "attempt"
+	// (an in-flight execution outcome) or "batch" (the armed Δ-round).
+	Kind string `json:"kind"`
+	// Seq is the event's original queue sequence; equal-timestamp events
+	// execute in Seq order, so restore re-schedules ascending by it.
+	Seq uint64  `json:"seq"`
+	At  float64 `json:"at"`
+	// Job is set for arrivals and attempts.
+	Job *grid.Job `json:"job,omitempty"`
+	// Attempt fields.
+	Site  int     `json:"site,omitempty"`
+	Start float64 `json:"start,omitempty"`
+	Busy  float64 `json:"busy,omitempty"`
+	Fails bool    `json:"fails,omitempty"`
+}
+
+// InterruptCount is one job's churn-interruption count.
+type InterruptCount struct {
+	ID int `json:"id"`
+	N  int `json:"n"`
+}
+
+// AdmissionSnapshot is the fair-share batch former's cross-round state:
+// the deterministic tenant order, the DRR deficit balances, and the live
+// weight vector (which SetTenantWeight may have changed since the
+// config).
+type AdmissionSnapshot struct {
+	Order   []string           `json:"order,omitempty"`
+	Deficit map[string]float64 `json:"deficit,omitempty"`
+	Weights map[string]float64 `json:"weights,omitempty"`
+}
+
+// DynamicsSnapshot is the dynamic-grid state: site liveness, the
+// scheduler-visible speed and trust vectors (churn and reputation mutate
+// the cloned sites), and the per-site reputation evidence.
+type DynamicsSnapshot struct {
+	Alive   []bool `json:"alive"`
+	Crashed []bool `json:"crashed"`
+	// Revives counts ChurnJoin events not yet executed; the engine uses
+	// it to tell a survivable total outage from a dead platform.
+	Revives int       `json:"revives"`
+	Speed   []float64 `json:"speed"`
+	Level   []float64 `json:"level"`
+	// Reps is the per-site reputation evidence; nil without feedback.
+	Reps []fuzzy.ReputationState `json:"reps,omitempty"`
+}
+
+// Snapshot captures the engine's complete state at a quiescent point.
+// It requires a Durable engine (the pending-event ledger is what makes
+// the event queue serializable) in DiscardRecords mode (per-job records
+// are unbounded history, not state), with an empty arrival backlog and
+// nothing runnable at or before the clock — in service terms: call it
+// on the loop goroutine right after AdvanceTo returns. Loop goroutine
+// only.
+func (o *Online) Snapshot() (*EngineSnapshot, error) {
+	st := o.st
+	if !o.cfg.Durable {
+		return nil, fmt.Errorf("sched: Snapshot on a non-durable engine (set RunConfig.Durable)")
+	}
+	if !o.cfg.DiscardRecords {
+		return nil, fmt.Errorf("sched: Snapshot requires DiscardRecords (per-job records are not snapshotted)")
+	}
+	if n := o.in.Backlog(); n != 0 {
+		return nil, fmt.Errorf("sched: Snapshot with %d arrivals buffered; advance the clock first", n)
+	}
+	// Account for every event on the sim queue. A mismatch means some
+	// event escaped the durable ledger (or a non-quiescent call) and a
+	// snapshot taken now could not be restored faithfully.
+	expect := len(st.pendArr) + len(st.attempts) + st.deadEvents
+	if st.batchOpen {
+		expect++
+	}
+	if st.dyn != nil {
+		for _, ev := range o.cfg.Dynamics.Churn {
+			if ev.Time > o.eng.Now() {
+				expect++
+			}
+		}
+	}
+	if got := o.eng.Pending(); got != expect {
+		return nil, fmt.Errorf("sched: Snapshot accounting mismatch: %d events queued, %d accounted for", got, expect)
+	}
+
+	snap := &EngineSnapshot{
+		Scheduler: o.cfg.Scheduler.Name(),
+		Now:       o.eng.Now(),
+		Executed:  o.eng.Executed(),
+		Seen:      st.seen,
+		Remaining: st.remaining,
+		Batches:   st.batches,
+		Largest:   st.largest,
+		Ready:     append([]float64(nil), st.ready...),
+		Busy:      append([]float64(nil), st.busy...),
+		Acc:       st.acc.State(),
+		FailRand:  st.failRand.State(),
+		TimeRand:  st.timeRand.State(),
+	}
+	for _, j := range st.queue {
+		snap.Queue = append(snap.Queue, *j)
+	}
+	// Plain value copies, not Clone: Clone resets the runtime state
+	// (Failures, MustBeSafe) that a snapshot exists to preserve.
+	for j, p := range st.pendArr {
+		c := *j
+		snap.Pending = append(snap.Pending, PendingItem{
+			Kind: "arrival", Seq: p.seq, At: p.at, Job: &c,
+		})
+	}
+	for att := range st.attempts {
+		c := *att.job
+		snap.Pending = append(snap.Pending, PendingItem{
+			Kind: "attempt", Seq: att.seq, At: att.at, Job: &c,
+			Site: att.site, Start: att.start, Busy: att.busy, Fails: att.fails,
+		})
+	}
+	if st.batchOpen {
+		snap.Pending = append(snap.Pending, PendingItem{
+			Kind: "batch", Seq: st.batchSeq, At: st.batchAt,
+		})
+	}
+	sort.Slice(snap.Pending, func(i, k int) bool { return snap.Pending[i].Seq < snap.Pending[k].Seq })
+
+	snap.RiskTaken = sortedKeys(st.riskTaken)
+	snap.Failed = sortedKeys(st.failed)
+	snap.FellBack = sortedKeys(st.fellBack)
+	for id, n := range st.interrupted {
+		snap.Interrupted = append(snap.Interrupted, InterruptCount{ID: id, N: n})
+	}
+	sort.Slice(snap.Interrupted, func(i, k int) bool { return snap.Interrupted[i].ID < snap.Interrupted[k].ID })
+
+	if st.adm != nil {
+		a := &AdmissionSnapshot{
+			Order:   append([]string(nil), st.adm.order...),
+			Deficit: make(map[string]float64, len(st.adm.deficit)),
+			Weights: make(map[string]float64, len(st.adm.weights)),
+		}
+		for t, d := range st.adm.deficit {
+			a.Deficit[t] = d
+		}
+		for t, w := range st.adm.weights {
+			a.Weights[t] = w
+		}
+		snap.Admission = a
+	}
+	if d := st.dyn; d != nil {
+		ds := &DynamicsSnapshot{
+			Alive:   append([]bool(nil), d.alive...),
+			Crashed: append([]bool(nil), d.crashed...),
+			Revives: d.revives,
+			Speed:   make([]float64, len(o.cfg.Sites)),
+			Level:   make([]float64, len(o.cfg.Sites)),
+		}
+		for i, s := range o.cfg.Sites {
+			ds.Speed[i] = s.Speed
+			ds.Level[i] = s.SecurityLevel
+		}
+		if d.reps != nil {
+			ds.Reps = make([]fuzzy.ReputationState, len(d.reps))
+			for i, r := range d.reps {
+				ds.Reps[i] = r.State()
+			}
+		}
+		snap.Dynamics = ds
+	}
+	if ss, ok := o.cfg.Scheduler.(StatefulScheduler); ok {
+		blob, err := ss.SaveState()
+		if err != nil {
+			return nil, fmt.Errorf("sched: Snapshot: scheduler state: %w", err)
+		}
+		snap.SchedState = blob
+	}
+	return snap, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RestoreOnline rebuilds an engine from a snapshot. cfg must be the
+// same configuration that produced it — same platform, scheduler
+// construction (algorithm, seeds, training), batch interval, security
+// model, dynamics and admission — with Durable set and no preloaded
+// jobs (the snapshot carries the live ones). The restored engine's
+// future placements are byte-identical to what the snapshotted engine
+// would have produced: same sites, same start/finish times, same
+// failure draws, in the same event order.
+func RestoreOnline(cfg RunConfig, snap *EngineSnapshot) (*Online, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("sched: RestoreOnline with nil snapshot")
+	}
+	if !cfg.Durable {
+		return nil, fmt.Errorf("sched: RestoreOnline requires RunConfig.Durable")
+	}
+	if len(cfg.Jobs) != 0 {
+		return nil, fmt.Errorf("sched: RestoreOnline with %d preloaded jobs; the snapshot carries the workload", len(cfg.Jobs))
+	}
+	return newOnline(cfg, snap)
+}
+
+// restore loads snapshot state into a freshly constructed engine whose
+// clock is already repositioned and whose still-pending churn is already
+// queued.
+func (o *Online) restore(snap *EngineSnapshot) error {
+	st := o.st
+	if name := o.cfg.Scheduler.Name(); name != snap.Scheduler {
+		return fmt.Errorf("sched: restore: scheduler %q does not match snapshot's %q", name, snap.Scheduler)
+	}
+	if len(snap.Ready) != len(o.cfg.Sites) || len(snap.Busy) != len(o.cfg.Sites) {
+		return fmt.Errorf("sched: restore: snapshot has %d/%d site vectors for %d sites",
+			len(snap.Ready), len(snap.Busy), len(o.cfg.Sites))
+	}
+	st.seen = snap.Seen
+	st.remaining = snap.Remaining
+	st.batches = snap.Batches
+	st.largest = snap.Largest
+	copy(st.ready, snap.Ready)
+	copy(st.busy, snap.Busy)
+	st.acc.SetState(snap.Acc)
+	st.failRand.SetState(snap.FailRand)
+	st.timeRand.SetState(snap.TimeRand)
+	for _, id := range snap.RiskTaken {
+		st.riskTaken[id] = true
+	}
+	for _, id := range snap.Failed {
+		st.failed[id] = true
+	}
+	for _, id := range snap.FellBack {
+		st.fellBack[id] = true
+	}
+	for _, ic := range snap.Interrupted {
+		st.interrupted[ic.ID] = ic.N
+	}
+	for i := range snap.Queue {
+		j := snap.Queue[i]
+		st.queue = append(st.queue, &j)
+	}
+
+	switch {
+	case snap.Admission != nil && st.adm == nil:
+		return fmt.Errorf("sched: restore: snapshot has admission state but config has no Admission")
+	case snap.Admission != nil:
+		a := snap.Admission
+		st.adm.order = append([]string(nil), a.Order...)
+		for _, t := range a.Order {
+			st.adm.seen[t] = true
+		}
+		for t, d := range a.Deficit {
+			st.adm.deficit[t] = d
+		}
+		for t, w := range a.Weights {
+			st.adm.weights[t] = w
+		}
+	}
+
+	switch {
+	case snap.Dynamics != nil && st.dyn == nil:
+		return fmt.Errorf("sched: restore: snapshot has dynamics state but config has no Dynamics")
+	case snap.Dynamics == nil && st.dyn != nil:
+		return fmt.Errorf("sched: restore: config has Dynamics but snapshot has no dynamics state")
+	case snap.Dynamics != nil:
+		d, ds := st.dyn, snap.Dynamics
+		if len(ds.Alive) != len(o.cfg.Sites) {
+			return fmt.Errorf("sched: restore: dynamics state for %d sites, platform has %d", len(ds.Alive), len(o.cfg.Sites))
+		}
+		copy(d.alive, ds.Alive)
+		copy(d.crashed, ds.Crashed)
+		d.revives = ds.Revives
+		for i, s := range o.cfg.Sites {
+			s.Speed = ds.Speed[i]
+			s.SecurityLevel = ds.Level[i]
+		}
+		if d.reps != nil {
+			if len(ds.Reps) != len(d.reps) {
+				return fmt.Errorf("sched: restore: %d reputation states for %d sites", len(ds.Reps), len(d.reps))
+			}
+			for i, r := range d.reps {
+				if err := r.SetState(ds.Reps[i]); err != nil {
+					return fmt.Errorf("sched: restore: site %d: %w", i, err)
+				}
+			}
+		}
+	}
+
+	if ss, ok := o.cfg.Scheduler.(StatefulScheduler); ok {
+		if snap.SchedState == nil {
+			return fmt.Errorf("sched: restore: scheduler %q is stateful but snapshot carries no scheduler state", snap.Scheduler)
+		}
+		if err := ss.RestoreState(snap.SchedState); err != nil {
+			return err
+		}
+	} else if snap.SchedState != nil {
+		return fmt.Errorf("sched: restore: snapshot carries scheduler state but %q cannot restore it", snap.Scheduler)
+	}
+
+	// Re-schedule the pending events in their original sequence order.
+	// Still-pending churn is already queued (its original sequence
+	// numbers precede every runtime event's), so ascending Seq here
+	// reproduces the exact equal-timestamp tie-break order of the saved
+	// run.
+	items := append([]PendingItem(nil), snap.Pending...)
+	sort.Slice(items, func(i, k int) bool { return items[i].Seq < items[k].Seq })
+	for _, it := range items {
+		switch it.Kind {
+		case "arrival":
+			if it.Job == nil {
+				return fmt.Errorf("sched: restore: pending arrival without a job")
+			}
+			c := *it.Job
+			o.eng.Schedule(it.At, arrivalEvent{o: o, job: &c})
+			st.pendArr[&c] = pendingArrival{at: it.At, seq: o.eng.LastSeq()}
+		case "attempt":
+			if it.Job == nil {
+				return fmt.Errorf("sched: restore: pending attempt without a job")
+			}
+			if it.Site < 0 || it.Site >= len(o.cfg.Sites) {
+				return fmt.Errorf("sched: restore: pending attempt on invalid site %d", it.Site)
+			}
+			c := *it.Job
+			st.launch(o.eng, &attempt{
+				st: st, job: &c, site: it.Site,
+				start: it.Start, busy: it.Busy, at: it.At, fails: it.Fails,
+			})
+		case "batch":
+			if st.batchOpen {
+				return fmt.Errorf("sched: restore: duplicate pending batch event")
+			}
+			st.ensureBatchAt(o.eng, it.At)
+		default:
+			return fmt.Errorf("sched: restore: unknown pending event kind %q", it.Kind)
+		}
+	}
+
+	// Recompute the runaway guard the next admit would have set; without
+	// it a restored engine that receives no further arrivals would run
+	// against the default (zero) budget with Executed already advanced.
+	if o.cfg.MaxEvents == 0 {
+		guard := 200*uint64(st.seen+1) + 10000
+		if o.cfg.Dynamics != nil {
+			guard += 2 * uint64(len(o.cfg.Dynamics.Churn))
+		}
+		o.eng.MaxEvents = guard
+	}
+	return nil
+}
+
+// arrivalEvent is the named form of the admit closure so restore can
+// re-create pending arrivals.
+type arrivalEvent struct {
+	o   *Online
+	job *grid.Job
+}
+
+func (ev arrivalEvent) Execute(e *sim.Engine) { ev.o.admit(e, ev.job) }
+
+// ensureBatchAt re-arms the Δ-round event at a recorded time during
+// restore (ensureBatch computes the time from the clock, which is
+// already past the original arming point).
+func (st *engineState) ensureBatchAt(e *sim.Engine, at float64) {
+	st.batchOpen = true
+	e.Schedule(at, sim.EventFunc(st.runBatch))
+	st.batchSeq = e.LastSeq()
+	st.batchAt = at
+}
+
+// NeverPlaced returns clones of every job accepted (or scheduled to
+// arrive) that has not yet had a first placement: queued first-timers —
+// no security failures, never interrupted — plus not-yet-admitted
+// arrivals, sorted by job ID. After recovery the daemon rebuilds
+// per-tenant queue occupancy and in-flight submit-latency entries from
+// it, which track exactly "accepted but not yet placed". Loop goroutine
+// only.
+func (o *Online) NeverPlaced() []grid.Job {
+	st := o.st
+	var out []grid.Job
+	for _, j := range st.queue {
+		if j.Failures == 0 && st.interrupted[j.ID] == 0 {
+			out = append(out, *j)
+		}
+	}
+	for j := range st.pendArr {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -125,19 +125,27 @@ func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
 	// weight never reached the fair-share former and whose re-register
 	// retry would bounce off 409. s.do honors the context only until the
 	// command is enqueued; once enqueued both effects happen.
-	var regErr error
+	var regErr, walErr error
 	if err := s.do(r.Context(), func() {
 		if regErr = s.tenants.register(spec); regErr != nil {
 			return
 		}
 		spec, _ = s.tenants.get(spec.ID) // normalized (defaulted weight)
 		s.online.SetTenantWeight(spec.ID, spec.Weight)
+		// Commit before acknowledging: a 201 must survive a crash.
+		if walErr = s.walTenant(spec); walErr == nil {
+			walErr = s.walCommit()
+		}
 	}); err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	if regErr != nil {
 		httpError(w, http.StatusConflict, "%v", regErr)
+		return
+	}
+	if walErr != nil {
+		httpError(w, http.StatusServiceUnavailable, "wal: %v", walErr)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
@@ -252,6 +260,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID s
 		s.lat.submitted(j.ID, tenantID, accepted)
 	}
 	injected := 0
+	counted := false
 	var subErr error
 	if s.cfg.Manual {
 		// Manual mode has no ticker draining the arrival channel, so a
@@ -260,16 +269,72 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID s
 		// also keeps request order = ingestion order.
 		err := s.do(r.Context(), func() {
 			for _, j := range jobs {
+				// Log-then-apply, stamped with the current clock: replay
+				// advances the engine here before re-submitting, so the job
+				// re-enters the event queue in its original position (same
+				// arrival clamp, same tie order at batch boundaries).
+				if subErr = s.walArrival(j, s.online.Now()); subErr != nil {
+					return
+				}
 				if subErr = s.online.SubmitLocal(j); subErr != nil {
 					return
 				}
 				injected++
 			}
+			if subErr == nil {
+				// Commit before acknowledging: an accepted batch must
+				// survive a crash.
+				subErr = s.walCommit()
+			}
+			// Counters advance on the loop goroutine, atomically with the
+			// WAL records w.r.t. housekeeping — a snapshot covering these
+			// records must already reflect them (replay skips covered
+			// records, so an increment left to the handler would be lost).
+			s.submitted.Add(int64(injected))
+			s.tenants.addSubmitted(tenantID, injected)
+			counted = true
 		})
 		if subErr == nil {
 			subErr = err
 		}
 	} else {
+		// Live mode logs and commits the batch (on the loop goroutine,
+		// which owns the WAL) before injecting: a crash between the two
+		// resurrects the jobs from the log rather than losing an
+		// acknowledged batch in the arrival channel. Ingest times are
+		// wall-tick-dependent here, so the records carry no At and
+		// recovery re-ingests at the recovered clock.
+		if s.wal != nil {
+			var walErr error
+			err := s.do(r.Context(), func() {
+				for _, j := range jobs {
+					if walErr = s.walArrival(j, 0); walErr != nil {
+						return
+					}
+				}
+				if walErr = s.walCommit(); walErr == nil {
+					// Logged and committed = durable: these jobs reach the
+					// engine either via the channel below or via replay
+					// after a crash. Count them here, atomically with their
+					// records, for the same snapshot-coverage reason as the
+					// manual path.
+					s.submitted.Add(int64(len(jobs)))
+					s.tenants.addSubmitted(tenantID, len(jobs))
+					counted = true
+				}
+			})
+			if walErr == nil {
+				walErr = err
+			}
+			if walErr != nil {
+				for _, j := range jobs {
+					s.lat.forget(j.ID)
+				}
+				s.tenants.release(tenantID, len(jobs))
+				httpError(w, http.StatusServiceUnavailable, "wal: %v", walErr)
+				return
+			}
+		}
 		for _, j := range jobs {
 			// Abort on loop exit: a dead loop never drains the channel,
 			// and a blocked send here would wedge the handler forever.
@@ -279,8 +344,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID s
 			injected++
 		}
 	}
-	s.submitted.Add(int64(injected))
-	s.tenants.addSubmitted(tenantID, injected)
+	if !counted {
+		s.submitted.Add(int64(injected))
+		s.tenants.addSubmitted(tenantID, injected)
+	}
 	if subErr != nil {
 		// The tail never reached the engine: unwind its accounting.
 		for _, j := range jobs[injected:] {

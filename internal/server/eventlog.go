@@ -74,6 +74,26 @@ func (l *eventLog) ReadSince(since int64, max int, match func(*WireEvent) bool) 
 	return out, next
 }
 
+// snapshotState returns the retained window and the absolute sequence
+// number of its first event, for the server snapshot.
+func (l *eventLog) snapshotState() (base int64, events []WireEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base, append([]WireEvent(nil), l.events...)
+}
+
+// restore reloads a snapshotted window so streaming cursors survive a
+// restart: sequence numbers continue where the snapshot left off, and a
+// reader whose cursor points past the recovered end simply re-reads the
+// events the crash rewound (they are re-executed and re-appended with
+// the same sequence numbers).
+func (l *eventLog) restore(base int64, events []WireEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base = base
+	l.events = append(l.events[:0], events...)
+}
+
 // WaitCh returns a channel that is closed at the next append. Callers
 // re-fetch after every wakeup.
 func (l *eventLog) WaitCh() <-chan struct{} {

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"trustgrid/internal/api"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/wal"
+)
+
+// walLog keeps the Server struct readable next to the field named wal.
+type walLog = wal.Log
+
+// serverSnapshot is the daemon's complete durable state at one WAL
+// sequence number: a configuration fingerprint (recovery refuses a WAL
+// written under a different run configuration — the determinism
+// contract makes placements a function of config + recorded inputs, so
+// restoring state under different config would fabricate history), the
+// engine snapshot, the tenant registry, the ID allocator and the
+// service counters, plus the retained event window so streaming cursors
+// survive the restart. Recovery = newest readable snapshot + replay of
+// WAL records with Seq > snapshot.Seq (DESIGN.md §10).
+type serverSnapshot struct {
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+
+	Algo          string  `json:"algo"`
+	Mode          string  `json:"mode"`
+	Seed          uint64  `json:"seed"`
+	BatchInterval float64 `json:"batch_interval"`
+	RoundBudget   int     `json:"round_budget"`
+	Sites         int     `json:"sites"`
+	Manual        bool    `json:"manual"`
+
+	Engine  *sched.EngineSnapshot `json:"engine"`
+	Tenants []tenantSnapshot      `json:"tenants"`
+
+	NextID  int64 `json:"next_id"`
+	UsedIDs []int `json:"used_ids,omitempty"`
+
+	Counters counterSnapshot `json:"counters"`
+
+	EventBase int64       `json:"event_base"`
+	Events    []WireEvent `json:"events,omitempty"`
+}
+
+// counterSnapshot carries the service's atomic counters.
+type counterSnapshot struct {
+	Submitted   int64 `json:"submitted"`
+	Arrived     int64 `json:"arrived"`
+	Placed      int64 `json:"placed"`
+	Completed   int64 `json:"completed"`
+	Failures    int64 `json:"failures"`
+	Interrupted int64 `json:"interrupted"`
+}
+
+func (s *Server) checkFingerprint(snap *serverSnapshot) error {
+	mismatch := func(field string, got, want any) error {
+		return fmt.Errorf("snapshot written under %s=%v, config has %v (refusing to restore state across a config change)",
+			field, got, want)
+	}
+	switch {
+	case snap.Algo != s.cfg.Algo:
+		return mismatch("algo", snap.Algo, s.cfg.Algo)
+	case snap.Mode != s.cfg.Mode:
+		return mismatch("mode", snap.Mode, s.cfg.Mode)
+	case snap.Seed != s.cfg.Seed:
+		return mismatch("seed", snap.Seed, s.cfg.Seed)
+	case snap.BatchInterval != s.cfg.BatchInterval:
+		return mismatch("batch-interval", snap.BatchInterval, s.cfg.BatchInterval)
+	case snap.RoundBudget != s.cfg.RoundBudget:
+		return mismatch("round-budget", snap.RoundBudget, s.cfg.RoundBudget)
+	case snap.Sites != len(s.cfg.Sites):
+		return mismatch("sites", snap.Sites, len(s.cfg.Sites))
+	case snap.Manual != s.cfg.Manual:
+		return mismatch("manual", snap.Manual, s.cfg.Manual)
+	}
+	return nil
+}
+
+// recover opens the WAL and rebuilds the daemon's state: the newest
+// readable, fingerprint-compatible snapshot seeds the engine, the
+// registry, the counters and the event log; the WAL tail past it is
+// replayed in sequence order (tenants re-registered, arrivals
+// re-ingested at their recorded times); and the recorded churn prefix
+// is verified against the configured churn trace, which the engine
+// re-derives from config. On a fresh directory it simply records the
+// churn trace and starts clean. Runs before the loop goroutine starts.
+func (s *Server) recover(runCfg sched.RunConfig) error {
+	l, err := wal.Open(s.cfg.WALDir)
+	if err != nil {
+		return err
+	}
+	s.wal = l
+
+	var churn []grid.ChurnEvent
+	if s.cfg.Dynamics != nil {
+		churn = s.cfg.Dynamics.Churn
+	}
+
+	// Newest snapshot that is readable, parseable, covered by the log
+	// (a snapshot claiming records the log lost is itself damage) and
+	// written under this configuration. Unreadable or unparseable ones
+	// fall through to the next — WALKeep > 1 exists for exactly that —
+	// but a fingerprint mismatch is an operator error, not corruption.
+	var snap *serverSnapshot
+	refs, err := l.Snapshots()
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		payload, err := wal.ReadSnapshot(ref)
+		if err != nil {
+			continue
+		}
+		var cand serverSnapshot
+		if err := json.Unmarshal(payload, &cand); err != nil || cand.Engine == nil {
+			continue
+		}
+		if cand.Seq > l.LastSeq() {
+			continue
+		}
+		if err := s.checkFingerprint(&cand); err != nil {
+			return err
+		}
+		snap = &cand
+		break
+	}
+
+	var snapSeq uint64
+	if snap != nil {
+		snapSeq = snap.Seq
+		s.online, err = sched.RestoreOnline(runCfg, snap.Engine)
+		if err != nil {
+			return err
+		}
+		s.tenants.restore(snap.Tenants)
+		s.log.restore(snap.EventBase, snap.Events)
+		s.nextID.Store(snap.NextID)
+		if s.usedIDs != nil {
+			for _, id := range snap.UsedIDs {
+				s.usedIDs[id] = struct{}{}
+			}
+		}
+		s.submitted.Store(snap.Counters.Submitted)
+		s.arrived.Store(snap.Counters.Arrived)
+		s.placed.Store(snap.Counters.Placed)
+		s.completed.Store(snap.Counters.Completed)
+		s.failures.Store(snap.Counters.Failures)
+		s.interrupted.Store(snap.Counters.Interrupted)
+	} else {
+		s.online, err = sched.NewOnline(runCfg)
+		if err != nil {
+			return err
+		}
+	}
+	s.recsSinceSnap = int(l.LastSeq() - snapSeq)
+
+	// One ordered pass over the surviving records: churn records (always
+	// the log's first entries, written at first boot) are verified
+	// against the configured trace, and everything past the snapshot is
+	// replayed. Sequence order means a tenant registered at runtime is
+	// back in the registry before its first replayed arrival needs it.
+	err = l.Replay(0, func(rec wal.Record) error {
+		if rec.Kind == wal.KindChurn {
+			idx := int(rec.Seq) - 1
+			if idx >= len(churn) || *rec.Churn != churn[idx] {
+				return fmt.Errorf("churn record %d does not match the configured churn trace", rec.Seq)
+			}
+			return nil
+		}
+		if rec.Seq <= uint64(len(churn)) {
+			return fmt.Errorf("record %d is %q where the configured churn trace expects churn (config has more churn events than were recorded)",
+				rec.Seq, rec.Kind)
+		}
+		if rec.Seq <= snapSeq {
+			return nil
+		}
+		// Re-apply at the clock the record was written under. Advancing
+		// first re-executes whatever engine events preceded the original
+		// append (batch rounds included), so a re-submitted job lands in
+		// the event queue in its original position — same arrival clamp,
+		// same tie order against a batch round at the same timestamp.
+		if rec.At > s.online.Now() {
+			if err := s.online.AdvanceTo(rec.At); err != nil {
+				return fmt.Errorf("advancing to record %d clock %v: %w", rec.Seq, rec.At, err)
+			}
+		}
+		switch rec.Kind {
+		case wal.KindTenant:
+			// A duplicate means the operator promoted a runtime-created
+			// tenant into the boot config (or the snapshot already carried
+			// it); the existing registration wins.
+			_ = s.tenants.register(*rec.Tenant)
+			spec, _ := s.tenants.get(rec.Tenant.ID)
+			s.online.SetTenantWeight(spec.ID, spec.Weight)
+		case wal.KindArrival:
+			tr := rec.Arrival
+			if err := s.online.SubmitLocal(tr.Job()); err != nil {
+				return fmt.Errorf("arrival record %d: %w", rec.Seq, err)
+			}
+			s.submitted.Add(1)
+			s.tenants.addSubmitted(tr.Tenant, 1)
+			if s.usedIDs != nil {
+				s.usedIDs[tr.ID] = struct{}{}
+			}
+			if int64(tr.ID) > s.nextID.Load() {
+				s.nextID.Store(int64(tr.ID))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// First boot (or a crash that interrupted this very step): record
+	// the configured churn trace so the log is a self-contained input
+	// set. Nothing else can be in the log here — any later record would
+	// have tripped the position check above.
+	if n := l.LastSeq(); n < uint64(len(churn)) {
+		for _, ev := range churn[n:] {
+			ev := ev
+			if _, err := l.Append(wal.Record{Kind: wal.KindChurn, Churn: &ev}); err != nil {
+				return err
+			}
+			s.recsSinceSnap++
+		}
+		if err := l.Commit(); err != nil {
+			return err
+		}
+	}
+
+	// The quota gate and the latency tracker resume against the
+	// recovered engine's ground truth: every accepted-but-never-placed
+	// job holds a queue slot and an open latency measurement. Wall-clock
+	// latency across a restart is not meaningful, so measurements
+	// restart at recovery time.
+	now := time.Now()
+	queued := make(map[string]int)
+	for _, j := range s.online.NeverPlaced() {
+		queued[j.Tenant]++
+		s.lat.submitted(j.ID, j.Tenant, now)
+	}
+	s.tenants.setQueued(queued)
+	return nil
+}
+
+// writeSnapshot persists the full server state at the current WAL
+// position, rotates the segment and garbage-collects what the retained
+// snapshots cover. A live-mode engine with buffered arrivals skips the
+// attempt (the buffer drains at the next tick and the records are in
+// the WAL either way). Loop goroutine (or post-loop Stop) only.
+func (s *Server) writeSnapshot() error {
+	if s.online.Backlog() != 0 {
+		return nil
+	}
+	if err := s.wal.Commit(); err != nil {
+		return err
+	}
+	eng, err := s.online.Snapshot()
+	if err != nil {
+		return err
+	}
+	snap := serverSnapshot{
+		Version:       1,
+		Seq:           s.wal.LastSeq(),
+		Algo:          s.cfg.Algo,
+		Mode:          s.cfg.Mode,
+		Seed:          s.cfg.Seed,
+		BatchInterval: s.cfg.BatchInterval,
+		RoundBudget:   s.cfg.RoundBudget,
+		Sites:         len(s.cfg.Sites),
+		Manual:        s.cfg.Manual,
+		Engine:        eng,
+		Tenants:       s.tenants.snapshot(),
+		NextID:        s.nextID.Load(),
+		Counters: counterSnapshot{
+			Submitted:   s.submitted.Load(),
+			Arrived:     s.arrived.Load(),
+			Placed:      s.placed.Load(),
+			Completed:   s.completed.Load(),
+			Failures:    s.failures.Load(),
+			Interrupted: s.interrupted.Load(),
+		},
+	}
+	snap.EventBase, snap.Events = s.log.snapshotState()
+	if s.usedIDs != nil {
+		s.idMu.Lock()
+		snap.UsedIDs = make([]int, 0, len(s.usedIDs))
+		for id := range s.usedIDs {
+			snap.UsedIDs = append(snap.UsedIDs, id)
+		}
+		s.idMu.Unlock()
+		sort.Ints(snap.UsedIDs)
+	}
+	payload, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	if err := s.wal.WriteSnapshot(snap.Seq, payload); err != nil {
+		return err
+	}
+	if err := s.wal.Rotate(); err != nil {
+		return err
+	}
+	if s.cfg.WALKeep > 0 {
+		if err := s.wal.GC(s.cfg.WALKeep); err != nil {
+			return err
+		}
+	}
+	s.recsSinceSnap = 0
+	return nil
+}
+
+// walHousekeeping runs once per loop iteration: group-commit whatever
+// the iteration appended (a no-op on a clean log) and snapshot when the
+// cadence says so. An error is fatal to the loop — a daemon that cannot
+// make its state durable must die loudly, not serve acknowledgements it
+// cannot honor.
+func (s *Server) walHousekeeping() error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.walBroken != nil {
+		return s.walBroken
+	}
+	if err := s.wal.Commit(); err != nil {
+		return err
+	}
+	if s.recsSinceSnap >= s.cfg.SnapshotEvery {
+		if err := s.writeSnapshot(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walArrival appends one accepted arrival stamped with the clock it was
+// ingested under (at). Loop goroutine only; durability waits for
+// walCommit.
+func (s *Server) walArrival(j *grid.Job, at float64) error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(wal.Record{Kind: wal.KindArrival, At: at, Arrival: &api.TraceRecord{
+		ID: j.ID, Arrival: j.Arrival, Workload: j.Workload, Nodes: j.Nodes,
+		SD: j.SecurityDemand, Tenant: j.Tenant, SafeOnly: j.SafeOnly,
+	}})
+	if err != nil {
+		s.walBroken = err
+		return err
+	}
+	s.recsSinceSnap++
+	return nil
+}
+
+// walTenant appends one runtime tenant registration. Loop goroutine
+// only.
+func (s *Server) walTenant(spec api.TenantSpec) error {
+	if s.wal == nil {
+		return nil
+	}
+	if _, err := s.wal.Append(wal.Record{Kind: wal.KindTenant, At: s.online.Now(), Tenant: &spec}); err != nil {
+		s.walBroken = err
+		return err
+	}
+	s.recsSinceSnap++
+	return nil
+}
+
+// walCommit makes everything appended so far durable — the
+// commit-before-acknowledge point of the submit and tenant-create
+// handlers. Loop goroutine only.
+func (s *Server) walCommit() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Commit(); err != nil {
+		s.walBroken = err
+		return err
+	}
+	return nil
+}

@@ -79,6 +79,23 @@ type Config struct {
 	// TraceWriter, when non-nil, receives one JSON line per accepted
 	// arrival — the replay artifact of the determinism contract.
 	TraceWriter io.Writer
+
+	// WALDir, when non-empty, makes the daemon's state durable: every
+	// accepted arrival, runtime tenant registration and configured churn
+	// event is written to a write-ahead log in this directory, periodic
+	// engine snapshots bound replay time, and New recovers (newest
+	// readable snapshot + WAL tail replay) before serving (DESIGN.md
+	// §10). Empty keeps the daemon in-memory only.
+	WALDir string
+	// SnapshotEvery is the snapshot cadence in WAL records (default
+	// 4096): after that many appends, the next loop iteration persists a
+	// full snapshot, rotates the segment and garbage-collects.
+	SnapshotEvery int
+	// WALKeep is how many snapshots GC retains (default 2, so recovery
+	// survives the newest one being unreadable). -1 disables GC
+	// entirely, keeping every record ever logged — the full-history mode
+	// the crash-point parity tests rely on.
+	WALKeep int
 }
 
 func (c *Config) fillDefaults() {
@@ -124,6 +141,12 @@ func (c *Config) fillDefaults() {
 	if c.Tick <= 0 {
 		c.Tick = 100 * time.Millisecond
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
+	}
+	if c.WALKeep == 0 {
+		c.WALKeep = 2
+	}
 }
 
 // Server is a running trusted-scheduling service instance. Create with
@@ -135,6 +158,13 @@ type Server struct {
 	log     *eventLog
 	lat     *latencyTracker
 	tenants *tenantRegistry
+
+	// Durable-state machinery (nil/zero without Config.WALDir). All
+	// fields are owned by the loop goroutine while the loop runs; Stop
+	// takes ownership after it exits, exactly like the engine.
+	wal           *walLog
+	recsSinceSnap int
+	walBroken     error
 
 	cmds     chan func()
 	quit     chan struct{}
@@ -204,7 +234,7 @@ func New(cfg Config) (*Server, error) {
 		norm, _ := s.tenants.get(t.ID)
 		weights[norm.ID] = norm.Weight
 	}
-	s.online, err = sched.NewOnline(sched.RunConfig{
+	runCfg := sched.RunConfig{
 		Sites:         cfg.Sites,
 		Scheduler:     scheduler,
 		BatchInterval: cfg.BatchInterval,
@@ -218,9 +248,16 @@ func New(cfg Config) (*Server, error) {
 		// A daemon serves jobs indefinitely; per-job records would grow
 		// without bound. The incremental summary carries the metrics.
 		DiscardRecords: true,
-	})
-	if err != nil {
-		return nil, err
+		// The durable-event ledger is what makes the engine snapshotable.
+		Durable: cfg.WALDir != "",
+	}
+	if cfg.WALDir == "" {
+		s.online, err = sched.NewOnline(runCfg)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := s.recover(runCfg); err != nil {
+		return nil, fmt.Errorf("server: recovery: %w", err)
 	}
 	go s.loop()
 	return s, nil
@@ -248,6 +285,14 @@ func (s *Server) loop() {
 			}
 		case fn := <-s.cmds:
 			fn()
+		}
+		// Group commit + periodic snapshot. Running it after every
+		// iteration costs nothing when the log is clean, and means a
+		// durability failure kills the loop (the daemon dies loudly)
+		// rather than silently dropping records.
+		if err := s.walHousekeeping(); err != nil {
+			s.loopErr.Store(err)
+			return
 		}
 	}
 }
@@ -399,11 +444,40 @@ func (s *Server) Stop(drain bool) (*sched.Result, error) {
 	s.stopOnce.Do(func() { close(s.quit) })
 	<-s.loopDone
 	if err, ok := s.loopErr.Load().(error); ok {
+		s.closeWAL()
 		return nil, err
 	}
 	if !drain {
-		return nil, nil
+		// Clean shutdown still commits the tail and leaves a fresh
+		// snapshot when one is possible (backlogged live-mode arrivals
+		// stay in the WAL and replay on the next boot).
+		s.finalSnapshot()
+		return nil, s.closeWAL()
 	}
 	// The loop has exited, so the Stop caller is the engine's owner now.
-	return s.online.Drain()
+	res, err := s.online.Drain()
+	if err != nil {
+		s.closeWAL()
+		return nil, err
+	}
+	s.finalSnapshot()
+	return res, s.closeWAL()
+}
+
+// finalSnapshot writes a shutdown snapshot on a best-effort basis: a
+// failure here only means the next boot replays more WAL tail.
+func (s *Server) finalSnapshot() {
+	if s.wal == nil || s.walBroken != nil {
+		return
+	}
+	_ = s.writeSnapshot()
+}
+
+func (s *Server) closeWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
 }

@@ -149,6 +149,86 @@ func (r *tenantRegistry) event(id, kind string, firstPlacement bool) {
 	}
 }
 
+// tenantSnapshot is one tenant's durable registry state, as persisted
+// in the server snapshot: the (possibly runtime-created) spec plus the
+// monotonic accounting counters. The queued occupancy is snapshotted
+// for inspection but recomputed from the recovered engine on restore —
+// the engine's accepted-but-never-placed set is the ground truth the
+// quota gate must agree with.
+type tenantSnapshot struct {
+	Spec      api.TenantSpec `json:"spec"`
+	Queued    int            `json:"queued"`
+	Submitted int64          `json:"submitted"`
+	Placed    int64          `json:"placed"`
+	Failed    int64          `json:"failed"`
+	Completed int64          `json:"completed"`
+	Rejected  int64          `json:"rejected"`
+}
+
+// snapshot captures every tenant in registration order.
+func (r *tenantRegistry) snapshot() []tenantSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]tenantSnapshot, 0, len(r.order))
+	for _, id := range r.order {
+		t := r.m[id]
+		out = append(out, tenantSnapshot{
+			Spec: t.spec, Queued: t.queued, Submitted: t.submitted,
+			Placed: t.placed, Failed: t.failed, Completed: t.completed,
+			Rejected: t.rejected,
+		})
+	}
+	return out
+}
+
+// restore merges snapshotted tenants into the registry. Tenants the
+// boot config already registered keep their position but take the
+// snapshot's spec and counters (the snapshot is the newer truth — a
+// spec created or normalized at runtime); unknown tenants are appended
+// in their recorded order.
+func (r *tenantRegistry) restore(ts []tenantSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range ts {
+		t := r.m[s.Spec.ID]
+		if t == nil {
+			t = &tenantState{}
+			r.m[s.Spec.ID] = t
+			r.order = append(r.order, s.Spec.ID)
+		}
+		t.spec = s.Spec
+		t.queued = s.Queued
+		t.submitted = s.Submitted
+		t.placed = s.Placed
+		t.failed = s.Failed
+		t.completed = s.Completed
+		t.rejected = s.Rejected
+	}
+}
+
+// setQueued overwrites every tenant's queue occupancy with the given
+// per-tenant counts (absent tenants are zeroed). Recovery calls it with
+// the recovered engine's accepted-but-never-placed census so the
+// MaxQueue admission gate resumes against real occupancy.
+func (r *tenantRegistry) setQueued(counts map[string]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.m {
+		t.queued = 0
+	}
+	for id, n := range counts {
+		t := r.m[id]
+		if t == nil {
+			// Same policy as event(): never drop a principal the engine
+			// knows about.
+			t = &tenantState{spec: api.TenantSpec{ID: id, Weight: 1}}
+			r.m[id] = t
+			r.order = append(r.order, id)
+		}
+		t.queued = n
+	}
+}
+
 // rejectedTotal sums 429 rejections across tenants.
 func (r *tenantRegistry) rejectedTotal() int64 {
 	r.mu.Lock()

@@ -53,6 +53,29 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+// LastSeq returns the sequence number Schedule assigned most recently.
+// Equal-timestamp events execute in sequence order, so a caller that
+// needs to re-create a pending event after a restore records this and
+// re-schedules in recorded order (see sched's engine snapshot).
+func (e *Engine) LastSeq() uint64 { return e.seq }
+
+// RestoreClock positions a fresh engine at a snapshot's clock and
+// executed-event count. It is the restore-side counterpart of Now and
+// Executed: events re-scheduled afterwards continue from exactly where
+// the snapshotted run stood. Only an engine with an empty queue may be
+// repositioned, and only forward.
+func (e *Engine) RestoreClock(now float64, executed uint64) error {
+	if e.queue.Len() != 0 {
+		return fmt.Errorf("sim: RestoreClock with %d events queued", e.queue.Len())
+	}
+	if math.IsNaN(now) || now < e.now {
+		return fmt.Errorf("sim: RestoreClock to t=%v behind now=%v", now, e.now)
+	}
+	e.now = now
+	e.executed = executed
+	return nil
+}
+
 // Schedule enqueues ev to run at absolute time t. Scheduling in the past
 // (t < Now, beyond a tiny epsilon for float accumulation) is a programming
 // error and panics: silently reordering time would corrupt every metric.

@@ -1,0 +1,85 @@
+package stga
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"trustgrid/internal/ga"
+	"trustgrid/internal/rng"
+)
+
+// savedState is the JSON form of the scheduler's cross-batch state: the
+// GA stream position, the batch counter (it derives nothing today but
+// keeps diagnostics aligned), and the full history table with its LRU
+// clock and hit statistics. Restoring it makes every post-restore GA
+// draw and history lookup identical to the run that saved it — the
+// engine snapshot's recovery parity contract extended to the STGA.
+// Trajectory recordings (LastTrajectory, AllTrajectories) are
+// observability, not decision state, and are not carried across.
+type savedState struct {
+	Rand    rng.State    `json:"rand"`
+	Batch   int          `json:"batch"`
+	Clock   uint64       `json:"clock"`
+	Lookups uint64       `json:"lookups"`
+	Hits    uint64       `json:"hits"`
+	Entries []savedEntry `json:"entries"`
+}
+
+type savedEntry struct {
+	Ready   []float64     `json:"ready"`
+	ETC     []float64     `json:"etc"`
+	SD      []float64     `json:"sd"`
+	Best    ga.Chromosome `json:"best"`
+	LastUse uint64        `json:"last_use"`
+}
+
+// SaveState implements sched.StatefulScheduler: it serializes the rng
+// position, batch counter and history table.
+func (s *Scheduler) SaveState() ([]byte, error) {
+	st := savedState{
+		Rand:    s.rand.State(),
+		Batch:   s.batch,
+		Clock:   s.table.clock,
+		Lookups: s.table.lookups,
+		Hits:    s.table.hits,
+		Entries: make([]savedEntry, len(s.table.entries)),
+	}
+	for i, e := range s.table.entries {
+		st.Entries[i] = savedEntry{
+			Ready: e.Ready, ETC: e.ETC, SD: e.SD,
+			Best: e.Best, LastUse: e.lastUse,
+		}
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements sched.StatefulScheduler: it replaces the rng
+// position, batch counter and history table with the saved ones. The
+// scheduler must have been built with the same Config (capacity and
+// similarity settings are re-derived from it, not from the blob).
+func (s *Scheduler) RestoreState(data []byte) error {
+	var st savedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("stga: restore: %w", err)
+	}
+	if len(st.Entries) > s.table.capacity {
+		return fmt.Errorf("stga: restore: %d saved entries exceed table capacity %d",
+			len(st.Entries), s.table.capacity)
+	}
+	table := NewHistoryTable(s.table.capacity)
+	table.UseEq2Literal = s.table.UseEq2Literal
+	table.clock = st.Clock
+	table.lookups = st.Lookups
+	table.hits = st.Hits
+	table.entries = make([]*Entry, len(st.Entries))
+	for i, e := range st.Entries {
+		table.entries[i] = &Entry{
+			Ready: e.Ready, ETC: e.ETC, SD: e.SD,
+			Best: e.Best, lastUse: e.LastUse,
+		}
+	}
+	s.table = table
+	s.rand.SetState(st.Rand)
+	s.batch = st.Batch
+	return nil
+}

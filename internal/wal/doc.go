@@ -1,0 +1,17 @@
+// Package wal provides the daemon's durable-state layer (DESIGN.md
+// §10): a write-ahead log of the three deterministic input streams —
+// accepted arrivals, tenant mutations, and the churn trace — plus
+// atomically written engine snapshots, so a killed daemon can rebuild
+// exactly the state it held and every post-recovery placement matches
+// what the uninterrupted run would have produced.
+//
+// The log is a sequence of segment files ("wal-%016d.log", named by the
+// first sequence number they hold) of CRC-guarded JSONL frames. The
+// reader is torn-tail tolerant: a truncated, torn or bit-flipped tail
+// stops decoding at the last valid record, and Open repairs the
+// directory to that prefix. Snapshots ("snap-%016d.json", named by the
+// last WAL sequence they cover) are written to a temp file, fsynced and
+// renamed, so a crash mid-snapshot leaves the previous one intact.
+// Recovery is: newest readable snapshot + replay of the WAL records
+// after it.
+package wal

@@ -1,0 +1,264 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func segmentName(firstSeq uint64) string { return fmt.Sprintf("wal-%016d.log", firstSeq) }
+
+// segmentRef locates one on-disk segment.
+type segmentRef struct {
+	firstSeq uint64
+	path     string
+}
+
+// segments lists the directory's WAL segments sorted by first sequence
+// number (which the zero-padded name makes lexical order).
+func segments(dir string) ([]segmentRef, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []segmentRef
+	for _, e := range names {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		out = append(out, segmentRef{firstSeq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].firstSeq < out[k].firstSeq })
+	return out, nil
+}
+
+// Log is an append-only, CRC-framed record log over rotating segment
+// files, with group fsync: Append buffers, Commit makes everything
+// appended so far durable. Not safe for concurrent use — the daemon's
+// loop goroutine owns it.
+type Log struct {
+	dir      string
+	f        *os.File
+	w        *bufio.Writer
+	buf      []byte // frame scratch
+	lastSeq  uint64
+	segFirst uint64 // first seq of the active segment
+	dirty    bool   // appended since last Commit
+}
+
+// Open recovers the log in dir (creating it if needed): it walks the
+// segment chain, truncates the first torn or corrupt point to the last
+// valid record, removes everything beyond it, and positions the writer
+// so the next Append continues the sequence. Stale temp files from an
+// interrupted snapshot write are swept out.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if tmp, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, p := range tmp {
+			os.Remove(p)
+		}
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, lastSeq: 0, segFirst: 1}
+	expect := uint64(1)
+	if len(segs) > 0 {
+		// GC may have removed fully-covered leading segments; the chain
+		// starts wherever the oldest survivor does.
+		expect = segs[0].firstSeq
+	}
+	active := "" // surviving segment to append to
+	for i, s := range segs {
+		if s.firstSeq != expect {
+			// A gap in the chain: this segment and everything after it
+			// cannot be contiguous with the valid prefix. Remove them so
+			// a future rotation cannot collide with stale files.
+			for _, later := range segs[i:] {
+				os.Remove(later.path)
+			}
+			break
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return nil, err
+		}
+		recs, n := DecodeAll(data, expect)
+		expect += uint64(len(recs))
+		if n < len(data) {
+			// Torn or corrupt tail: keep the valid prefix, drop the rest
+			// of the chain (a record is only meaningful with its full
+			// prefix). A non-first segment whose prefix is empty adds
+			// nothing and is dropped whole.
+			if n > 0 || i == 0 {
+				if err := os.Truncate(s.path, int64(n)); err != nil {
+					return nil, err
+				}
+				active = s.path
+				l.segFirst = s.firstSeq
+			} else {
+				os.Remove(s.path)
+			}
+			for _, later := range segs[i+1:] {
+				os.Remove(later.path)
+			}
+			break
+		}
+		active = s.path
+		l.segFirst = s.firstSeq
+	}
+	l.lastSeq = expect - 1
+	if active == "" {
+		l.segFirst = l.lastSeq + 1
+		active = filepath.Join(dir, segmentName(l.segFirst))
+	}
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	if err := l.syncDir(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// syncDir fsyncs the directory so renames, truncations and removals
+// performed during recovery or snapshotting are themselves durable.
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// LastSeq returns the sequence number of the last appended (or
+// recovered) record; 0 means the log is empty.
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Append assigns the next sequence number, frames the record and
+// buffers it. The record is NOT durable until Commit returns.
+func (l *Log) Append(rec Record) (uint64, error) {
+	rec.Seq = l.lastSeq + 1
+	if err := rec.Validate(); err != nil {
+		return 0, err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	l.buf = appendFrame(l.buf[:0], payload)
+	if _, err := l.w.Write(l.buf); err != nil {
+		return 0, err
+	}
+	l.lastSeq = rec.Seq
+	l.dirty = true
+	return rec.Seq, nil
+}
+
+// Commit flushes buffered appends and fsyncs the active segment: the
+// group-commit point. Everything appended before it is durable after
+// it. A clean log is a no-op, so callers can commit per loop iteration
+// without paying an fsync when nothing happened.
+func (l *Log) Commit() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Rotate commits and closes the active segment and starts a fresh one
+// at the next sequence number. A rotation with nothing written to the
+// active segment is a no-op. The daemon rotates right after each
+// snapshot, so GC can drop whole segments the snapshot covers.
+func (l *Log) Rotate() error {
+	if l.segFirst == l.lastSeq+1 {
+		return nil
+	}
+	if err := l.Commit(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.segFirst = l.lastSeq + 1
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.segFirst)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	return l.syncDir()
+}
+
+// Replay streams every record with sequence number strictly greater
+// than after, in order, to fn. Called on a live log it flushes buffered
+// appends first so the files are complete; it does not fsync.
+func (l *Log) Replay(after uint64, fn func(Record) error) error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	segs, err := segments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.firstSeq > l.lastSeq {
+			break
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		recs, n := DecodeAll(data, s.firstSeq)
+		if n < len(data) {
+			return fmt.Errorf("wal: segment %s corrupt at offset %d (recovered log should be clean)", s.path, n)
+		}
+		for _, rec := range recs {
+			if rec.Seq <= after {
+				continue
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the active segment.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.Commit()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

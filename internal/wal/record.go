@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"trustgrid/internal/api"
+	"trustgrid/internal/grid"
+)
+
+// Record kinds: the three deterministic input streams of the scheduling
+// pipeline.
+const (
+	// KindArrival is one accepted job submission (the api.TraceRecord
+	// the daemon already emits as its arrival trace).
+	KindArrival = "arrival"
+	// KindTenant is one tenant registration or update.
+	KindTenant = "tenant"
+	// KindChurn is one site-transition event of the configured churn
+	// trace. The engine re-derives churn from its config; the logged
+	// copy makes the on-disk input set self-contained and lets recovery
+	// detect a config that no longer matches the log.
+	KindChurn = "churn"
+)
+
+// Record is one WAL entry. Seq numbers are assigned by Log.Append,
+// contiguous from 1; exactly one payload field is set, per Kind.
+type Record struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	// At is the virtual clock at the moment the record was appended.
+	// Replay advances the engine to At before re-applying the record, so
+	// a re-ingested job lands in the event queue in the same position —
+	// same arrival clamp, same tie order against engine-generated events
+	// at the same timestamp (a submission right at a batch boundary must
+	// join the next batch after recovery exactly as it did originally).
+	// Zero in live mode, where ingest rides the wall tick and recovery is
+	// best-effort: jobs resurrect at the recovered clock.
+	At      float64          `json:"at,omitempty"`
+	Arrival *api.TraceRecord `json:"arrival,omitempty"`
+	Tenant  *api.TenantSpec  `json:"tenant,omitempty"`
+	Churn   *grid.ChurnEvent `json:"churn,omitempty"`
+}
+
+// Validate checks the kind/payload pairing.
+func (r Record) Validate() error {
+	switch r.Kind {
+	case KindArrival:
+		if r.Arrival == nil {
+			return fmt.Errorf("wal: arrival record %d without payload", r.Seq)
+		}
+	case KindTenant:
+		if r.Tenant == nil {
+			return fmt.Errorf("wal: tenant record %d without payload", r.Seq)
+		}
+	case KindChurn:
+		if r.Churn == nil {
+			return fmt.Errorf("wal: churn record %d without payload", r.Seq)
+		}
+	default:
+		return fmt.Errorf("wal: record %d has unknown kind %q", r.Seq, r.Kind)
+	}
+	return nil
+}
+
+// Frame layout: 8 lowercase hex CRC32-IEEE characters over the JSON
+// payload, one space, the payload, one newline. The checksum guards
+// against bit flips; the trailing newline (plus the JSON parse) guards
+// against torn writes — a partial last line can never checksum clean
+// AND parse AND carry the next contiguous sequence number.
+const frameHeader = 9 // 8 hex chars + space
+
+// appendFrame appends the framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var crc [4]byte
+	sum := crc32.ChecksumIEEE(payload)
+	crc[0], crc[1], crc[2], crc[3] = byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)
+	var hexbuf [8]byte
+	hex.Encode(hexbuf[:], crc[:])
+	buf = append(buf, hexbuf[:]...)
+	buf = append(buf, ' ')
+	buf = append(buf, payload...)
+	return append(buf, '\n')
+}
+
+// EncodeRecord renders one record as a framed line.
+func EncodeRecord(rec Record) ([]byte, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// decodeFrame splits one complete line (newline excluded) into its
+// payload, verifying the checksum.
+func decodeFrame(line []byte) ([]byte, bool) {
+	if len(line) < frameHeader+2 || line[8] != ' ' { // "{}" is the minimal payload
+		return nil, false
+	}
+	var crc [4]byte
+	if _, err := hex.Decode(crc[:], line[:8]); err != nil {
+		return nil, false
+	}
+	payload := line[frameHeader:]
+	want := uint32(crc[0])<<24 | uint32(crc[1])<<16 | uint32(crc[2])<<8 | uint32(crc[3])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// DecodeAll decodes the longest valid record prefix of data: frames
+// must be whole lines, checksum clean, JSON-parseable, kind-valid, and
+// carry contiguous sequence numbers starting at first. It returns the
+// decoded records and the byte length of the valid prefix — everything
+// past it (a torn write, a flipped bit, a truncated tail, or garbage)
+// is for the caller to discard. DecodeAll never fails: the worst input
+// yields (nil, 0).
+func DecodeAll(data []byte, first uint64) ([]Record, int) {
+	var recs []Record
+	valid := 0
+	expect := first
+	for len(data[valid:]) > 0 {
+		rest := data[valid:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // incomplete last line: torn write
+		}
+		payload, ok := decodeFrame(rest[:nl])
+		if !ok {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		if rec.Seq != expect || rec.Validate() != nil {
+			break
+		}
+		recs = append(recs, rec)
+		expect++
+		valid += nl + 1
+	}
+	return recs, valid
+}

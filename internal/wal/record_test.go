@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+
+	"trustgrid/internal/api"
+	"trustgrid/internal/grid"
+)
+
+// TestRecordValidate pins the kind/payload pairing: each kind demands
+// its own payload field, anything else is rejected.
+func TestRecordValidate(t *testing.T) {
+	arr := &api.TraceRecord{ID: 1, Workload: 100, Nodes: 1, SD: 0.5}
+	ten := &api.TenantSpec{ID: "acme", Weight: 1}
+	chn := &grid.ChurnEvent{Time: 10, Site: 0, Kind: grid.ChurnCrash}
+
+	valid := []Record{
+		{Seq: 1, Kind: KindArrival, Arrival: arr},
+		{Seq: 2, Kind: KindTenant, Tenant: ten},
+		{Seq: 3, Kind: KindChurn, Churn: chn},
+	}
+	for _, rec := range valid {
+		if err := rec.Validate(); err != nil {
+			t.Errorf("valid %s record rejected: %v", rec.Kind, err)
+		}
+	}
+
+	invalid := map[string]Record{
+		"arrival without payload": {Seq: 1, Kind: KindArrival},
+		"tenant without payload":  {Seq: 2, Kind: KindTenant},
+		"churn without payload":   {Seq: 3, Kind: KindChurn},
+		"unknown kind":            {Seq: 4, Kind: "checkpoint", Arrival: arr},
+		"empty kind":              {Seq: 5},
+	}
+	for name, rec := range invalid {
+		if err := rec.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestEncodeRecordRejectsInvalid: the encoder refuses to frame a record
+// that would fail validation on replay.
+func TestEncodeRecordRejectsInvalid(t *testing.T) {
+	if _, err := EncodeRecord(Record{Seq: 1, Kind: "bogus"}); err == nil {
+		t.Fatal("invalid record encoded")
+	}
+	line, err := EncodeRecord(testRecord(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(line), "\n") || line[8] != ' ' {
+		t.Fatalf("frame shape wrong: %q", line)
+	}
+}
+
+// TestDecodeFrameShortLine: frames shorter than header+minimal payload
+// and frames with a corrupted hex header are rejected, not sliced out
+// of bounds.
+func TestDecodeFrameShortLine(t *testing.T) {
+	for _, line := range []string{"", "00000000", "00000000 ", "zzzzzzzz {}", "00000000_{}"} {
+		if _, ok := decodeFrame([]byte(line)); ok {
+			t.Errorf("malformed frame %q accepted", line)
+		}
+	}
+}

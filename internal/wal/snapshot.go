@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.json", seq) }
+
+// SnapshotRef locates one on-disk snapshot and the last WAL sequence
+// number it covers: recovery is "load payload, then replay records with
+// Seq > Seq".
+type SnapshotRef struct {
+	Seq  uint64
+	Path string
+}
+
+// WriteSnapshot atomically persists a snapshot covering every record up
+// to and including seq: temp file, fsync, rename, directory fsync. A
+// crash at any point leaves either the old set or the old set plus the
+// complete new snapshot — never a partial one under the real name. It
+// does not commit the log; callers snapshot at a point they have just
+// committed.
+func (l *Log) WriteSnapshot(seq uint64, payload []byte) error {
+	if seq > l.lastSeq {
+		return fmt.Errorf("wal: snapshot at seq %d beyond last appended %d", seq, l.lastSeq)
+	}
+	final := filepath.Join(l.dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return l.syncDir()
+}
+
+// Snapshots lists the directory's snapshots newest first. Recovery
+// walks the list and uses the first one that loads cleanly.
+func (l *Log) Snapshots() ([]SnapshotRef, error) {
+	return listSnapshots(l.dir)
+}
+
+func listSnapshots(dir string) ([]SnapshotRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []SnapshotRef
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, SnapshotRef{Seq: seq, Path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq > out[k].Seq })
+	return out, nil
+}
+
+// ReadSnapshot loads a snapshot's payload.
+func ReadSnapshot(ref SnapshotRef) ([]byte, error) { return os.ReadFile(ref.Path) }
+
+// GC keeps the newest keep snapshots (at least one) and removes older
+// ones, then removes every non-active segment whose records are all
+// covered by the oldest kept snapshot — those records can never be
+// replayed again. Keeping two snapshots means recovery survives the
+// newest one being unreadable.
+func (l *Log) GC(keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	snaps, err := l.Snapshots()
+	if err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	if len(snaps) > keep {
+		for _, s := range snaps[keep:] {
+			if err := os.Remove(s.Path); err != nil {
+				return err
+			}
+		}
+		snaps = snaps[:keep]
+	}
+	oldest := snaps[len(snaps)-1].Seq
+	segs, err := segments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		// Segment i spans [firstSeq, next.firstSeq-1]; it is dead once the
+		// oldest kept snapshot covers its last record. The active (final)
+		// segment always stays.
+		if i+1 >= len(segs) || segs[i+1].firstSeq > oldest+1 {
+			break
+		}
+		if err := os.Remove(s.path); err != nil {
+			return err
+		}
+	}
+	return l.syncDir()
+}
