@@ -9,7 +9,8 @@
 //	trustgridd [-config FILE]
 //	           [-addr :8421] [-workload psa|nas] [-algo minmin|...|stga]
 //	           [-mode secure|risky|frisky] [-f 0.5] [-seed 1]
-//	           [-batch SECONDS] [-tick 100ms] [-manual] [-scale small|paper]
+//	           [-batch SECONDS] [-tick 100ms] [-manual] [-shards N]
+//	           [-scale small|paper]
 //	           [-round-budget N] [-trace-out FILE] [-max-wall DURATION]
 //	           [-pprof-addr ADDR]
 //	           [-churn-mtbf SECONDS] [-churn-outage SECONDS]
@@ -46,6 +47,16 @@
 // records. On boot the daemon recovers from the latest snapshot plus
 // the WAL tail — in manual mode, placements after recovery are
 // byte-identical to a run that never crashed.
+//
+// -shards N splits the engine into N shards behind an in-process
+// coordinator (DESIGN.md §11): sites are partitioned round-robin,
+// tenants are routed to shards by a stable hash of their id, and every
+// clock advance fans out to all shards as a shared Δ-round barrier
+// whose merged event stream carries one total order (time, then shard
+// index). Per-shard gauges appear under /v2/metrics and /metrics.prom;
+// a durable sharded daemon keeps one WAL segment stream per shard
+// under -wal-dir, and recovery refuses a directory written under a
+// different shard count.
 //
 // The daemon serves the multi-tenant /v2 API alongside the /v1 shim
 // (DESIGN.md §9): tenants register over POST /v2/tenants (their own
@@ -98,6 +109,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Float64("batch", 0, "virtual seconds per scheduling round (0 = workload default)")
 	tick := fs.Duration("tick", 100*time.Millisecond, "wall-clock duration of one batch interval (live mode)")
 	manual := fs.Bool("manual", false, "manual clock: clients drive /v1/advance and /v1/drain")
+	shards := fs.Int("shards", 1, "engine shards behind the in-process coordinator: sites are partitioned, tenants are hash-routed, and every Δ-round is a shared clock barrier (1 = the single unsharded engine)")
 	roundBudget := fs.Int("round-budget", 0, "max jobs admitted per Δ-round; excess backlog is rationed by weighted deficit-round-robin across tenants (0 = unlimited)")
 	scale := fs.String("scale", "small", "GA sizing: small (service defaults) or paper (Table 1)")
 	train := fs.Bool("train", true, "warm the STGA history table before serving")
@@ -242,7 +254,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Sites: w.Sites, Training: training,
 		Algo: *algo, Mode: *mode, BatchInterval: *batch,
 		Seed: *seed, Setup: setup, Tick: *tick, Manual: *manual,
-		Dynamics: dyn, RoundBudget: *roundBudget,
+		Shards: *shards, Dynamics: dyn, RoundBudget: *roundBudget,
 		WALDir: *walDir, SnapshotEvery: *snapshotEvery, WALKeep: *walKeep,
 	}
 	if traceW != nil {

@@ -155,6 +155,23 @@ type TenantMetrics struct {
 	Latency   LatencySummary `json:"sched_latency"`
 }
 
+// ShardMetrics is one engine shard's slice of the metrics report
+// (sharded daemons only; a -shards 1 run reports no shard section).
+type ShardMetrics struct {
+	Shard        int     `json:"shard"`
+	Sites        int     `json:"sites"`
+	SitesAlive   int     `json:"sites_alive"`
+	VirtualNow   float64 `json:"virtual_now_s"`
+	Seen         int     `json:"seen"`
+	InFlight     int     `json:"in_flight"`
+	Backlog      int     `json:"backlog"`
+	Batches      int     `json:"batches"`
+	LargestBatch int     `json:"largest_batch"`
+	// Latency is the shard's submit-to-first-placement window; jobs are
+	// attributed by the tenant router, so the series is exact.
+	Latency LatencySummary `json:"sched_latency"`
+}
+
 // MetricsReport is the /v1/metrics and /v2/metrics response. The
 // Tenants map is the v2 addition; ?tenant=ID narrows it to one entry.
 type MetricsReport struct {
@@ -181,6 +198,7 @@ type MetricsReport struct {
 	SubmitRate    float64                  `json:"submit_rate_per_s"`
 	Latency       LatencySummary           `json:"sched_latency"`
 	Tenants       map[string]TenantMetrics `json:"tenants,omitempty"`
+	Shards        []ShardMetrics           `json:"shards,omitempty"`
 	Summary       *metrics.Summary         `json:"summary,omitempty"`
 }
 

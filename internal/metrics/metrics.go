@@ -134,6 +134,24 @@ func (a *Accumulator) State() AccumulatorState {
 	}
 }
 
+// Merge folds another accumulator's state in: sums and counts add,
+// makespan is the maximum. Partitioned runs (one accumulator per engine
+// shard) merge read-side into the global summary this way; merging the
+// per-shard states of a partitioned job set is exactly accumulating the
+// union, because Add is a per-record fold with no cross-record terms.
+func (a *Accumulator) Merge(s AccumulatorState) {
+	a.jobs += s.Jobs
+	if s.Makespan > a.makespan {
+		a.makespan = s.Makespan
+	}
+	a.respSum += s.RespSum
+	a.servSum += s.ServSum
+	a.nrisk += s.NRisk
+	a.nfail += s.NFail
+	a.fallbacks += s.Fallbacks
+	a.ninterrupted += s.NInterrupted
+}
+
 // SetState restores a captured accumulator.
 func (a *Accumulator) SetState(s AccumulatorState) {
 	a.jobs, a.makespan = s.Jobs, s.Makespan

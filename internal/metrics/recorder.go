@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"trustgrid/internal/stats"
+)
+
+// Recorder is a bounded-window percentile recorder, safe for
+// concurrent use. It replaces the single-writer sample window the
+// server's latency tracker grew organically: that window was only safe
+// because one coarse mutex in the server happened to guard every
+// access, a latent assumption that stops holding the moment N engine
+// shards (or any other concurrent producer) feed the same series.
+// Recorder owns its lock, so every series — global, per-tenant,
+// per-shard — is individually safe no matter which goroutine observes
+// into it. TestRecorderConcurrentObservers hammers it under -race.
+//
+// Retention: when the window reaches its bound, the oldest half is
+// dropped in one copy, so percentiles stay dominated by recent
+// observations without per-sample bookkeeping.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []float64
+	max     int
+	count   int64 // observations ever recorded, beyond the window
+}
+
+// DefaultRecorderWindow bounds a Recorder built with window <= 0.
+const DefaultRecorderWindow = 1 << 16
+
+// NewRecorder builds a recorder retaining at most window samples.
+func NewRecorder(window int) *Recorder {
+	if window <= 0 {
+		window = DefaultRecorderWindow
+	}
+	return &Recorder{max: window}
+}
+
+// Observe records one sample.
+func (r *Recorder) Observe(v float64) {
+	r.mu.Lock()
+	if len(r.samples) >= r.max {
+		r.samples = append(r.samples[:0], r.samples[len(r.samples)/2:]...)
+	}
+	r.samples = append(r.samples, v)
+	r.count++
+	r.mu.Unlock()
+}
+
+// Count returns the number of observations ever recorded.
+func (r *Recorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// WindowSummary are a Recorder's percentile statistics over its
+// retained window. Count is lifetime observations, not window size.
+type WindowSummary struct {
+	Count int64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+}
+
+// Summary computes the window percentiles. The window is copied under
+// the lock and sorted outside it, so a scrape's O(n log n) never blocks
+// an observer.
+func (r *Recorder) Summary() WindowSummary {
+	r.mu.Lock()
+	count := r.count
+	sorted := append([]float64(nil), r.samples...)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return WindowSummary{Count: count}
+	}
+	sort.Float64s(sorted)
+	return WindowSummary{
+		Count: count,
+		P50:   stats.PercentileOfSorted(sorted, 50),
+		P90:   stats.PercentileOfSorted(sorted, 90),
+		P99:   stats.PercentileOfSorted(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+	}
+}

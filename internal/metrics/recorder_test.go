@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRecorderConcurrentObservers is the -race gate for the sharded
+// daemon's latency series: N shard goroutines hammer one Recorder while
+// scrapers read summaries concurrently. Before Recorder, the latency
+// window was single-writer by accident of the server's coarse lock —
+// this test exists so that assumption can never silently come back.
+func TestRecorderConcurrentObservers(t *testing.T) {
+	const (
+		observers = 8
+		perObs    = 5000
+	)
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent scrapers: results are only read for data-race coverage
+	// and basic sanity; the authoritative check is the final count.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Summary()
+				if s.Count < 0 || s.P99 < s.P50 {
+					t.Errorf("inconsistent summary snapshot: %+v", s)
+				}
+				_ = r.Count()
+			}
+		}()
+	}
+	var obsWG sync.WaitGroup
+	for o := 0; o < observers; o++ {
+		obsWG.Add(1)
+		go func(o int) {
+			defer obsWG.Done()
+			for i := 0; i < perObs; i++ {
+				r.Observe(float64(o*perObs + i))
+			}
+		}(o)
+	}
+	obsWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := r.Count(); got != observers*perObs {
+		t.Fatalf("lost observations under concurrency: count = %d, want %d", got, observers*perObs)
+	}
+	s := r.Summary()
+	if s.Count != observers*perObs {
+		t.Fatalf("summary count = %d, want %d", s.Count, observers*perObs)
+	}
+	if s.Max >= float64(observers*perObs) || s.Max < 0 {
+		t.Fatalf("max %v outside observed range", s.Max)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+// TestRecorderWindowTrim pins the retention policy: at the bound the
+// oldest half is dropped, lifetime count keeps climbing, and the
+// percentiles reflect only retained (recent) samples.
+func TestRecorderWindowTrim(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 8; i++ {
+		r.Observe(float64(i))
+	}
+	// 9th observation trims to the newest half {5..8} then appends 9.
+	r.Observe(9)
+	s := r.Summary()
+	if s.Count != 9 {
+		t.Fatalf("count = %d, want 9", s.Count)
+	}
+	if s.Max != 9 {
+		t.Fatalf("max = %v, want 9", s.Max)
+	}
+	// Samples 1..4 were dropped: the median of {5,6,7,8,9} is 7, far
+	// above the full-history median of 5.
+	if s.P50 < 6 || s.P50 > 8 {
+		t.Fatalf("p50 = %v, want median of the retained half", s.P50)
+	}
+}
+
+func TestRecorderEmptyAndDefaults(t *testing.T) {
+	r := NewRecorder(0)
+	if r.max != DefaultRecorderWindow {
+		t.Fatalf("default window = %d, want %d", r.max, DefaultRecorderWindow)
+	}
+	s := r.Summary()
+	if s != (WindowSummary{}) {
+		t.Fatalf("empty recorder summary = %+v, want zero", s)
+	}
+	r.Observe(3)
+	s = r.Summary()
+	if s.Count != 1 || s.P50 != 3 || s.P99 != 3 || s.Max != 3 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}

@@ -1,0 +1,402 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/metrics"
+)
+
+// CoordinatorConfig assembles a coordinator over N engine shards. The
+// caller (the server, or a test) prepares one RunConfig per shard whose
+// Sites/Dynamics are already the shard's partition — PartitionSites,
+// ShardSites and PartitionDynamics build those — plus the partition
+// table itself so the coordinator can translate shard-local site
+// indices back to global ones in everything it reports.
+type CoordinatorConfig struct {
+	// Shards holds one engine config per shard. Each config's OnEvent
+	// must be unset: the coordinator owns event delivery (it remaps site
+	// indices and establishes the merged total order) and forwards to
+	// OnEvent below.
+	Shards []RunConfig
+	// Parts maps Parts[s][local] = global site index; every global site
+	// must appear exactly once across all shards.
+	Parts [][]int
+	// OnEvent receives the merged, globally ordered event stream:
+	// ascending time, shard index breaking ties, with site indices
+	// translated to global. Called on the goroutine driving AdvanceTo /
+	// Drain, after the Δ-round barrier joins — never concurrently.
+	OnEvent func(EngineEvent)
+}
+
+// Coordinator is the tier above N engine shards running in one process
+// (DESIGN.md §11): it routes submissions to the owning shard
+// (RouteTenant), fans AdvanceTo/Drain out to every shard as a shared
+// Δ-round barrier, and merges the shards' event streams into one total
+// order. With one shard it is a transparent wrapper — same RNG labels,
+// pass-through events, bit-identical behavior to the unsharded engine.
+//
+// Concurrency contract: same as Online. Submit/SubmitOr/Backlog are
+// safe from any goroutine; everything else belongs to the single loop
+// goroutine. During a barrier each shard advances on its own goroutine,
+// but that parallelism is internal — events are buffered per shard and
+// merged after the join, so observers see one serialized stream.
+type Coordinator struct {
+	shards  []*Online
+	parts   [][]int
+	nSites  int
+	onEvent func(EngineEvent)
+	// buf[s] collects shard s's events during a barrier. Only shard s's
+	// goroutine appends to buf[s] while the fan-out runs; the merge on
+	// the driving goroutine happens strictly after the join.
+	buf [][]EngineEvent
+}
+
+// NewCoordinator builds the shards and the tier above them.
+func NewCoordinator(cc CoordinatorConfig) (*Coordinator, error) {
+	c, err := prepCoordinator(cc)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cc.Shards {
+		o, err := NewOnline(cc.Shards[i])
+		if err != nil {
+			return nil, fmt.Errorf("sched: shard %d: %w", i, err)
+		}
+		c.shards[i] = o
+	}
+	return c, nil
+}
+
+// RestoreCoordinator rebuilds a coordinator mid-run from one engine
+// snapshot per shard (snaps[i] pairs with cc.Shards[i]).
+func RestoreCoordinator(cc CoordinatorConfig, snaps []*EngineSnapshot) (*Coordinator, error) {
+	if len(snaps) != len(cc.Shards) {
+		return nil, fmt.Errorf("sched: %d engine snapshots for %d shards", len(snaps), len(cc.Shards))
+	}
+	c, err := prepCoordinator(cc)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cc.Shards {
+		o, err := RestoreOnline(cc.Shards[i], snaps[i])
+		if err != nil {
+			return nil, fmt.Errorf("sched: shard %d: %w", i, err)
+		}
+		c.shards[i] = o
+	}
+	return c, nil
+}
+
+// prepCoordinator validates the partition table and wires per-shard
+// event delivery into the configs before the shards are built.
+func prepCoordinator(cc CoordinatorConfig) (*Coordinator, error) {
+	n := len(cc.Shards)
+	if n == 0 {
+		return nil, fmt.Errorf("sched: coordinator needs at least one shard")
+	}
+	if len(cc.Parts) != n {
+		return nil, fmt.Errorf("sched: %d partitions for %d shards", len(cc.Parts), n)
+	}
+	seen := make(map[int]bool)
+	nSites := 0
+	for s, part := range cc.Parts {
+		if len(part) == 0 {
+			return nil, fmt.Errorf("sched: shard %d has no sites (need at least as many sites as shards)", s)
+		}
+		if len(part) != len(cc.Shards[s].Sites) {
+			return nil, fmt.Errorf("sched: shard %d has %d sites but a partition of %d", s, len(cc.Shards[s].Sites), len(part))
+		}
+		for _, g := range part {
+			if g < 0 || seen[g] {
+				return nil, fmt.Errorf("sched: global site %d appears twice in the partition table", g)
+			}
+			seen[g] = true
+			nSites++
+		}
+	}
+	c := &Coordinator{
+		shards:  make([]*Online, n),
+		parts:   cc.Parts,
+		nSites:  nSites,
+		onEvent: cc.OnEvent,
+		buf:     make([][]EngineEvent, n),
+	}
+	for i := range cc.Shards {
+		if cc.Shards[i].OnEvent != nil {
+			return nil, fmt.Errorf("sched: shard %d sets OnEvent (the coordinator owns event delivery)", i)
+		}
+		if n == 1 {
+			// Single shard: pass events straight through (site indices are
+			// already global) so a -shards 1 run is the unsharded engine
+			// to the byte — no buffering, no barrier re-ordering, events
+			// visible the instant they fire.
+			cc.Shards[i].OnEvent = c.onEvent
+			continue
+		}
+		i := i
+		cc.Shards[i].OnEvent = func(ev EngineEvent) {
+			if ev.Site >= 0 {
+				ev.Site = c.parts[i][ev.Site]
+			}
+			c.buf[i] = append(c.buf[i], ev)
+		}
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Shard exposes one shard's engine for per-shard introspection
+// (metrics, snapshots). Loop goroutine only, like the engine itself.
+func (c *Coordinator) Shard(i int) *Online { return c.shards[i] }
+
+// Part returns shard i's site partition (global indices, local order).
+// The returned slice is the coordinator's own — read only.
+func (c *Coordinator) Part(i int) []int { return c.parts[i] }
+
+// Owner returns the shard that owns a tenant.
+func (c *Coordinator) Owner(tenantID string) int {
+	return RouteTenant(tenantID, len(c.shards))
+}
+
+// flush merges the per-shard barrier buffers into the total order and
+// delivers them. Driving goroutine only, after the barrier join. A
+// single-shard coordinator never buffers, so this is a no-op there.
+func (c *Coordinator) flush() {
+	if len(c.shards) == 1 {
+		return
+	}
+	merged := MergeShardEvents(c.buf)
+	for i := range c.buf {
+		c.buf[i] = c.buf[i][:0]
+	}
+	if c.onEvent == nil {
+		return
+	}
+	for _, ev := range merged {
+		c.onEvent(ev)
+	}
+}
+
+// barrier fans fn out to every shard — in parallel when there is real
+// fan-out to hide, inline for one shard — joins, then flushes the
+// merged event window. The per-shard error that comes back is the
+// lowest-indexed shard's (deterministic under -race reruns).
+func (c *Coordinator) barrier(fn func(i int, o *Online) error) error {
+	if len(c.shards) == 1 {
+		return fn(0, c.shards[0])
+	}
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, o := range c.shards {
+		i, o := i, o
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fn(i, o)
+		}()
+	}
+	wg.Wait()
+	c.flush()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdvanceTo drives every shard to virtual time t — the shared Δ-round
+// barrier — then emits the window's merged events. Shards already past
+// t (a prior Drain ran them ahead) only ingest their arrival backlog.
+// Loop goroutine only.
+func (c *Coordinator) AdvanceTo(t float64) error {
+	return c.barrier(func(_ int, o *Online) error {
+		target := t
+		if now := o.Now(); now > target {
+			target = now
+		}
+		return o.AdvanceTo(target)
+	})
+}
+
+// Drain runs every shard until everything submitted so far has
+// completed, merges the final event window, and aggregates the result.
+// Loop goroutine only.
+func (c *Coordinator) Drain() (*Result, error) {
+	if len(c.shards) == 1 {
+		return c.shards[0].Drain()
+	}
+	results := make([]*Result, len(c.shards))
+	if err := c.barrier(func(i int, o *Online) error {
+		var err error
+		results[i], err = o.Drain()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	out := &Result{Summary: c.Summary()}
+	for _, r := range results {
+		out.Records = append(out.Records, r.Records...)
+		out.Batches += r.Batches
+		out.Events += r.Events
+		out.SchedulerTime += r.SchedulerTime
+		if r.LargestBatch > out.LargestBatch {
+			out.LargestBatch = r.LargestBatch
+		}
+	}
+	return out, nil
+}
+
+// Submit routes a job to its tenant's shard. Safe from any goroutine.
+func (c *Coordinator) Submit(j *grid.Job) error {
+	return c.shards[c.Owner(j.Tenant)].Submit(j)
+}
+
+// SubmitOr is Submit with an abort signal, like Online.SubmitOr.
+func (c *Coordinator) SubmitOr(done <-chan struct{}, j *grid.Job) error {
+	return c.shards[c.Owner(j.Tenant)].SubmitOr(done, j)
+}
+
+// SubmitLocal ingests a job directly onto the owning shard's event
+// queue (manual-mode replay path). Loop goroutine only.
+func (c *Coordinator) SubmitLocal(j *grid.Job) error {
+	return c.shards[c.Owner(j.Tenant)].SubmitLocal(j)
+}
+
+// SetTenantWeight installs a fair-share weight on the tenant's owning
+// shard — the only shard whose batch former ever sees the tenant's
+// jobs. Loop goroutine only.
+func (c *Coordinator) SetTenantWeight(tenant string, weight float64) {
+	c.shards[c.Owner(tenant)].SetTenantWeight(tenant, weight)
+}
+
+// Now returns the coordinator clock: the maximum shard clock. Shards
+// share barrier targets so clocks only diverge past the last barrier
+// (a Drain runs each shard to its own completion time); max is what
+// "the service's virtual time" means then, and the floor the next
+// barrier target is validated against.
+func (c *Coordinator) Now() float64 {
+	now := c.shards[0].Now()
+	for _, o := range c.shards[1:] {
+		if t := o.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Backlog sums the shards' not-yet-ingested arrivals. Any goroutine.
+func (c *Coordinator) Backlog() int {
+	n := 0
+	for _, o := range c.shards {
+		n += o.Backlog()
+	}
+	return n
+}
+
+// Seen sums the shards' ingested-job counts. Loop goroutine only.
+func (c *Coordinator) Seen() int {
+	n := 0
+	for _, o := range c.shards {
+		n += o.Seen()
+	}
+	return n
+}
+
+// InFlight sums the shards' incomplete-job counts. Loop goroutine only.
+func (c *Coordinator) InFlight() int {
+	n := 0
+	for _, o := range c.shards {
+		n += o.InFlight()
+	}
+	return n
+}
+
+// Batches sums the shards' dispatching rounds. Loop goroutine only.
+func (c *Coordinator) Batches() int {
+	n := 0
+	for _, o := range c.shards {
+		n += o.Batches()
+	}
+	return n
+}
+
+// LargestBatch is the largest single-shard round. Loop goroutine only.
+func (c *Coordinator) LargestBatch() int {
+	m := 0
+	for _, o := range c.shards {
+		if b := o.LargestBatch(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Summary merges the shards' incremental summaries: per-job sums and
+// counts add, makespan is the max, and the utilization vector is
+// reassembled in global site order. Identical to Online.Summary for one
+// shard. Loop goroutine only.
+func (c *Coordinator) Summary() metrics.Summary {
+	if len(c.shards) == 1 {
+		return c.shards[0].Summary()
+	}
+	var acc metrics.Accumulator
+	busy := make([]float64, c.nSites)
+	for i, o := range c.shards {
+		acc.Merge(o.st.acc.State())
+		for local, g := range c.parts[i] {
+			busy[g] = o.st.busy[local]
+		}
+	}
+	return acc.Summarize(busy)
+}
+
+// SiteStatuses reports every site's live state in global site order.
+// Loop goroutine only.
+func (c *Coordinator) SiteStatuses() []SiteStatus {
+	if len(c.shards) == 1 {
+		return c.shards[0].SiteStatuses()
+	}
+	out := make([]SiteStatus, c.nSites)
+	for i, o := range c.shards {
+		for local, st := range o.SiteStatuses() {
+			st.ID = c.parts[i][local]
+			out[st.ID] = st
+		}
+	}
+	return out
+}
+
+// NeverPlaced aggregates the shards' accepted-but-never-placed jobs,
+// sorted by ID like the single-engine form. Loop goroutine only.
+func (c *Coordinator) NeverPlaced() []grid.Job {
+	if len(c.shards) == 1 {
+		return c.shards[0].NeverPlaced()
+	}
+	var out []grid.Job
+	for _, o := range c.shards {
+		out = append(out, o.NeverPlaced()...)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Snapshots captures every shard's engine snapshot, in shard order.
+// Same preconditions as Online.Snapshot, per shard. Loop goroutine (or
+// post-loop owner) only.
+func (c *Coordinator) Snapshots() ([]*EngineSnapshot, error) {
+	out := make([]*EngineSnapshot, len(c.shards))
+	for i, o := range c.shards {
+		snap, err := o.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("sched: shard %d: %w", i, err)
+		}
+		out[i] = snap
+	}
+	return out, nil
+}

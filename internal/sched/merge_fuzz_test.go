@@ -1,0 +1,118 @@
+package sched_test
+
+import (
+	"sort"
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+)
+
+// decodeMergeInput turns fuzz bytes into per-shard event buffers. The
+// first byte picks the shard count (1..8); each following byte pair is
+// one event: (shard, time). Job IDs encode (shard, per-shard sequence)
+// so every event is uniquely attributable after the merge.
+func decodeMergeInput(data []byte) [][]sched.EngineEvent {
+	if len(data) == 0 {
+		return nil
+	}
+	n := 1 + int(data[0])%8
+	bufs := make([][]sched.EngineEvent, n)
+	seq := make([]int, n)
+	rest := data[1:]
+	for i := 0; i+1 < len(rest); i += 2 {
+		s := int(rest[i]) % n
+		seq[s]++
+		bufs[s] = append(bufs[s], sched.EngineEvent{
+			Kind: sched.EventPlaced,
+			Time: float64(rest[i+1]),
+			Job:  grid.Job{ID: s*100000 + seq[s]},
+			Site: s,
+		})
+	}
+	return bufs
+}
+
+func mergeShardOf(ev sched.EngineEvent) int { return ev.Job.ID / 100000 }
+
+// FuzzEventMerge pins the N-way merge underneath the sharded /v2/events
+// stream: nothing dropped, nothing duplicated, per-shard emission order
+// preserved for arbitrary inputs; and for time-sorted inputs (what
+// engines actually emit) a total order by (time, shard index) plus the
+// torn-cursor property — merging window by window at any barrier cut
+// yields the same stream as one whole merge, which is what lets a
+// client resume a cursor across Δ-round boundaries and restarts.
+func FuzzEventMerge(f *testing.F) {
+	f.Add([]byte{0})                                  // 1 shard, empty
+	f.Add([]byte{2, 0, 10, 1, 10, 2, 5, 0, 20, 1, 3}) // ties + unsorted tails
+	f.Add([]byte{3, 0, 1, 1, 1, 2, 1, 0, 1, 1, 1})    // all-tie pileup
+	f.Add([]byte{7, 6, 200, 5, 100, 4, 50, 3, 25, 2, 12, 1, 6, 0, 3})
+	f.Add([]byte{1, 0, 9, 0, 7, 0, 5, 0, 3}) // single shard, descending
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bufs := decodeMergeInput(data)
+		if bufs == nil {
+			return
+		}
+		total := 0
+		for _, b := range bufs {
+			total += len(b)
+		}
+
+		merged := sched.MergeShardEvents(bufs)
+		if len(merged) != total {
+			t.Fatalf("merge of %d events returned %d", total, len(merged))
+		}
+		// Per-shard projection of the output must equal the input buffer:
+		// order preserved, no drops, no duplicates.
+		back := make([][]sched.EngineEvent, len(bufs))
+		for _, ev := range merged {
+			s := mergeShardOf(ev)
+			back[s] = append(back[s], ev)
+		}
+		for s, b := range bufs {
+			if len(back[s]) != len(b) {
+				t.Fatalf("shard %d: %d events in, %d out", s, len(b), len(back[s]))
+			}
+			for i := range b {
+				if back[s][i] != b[i] {
+					t.Fatalf("shard %d event %d reordered: got %+v, want %+v", s, i, back[s][i], b[i])
+				}
+			}
+		}
+
+		// Engine emission is time-sorted; under that precondition the merge
+		// promises a (time, shard) total order and window-cut stability.
+		sorted := make([][]sched.EngineEvent, len(bufs))
+		for s, b := range bufs {
+			sorted[s] = append([]sched.EngineEvent(nil), b...)
+			sort.SliceStable(sorted[s], func(i, j int) bool { return sorted[s][i].Time < sorted[s][j].Time })
+		}
+		whole := sched.MergeShardEvents(sorted)
+		for i := 1; i < len(whole); i++ {
+			a, b := whole[i-1], whole[i]
+			if b.Time < a.Time || (b.Time == a.Time && mergeShardOf(b) < mergeShardOf(a)) {
+				t.Fatalf("output not in (time, shard) order at %d: %+v after %+v", i, b, a)
+			}
+		}
+		if len(whole) > 0 {
+			// Cut at the median event's timestamp: events with Time <= cut
+			// form the first window (mirroring (prev, target] Δ-windows).
+			cut := whole[len(whole)/2].Time
+			var early, late [][]sched.EngineEvent
+			for _, b := range sorted {
+				k := sort.Search(len(b), func(i int) bool { return b[i].Time > cut })
+				early = append(early, b[:k])
+				late = append(late, b[k:])
+			}
+			split := append(sched.MergeShardEvents(early), sched.MergeShardEvents(late)...)
+			if len(split) != len(whole) {
+				t.Fatalf("window-split merge has %d events, whole merge %d", len(split), len(whole))
+			}
+			for i := range whole {
+				if split[i] != whole[i] {
+					t.Fatalf("window-split merge diverges at %d: %+v vs %+v", i, split[i], whole[i])
+				}
+			}
+		}
+	})
+}

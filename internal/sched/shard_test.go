@@ -1,0 +1,179 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+)
+
+// TestShardRouterProperties pins the tenant router's contract: it is a
+// pure function of (tenantID, shards) — stable across calls, processes
+// and registration order — it reaches every shard for any practical
+// shard count, and its concrete values are frozen so an accidental
+// hash change (which would strand every tenant's durable state on the
+// wrong shard) fails loudly. The companion server-side guarantee —
+// that a WAL written under one shard count refuses to open under
+// another — is TestShardCountChangeRejected.
+func TestShardRouterProperties(t *testing.T) {
+	// Frozen routing table: FNV-1a 64 over the ID, mod shards. These
+	// values are part of the on-disk compatibility surface (shard logs
+	// are per-tenant-routing), so changing them is a breaking change.
+	pinned := []struct {
+		id     string
+		shards int
+		want   int
+	}{
+		{"default", 2, 0}, {"default", 3, 0}, {"default", 4, 2}, {"default", 8, 6}, {"default", 16, 14},
+		{"acme", 2, 1}, {"acme", 3, 2}, {"acme", 4, 3}, {"acme", 8, 7}, {"acme", 16, 15},
+		{"umbrella", 2, 1}, {"umbrella", 3, 2}, {"umbrella", 4, 1}, {"umbrella", 8, 5},
+		{"initech", 3, 0}, {"globex", 3, 2}, {"hooli", 4, 2}, {"tenant-7", 16, 13},
+	}
+	for _, p := range pinned {
+		if got := sched.RouteTenant(p.id, p.shards); got != p.want {
+			t.Errorf("RouteTenant(%q, %d) = %d, want pinned %d", p.id, p.shards, got, p.want)
+		}
+	}
+
+	// Purity and stability: repeated calls agree, and the route is
+	// independent of any other routing activity in between (there is no
+	// hidden registration state to perturb).
+	ids := make([]string, 200)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	for n := 1; n <= 16; n++ {
+		first := make(map[string]int, len(ids))
+		for _, id := range ids {
+			first[id] = sched.RouteTenant(id, n)
+		}
+		// Re-route in reverse order — a permutation of "registration"
+		// order — interleaved with unrelated lookups.
+		for i := len(ids) - 1; i >= 0; i-- {
+			sched.RouteTenant("interloper", n)
+			if got := sched.RouteTenant(ids[i], n); got != first[ids[i]] {
+				t.Fatalf("RouteTenant(%q, %d) unstable: %d then %d", ids[i], n, first[ids[i]], got)
+			}
+		}
+		// Range and reachability: every shard owns at least one of a
+		// modest tenant universe, and no route escapes [0, n).
+		hit := make([]bool, n)
+		for _, s := range first {
+			if s < 0 || s >= n {
+				t.Fatalf("route %d outside [0,%d)", s, n)
+			}
+			hit[s] = true
+		}
+		for s, ok := range hit {
+			if !ok {
+				t.Errorf("shards=%d: shard %d unreachable across %d tenant ids", n, s, len(ids))
+			}
+		}
+	}
+
+	// Degenerate shard counts all collapse to shard 0.
+	for _, n := range []int{1, 0, -3} {
+		if got := sched.RouteTenant("anything", n); got != 0 {
+			t.Errorf("RouteTenant(_, %d) = %d, want 0", n, got)
+		}
+	}
+}
+
+// TestPartitionSites checks the round-robin partition: disjoint, total,
+// balanced to within one site, and in the documented (global = shard +
+// local*shards) arrangement that ShardSites depends on.
+func TestPartitionSites(t *testing.T) {
+	for _, tc := range []struct{ nSites, shards int }{
+		{6, 3}, {7, 3}, {20, 4}, {5, 5}, {12, 1}, {3, 8},
+	} {
+		parts := sched.PartitionSites(tc.nSites, tc.shards)
+		if len(parts) != tc.shards {
+			t.Fatalf("(%d,%d): %d parts", tc.nSites, tc.shards, len(parts))
+		}
+		seen := make(map[int]int)
+		min, max := tc.nSites, 0
+		for s, part := range parts {
+			if len(part) < min {
+				min = len(part)
+			}
+			if len(part) > max {
+				max = len(part)
+			}
+			for local, g := range part {
+				if g != local*tc.shards+s {
+					t.Errorf("(%d,%d): parts[%d][%d] = %d, want %d", tc.nSites, tc.shards, s, local, g, local*tc.shards+s)
+				}
+				seen[g]++
+			}
+		}
+		if len(seen) != tc.nSites {
+			t.Errorf("(%d,%d): %d global sites covered, want %d", tc.nSites, tc.shards, len(seen), tc.nSites)
+		}
+		for g, c := range seen {
+			if c != 1 {
+				t.Errorf("(%d,%d): site %d assigned %d times", tc.nSites, tc.shards, g, c)
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("(%d,%d): imbalanced partition (%d..%d sites)", tc.nSites, tc.shards, min, max)
+		}
+	}
+}
+
+// TestPartitionDynamics checks that a global dynamics config projects
+// onto a shard partition: churn filtered to the shard's sites with
+// local indices, order preserved; TrueLevels subset the same way;
+// reputation config shared; nil in, nil out.
+func TestPartitionDynamics(t *testing.T) {
+	if sched.PartitionDynamics(nil, []int{0}) != nil {
+		t.Fatal("nil dynamics should stay nil")
+	}
+	dyn := &sched.DynamicsConfig{
+		Churn: []grid.ChurnEvent{
+			{Time: 10, Site: 0, Kind: grid.ChurnCrash},
+			{Time: 20, Site: 3, Kind: grid.ChurnDrain},
+			{Time: 30, Site: 1, Kind: grid.ChurnCrash},
+			{Time: 40, Site: 3, Kind: grid.ChurnJoin},
+			{Time: 50, Site: 4, Kind: grid.ChurnDrain},
+		},
+		TrueLevels: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+	}
+	// Shard 1 of a 3-way split over 6 sites owns globals {1, 4}.
+	part := sched.PartitionSites(6, 3)[1]
+	got := sched.PartitionDynamics(dyn, part)
+	want := []grid.ChurnEvent{
+		{Time: 30, Site: 0, Kind: grid.ChurnCrash}, // global 1 -> local 0
+		{Time: 50, Site: 1, Kind: grid.ChurnDrain}, // global 4 -> local 1
+	}
+	if len(got.Churn) != len(want) {
+		t.Fatalf("churn: got %d events, want %d", len(got.Churn), len(want))
+	}
+	for i := range want {
+		if got.Churn[i] != want[i] {
+			t.Errorf("churn[%d] = %+v, want %+v", i, got.Churn[i], want[i])
+		}
+	}
+	if len(got.TrueLevels) != 2 || got.TrueLevels[0] != 0.2 || got.TrueLevels[1] != 0.5 {
+		t.Errorf("true levels = %v, want [0.2 0.5]", got.TrueLevels)
+	}
+	// The source config must be untouched (events are remapped on copies).
+	if dyn.Churn[2].Site != 1 || dyn.Churn[4].Site != 4 {
+		t.Error("PartitionDynamics mutated its input")
+	}
+}
+
+// TestShardRNGLabel pins the stream-naming scheme: a single shard keeps
+// the historical bare labels (the -shards 1 bit-parity guarantee), more
+// shards get per-shard substreams.
+func TestShardRNGLabel(t *testing.T) {
+	if got := sched.ShardRNGLabel("engine", 1, 0); got != "engine" {
+		t.Errorf("one shard: %q, want bare label", got)
+	}
+	if got := sched.ShardRNGLabel("engine", 4, 2); got != "engine/shard/2" {
+		t.Errorf("sharded: %q", got)
+	}
+	if got := sched.ShardRNGLabel("scheduler", 4, 0); got != "scheduler/shard/0" {
+		t.Errorf("shard 0 of many must not collapse to the bare label: %q", got)
+	}
+}

@@ -23,6 +23,8 @@ type (
 	WireEvent = api.Event
 	// MetricsReport is the /v1/metrics and /v2/metrics response.
 	MetricsReport = api.MetricsReport
+	// ShardMetrics is one engine shard's slice of the metrics report.
+	ShardMetrics = api.ShardMetrics
 )
 
 type submitRequest = api.SubmitRequest
@@ -493,6 +495,29 @@ func (s *Server) buildReport(r *http.Request, tenant string) (MetricsReport, err
 		if sum := s.online.Summary(); sum.Jobs > 0 {
 			rep.Summary = &sum
 		}
+		if n := s.online.Shards(); n > 1 {
+			rep.Shards = make([]api.ShardMetrics, n)
+			for i := range rep.Shards {
+				o := s.online.Shard(i)
+				sm := api.ShardMetrics{
+					Shard:        i,
+					Sites:        len(s.online.Part(i)),
+					VirtualNow:   o.Now(),
+					Seen:         o.Seen(),
+					InFlight:     o.InFlight(),
+					Backlog:      o.Backlog(),
+					Batches:      o.Batches(),
+					LargestBatch: o.LargestBatch(),
+					Latency:      s.lat.shardSummary(i),
+				}
+				for _, st := range o.SiteStatuses() {
+					if st.Alive {
+						sm.SitesAlive++
+					}
+				}
+				rep.Shards[i] = sm
+			}
+		}
 	})
 	return rep, err
 }
@@ -561,7 +586,16 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 			badRequest = true
 			return
 		}
+		// Sharded durable daemons log the barrier before executing it (a
+		// no-op otherwise): the window boundary is part of the recorded
+		// input set, and the commit lands before the response does.
+		if advErr = s.walBarrier(target, false); advErr != nil {
+			return
+		}
 		advErr = s.online.AdvanceTo(target)
+		if advErr == nil {
+			advErr = s.walCommit()
+		}
 		now = s.online.Now()
 	})
 	if err == nil {
@@ -587,7 +621,15 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	var now float64
 	var drainErr error
 	err := s.do(r.Context(), func() {
+		// Like advance: a sharded durable daemon records the drain barrier
+		// ahead of the fan-out it triggers.
+		if drainErr = s.walBarrier(0, true); drainErr != nil {
+			return
+		}
 		res, drainErr = s.online.Drain()
+		if drainErr == nil {
+			drainErr = s.walCommit()
+		}
 		now = s.online.Now()
 	})
 	if err == nil {

@@ -1,26 +1,31 @@
 package server
 
 import (
-	"sort"
 	"sync"
 	"time"
 
 	"trustgrid/internal/api"
-	"trustgrid/internal/stats"
+	"trustgrid/internal/metrics"
+	"trustgrid/internal/sched"
 )
 
 // latencyTracker measures wall-clock scheduling latency: the time from
 // a job's acceptance by the HTTP layer to its first placement event.
-// Submissions record under the job ID (with the owning tenant);
-// the loop goroutine resolves them as placements stream past, feeding
-// both the global window and the tenant's own.
+// Submissions record under the job ID (with the owning tenant); the
+// loop goroutine resolves them as placements stream past, feeding the
+// global window, the tenant's own, and — on sharded daemons — the
+// owning shard's. The sample windows are metrics.Recorder instances,
+// each safe for concurrent use on its own; the tracker's mutex only
+// guards the pending map and the lazily created per-tenant table.
 type latencyTracker struct {
 	mu       sync.Mutex
 	pending  map[int]pendingSubmit
-	samples  []float64 // milliseconds, resolved placements
-	byTenant map[string]*latencyWindow
-	max      int   // sample retention bound
-	resolved int64 // total samples ever recorded
+	byTenant map[string]*metrics.Recorder
+
+	window  int
+	global  *metrics.Recorder
+	shards  int // tenant→shard routing modulus (1 = unsharded)
+	byShard []*metrics.Recorder
 }
 
 type pendingSubmit struct {
@@ -28,22 +33,29 @@ type pendingSubmit struct {
 	tenant string
 }
 
-type latencyWindow struct {
-	samples  []float64
-	resolved int64
-}
+const defaultLatencySamples = metrics.DefaultRecorderWindow
 
-const defaultLatencySamples = 1 << 16
-
-func newLatencyTracker(max int) *latencyTracker {
+func newLatencyTracker(max, shards int) *latencyTracker {
 	if max <= 0 {
 		max = defaultLatencySamples
 	}
-	return &latencyTracker{
-		pending:  make(map[int]pendingSubmit),
-		byTenant: make(map[string]*latencyWindow),
-		max:      max,
+	if shards < 1 {
+		shards = 1
 	}
+	t := &latencyTracker{
+		pending:  make(map[int]pendingSubmit),
+		byTenant: make(map[string]*metrics.Recorder),
+		window:   max,
+		global:   metrics.NewRecorder(max),
+		shards:   shards,
+	}
+	if shards > 1 {
+		t.byShard = make([]*metrics.Recorder, shards)
+		for i := range t.byShard {
+			t.byShard[i] = metrics.NewRecorder(max)
+		}
+	}
+	return t
 }
 
 // submitted records the acceptance time of a job ID.
@@ -57,26 +69,30 @@ func (t *latencyTracker) submitted(id int, tenant string, at time.Time) {
 // any, and reports the owning tenant. Re-placements after failures find
 // no pending entry and are ignored (first=false) — latency is
 // first-placement latency, and the tenant's queued-quota slot is
-// released exactly once.
+// released exactly once. The shard series is attributed through the
+// tenant router (a pure function of tenant and shard count), so it
+// needs no plumbing from the engine.
 func (t *latencyTracker) placedNow(id int) (tenant string, first bool) {
 	now := time.Now()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	p, ok := t.pending[id]
 	if !ok {
+		t.mu.Unlock()
 		return "", false
 	}
 	delete(t.pending, id)
-	ms := float64(now.Sub(p.at)) / float64(time.Millisecond)
-	t.samples = trimAppend(t.samples, ms, t.max)
-	t.resolved++
 	w := t.byTenant[p.tenant]
 	if w == nil {
-		w = &latencyWindow{}
+		w = metrics.NewRecorder(t.window)
 		t.byTenant[p.tenant] = w
 	}
-	w.samples = trimAppend(w.samples, ms, t.max)
-	w.resolved++
+	t.mu.Unlock()
+	ms := float64(now.Sub(p.at)) / float64(time.Millisecond)
+	t.global.Observe(ms)
+	w.Observe(ms)
+	if t.byShard != nil {
+		t.byShard[sched.RouteTenant(p.tenant, t.shards)].Observe(ms)
+	}
 	return p.tenant, true
 }
 
@@ -88,52 +104,33 @@ func (t *latencyTracker) forget(id int) {
 	t.mu.Unlock()
 }
 
-// trimAppend appends a sample, dropping the oldest half in one copy when
-// the bound is hit; percentiles stay dominated by recent traffic.
-func trimAppend(s []float64, v float64, max int) []float64 {
-	if len(s) >= max {
-		s = append(s[:0], s[len(s)/2:]...)
-	}
-	return append(s, v)
-}
-
 // LatencySummary is re-exported from the wire-format package.
 type LatencySummary = api.LatencySummary
 
-func summarize(resolved int64, samples []float64) LatencySummary {
-	if len(samples) == 0 {
-		return LatencySummary{Count: resolved}
-	}
-	sort.Float64s(samples)
-	return LatencySummary{
-		Count: resolved,
-		P50:   stats.PercentileOfSorted(samples, 50),
-		P90:   stats.PercentileOfSorted(samples, 90),
-		P99:   stats.PercentileOfSorted(samples, 99),
-		Max:   samples[len(samples)-1],
-	}
+func wireSummary(w metrics.WindowSummary) LatencySummary {
+	return LatencySummary{Count: w.Count, P50: w.P50, P90: w.P90, P99: w.P99, Max: w.Max}
 }
 
 func (t *latencyTracker) summary() LatencySummary {
-	// Copy under the lock, sort outside it: placement resolution on the
-	// loop goroutine must never wait on a metrics scrape's sort.
-	t.mu.Lock()
-	resolved := t.resolved
-	sorted := append([]float64(nil), t.samples...)
-	t.mu.Unlock()
-	return summarize(resolved, sorted)
+	return wireSummary(t.global.Summary())
 }
 
 // tenantSummary reports one tenant's scheduling-latency percentiles.
 func (t *latencyTracker) tenantSummary(tenant string) LatencySummary {
 	t.mu.Lock()
 	w := t.byTenant[tenant]
-	var resolved int64
-	var sorted []float64
-	if w != nil {
-		resolved = w.resolved
-		sorted = append([]float64(nil), w.samples...)
-	}
 	t.mu.Unlock()
-	return summarize(resolved, sorted)
+	if w == nil {
+		return LatencySummary{}
+	}
+	return wireSummary(w.Summary())
+}
+
+// shardSummary reports one shard's scheduling-latency percentiles.
+// Zero-valued on unsharded trackers.
+func (t *latencyTracker) shardSummary(shard int) LatencySummary {
+	if t.byShard == nil {
+		return LatencySummary{}
+	}
+	return wireSummary(t.byShard[shard].Summary())
 }

@@ -71,6 +71,29 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 			id, float64(rep.Tenants[id].Queued))
 	}
 
+	// Per-shard series (sharded daemons only): shard index as a label,
+	// in shard order, so dashboards can spot a skewed partition.
+	if len(rep.Shards) > 0 {
+		sg := func(name, help string, val func(sm *ShardMetrics) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for i := range rep.Shards {
+				fmt.Fprintf(&b, "%s{shard=\"%d\"} %g\n", name, rep.Shards[i].Shard, val(&rep.Shards[i]))
+			}
+		}
+		sg("trustgrid_shard_sites_alive", "Sites in service per shard.",
+			func(sm *ShardMetrics) float64 { return float64(sm.SitesAlive) })
+		sg("trustgrid_shard_seen_jobs", "Jobs ingested per shard.",
+			func(sm *ShardMetrics) float64 { return float64(sm.Seen) })
+		sg("trustgrid_shard_in_flight_jobs", "Ingested jobs not yet completed, per shard.",
+			func(sm *ShardMetrics) float64 { return float64(sm.InFlight) })
+		sg("trustgrid_shard_batches", "Scheduling rounds that dispatched jobs, per shard.",
+			func(sm *ShardMetrics) float64 { return float64(sm.Batches) })
+		sg("trustgrid_shard_virtual_time_seconds", "Shard virtual clock.",
+			func(sm *ShardMetrics) float64 { return sm.VirtualNow })
+		sg("trustgrid_shard_sched_latency_p99_milliseconds", "Submit-to-first-placement latency p99 per shard.",
+			func(sm *ShardMetrics) float64 { return sm.Latency.P99 })
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

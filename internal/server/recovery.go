@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -15,15 +17,26 @@ import (
 // walLog keeps the Server struct readable next to the field named wal.
 type walLog = wal.Log
 
+// On-disk layout. An unsharded daemon keeps one flat log directly in
+// WALDir — the format every daemon before sharding wrote, kept
+// byte-compatible. A sharded daemon nests one directory per log under
+// the same root: coord/ holds tenant registrations, clock barriers and
+// the server snapshots; shard-NNNN/ holds shard N's churn prefix and
+// arrivals. Records across the set are stitched into one total order
+// by Record.G.
+func coordDir(root string) string        { return filepath.Join(root, "coord") }
+func shardDir(root string, i int) string { return filepath.Join(root, fmt.Sprintf("shard-%04d", i)) }
+
 // serverSnapshot is the daemon's complete durable state at one WAL
 // sequence number: a configuration fingerprint (recovery refuses a WAL
 // written under a different run configuration — the determinism
 // contract makes placements a function of config + recorded inputs, so
 // restoring state under different config would fabricate history), the
-// engine snapshot, the tenant registry, the ID allocator and the
-// service counters, plus the retained event window so streaming cursors
-// survive the restart. Recovery = newest readable snapshot + replay of
-// WAL records with Seq > snapshot.Seq (DESIGN.md §10).
+// engine snapshot (one per shard when sharded), the tenant registry,
+// the ID allocator and the service counters, plus the retained event
+// window so streaming cursors survive the restart. Recovery = newest
+// readable snapshot + replay of WAL records past it (DESIGN.md §10;
+// §11.4 for the sharded log set).
 type serverSnapshot struct {
 	Version int    `json:"version"`
 	Seq     uint64 `json:"seq"`
@@ -35,9 +48,20 @@ type serverSnapshot struct {
 	RoundBudget   int     `json:"round_budget"`
 	Sites         int     `json:"sites"`
 	Manual        bool    `json:"manual"`
+	// Shards is part of the fingerprint: state sharded N ways cannot be
+	// restored into M engines. Zero (an unsharded snapshot, including
+	// every pre-sharding one) means 1.
+	Shards int `json:"shards,omitempty"`
 
-	Engine  *sched.EngineSnapshot `json:"engine"`
+	Engine  *sched.EngineSnapshot `json:"engine,omitempty"`
 	Tenants []tenantSnapshot      `json:"tenants"`
+
+	// Sharded layout only: one engine snapshot per shard, the covered
+	// sequence number of each shard log (Seq above covers the
+	// coordinator log), and the global sequence counter at capture.
+	Engines   []*sched.EngineSnapshot `json:"engines,omitempty"`
+	ShardSeqs []uint64                `json:"shard_seqs,omitempty"`
+	NextG     uint64                  `json:"next_g,omitempty"`
 
 	NextID  int64 `json:"next_id"`
 	UsedIDs []int `json:"used_ids,omitempty"`
@@ -63,6 +87,10 @@ func (s *Server) checkFingerprint(snap *serverSnapshot) error {
 		return fmt.Errorf("snapshot written under %s=%v, config has %v (refusing to restore state across a config change)",
 			field, got, want)
 	}
+	snapShards := snap.Shards
+	if snapShards == 0 {
+		snapShards = 1
+	}
 	switch {
 	case snap.Algo != s.cfg.Algo:
 		return mismatch("algo", snap.Algo, s.cfg.Algo)
@@ -78,19 +106,72 @@ func (s *Server) checkFingerprint(snap *serverSnapshot) error {
 		return mismatch("sites", snap.Sites, len(s.cfg.Sites))
 	case snap.Manual != s.cfg.Manual:
 		return mismatch("manual", snap.Manual, s.cfg.Manual)
+	case snapShards != s.cfg.Shards:
+		return mismatch("shards", snapShards, s.cfg.Shards)
 	}
 	return nil
 }
 
-// recover opens the WAL and rebuilds the daemon's state: the newest
-// readable, fingerprint-compatible snapshot seeds the engine, the
-// registry, the counters and the event log; the WAL tail past it is
+// recover opens the WAL set and rebuilds the daemon's state before the
+// loop goroutine starts. Runs once, from New.
+func (s *Server) recover(cc sched.CoordinatorConfig) error {
+	if len(cc.Shards) == 1 {
+		return s.recoverSingle(cc)
+	}
+	return s.recoverSharded(cc)
+}
+
+// restoreFromSnapshot installs the server-side state a snapshot
+// carries: tenant registry, event window, ID allocator, counters.
+func (s *Server) restoreFromSnapshot(snap *serverSnapshot) {
+	s.tenants.restore(snap.Tenants)
+	s.log.restore(snap.EventBase, snap.Events)
+	s.nextID.Store(snap.NextID)
+	if s.usedIDs != nil {
+		for _, id := range snap.UsedIDs {
+			s.usedIDs[id] = struct{}{}
+		}
+	}
+	s.submitted.Store(snap.Counters.Submitted)
+	s.arrived.Store(snap.Counters.Arrived)
+	s.placed.Store(snap.Counters.Placed)
+	s.completed.Store(snap.Counters.Completed)
+	s.failures.Store(snap.Counters.Failures)
+	s.interrupted.Store(snap.Counters.Interrupted)
+}
+
+// resumeAdmission points the quota gate and the latency tracker at the
+// recovered engine's ground truth: every accepted-but-never-placed job
+// holds a queue slot and an open latency measurement. Wall-clock
+// latency across a restart is not meaningful, so measurements restart
+// at recovery time.
+func (s *Server) resumeAdmission() {
+	now := time.Now()
+	queued := make(map[string]int)
+	for _, j := range s.online.NeverPlaced() {
+		queued[j.Tenant]++
+		s.lat.submitted(j.ID, j.Tenant, now)
+	}
+	s.tenants.setQueued(queued)
+}
+
+// recoverSingle rebuilds an unsharded daemon from the flat log: the
+// newest readable, fingerprint-compatible snapshot seeds the engine,
+// the registry, the counters and the event log; the WAL tail past it is
 // replayed in sequence order (tenants re-registered, arrivals
 // re-ingested at their recorded times); and the recorded churn prefix
 // is verified against the configured churn trace, which the engine
 // re-derives from config. On a fresh directory it simply records the
-// churn trace and starts clean. Runs before the loop goroutine starts.
-func (s *Server) recover(runCfg sched.RunConfig) error {
+// churn trace and starts clean.
+func (s *Server) recoverSingle(cc sched.CoordinatorConfig) error {
+	// A directory written by a sharded daemon nests its logs; starting an
+	// unsharded daemon over it would silently begin a fresh history.
+	if dirs, _ := filepath.Glob(filepath.Join(s.cfg.WALDir, "shard-*")); len(dirs) > 0 {
+		return fmt.Errorf("wal directory was written under shards=%d, config has 1 (refusing to restore state across a config change)", len(dirs))
+	}
+	if _, err := os.Stat(coordDir(s.cfg.WALDir)); err == nil {
+		return fmt.Errorf("wal directory was written by a sharded daemon, config has shards=1 (refusing to restore state across a config change)")
+	}
 	l, err := wal.Open(s.cfg.WALDir)
 	if err != nil {
 		return err
@@ -134,26 +215,13 @@ func (s *Server) recover(runCfg sched.RunConfig) error {
 	var snapSeq uint64
 	if snap != nil {
 		snapSeq = snap.Seq
-		s.online, err = sched.RestoreOnline(runCfg, snap.Engine)
+		s.online, err = sched.RestoreCoordinator(cc, []*sched.EngineSnapshot{snap.Engine})
 		if err != nil {
 			return err
 		}
-		s.tenants.restore(snap.Tenants)
-		s.log.restore(snap.EventBase, snap.Events)
-		s.nextID.Store(snap.NextID)
-		if s.usedIDs != nil {
-			for _, id := range snap.UsedIDs {
-				s.usedIDs[id] = struct{}{}
-			}
-		}
-		s.submitted.Store(snap.Counters.Submitted)
-		s.arrived.Store(snap.Counters.Arrived)
-		s.placed.Store(snap.Counters.Placed)
-		s.completed.Store(snap.Counters.Completed)
-		s.failures.Store(snap.Counters.Failures)
-		s.interrupted.Store(snap.Counters.Interrupted)
+		s.restoreFromSnapshot(snap)
 	} else {
-		s.online, err = sched.NewOnline(runCfg)
+		s.online, err = sched.NewCoordinator(cc)
 		if err != nil {
 			return err
 		}
@@ -180,39 +248,7 @@ func (s *Server) recover(runCfg sched.RunConfig) error {
 		if rec.Seq <= snapSeq {
 			return nil
 		}
-		// Re-apply at the clock the record was written under. Advancing
-		// first re-executes whatever engine events preceded the original
-		// append (batch rounds included), so a re-submitted job lands in
-		// the event queue in its original position — same arrival clamp,
-		// same tie order against a batch round at the same timestamp.
-		if rec.At > s.online.Now() {
-			if err := s.online.AdvanceTo(rec.At); err != nil {
-				return fmt.Errorf("advancing to record %d clock %v: %w", rec.Seq, rec.At, err)
-			}
-		}
-		switch rec.Kind {
-		case wal.KindTenant:
-			// A duplicate means the operator promoted a runtime-created
-			// tenant into the boot config (or the snapshot already carried
-			// it); the existing registration wins.
-			_ = s.tenants.register(*rec.Tenant)
-			spec, _ := s.tenants.get(rec.Tenant.ID)
-			s.online.SetTenantWeight(spec.ID, spec.Weight)
-		case wal.KindArrival:
-			tr := rec.Arrival
-			if err := s.online.SubmitLocal(tr.Job()); err != nil {
-				return fmt.Errorf("arrival record %d: %w", rec.Seq, err)
-			}
-			s.submitted.Add(1)
-			s.tenants.addSubmitted(tr.Tenant, 1)
-			if s.usedIDs != nil {
-				s.usedIDs[tr.ID] = struct{}{}
-			}
-			if int64(tr.ID) > s.nextID.Load() {
-				s.nextID.Store(int64(tr.ID))
-			}
-		}
-		return nil
+		return s.replayRecord(rec)
 	})
 	if err != nil {
 		return err
@@ -235,23 +271,310 @@ func (s *Server) recover(runCfg sched.RunConfig) error {
 		}
 	}
 
-	// The quota gate and the latency tracker resume against the
-	// recovered engine's ground truth: every accepted-but-never-placed
-	// job holds a queue slot and an open latency measurement. Wall-clock
-	// latency across a restart is not meaningful, so measurements
-	// restart at recovery time.
-	now := time.Now()
-	queued := make(map[string]int)
-	for _, j := range s.online.NeverPlaced() {
-		queued[j.Tenant]++
-		s.lat.submitted(j.ID, j.Tenant, now)
-	}
-	s.tenants.setQueued(queued)
+	s.resumeAdmission()
 	return nil
 }
 
+// replayRecord re-applies one post-snapshot record. The engine is first
+// advanced to the clock the record was written under: that re-executes
+// whatever engine events preceded the original append (batch rounds
+// included), so a re-submitted job lands in the event queue in its
+// original position — same arrival clamp, same tie order against a
+// batch round at the same timestamp. Barrier records (sharded manual
+// mode) re-execute the original fan-out advance or drain, reproducing
+// the exact Δ-round window boundaries — and with them the merged event
+// stream's total order.
+func (s *Server) replayRecord(rec wal.Record) error {
+	if rec.At > s.online.Now() {
+		if err := s.online.AdvanceTo(rec.At); err != nil {
+			return fmt.Errorf("advancing to record %d clock %v: %w", rec.Seq, rec.At, err)
+		}
+	}
+	switch rec.Kind {
+	case wal.KindTenant:
+		// A duplicate means the operator promoted a runtime-created
+		// tenant into the boot config (or the snapshot already carried
+		// it); the existing registration wins.
+		_ = s.tenants.register(*rec.Tenant)
+		spec, _ := s.tenants.get(rec.Tenant.ID)
+		s.online.SetTenantWeight(spec.ID, spec.Weight)
+	case wal.KindBarrier:
+		if rec.Barrier.Drain {
+			if _, err := s.online.Drain(); err != nil {
+				return fmt.Errorf("barrier record %d (drain): %w", rec.Seq, err)
+			}
+		} else if err := s.online.AdvanceTo(rec.Barrier.To); err != nil {
+			return fmt.Errorf("barrier record %d (advance to %v): %w", rec.Seq, rec.Barrier.To, err)
+		}
+	case wal.KindArrival:
+		tr := rec.Arrival
+		if err := s.online.SubmitLocal(tr.Job()); err != nil {
+			return fmt.Errorf("arrival record %d: %w", rec.Seq, err)
+		}
+		s.submitted.Add(1)
+		s.tenants.addSubmitted(tr.Tenant, 1)
+		if s.usedIDs != nil {
+			s.usedIDs[tr.ID] = struct{}{}
+		}
+		if int64(tr.ID) > s.nextID.Load() {
+			s.nextID.Store(int64(tr.ID))
+		}
+	}
+	return nil
+}
+
+// taggedRecord is one surviving record of the sharded log set, tagged
+// with the log it came from (-1 = coordinator).
+type taggedRecord struct {
+	rec   wal.Record
+	shard int
+}
+
+// recoverSharded rebuilds a sharded daemon from the nested log set.
+// Beyond what the flat path does, it must re-establish one total order
+// across N+1 logs: every record carries a global sequence number G, and
+// a crash between the per-log fsyncs of one group commit can persist a
+// later record while losing an earlier one in a sibling log. Recovery
+// therefore cuts the whole set back to the longest contiguous G-prefix
+// past the snapshot watermark — physically, with TruncateTail, so the
+// next boot sees a clean history — and replays the survivors in G
+// order, re-executing barrier records as real fan-out advances.
+func (s *Server) recoverSharded(cc sched.CoordinatorConfig) error {
+	n := len(cc.Shards)
+	root := s.cfg.WALDir
+
+	// Layout guards: a flat single-engine log means shards=1 wrote this
+	// directory; a different shard-directory count means another N did.
+	if flat, _ := filepath.Glob(filepath.Join(root, "wal-*.log")); len(flat) > 0 {
+		return fmt.Errorf("wal directory holds a single-engine log, config has shards=%d (refusing to restore state across a config change)", n)
+	}
+	if flatSnaps, _ := filepath.Glob(filepath.Join(root, "snap-*.json")); len(flatSnaps) > 0 {
+		return fmt.Errorf("wal directory holds a single-engine snapshot, config has shards=%d (refusing to restore state across a config change)", n)
+	}
+	if dirs, _ := filepath.Glob(filepath.Join(root, "shard-*")); len(dirs) > 0 && len(dirs) != n {
+		return fmt.Errorf("wal directory was written under shards=%d, config has %d (refusing to restore state across a config change)", len(dirs), n)
+	}
+
+	coord, err := wal.Open(coordDir(root))
+	if err != nil {
+		return err
+	}
+	s.wal = coord
+	s.shardWALs = make([]*walLog, n)
+	for i := range s.shardWALs {
+		if s.shardWALs[i], err = wal.Open(shardDir(root, i)); err != nil {
+			return err
+		}
+	}
+
+	churnParts := make([][]grid.ChurnEvent, n)
+	for i, sc := range cc.Shards {
+		if sc.Dynamics != nil {
+			churnParts[i] = sc.Dynamics.Churn
+		}
+	}
+
+	// Collect every record that survived the per-log torn-tail cut, and
+	// verify each log's structure as it streams past: churn lives at the
+	// head of its shard's log and must match the configured (partitioned)
+	// trace; the coordinator log never holds churn; every record carries
+	// a G.
+	var all []taggedRecord
+	collect := func(l *walLog, shard int) error {
+		name := "coord"
+		if shard >= 0 {
+			name = fmt.Sprintf("shard-%04d", shard)
+		}
+		return l.Replay(0, func(rec wal.Record) error {
+			if rec.G == 0 {
+				return fmt.Errorf("%s record %d has no global sequence number (refusing to restore state across a config change)", name, rec.Seq)
+			}
+			if rec.Kind == wal.KindChurn {
+				if shard < 0 {
+					return fmt.Errorf("coord record %d is churn (churn belongs to shard logs)", rec.Seq)
+				}
+				churn := churnParts[shard]
+				idx := int(rec.Seq) - 1
+				if idx >= len(churn) || *rec.Churn != churn[idx] {
+					return fmt.Errorf("%s churn record %d does not match the configured churn trace", name, rec.Seq)
+				}
+			} else if shard >= 0 && rec.Seq <= uint64(len(churnParts[shard])) {
+				return fmt.Errorf("%s record %d is %q where the configured churn trace expects churn (config has more churn events than were recorded)",
+					name, rec.Seq, rec.Kind)
+			}
+			all = append(all, taggedRecord{rec, shard})
+			return nil
+		})
+	}
+	if err := collect(coord, -1); err != nil {
+		return err
+	}
+	for i, l := range s.shardWALs {
+		if err := collect(l, i); err != nil {
+			return err
+		}
+	}
+
+	// Newest usable snapshot (coordinator log only; shard directories
+	// hold GC markers, not state). Coverage means every log still holds
+	// everything up to its watermark.
+	var snap *serverSnapshot
+	refs, err := coord.Snapshots()
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		payload, err := wal.ReadSnapshot(ref)
+		if err != nil {
+			continue
+		}
+		var cand serverSnapshot
+		if err := json.Unmarshal(payload, &cand); err != nil ||
+			len(cand.Engines) != cand.Shards || len(cand.ShardSeqs) != cand.Shards {
+			continue
+		}
+		if cand.Seq > coord.LastSeq() {
+			continue
+		}
+		if err := s.checkFingerprint(&cand); err != nil {
+			return err
+		}
+		covered := true
+		for i, l := range s.shardWALs {
+			if cand.ShardSeqs[i] > l.LastSeq() {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		snap = &cand
+		break
+	}
+	var snapSeq, base uint64
+	shardSeqs := make([]uint64, n)
+	if snap != nil {
+		snapSeq, base = snap.Seq, snap.NextG
+		copy(shardSeqs, snap.ShardSeqs)
+	}
+
+	// Longest contiguous G-prefix past the snapshot watermark (records
+	// at or below it may be partially garbage-collected, which is fine —
+	// the snapshot already holds their effects). Everything beyond the
+	// first gap was never acknowledged and must go.
+	present := make(map[uint64]bool, len(all))
+	for _, r := range all {
+		if present[r.rec.G] {
+			return fmt.Errorf("global sequence %d appears in two wal records", r.rec.G)
+		}
+		present[r.rec.G] = true
+	}
+	gstar := base
+	for present[gstar+1] {
+		gstar++
+	}
+	keep := make(map[int]uint64, n+1)
+	keep[-1] = snapSeq
+	for i, sq := range shardSeqs {
+		keep[i] = sq
+	}
+	live := all[:0]
+	for _, r := range all {
+		if r.rec.G <= gstar {
+			if r.rec.Seq > keep[r.shard] {
+				keep[r.shard] = r.rec.Seq
+			}
+			live = append(live, r)
+		}
+	}
+	if err := coord.TruncateTail(keep[-1]); err != nil {
+		return err
+	}
+	for i, l := range s.shardWALs {
+		if err := l.TruncateTail(keep[i]); err != nil {
+			return err
+		}
+	}
+	s.nextG = gstar
+
+	if snap != nil {
+		s.online, err = sched.RestoreCoordinator(cc, snap.Engines)
+		if err != nil {
+			return err
+		}
+		s.restoreFromSnapshot(snap)
+	} else {
+		s.online, err = sched.NewCoordinator(cc)
+		if err != nil {
+			return err
+		}
+	}
+	s.recsSinceSnap = int(coord.LastSeq() - snapSeq)
+	for i, l := range s.shardWALs {
+		s.recsSinceSnap += int(l.LastSeq() - shardSeqs[i])
+	}
+
+	// Replay the survivors in global order — the exact order the loop
+	// goroutine originally applied them in. Churn is skipped (the engines
+	// re-derive it from config; the records were verified above), as is
+	// everything a log's snapshot watermark covers.
+	sort.Slice(live, func(i, k int) bool { return live[i].rec.G < live[k].rec.G })
+	for _, r := range live {
+		if r.rec.Kind == wal.KindChurn {
+			continue
+		}
+		if r.shard < 0 {
+			if r.rec.Seq <= snapSeq {
+				continue
+			}
+		} else if r.rec.Seq <= shardSeqs[r.shard] {
+			continue
+		}
+		if err := s.replayRecord(r.rec); err != nil {
+			return err
+		}
+	}
+
+	// First boot (or a crash that interrupted this very step): record
+	// each shard's churn partition, shard by shard, so the log set is a
+	// self-contained input set. The loop order makes the G assignment
+	// reproducible across a crash mid-append: the surviving prefix ends
+	// exactly where the re-appends resume.
+	for i, l := range s.shardWALs {
+		part := churnParts[i]
+		if have := l.LastSeq(); have < uint64(len(part)) {
+			for _, ev := range part[have:] {
+				ev := ev
+				s.nextG++
+				if _, err := l.Append(wal.Record{Kind: wal.KindChurn, G: s.nextG, Churn: &ev}); err != nil {
+					return err
+				}
+				s.recsSinceSnap++
+			}
+			if err := l.Commit(); err != nil {
+				return err
+			}
+		}
+	}
+
+	s.resumeAdmission()
+	return nil
+}
+
+// allWALs returns every open log — the flat log, or the coordinator log
+// followed by the shard logs — for commit/rotate/close fan-out.
+func (s *Server) allWALs() []*walLog {
+	if s.wal == nil {
+		return nil
+	}
+	out := make([]*walLog, 0, len(s.shardWALs)+1)
+	out = append(out, s.wal)
+	return append(out, s.shardWALs...)
+}
+
 // writeSnapshot persists the full server state at the current WAL
-// position, rotates the segment and garbage-collects what the retained
+// position, rotates the segments and garbage-collects what the retained
 // snapshots cover. A live-mode engine with buffered arrivals skips the
 // attempt (the buffer drains at the next tick and the records are in
 // the WAL either way). Loop goroutine (or post-loop Stop) only.
@@ -259,10 +582,10 @@ func (s *Server) writeSnapshot() error {
 	if s.online.Backlog() != 0 {
 		return nil
 	}
-	if err := s.wal.Commit(); err != nil {
+	if err := s.walCommit(); err != nil {
 		return err
 	}
-	eng, err := s.online.Snapshot()
+	engines, err := s.online.Snapshots()
 	if err != nil {
 		return err
 	}
@@ -276,7 +599,6 @@ func (s *Server) writeSnapshot() error {
 		RoundBudget:   s.cfg.RoundBudget,
 		Sites:         len(s.cfg.Sites),
 		Manual:        s.cfg.Manual,
-		Engine:        eng,
 		Tenants:       s.tenants.snapshot(),
 		NextID:        s.nextID.Load(),
 		Counters: counterSnapshot{
@@ -287,6 +609,17 @@ func (s *Server) writeSnapshot() error {
 			Failures:    s.failures.Load(),
 			Interrupted: s.interrupted.Load(),
 		},
+	}
+	if s.shardWALs == nil {
+		snap.Engine = engines[0]
+	} else {
+		snap.Shards = len(s.shardWALs)
+		snap.Engines = engines
+		snap.ShardSeqs = make([]uint64, len(s.shardWALs))
+		for i, l := range s.shardWALs {
+			snap.ShardSeqs[i] = l.LastSeq()
+		}
+		snap.NextG = s.nextG
 	}
 	snap.EventBase, snap.Events = s.log.snapshotState()
 	if s.usedIDs != nil {
@@ -305,12 +638,27 @@ func (s *Server) writeSnapshot() error {
 	if err := s.wal.WriteSnapshot(snap.Seq, payload); err != nil {
 		return err
 	}
-	if err := s.wal.Rotate(); err != nil {
-		return err
+	// Shard directories get tiny watermark markers — not state, just the
+	// horizon their segment GC prunes against. Recovery ignores them.
+	for i, l := range s.shardWALs {
+		marker, err := json.Marshal(map[string]any{"shard": i, "seq": l.LastSeq()})
+		if err != nil {
+			return err
+		}
+		if err := l.WriteSnapshot(l.LastSeq(), marker); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.allWALs() {
+		if err := l.Rotate(); err != nil {
+			return err
+		}
 	}
 	if s.cfg.WALKeep > 0 {
-		if err := s.wal.GC(s.cfg.WALKeep); err != nil {
-			return err
+		for _, l := range s.allWALs() {
+			if err := l.GC(s.cfg.WALKeep); err != nil {
+				return err
+			}
 		}
 	}
 	s.recsSinceSnap = 0
@@ -318,7 +666,7 @@ func (s *Server) writeSnapshot() error {
 }
 
 // walHousekeeping runs once per loop iteration: group-commit whatever
-// the iteration appended (a no-op on a clean log) and snapshot when the
+// the iteration appended (a no-op on clean logs) and snapshot when the
 // cadence says so. An error is fatal to the loop — a daemon that cannot
 // make its state durable must die loudly, not serve acknowledgements it
 // cannot honor.
@@ -329,7 +677,7 @@ func (s *Server) walHousekeeping() error {
 	if s.walBroken != nil {
 		return s.walBroken
 	}
-	if err := s.wal.Commit(); err != nil {
+	if err := s.walCommit(); err != nil {
 		return err
 	}
 	if s.recsSinceSnap >= s.cfg.SnapshotEvery {
@@ -341,48 +689,90 @@ func (s *Server) walHousekeeping() error {
 }
 
 // walArrival appends one accepted arrival stamped with the clock it was
-// ingested under (at). Loop goroutine only; durability waits for
-// walCommit.
+// ingested under (at) — to the flat log, or to the owning tenant's
+// shard log with the next global sequence number. Loop goroutine only;
+// durability waits for walCommit.
 func (s *Server) walArrival(j *grid.Job, at float64) error {
 	if s.wal == nil {
 		return nil
 	}
-	_, err := s.wal.Append(wal.Record{Kind: wal.KindArrival, At: at, Arrival: &api.TraceRecord{
+	rec := wal.Record{Kind: wal.KindArrival, At: at, Arrival: &api.TraceRecord{
 		ID: j.ID, Arrival: j.Arrival, Workload: j.Workload, Nodes: j.Nodes,
 		SD: j.SecurityDemand, Tenant: j.Tenant, SafeOnly: j.SafeOnly,
-	}})
-	if err != nil {
+	}}
+	l := s.wal
+	if s.shardWALs != nil {
+		l = s.shardWALs[s.online.Owner(j.Tenant)]
+		rec.G = s.nextG + 1
+	}
+	if _, err := l.Append(rec); err != nil {
 		s.walBroken = err
 		return err
+	}
+	if s.shardWALs != nil {
+		s.nextG++
 	}
 	s.recsSinceSnap++
 	return nil
 }
 
-// walTenant appends one runtime tenant registration. Loop goroutine
-// only.
+// walTenant appends one runtime tenant registration to the flat or
+// coordinator log. Loop goroutine only.
 func (s *Server) walTenant(spec api.TenantSpec) error {
 	if s.wal == nil {
 		return nil
 	}
-	if _, err := s.wal.Append(wal.Record{Kind: wal.KindTenant, At: s.online.Now(), Tenant: &spec}); err != nil {
+	rec := wal.Record{Kind: wal.KindTenant, At: s.online.Now(), Tenant: &spec}
+	if s.shardWALs != nil {
+		rec.G = s.nextG + 1
+	}
+	if _, err := s.wal.Append(rec); err != nil {
 		s.walBroken = err
 		return err
+	}
+	if s.shardWALs != nil {
+		s.nextG++
 	}
 	s.recsSinceSnap++
 	return nil
 }
 
-// walCommit makes everything appended so far durable — the
-// commit-before-acknowledge point of the submit and tenant-create
-// handlers. Loop goroutine only.
+// walBarrier appends one manual-mode clock barrier (an advance target,
+// or a drain) to the coordinator log — before the barrier executes, so
+// a crash that lost the barrier also lost every event it would have
+// produced. Single-shard and live-mode daemons keep their logs free of
+// barriers: their event order is recoverable without them. Loop
+// goroutine (or post-loop Stop) only.
+func (s *Server) walBarrier(to float64, drain bool) error {
+	if s.wal == nil || s.shardWALs == nil {
+		return nil
+	}
+	rec := wal.Record{
+		Kind: wal.KindBarrier, At: s.online.Now(), G: s.nextG + 1,
+		Barrier: &wal.BarrierRecord{To: to, Drain: drain},
+	}
+	if _, err := s.wal.Append(rec); err != nil {
+		s.walBroken = err
+		return err
+	}
+	s.nextG++
+	s.recsSinceSnap++
+	return nil
+}
+
+// walCommit makes everything appended so far durable across the whole
+// log set — the commit-before-acknowledge point of the submit, tenant
+// and barrier paths. Clean logs skip their fsync, so the fan-out costs
+// one fsync per log actually written this round. Loop goroutine only.
 func (s *Server) walCommit() error {
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.wal.Commit(); err != nil {
-		s.walBroken = err
-		return err
+	for _, l := range s.allWALs() {
+		if err := l.Commit(); err != nil {
+			s.walBroken = err
+			return err
+		}
 	}
 	return nil
 }

@@ -581,6 +581,7 @@ func TestRecoveryRejectsConfigChange(t *testing.T) {
 		"round-budget":   func(c *server.Config) { c.RoundBudget = 7 },
 		"sites":          func(c *server.Config) { c.Sites = c.Sites[:2] },
 		"manual":         func(c *server.Config) { c.Manual = false },
+		"shards":         func(c *server.Config) { c.Shards = 2 },
 	}
 	for field, mutate := range mutations {
 		bad := walTestConfig(dir, "minmin")

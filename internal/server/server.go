@@ -50,6 +50,17 @@ type Config struct {
 	// deterministic trace-replay mode.
 	Manual bool
 
+	// Shards splits the engine into N shards behind an in-process
+	// coordinator (DESIGN.md §11): sites are partitioned round-robin,
+	// tenants are routed to shards by a stable hash of their id, and
+	// every clock advance fans out to all shards as a shared Δ-round
+	// barrier whose merged event stream carries one total order (time,
+	// then shard index). 0 or 1 runs the single unsharded engine,
+	// bit-identical to the daemon before sharding existed. Requires
+	// len(Sites) >= Shards; durable mode keeps one WAL segment stream
+	// per shard under WALDir.
+	Shards int
+
 	// Tenants pre-registers tenants at startup (the default tenant that
 	// backs the /v1 shim always exists and need not be listed). More can
 	// be registered at runtime through POST /v2/tenants; for replayable
@@ -141,6 +152,9 @@ func (c *Config) fillDefaults() {
 	if c.Tick <= 0 {
 		c.Tick = 100 * time.Millisecond
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 4096
 	}
@@ -153,7 +167,7 @@ func (c *Config) fillDefaults() {
 // New, expose Handler over HTTP, stop with Stop.
 type Server struct {
 	cfg     Config
-	online  *sched.Online
+	online  *sched.Coordinator
 	sched   sched.Scheduler
 	log     *eventLog
 	lat     *latencyTracker
@@ -161,8 +175,15 @@ type Server struct {
 
 	// Durable-state machinery (nil/zero without Config.WALDir). All
 	// fields are owned by the loop goroutine while the loop runs; Stop
-	// takes ownership after it exits, exactly like the engine.
+	// takes ownership after it exits, exactly like the engine. An
+	// unsharded daemon keeps one flat log in WALDir (wal); a sharded one
+	// keeps the coordinator log (wal, under WALDir/coord — tenants,
+	// barriers, snapshots) plus one arrival/churn log per shard
+	// (shardWALs, under WALDir/shard-NNNN), stitched into one total
+	// order by the global sequence counter nextG.
 	wal           *walLog
+	shardWALs     []*walLog
+	nextG         uint64
 	recsSinceSnap int
 	walBroken     error
 
@@ -203,18 +224,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: unknown mode %q (want secure, risky or frisky)", cfg.Mode)
 	}
 
-	root := rng.New(cfg.Seed)
-	scheduler, err := setup.SchedulerByName(cfg.Algo, policy, root.Derive("scheduler"),
-		cfg.Training, cfg.Sites)
-	if err != nil {
-		return nil, err
+	n := cfg.Shards
+	if n > len(cfg.Sites) {
+		return nil, fmt.Errorf("server: %d shards need at least %d sites, have %d", n, n, len(cfg.Sites))
 	}
 
+	root := rng.New(cfg.Seed)
 	s := &Server{
 		cfg:      cfg,
-		sched:    scheduler,
 		log:      newEventLog(cfg.EventBuffer),
-		lat:      newLatencyTracker(0),
+		lat:      newLatencyTracker(0, n),
 		tenants:  newTenantRegistry(),
 		cmds:     make(chan func()),
 		quit:     make(chan struct{}),
@@ -224,8 +243,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Manual {
 		s.usedIDs = make(map[int]struct{})
 	}
-	// Pre-registered tenants seed both the registry and the engine's
-	// fair-share weight vector (the default tenant is implicit).
+	// Pre-registered tenants seed both the registry and the engines'
+	// fair-share weight vector (the default tenant is implicit). One
+	// shared weight map is safe: each shard's admission state deep-copies
+	// it at construction.
 	weights := map[string]float64{api.DefaultTenant: 1}
 	for _, t := range cfg.Tenants {
 		if err := s.tenants.register(t); err != nil {
@@ -234,29 +255,49 @@ func New(cfg Config) (*Server, error) {
 		norm, _ := s.tenants.get(t.ID)
 		weights[norm.ID] = norm.Weight
 	}
-	runCfg := sched.RunConfig{
-		Sites:         cfg.Sites,
-		Scheduler:     scheduler,
-		BatchInterval: cfg.BatchInterval,
-		Security:      setup.Model(),
-		FailureTiming: setup.FailTiming,
-		Rand:          root.Derive("engine"),
-		OnEvent:       s.onEvent,
-		SubmitBuffer:  cfg.SubmitBuffer,
-		Dynamics:      cfg.Dynamics,
-		Admission:     &sched.AdmissionConfig{RoundBudget: cfg.RoundBudget, Weights: weights},
-		// A daemon serves jobs indefinitely; per-job records would grow
-		// without bound. The incremental summary carries the metrics.
-		DiscardRecords: true,
-		// The durable-event ledger is what makes the engine snapshotable.
-		Durable: cfg.WALDir != "",
-	}
-	if cfg.WALDir == "" {
-		s.online, err = sched.NewOnline(runCfg)
+	// One engine config per shard over its site partition, each with its
+	// own scheduler instance and its own labelled RNG streams. With one
+	// shard the labels collapse to the historical "scheduler"/"engine"
+	// (ShardRNGLabel), so -shards 1 reproduces the unsharded daemon bit
+	// for bit — TestTraceReplayParity pins that.
+	parts := sched.PartitionSites(len(cfg.Sites), n)
+	adm := &sched.AdmissionConfig{RoundBudget: cfg.RoundBudget, Weights: weights}
+	shardCfgs := make([]sched.RunConfig, n)
+	for i := range shardCfgs {
+		sites := sched.ShardSites(cfg.Sites, parts[i])
+		scheduler, err := setup.SchedulerByName(cfg.Algo, policy,
+			root.Derive(sched.ShardRNGLabel("scheduler", n, i)), cfg.Training, sites)
 		if err != nil {
 			return nil, err
 		}
-	} else if err := s.recover(runCfg); err != nil {
+		if i == 0 {
+			s.sched = scheduler
+		}
+		shardCfgs[i] = sched.RunConfig{
+			Sites:         sites,
+			Scheduler:     scheduler,
+			BatchInterval: cfg.BatchInterval,
+			Security:      setup.Model(),
+			FailureTiming: setup.FailTiming,
+			Rand:          root.Derive(sched.ShardRNGLabel("engine", n, i)),
+			SubmitBuffer:  cfg.SubmitBuffer,
+			Dynamics:      sched.PartitionDynamics(cfg.Dynamics, parts[i]),
+			Admission:     adm,
+			// A daemon serves jobs indefinitely; per-job records would grow
+			// without bound. The incremental summary carries the metrics.
+			DiscardRecords: true,
+			// The durable-event ledger is what makes the engine snapshotable.
+			Durable: cfg.WALDir != "",
+		}
+	}
+	cc := sched.CoordinatorConfig{Shards: shardCfgs, Parts: parts, OnEvent: s.onEvent}
+	if cfg.WALDir == "" {
+		var err error
+		s.online, err = sched.NewCoordinator(cc)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := s.recover(cc); err != nil {
 		return nil, fmt.Errorf("server: recovery: %w", err)
 	}
 	go s.loop()
@@ -455,6 +496,13 @@ func (s *Server) Stop(drain bool) (*sched.Result, error) {
 		return nil, s.closeWAL()
 	}
 	// The loop has exited, so the Stop caller is the engine's owner now.
+	// A sharded manual-mode daemon logs the drain barrier first, exactly
+	// like the /v2/drain handler: the drain moves every shard's window
+	// boundary, and recovery must re-execute it to reproduce the merged
+	// order (single-shard and live-mode daemons no-op here).
+	if s.cfg.Manual {
+		_ = s.walBarrier(0, true)
+	}
 	res, err := s.online.Drain()
 	if err != nil {
 		s.closeWAL()
@@ -474,10 +522,12 @@ func (s *Server) finalSnapshot() {
 }
 
 func (s *Server) closeWAL() error {
-	if s.wal == nil {
-		return nil
+	var err error
+	for _, l := range s.allWALs() {
+		if cerr := l.Close(); err == nil {
+			err = cerr
+		}
 	}
-	err := s.wal.Close()
-	s.wal = nil
+	s.wal, s.shardWALs = nil, nil
 	return err
 }

@@ -1,0 +1,360 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"trustgrid/internal/api"
+	"trustgrid/internal/client"
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/fuzzy"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/server"
+)
+
+// shardedSites is a 6-site heterogeneous platform — enough sites for a
+// 3- or 4-way split with a mixed speed/security profile per shard.
+func shardedSites() []*grid.Site {
+	return []*grid.Site{
+		{ID: 0, Speed: 10, Nodes: 8, SecurityLevel: 0.95},
+		{ID: 1, Speed: 20, Nodes: 16, SecurityLevel: 0.5},
+		{ID: 2, Speed: 5, Nodes: 4, SecurityLevel: 0.8},
+		{ID: 3, Speed: 15, Nodes: 8, SecurityLevel: 0.7},
+		{ID: 4, Speed: 8, Nodes: 4, SecurityLevel: 0.9},
+		{ID: 5, Speed: 12, Nodes: 8, SecurityLevel: 0.6},
+	}
+}
+
+// shardedTenantNames picks one tenant id per shard, so the workload
+// provably exercises every shard of an n-way daemon.
+func shardedTenantNames(t *testing.T, n int) []string {
+	t.Helper()
+	names := make([]string, n)
+	for i := 0; len(names) > 0 && i < 10000; i++ {
+		id := fmt.Sprintf("t-%d", i)
+		s := sched.RouteTenant(id, n)
+		if names[s] == "" {
+			names[s] = id
+		}
+		full := true
+		for _, v := range names {
+			if v == "" {
+				full = false
+			}
+		}
+		if full {
+			return names
+		}
+	}
+	t.Fatalf("could not find %d tenants covering all shards", n)
+	return nil
+}
+
+// shardedJob is one scripted submission: arrivals are strictly inside
+// their Δ-window (never on a barrier boundary), which is what makes the
+// per-window merged stream equal the global (time, shard) order.
+type shardedJob struct {
+	id       int
+	window   int
+	arrival  float64
+	workload float64
+	sd       float64
+	tenant   string
+}
+
+func shardedJobList(n int, delta float64, tenants []string) []shardedJob {
+	r := rng.New(5150)
+	jobs := make([]shardedJob, n)
+	for i := range jobs {
+		w := i / 6 // 6 jobs per window
+		jobs[i] = shardedJob{
+			id:       i + 1,
+			window:   w,
+			arrival:  delta * (float64(w) + 0.02 + 0.96*r.Float64()),
+			workload: 200 + float64((i*137)%7)*400,
+			sd:       0.55 + 0.05*float64(i%8),
+			tenant:   tenants[i%len(tenants)],
+		}
+	}
+	return jobs
+}
+
+// TestShardedParity is the tentpole's headline proof at the service
+// layer: a -shards 3 daemon's placement stream (read back from the
+// merged /v2/events feed) is byte-identical to the deterministic merge
+// of 3 independent single-shard engines, each built exactly the way the
+// daemon builds its shards — same site partition, same per-shard
+// scheduler and RNG streams, same admission config, same barrier
+// targets. Runs for the stateless Min-Min and the stateful STGA, on a
+// static and on a churning grid.
+func TestShardedParity(t *testing.T) {
+	rep := fuzzy.DefaultReputationConfig()
+	dyn := &sched.DynamicsConfig{
+		Churn: []grid.ChurnEvent{
+			{Time: 700, Site: 1, Kind: grid.ChurnCrash},
+			{Time: 900, Site: 4, Kind: grid.ChurnDegrade, Factor: 0.5},
+			{Time: 1300, Site: 1, Kind: grid.ChurnJoin},
+			{Time: 1500, Site: 2, Kind: grid.ChurnDrain},
+		},
+		Reputation: &rep,
+		TrueLevels: []float64{0.7, 0.5, 0.8, 0.6, 0.9, 0.55},
+	}
+	for _, algo := range []string{"minmin", "stga"} {
+		t.Run(algo, func(t *testing.T) { runShardedParity(t, algo, nil) })
+		t.Run(algo+"-churn", func(t *testing.T) { runShardedParity(t, algo, dyn) })
+	}
+}
+
+func runShardedParity(t *testing.T, algo string, dyn *sched.DynamicsConfig) {
+	const (
+		nShards = 3
+		delta   = 300.0
+		seed    = 21
+		budget  = 3
+	)
+	setup := experiments.TestSetup()
+	setup.Population = 12
+	setup.Generations = 6
+	sites := shardedSites()
+	tenantNames := shardedTenantNames(t, nShards)
+	jobs := shardedJobList(36, delta, tenantNames)
+	tenantWeights := []float64{2, 1, 3}
+	specs := make([]api.TenantSpec, nShards)
+	weights := map[string]float64{api.DefaultTenant: 1}
+	for i, id := range tenantNames {
+		specs[i] = api.TenantSpec{ID: id, Weight: tenantWeights[i]}
+		weights[id] = tenantWeights[i]
+	}
+
+	// The daemon under test.
+	srv, err := server.New(server.Config{
+		Sites: sites, Algo: algo, Mode: "frisky", BatchInterval: delta,
+		Seed: seed, Setup: setup, Manual: true, Shards: nShards,
+		Tenants: specs, RoundBudget: budget, Dynamics: dyn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// The reference: n independent engines over the daemon's exact
+	// per-shard construction (mirrors server.New shard by shard).
+	root := rng.New(seed)
+	policy := setup.Policy(grid.FRisky, setup.F)
+	parts := sched.PartitionSites(len(sites), nShards)
+	adm := &sched.AdmissionConfig{RoundBudget: budget, Weights: weights}
+	engines := make([]*sched.Online, nShards)
+	bufs := make([][]sched.EngineEvent, nShards)
+	for i := range engines {
+		i := i
+		shardSites := sched.ShardSites(sites, parts[i])
+		sc, err := setup.SchedulerByName(algo, policy,
+			root.Derive(sched.ShardRNGLabel("scheduler", nShards, i)), nil, shardSites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := sched.NewOnline(sched.RunConfig{
+			Sites: shardSites, Scheduler: sc, BatchInterval: delta,
+			Security: setup.Model(), FailureTiming: setup.FailTiming,
+			Rand:      root.Derive(sched.ShardRNGLabel("engine", nShards, i)),
+			Dynamics:  sched.PartitionDynamics(dyn, parts[i]),
+			Admission: adm,
+			OnEvent: func(ev sched.EngineEvent) {
+				if ev.Site >= 0 {
+					ev.Site = parts[i][ev.Site]
+				}
+				bufs[i] = append(bufs[i], ev)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = o
+	}
+	var want strings.Builder
+	mergeWindow := func() {
+		for _, ev := range sched.MergeShardEvents(bufs) {
+			if ev.Kind == sched.EventPlaced {
+				placementLine(&want, ev.Job.ID, ev.Site, ev.Start, ev.Finish)
+			}
+		}
+		for i := range bufs {
+			bufs[i] = bufs[i][:0]
+		}
+	}
+
+	// Drive both sides through the identical window protocol.
+	windows := jobs[len(jobs)-1].window + 1
+	next := 0
+	for w := 0; w < windows; w++ {
+		target := delta * float64(w+1)
+		for next < len(jobs) && jobs[next].window == w {
+			j := jobs[next]
+			id, arr := j.id, j.arrival
+			if _, err := c.Submit(ctx, j.tenant, []api.JobSpec{
+				{ID: &id, Arrival: &arr, Workload: j.workload, SD: j.sd},
+			}); err != nil {
+				t.Fatalf("submit job %d: %v", j.id, err)
+			}
+			owner := sched.RouteTenant(j.tenant, nShards)
+			if err := engines[owner].Submit(&grid.Job{
+				ID: j.id, Arrival: j.arrival, Workload: j.workload,
+				Nodes: 1, SecurityDemand: j.sd, Tenant: j.tenant,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if _, err := c.Advance(ctx, api.AdvanceRequest{To: target}); err != nil {
+			t.Fatalf("advance to %v: %v", target, err)
+		}
+		for _, o := range engines {
+			if err := o.AdvanceTo(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mergeWindow()
+	}
+	if _, err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range engines {
+		if _, err := o.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mergeWindow()
+
+	// Placement streams must match byte for byte.
+	es := c.Events(ctx, client.EventsOptions{Kinds: []string{"placed"}})
+	defer es.Close()
+	var got strings.Builder
+	for {
+		ev, err := es.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		placementLine(&got, ev.Job, ev.Site, ev.Start, ev.Finish)
+	}
+	if want.Len() == 0 {
+		t.Fatal("reference produced no placements")
+	}
+	if got.String() != want.String() {
+		d := firstDiff(want.String(), got.String())
+		t.Fatalf("sharded daemon diverges from merged independent shards at byte %d\nwant: %s\ngot:  %s",
+			d, excerpt(want.String(), d), excerpt(got.String(), d))
+	}
+
+	// The per-shard metrics section must cover every shard and account
+	// for every ingested job exactly once.
+	repM, err := c.Metrics(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repM.Shards) != nShards {
+		t.Fatalf("metrics report %d shards, want %d", len(repM.Shards), nShards)
+	}
+	totalSeen, totalSites := 0, 0
+	for i, sm := range repM.Shards {
+		if sm.Shard != i {
+			t.Fatalf("shard metrics out of order: entry %d has index %d", i, sm.Shard)
+		}
+		if sm.Seen == 0 {
+			t.Errorf("shard %d ingested no jobs — tenant spread is broken", i)
+		}
+		totalSeen += sm.Seen
+		totalSites += sm.Sites
+	}
+	if totalSeen != len(jobs) {
+		t.Errorf("per-shard seen sums to %d, want %d", totalSeen, len(jobs))
+	}
+	if totalSites != len(sites) {
+		t.Errorf("per-shard sites sum to %d, want %d", totalSites, len(sites))
+	}
+}
+
+// TestShardCountChangeRejected pins the durability guard: a WAL written
+// under one shard count must refuse to open under any other — the
+// tenant→shard routing and the per-shard log layout are both functions
+// of N, so "just reopening" with a different N would silently rewire
+// history. Both directions (sharded→sharded, sharded→flat, flat→sharded)
+// must refuse; the unchanged count must recover.
+func TestShardCountChangeRejected(t *testing.T) {
+	ctx := context.Background()
+	run := func(cfg server.Config) {
+		t.Helper()
+		srv, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		c := client.New(ts.URL)
+		for i, tenant := range shardedTenantNames(t, 2) {
+			if _, err := c.CreateTenant(ctx, api.TenantSpec{ID: tenant, Weight: 1}); err != nil {
+				t.Fatal(err)
+			}
+			id, arr := i+1, 100.0+float64(i)
+			if _, err := c.Submit(ctx, tenant, []api.JobSpec{
+				{ID: &id, Arrival: &arr, Workload: 400, SD: 0.65},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Advance(ctx, api.AdvanceRequest{To: 600}); err != nil {
+			t.Fatal(err)
+		}
+		ts.Close()
+		if _, err := srv.Stop(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := func(dir string, shards int) server.Config {
+		setup := experiments.TestSetup()
+		return server.Config{
+			Sites: shardedSites(), Algo: "minmin", Seed: 11, BatchInterval: 300,
+			Manual: true, Setup: setup, Shards: shards, WALDir: dir,
+			SnapshotEvery: 8, WALKeep: -1,
+		}
+	}
+
+	// Sharded history refuses any other count, flat included.
+	dir2 := t.TempDir()
+	run(base(dir2, 2))
+	for _, n := range []int{3, 1, 4} {
+		if _, err := server.New(base(dir2, n)); err == nil ||
+			!strings.Contains(err.Error(), "refusing to restore") {
+			t.Fatalf("shards 2->%d not rejected: %v", n, err)
+		}
+	}
+	good, err := server.New(base(dir2, 2))
+	if err != nil {
+		t.Fatalf("unchanged shard count failed to recover: %v", err)
+	}
+	_, _ = good.Stop(false)
+
+	// Flat (unsharded) history refuses a sharded reopen.
+	dir1 := t.TempDir()
+	run(base(dir1, 1))
+	if _, err := server.New(base(dir1, 2)); err == nil ||
+		!strings.Contains(err.Error(), "refusing to restore") {
+		t.Fatalf("shards 1->2 not rejected: %v", err)
+	}
+	good, err = server.New(base(dir1, 1))
+	if err != nil {
+		t.Fatalf("flat reopen failed: %v", err)
+	}
+	_, _ = good.Stop(false)
+}

@@ -32,7 +32,7 @@ func buildLog(t testing.TB, n int) []byte {
 func FuzzWALReplay(f *testing.F) {
 	clean := buildLog(f, 6)
 	f.Add(clean)
-	f.Add(clean[:len(clean)-9])                         // truncated mid-line
+	f.Add(clean[:len(clean)-9])                                                              // truncated mid-line
 	f.Add(append(append([]byte{}, clean...), "89abcdef {\"seq\":7,\"kind\":\"arrival\""...)) // torn append
 	flipped := append([]byte{}, clean...)
 	flipped[len(flipped)/2] ^= 0x10

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -212,6 +213,79 @@ func (l *Log) Rotate() error {
 	}
 	l.f = f
 	l.w = bufio.NewWriterSize(f, 1<<16)
+	return l.syncDir()
+}
+
+// TruncateTail discards every record with sequence number greater than
+// keep, repositioning the writer so the next Append continues at
+// keep+1. Sharded recovery uses it to cut each log of a multi-log set
+// back to the longest globally contiguous prefix (Record.G): a crash
+// between the per-log fsyncs of one group commit can leave one log
+// holding a record whose global predecessor — in a sibling log — never
+// became durable, and that suffix must go before replay. A no-op when
+// nothing follows keep; an error when keep predates the GC horizon.
+func (l *Log) TruncateTail(keep uint64) error {
+	if keep >= l.lastSeq {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f, l.w = nil, nil
+	segs, err := segments(l.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 || keep+1 < segs[0].firstSeq {
+		return fmt.Errorf("wal: cannot truncate to %d: the log starts at %d", keep, segs[0].firstSeq)
+	}
+	active := ""
+	for _, s := range segs {
+		if s.firstSeq > keep {
+			os.Remove(s.path)
+			continue
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		recs, _ := DecodeAll(data, s.firstSeq)
+		if s.firstSeq+uint64(len(recs))-1 <= keep {
+			active, l.segFirst = s.path, s.firstSeq
+			continue
+		}
+		// The cut lands inside this segment. Records are whole lines, so
+		// the byte length of the kept prefix is the offset just past the
+		// (keep-firstSeq+1)-th newline.
+		off := 0
+		for i := uint64(0); i < keep-s.firstSeq+1; i++ {
+			nl := bytes.IndexByte(data[off:], '\n')
+			off += nl + 1
+		}
+		if err := os.Truncate(s.path, int64(off)); err != nil {
+			return err
+		}
+		active, l.segFirst = s.path, s.firstSeq
+	}
+	l.lastSeq = keep
+	if active == "" {
+		l.segFirst = keep + 1
+		active = filepath.Join(l.dir, segmentName(l.segFirst))
+	}
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.dirty = false
 	return l.syncDir()
 }
 

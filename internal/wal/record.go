@@ -24,7 +24,23 @@ const (
 	// copy makes the on-disk input set self-contained and lets recovery
 	// detect a config that no longer matches the log.
 	KindChurn = "churn"
+	// KindBarrier is one manual-mode clock barrier of a sharded daemon
+	// (an /v2/advance target or a drain). Sharded recovery re-executes
+	// barriers to reproduce the exact Δ-round windows — and with them
+	// the merged event stream's total order — that the original run
+	// emitted; per-record At replay alone cannot, because the window
+	// boundaries are not recoverable from arrival timestamps (an
+	// arrival at a window boundary belongs to the NEXT window).
+	// Single-shard logs never contain barriers.
+	KindBarrier = "barrier"
 )
+
+// BarrierRecord is KindBarrier's payload: the clock target of one
+// fan-out advance, or a drain.
+type BarrierRecord struct {
+	To    float64 `json:"to"`
+	Drain bool    `json:"drain,omitempty"`
+}
 
 // Record is one WAL entry. Seq numbers are assigned by Log.Append,
 // contiguous from 1; exactly one payload field is set, per Kind.
@@ -39,10 +55,22 @@ type Record struct {
 	// join the next batch after recovery exactly as it did originally).
 	// Zero in live mode, where ingest rides the wall tick and recovery is
 	// best-effort: jobs resurrect at the recovered clock.
-	At      float64          `json:"at,omitempty"`
+	At float64 `json:"at,omitempty"`
+	// G is the record's global sequence number across a sharded
+	// daemon's log set (coordinator log + one log per shard): assigned
+	// contiguously from 1 by the server, monotone within every log.
+	// Recovery merges the logs by G to reproduce the exact order the
+	// loop goroutine applied the records in, and truncates each log to
+	// the longest globally contiguous G-prefix — a crash between the
+	// per-log fsyncs of one group commit can persist a later record
+	// while losing an earlier one, and a gapped history must not
+	// replay. Zero (omitted) on single-engine logs, whose one Seq
+	// stream is already the total order.
+	G       uint64           `json:"g,omitempty"`
 	Arrival *api.TraceRecord `json:"arrival,omitempty"`
 	Tenant  *api.TenantSpec  `json:"tenant,omitempty"`
 	Churn   *grid.ChurnEvent `json:"churn,omitempty"`
+	Barrier *BarrierRecord   `json:"barrier,omitempty"`
 }
 
 // Validate checks the kind/payload pairing.
@@ -59,6 +87,10 @@ func (r Record) Validate() error {
 	case KindChurn:
 		if r.Churn == nil {
 			return fmt.Errorf("wal: churn record %d without payload", r.Seq)
+		}
+	case KindBarrier:
+		if r.Barrier == nil {
+			return fmt.Errorf("wal: barrier record %d without payload", r.Seq)
 		}
 	default:
 		return fmt.Errorf("wal: record %d has unknown kind %q", r.Seq, r.Kind)
