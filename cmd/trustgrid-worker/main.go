@@ -1,0 +1,124 @@
+// Command trustgrid-worker hosts one engine shard of a trustgridd
+// fleet (DESIGN.md §12). It boots blank: the first coordinator attach
+// ships the run's fleet.Spec and the worker builds its shard's engine
+// from it — same partition, same labelled RNG streams the daemon would
+// use in process, so the fleet's merged event stream is byte-identical
+// to -shards N.
+//
+// Usage:
+//
+//	trustgrid-worker [-config FILE]
+//	                 [-listen 127.0.0.1:7601] [-wal DIR]
+//	                 [-event-buffer N] [-heartbeat 1s]
+//
+// -wal makes the shard durable: every input the coordinator sends
+// (arrivals, tenant weights, clock barriers, the shard's churn prefix)
+// is write-ahead-logged and committed before it is acknowledged, and
+// the configuring spec is persisted alongside. A killed worker
+// restarted on the same -wal directory replays the log — re-deriving
+// its exact engine state and event sequence — and reattaches where it
+// left off; the coordinator's next barrier backfills whatever the
+// daemon missed. Without -wal the shard is in-memory only and a
+// restart comes back blank.
+//
+// All run configuration (sites, algorithm, seed, churn, admission)
+// lives at the coordinator and arrives in the attach frame; the worker
+// refuses attaches whose spec fingerprint or shard index differ from
+// what it was configured (or recovered) with. Every flag can also come
+// from a flat YAML config file (-config or TRUSTGRID_WORKER_CONFIG;
+// keys are flag names) or TRUSTGRID_WORKER_* environment overrides,
+// with fixed precedence: flag > environment > file > default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"trustgrid/internal/config"
+	"trustgrid/internal/fleet"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trustgrid-worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := fs.String("config", "", "flat YAML config file; keys are flag names (precedence: flag > TRUSTGRID_WORKER_* env > file > default)")
+	listen := fs.String("listen", "127.0.0.1:7601", "address to serve the fleet protocol on")
+	walDir := fs.String("wal", "", "durable-state directory (WAL + persisted spec); a restart replays it and reattaches (empty = in-memory shard)")
+	eventBuffer := fs.Int("event-buffer", 0, "engine events retained for reconnect backfill (0 = 65536)")
+	heartbeat := fs.Duration("heartbeat", 0, "status heartbeat cadence; must stay well under the coordinator's 5s liveness TTL (0 = 1s)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	path := *configPath
+	if path == "" {
+		path = os.Getenv("TRUSTGRID_WORKER_CONFIG")
+	}
+	var fileVals map[string]string
+	if path != "" {
+		var err error
+		if fileVals, err = config.Load(path); err != nil {
+			fmt.Fprintln(stderr, "trustgrid-worker:", err)
+			return 2
+		}
+	}
+	if err := config.Apply(fs, "TRUSTGRID_WORKER", fileVals); err != nil {
+		fmt.Fprintln(stderr, "trustgrid-worker:", err)
+		return 2
+	}
+
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		WALDir:      *walDir,
+		EventBuffer: *eventBuffer,
+		Heartbeat:   *heartbeat,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "trustgrid-worker:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "trustgrid-worker:", err)
+		return 1
+	}
+	switch {
+	case *walDir == "":
+		fmt.Fprintf(stdout, "trustgrid-worker: serving on %s (in-memory shard, awaiting attach)\n", ln.Addr())
+	case w.Fingerprint() != "":
+		fmt.Fprintf(stdout, "trustgrid-worker: serving on %s (recovered from %s, spec %.12s)\n",
+			ln.Addr(), *walDir, w.Fingerprint())
+	default:
+		fmt.Fprintf(stdout, "trustgrid-worker: serving on %s (durable in %s, awaiting attach)\n", ln.Addr(), *walDir)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- w.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(stderr, "trustgrid-worker:", err)
+			w.Close()
+			return 1
+		}
+	case s := <-sig:
+		fmt.Fprintf(stdout, "trustgrid-worker: received %s, shutting down\n", s)
+	}
+	// Close commits nothing new — every acknowledged input is already on
+	// disk (commit-before-ack) — it just releases the WAL cleanly. A
+	// kill -9 instead of a signal loses nothing either; that's the test.
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(stderr, "trustgrid-worker:", err)
+		return 1
+	}
+	return 0
+}

@@ -10,7 +10,7 @@
 //	           [-addr :8421] [-workload psa|nas] [-algo minmin|...|stga]
 //	           [-mode secure|risky|frisky] [-f 0.5] [-seed 1]
 //	           [-batch SECONDS] [-tick 100ms] [-manual] [-shards N]
-//	           [-scale small|paper]
+//	           [-workers ADDR1,ADDR2,...] [-scale small|paper]
 //	           [-round-budget N] [-trace-out FILE] [-max-wall DURATION]
 //	           [-pprof-addr ADDR]
 //	           [-churn-mtbf SECONDS] [-churn-outage SECONDS]
@@ -58,6 +58,15 @@
 // under -wal-dir, and recovery refuses a directory written under a
 // different shard count.
 //
+// -workers moves the shards out of process (DESIGN.md §12): each
+// address is one trustgrid-worker hosting one shard behind a framed
+// TCP protocol, attached in list order (worker i is shard i). The
+// fleet is byte-identical to -shards N. Durability becomes
+// worker-owned — run each worker with -wal and restart it in place; a
+// down worker's tenants get 503s until it reattaches at the next
+// barrier, while the rest of the fleet keeps scheduling. -workers is
+// mutually exclusive with -wal-dir and overrides -shards.
+//
 // The daemon serves the multi-tenant /v2 API alongside the /v1 shim
 // (DESIGN.md §9): tenants register over POST /v2/tenants (their own
 // weight, queue quota, SD defaults and risk policy), submit to
@@ -78,6 +87,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -110,6 +120,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tick := fs.Duration("tick", 100*time.Millisecond, "wall-clock duration of one batch interval (live mode)")
 	manual := fs.Bool("manual", false, "manual clock: clients drive /v1/advance and /v1/drain")
 	shards := fs.Int("shards", 1, "engine shards behind the in-process coordinator: sites are partitioned, tenants are hash-routed, and every Δ-round is a shared clock barrier (1 = the single unsharded engine)")
+	workers := fs.String("workers", "", "comma-separated trustgrid-worker addresses; each hosts one out-of-process shard (worker i is shard i — keep the order stable across restarts). Mutually exclusive with -wal-dir; byte-identical to -shards N")
 	roundBudget := fs.Int("round-budget", 0, "max jobs admitted per Δ-round; excess backlog is rationed by weighted deficit-round-robin across tenants (0 = unlimited)")
 	scale := fs.String("scale", "small", "GA sizing: small (service defaults) or paper (Table 1)")
 	train := fs.Bool("train", true, "warm the STGA history table before serving")
@@ -256,6 +267,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Seed: *seed, Setup: setup, Tick: *tick, Manual: *manual,
 		Shards: *shards, Dynamics: dyn, RoundBudget: *roundBudget,
 		WALDir: *walDir, SnapshotEvery: *snapshotEvery, WALKeep: *walKeep,
+	}
+	if *workers != "" {
+		for _, addr := range strings.Split(*workers, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				cfg.Workers = append(cfg.Workers, addr)
+			}
+		}
 	}
 	if traceW != nil {
 		cfg.TraceWriter = traceW

@@ -170,6 +170,14 @@ type ShardMetrics struct {
 	// Latency is the shard's submit-to-first-placement window; jobs are
 	// attributed by the tenant router, so the series is exact.
 	Latency LatencySummary `json:"sched_latency"`
+	// Addr and Down describe the shard's worker process in fleet mode
+	// (-workers): the address it was attached at, and whether the daemon
+	// currently considers it unreachable. While Down is true the other
+	// gauges are the worker's last reported values, and submissions for
+	// its tenants are refused with 503 until it reattaches. Both fields
+	// are absent for in-process shards.
+	Addr string `json:"addr,omitempty"`
+	Down bool   `json:"down,omitempty"`
 }
 
 // MetricsReport is the /v1/metrics and /v2/metrics response. The

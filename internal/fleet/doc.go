@@ -1,0 +1,24 @@
+// Package fleet crosses the process boundary of the sharded scheduling
+// engine (DESIGN.md §12): a trustgrid-worker process hosts one engine
+// shard behind a small framed TCP protocol, and RemoteShard implements
+// the sched.Shard seam over that wire so sched.Coordinator drives a
+// fleet of workers exactly as it drives in-process shards.
+//
+// The protocol is deliberately minimal — 4-byte big-endian length
+// prefix, JSON payload, no dependencies beyond the standard library.
+// The coordinator is the only client a worker serves (latest attach
+// wins); requests are serialized per connection, and every response
+// piggybacks the shard's status plus the engine events emitted since
+// the last delivery, stamped with a contiguous per-shard sequence so a
+// reconnect can backfill exactly the window it missed.
+//
+// Determinism carries over from the in-process coordinator unchanged:
+// a worker builds its engine from the same Spec-derived RunConfig
+// (same partition, same ShardRNGLabel streams) the server would build
+// in process, so an N-worker fleet and `-shards N` produce
+// byte-identical merged event streams. Durability is worker-owned:
+// each worker write-ahead-logs its own inputs (arrivals, weights,
+// barriers, churn prefix) and a killed worker replays them on restart,
+// re-deriving the same events — and the same event sequence numbers —
+// before it reattaches.
+package fleet

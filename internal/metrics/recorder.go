@@ -42,7 +42,10 @@ func NewRecorder(window int) *Recorder {
 func (r *Recorder) Observe(v float64) {
 	r.mu.Lock()
 	if len(r.samples) >= r.max {
-		r.samples = append(r.samples[:0], r.samples[len(r.samples)/2:]...)
+		// Drop the oldest ⌈half⌉ so the append below lands back inside
+		// the bound even at max=1 (keeping ⌊half⌋ of a 1-element window
+		// would hold the window at 2 forever).
+		r.samples = append(r.samples[:0], r.samples[(len(r.samples)+1)/2:]...)
 	}
 	r.samples = append(r.samples, v)
 	r.count++

@@ -106,3 +106,28 @@ func TestRecorderEmptyAndDefaults(t *testing.T) {
 		t.Fatalf("single-sample summary = %+v", s)
 	}
 }
+
+// TestRecorderSmallWindows pins the window bound at the degenerate
+// sizes where the drop-half arithmetic is easiest to get wrong: before
+// the fix, a window of 1 kept its single sample on trim and sat at 2
+// retained samples forever, violating the recorder's only invariant.
+func TestRecorderSmallWindows(t *testing.T) {
+	for _, window := range []int{1, 2, 3} {
+		r := NewRecorder(window)
+		for i := 1; i <= 10*window; i++ {
+			r.Observe(float64(i))
+			if got := len(r.samples); got > window {
+				t.Fatalf("window %d: %d samples retained after %d observations",
+					window, got, i)
+			}
+		}
+		s := r.Summary()
+		if s.Count != int64(10*window) {
+			t.Fatalf("window %d: lifetime count = %d, want %d", window, s.Count, 10*window)
+		}
+		// The newest sample always survives the trim-then-append.
+		if s.Max != float64(10*window) {
+			t.Fatalf("window %d: max = %v, want %v", window, s.Max, float64(10*window))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,48 @@ import (
 	"trustgrid/internal/grid"
 	"trustgrid/internal/metrics"
 )
+
+// ErrShardDown reports that a shard is (temporarily) unreachable — a
+// fleet worker whose connection dropped or whose heartbeat TTL expired.
+// In-process shards never return it. The coordinator treats it as a
+// degradation, not a failure: AdvanceTo skips a down shard (its barrier
+// window is made up on reattach, see internal/fleet), while submissions
+// routed to it surface the error so the service layer can 503 the
+// owning tenants. Match with errors.Is.
+var ErrShardDown = errors.New("sched: shard down")
+
+// Shard is the seam between the coordinator and one engine shard: the
+// exact method set Coordinator needs to route submissions, drive the
+// Δ-round barrier and aggregate what it reports. *Online implements it
+// in process; fleet.RemoteShard implements it over a framed TCP
+// connection to a trustgrid-worker. The concurrency contract matches
+// Online: Submit/SubmitOr/Backlog are safe from any goroutine, the rest
+// belongs to the goroutine driving the coordinator.
+type Shard interface {
+	Submit(j *grid.Job) error
+	SubmitOr(done <-chan struct{}, j *grid.Job) error
+	SubmitLocal(j *grid.Job) error
+	AdvanceTo(t float64) error
+	Drain() (*Result, error)
+	Now() float64
+	Backlog() int
+	Seen() int
+	InFlight() int
+	Batches() int
+	LargestBatch() int
+	SetTenantWeight(tenant string, weight float64)
+	SiteStatuses() []SiteStatus
+	NeverPlaced() []grid.Job
+	Snapshot() (*EngineSnapshot, error)
+	// MetricsState exposes the incremental §4.1 accumulator and the
+	// per-site (local index) busy vector for cross-shard aggregation.
+	MetricsState() (metrics.AccumulatorState, []float64)
+	// SetEventSink installs the coordinator's event observer. Events
+	// only fire while the shard executes (AdvanceTo/Drain/SubmitLocal on
+	// the driving goroutine), so installing the sink between construction
+	// and the first barrier is race-free.
+	SetEventSink(fn func(EngineEvent))
+}
 
 // CoordinatorConfig assembles a coordinator over N engine shards. The
 // caller (the server, or a test) prepares one RunConfig per shard whose
@@ -31,12 +74,15 @@ type CoordinatorConfig struct {
 	OnEvent func(EngineEvent)
 }
 
-// Coordinator is the tier above N engine shards running in one process
-// (DESIGN.md §11): it routes submissions to the owning shard
-// (RouteTenant), fans AdvanceTo/Drain out to every shard as a shared
-// Δ-round barrier, and merges the shards' event streams into one total
-// order. With one shard it is a transparent wrapper — same RNG labels,
-// pass-through events, bit-identical behavior to the unsharded engine.
+// Coordinator is the tier above N engine shards (DESIGN.md §11): it
+// routes submissions to the owning shard (RouteTenant), fans
+// AdvanceTo/Drain out to every shard as a shared Δ-round barrier, and
+// merges the shards' event streams into one total order. With one shard
+// it is a transparent wrapper — same RNG labels, pass-through events,
+// bit-identical behavior to the unsharded engine. The shards may live
+// in process (NewCoordinator) or behind a wire (AttachCoordinator over
+// fleet.RemoteShard values); the barrier, merge and routing logic do
+// not know the difference.
 //
 // Concurrency contract: same as Online. Submit/SubmitOr/Backlog are
 // safe from any goroutine; everything else belongs to the single loop
@@ -44,7 +90,7 @@ type CoordinatorConfig struct {
 // but that parallelism is internal — events are buffered per shard and
 // merged after the join, so observers see one serialized stream.
 type Coordinator struct {
-	shards  []*Online
+	shards  []Shard
 	parts   [][]int
 	nSites  int
 	onEvent func(EngineEvent)
@@ -67,6 +113,7 @@ func NewCoordinator(cc CoordinatorConfig) (*Coordinator, error) {
 		}
 		c.shards[i] = o
 	}
+	c.wireSinks()
 	return c, nil
 }
 
@@ -87,11 +134,62 @@ func RestoreCoordinator(cc CoordinatorConfig, snaps []*EngineSnapshot) (*Coordin
 		}
 		c.shards[i] = o
 	}
+	c.wireSinks()
 	return c, nil
 }
 
-// prepCoordinator validates the partition table and wires per-shard
-// event delivery into the configs before the shards are built.
+// AttachCoordinator builds a coordinator over shards that already exist
+// — fleet.RemoteShard handles to out-of-process workers, or any other
+// Shard implementation. The partition table is validated exactly like
+// the in-process constructors', except the per-shard site count check
+// (a remote shard's platform is not visible here; the worker validates
+// its own partition against the spec it was attached with).
+func AttachCoordinator(parts [][]int, shards []Shard, onEvent func(EngineEvent)) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("sched: coordinator needs at least one shard")
+	}
+	if len(parts) != len(shards) {
+		return nil, fmt.Errorf("sched: %d partitions for %d shards", len(parts), len(shards))
+	}
+	nSites, err := checkParts(parts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		shards:  shards,
+		parts:   parts,
+		nSites:  nSites,
+		onEvent: onEvent,
+		buf:     make([][]EngineEvent, len(shards)),
+	}
+	c.wireSinks()
+	return c, nil
+}
+
+// checkParts validates a partition table: no empty shard, no negative
+// site index, every global site at most once.
+func checkParts(parts [][]int) (nSites int, err error) {
+	seen := make(map[int]bool)
+	for s, part := range parts {
+		if len(part) == 0 {
+			return 0, fmt.Errorf("sched: shard %d has no sites (need at least as many sites as shards)", s)
+		}
+		for _, g := range part {
+			if g < 0 {
+				return 0, fmt.Errorf("sched: negative global site %d in shard %d's partition", g, s)
+			}
+			if seen[g] {
+				return 0, fmt.Errorf("sched: global site %d appears twice in the partition table", g)
+			}
+			seen[g] = true
+			nSites++
+		}
+	}
+	return nSites, nil
+}
+
+// prepCoordinator validates the configuration for the in-process
+// constructors, which build their own shards from RunConfigs.
 func prepCoordinator(cc CoordinatorConfig) (*Coordinator, error) {
 	n := len(cc.Shards)
 	if n == 0 {
@@ -100,59 +198,56 @@ func prepCoordinator(cc CoordinatorConfig) (*Coordinator, error) {
 	if len(cc.Parts) != n {
 		return nil, fmt.Errorf("sched: %d partitions for %d shards", len(cc.Parts), n)
 	}
-	seen := make(map[int]bool)
-	nSites := 0
 	for s, part := range cc.Parts {
-		if len(part) == 0 {
-			return nil, fmt.Errorf("sched: shard %d has no sites (need at least as many sites as shards)", s)
-		}
-		if len(part) != len(cc.Shards[s].Sites) {
+		if len(part) != 0 && len(part) != len(cc.Shards[s].Sites) {
 			return nil, fmt.Errorf("sched: shard %d has %d sites but a partition of %d", s, len(cc.Shards[s].Sites), len(part))
 		}
-		for _, g := range part {
-			if g < 0 || seen[g] {
-				return nil, fmt.Errorf("sched: global site %d appears twice in the partition table", g)
-			}
-			seen[g] = true
-			nSites++
-		}
 	}
-	c := &Coordinator{
-		shards:  make([]*Online, n),
-		parts:   cc.Parts,
-		nSites:  nSites,
-		onEvent: cc.OnEvent,
-		buf:     make([][]EngineEvent, n),
+	nSites, err := checkParts(cc.Parts)
+	if err != nil {
+		return nil, err
 	}
 	for i := range cc.Shards {
 		if cc.Shards[i].OnEvent != nil {
 			return nil, fmt.Errorf("sched: shard %d sets OnEvent (the coordinator owns event delivery)", i)
 		}
-		if n == 1 {
-			// Single shard: pass events straight through (site indices are
-			// already global) so a -shards 1 run is the unsharded engine
-			// to the byte — no buffering, no barrier re-ordering, events
-			// visible the instant they fire.
-			cc.Shards[i].OnEvent = c.onEvent
-			continue
-		}
+	}
+	return &Coordinator{
+		shards:  make([]Shard, n),
+		parts:   cc.Parts,
+		nSites:  nSites,
+		onEvent: cc.OnEvent,
+		buf:     make([][]EngineEvent, n),
+	}, nil
+}
+
+// wireSinks installs the coordinator's event delivery on every shard:
+// straight pass-through for a single shard (site indices are already
+// global, so a -shards 1 run is the unsharded engine to the byte — no
+// buffering, no barrier re-ordering, events visible the instant they
+// fire), per-shard remap-and-buffer closures otherwise.
+func (c *Coordinator) wireSinks() {
+	if len(c.shards) == 1 {
+		c.shards[0].SetEventSink(c.onEvent)
+		return
+	}
+	for i, o := range c.shards {
 		i := i
-		cc.Shards[i].OnEvent = func(ev EngineEvent) {
+		o.SetEventSink(func(ev EngineEvent) {
 			if ev.Site >= 0 {
 				ev.Site = c.parts[i][ev.Site]
 			}
 			c.buf[i] = append(c.buf[i], ev)
-		}
+		})
 	}
-	return c, nil
 }
 
 // Shards returns the shard count.
 func (c *Coordinator) Shards() int { return len(c.shards) }
 
-// Shard exposes one shard's engine for per-shard introspection
-// (metrics, snapshots). Loop goroutine only, like the engine itself.
-func (c *Coordinator) Shard(i int) *Online { return c.shards[i] }
+// Shard exposes one shard for per-shard introspection (metrics,
+// snapshots). Loop goroutine only, like the engine itself.
+func (c *Coordinator) Shard(i int) Shard { return c.shards[i] }
 
 // Part returns shard i's site partition (global indices, local order).
 // The returned slice is the coordinator's own — read only.
@@ -184,11 +279,15 @@ func (c *Coordinator) flush() {
 
 // barrier fans fn out to every shard — in parallel when there is real
 // fan-out to hide, inline for one shard — joins, then flushes the
-// merged event window. The per-shard error that comes back is the
-// lowest-indexed shard's (deterministic under -race reruns).
-func (c *Coordinator) barrier(fn func(i int, o *Online) error) error {
+// merged event window. The surviving shards' buffered events are
+// delivered exactly once even when a sibling errors; the caller folds
+// the per-shard error vector with firstErr.
+func (c *Coordinator) barrier(fn func(i int, o Shard) error) []error {
 	if len(c.shards) == 1 {
-		return fn(0, c.shards[0])
+		if err := fn(0, c.shards[0]); err != nil {
+			return []error{err}
+		}
+		return nil
 	}
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
@@ -202,10 +301,17 @@ func (c *Coordinator) barrier(fn func(i int, o *Online) error) error {
 	}
 	wg.Wait()
 	c.flush()
+	return errs
+}
+
+// firstErr returns the lowest-indexed shard's error (deterministic
+// under -race reruns), optionally treating ErrShardDown as tolerable.
+func firstErr(errs []error, tolerateDown bool) error {
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil || (tolerateDown && errors.Is(err, ErrShardDown)) {
+			continue
 		}
+		return err
 	}
 	return nil
 }
@@ -213,30 +319,36 @@ func (c *Coordinator) barrier(fn func(i int, o *Online) error) error {
 // AdvanceTo drives every shard to virtual time t — the shared Δ-round
 // barrier — then emits the window's merged events. Shards already past
 // t (a prior Drain ran them ahead) only ingest their arrival backlog.
-// Loop goroutine only.
+// A shard that reports ErrShardDown is skipped: its window is missing
+// from the merged stream until it reattaches and backfills, but the
+// survivors keep scheduling (the degradation contract a fleet needs —
+// one dead worker must not stop the service). Loop goroutine only.
 func (c *Coordinator) AdvanceTo(t float64) error {
-	return c.barrier(func(_ int, o *Online) error {
+	return firstErr(c.barrier(func(_ int, o Shard) error {
 		target := t
 		if now := o.Now(); now > target {
 			target = now
 		}
 		return o.AdvanceTo(target)
-	})
+	}), true)
 }
 
 // Drain runs every shard until everything submitted so far has
 // completed, merges the final event window, and aggregates the result.
-// Loop goroutine only.
+// Unlike AdvanceTo, a down shard fails the drain: a drain's contract is
+// "everything accepted has completed", which a dead shard cannot
+// promise. Loop goroutine only.
 func (c *Coordinator) Drain() (*Result, error) {
 	if len(c.shards) == 1 {
 		return c.shards[0].Drain()
 	}
 	results := make([]*Result, len(c.shards))
-	if err := c.barrier(func(i int, o *Online) error {
+	errs := c.barrier(func(i int, o Shard) error {
 		var err error
 		results[i], err = o.Drain()
 		return err
-	}); err != nil {
+	})
+	if err := firstErr(errs, false); err != nil {
 		return nil, err
 	}
 	out := &Result{Summary: c.Summary()}
@@ -343,14 +455,20 @@ func (c *Coordinator) LargestBatch() int {
 // shard. Loop goroutine only.
 func (c *Coordinator) Summary() metrics.Summary {
 	if len(c.shards) == 1 {
-		return c.shards[0].Summary()
+		acc, busy := c.shards[0].MetricsState()
+		var a metrics.Accumulator
+		a.SetState(acc)
+		return a.Summarize(busy)
 	}
 	var acc metrics.Accumulator
 	busy := make([]float64, c.nSites)
 	for i, o := range c.shards {
-		acc.Merge(o.st.acc.State())
+		st, shardBusy := o.MetricsState()
+		acc.Merge(st)
 		for local, g := range c.parts[i] {
-			busy[g] = o.st.busy[local]
+			if local < len(shardBusy) {
+				busy[g] = shardBusy[local]
+			}
 		}
 	}
 	return acc.Summarize(busy)

@@ -1,8 +1,10 @@
 package sched_test
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"trustgrid/internal/grid"
@@ -208,20 +210,20 @@ func TestCoordinatorAccessorsAndRestore(t *testing.T) {
 	mid := drive(coordA, 0, half, delta)
 
 	// Aggregates must equal folds over the exposed per-shard engines.
-	sumOver := func(f func(*sched.Online) int) int {
+	sumOver := func(f func(sched.Shard) int) int {
 		n := 0
 		for i := 0; i < shards; i++ {
 			n += f(coordA.Shard(i))
 		}
 		return n
 	}
-	if got, want := coordA.Seen(), sumOver((*sched.Online).Seen); got != want {
+	if got, want := coordA.Seen(), sumOver(sched.Shard.Seen); got != want {
 		t.Errorf("Seen() = %d, want %d", got, want)
 	}
-	if got, want := coordA.InFlight(), sumOver((*sched.Online).InFlight); got != want {
+	if got, want := coordA.InFlight(), sumOver(sched.Shard.InFlight); got != want {
 		t.Errorf("InFlight() = %d, want %d", got, want)
 	}
-	if got, want := coordA.Batches(), sumOver((*sched.Online).Batches); got != want {
+	if got, want := coordA.Batches(), sumOver(sched.Shard.Batches); got != want {
 		t.Errorf("Batches() = %d, want %d", got, want)
 	}
 	if coordA.Seen() != half {
@@ -340,7 +342,7 @@ func TestCoordinatorSingleShardAggregates(t *testing.T) {
 	if err := coord.AdvanceTo(delta); err != nil {
 		t.Fatal(err)
 	}
-	eng := coord.Shard(0)
+	eng := coord.Shard(0).(*sched.Online)
 	if !reflect.DeepEqual(coord.Summary(), eng.Summary()) {
 		t.Error("1-shard Summary() is not a pass-through")
 	}
@@ -388,6 +390,10 @@ func TestCoordinatorConfigValidation(t *testing.T) {
 			Shards: []sched.RunConfig{okCfg(parts[0]), okCfg(parts[0])},
 			Parts:  [][]int{parts[0], parts[0]},
 		}},
+		{"negative global site", sched.CoordinatorConfig{
+			Shards: []sched.RunConfig{okCfg(parts[0]), okCfg(parts[1])},
+			Parts:  [][]int{parts[0], append([]int{-1}, parts[1][1:]...)},
+		}},
 		{"shard engine config rejected", sched.CoordinatorConfig{
 			Shards: []sched.RunConfig{{Sites: sites}}, // no scheduler
 			Parts:  sched.PartitionSites(len(sites), 1),
@@ -396,6 +402,28 @@ func TestCoordinatorConfigValidation(t *testing.T) {
 	for _, tc := range cases {
 		if _, err := sched.NewCoordinator(tc.cc); err == nil {
 			t.Errorf("%s: NewCoordinator accepted a bad config", tc.name)
+		}
+	}
+
+	// The two site-index refusals must be distinct: a negative index is a
+	// malformed table, not a duplicate, and the message has to say so
+	// (before the split, -1 was reported as "appears twice").
+	for _, tc := range cases {
+		var want, wrong string
+		switch tc.name {
+		case "negative global site":
+			want, wrong = "negative global site", "appears twice"
+		case "duplicate global site":
+			want, wrong = "appears twice", "negative"
+		default:
+			continue
+		}
+		_, err := sched.NewCoordinator(tc.cc)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, want)
+		}
+		if err != nil && strings.Contains(err.Error(), wrong) {
+			t.Errorf("%s: error %v misreports as %q", tc.name, err, wrong)
 		}
 	}
 
@@ -550,5 +578,130 @@ func TestCoordinatorMatchesIndependentShards(t *testing.T) {
 		if gotEvents[i].Time < gotEvents[i-1].Time {
 			t.Fatalf("event %d breaks time order: %v after %v", i, gotEvents[i].Time, gotEvents[i-1].Time)
 		}
+	}
+}
+
+// TestCoordinatorBarrierErrorPath pins the degradation contract of a
+// failing barrier: when shards abort mid-advance (here: a total outage
+// with no rejoin pending on two of three partitions), the surviving
+// shard's buffered window must still be flushed exactly once, the
+// error that comes back must be the lowest-indexed shard's, and the
+// next barrier must keep delivering the survivor's events.
+func TestCoordinatorBarrierErrorPath(t *testing.T) {
+	const (
+		delta  = 500
+		shards = 3
+	)
+	sites := coordTestSites()
+	parts := sched.PartitionSites(len(sites), shards)
+
+	// One tenant per shard, found by routing (stable FNV hash).
+	tenantFor := func(shard int) string {
+		for i := 0; ; i++ {
+			name := fmt.Sprintf("t%d", i)
+			if sched.RouteTenant(name, shards) == shard {
+				return name
+			}
+		}
+	}
+
+	// Shards 1 and 2 lose every local site at t=150 with no rejoin, so
+	// their Δ-round at t=500 aborts; shard 0 stays healthy.
+	crashAll := &sched.DynamicsConfig{Churn: []grid.ChurnEvent{
+		{Time: 150, Site: 0, Kind: grid.ChurnCrash},
+		{Time: 150, Site: 1, Kind: grid.ChurnCrash},
+	}}
+	shardCfgs := make([]sched.RunConfig, shards)
+	for i := range shardCfgs {
+		shardCfgs[i] = sched.RunConfig{
+			Sites:         sched.ShardSites(sites, parts[i]),
+			Scheduler:     heuristics.NewMinMin(grid.FRiskyPolicy(0.5)),
+			BatchInterval: delta,
+			Rand:          rng.New(9).Derive(sched.ShardRNGLabel("engine", shards, i)),
+		}
+		if i > 0 {
+			shardCfgs[i].Dynamics = crashAll
+		}
+	}
+	var events []sched.EngineEvent
+	coord, err := sched.NewCoordinator(sched.CoordinatorConfig{
+		Shards:  shardCfgs,
+		Parts:   parts,
+		OnEvent: func(ev sched.EngineEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2 jobs on shard 0, 1 on shard 1, 2 on shard 2 — the distinct queue
+	// depths make the two failing shards' errors distinguishable.
+	mkJob := func(id, shard int) *grid.Job {
+		return &grid.Job{
+			ID: id, Arrival: 100, Workload: 400, Nodes: 1,
+			SecurityDemand: 0.4, Tenant: tenantFor(shard),
+		}
+	}
+	for id, shard := range map[int]int{1: 0, 2: 0, 3: 1, 4: 2, 5: 2} {
+		if err := coord.SubmitLocal(mkJob(id, shard)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	err = coord.AdvanceTo(delta)
+	if err == nil {
+		t.Fatal("AdvanceTo succeeded with two shards in total outage")
+	}
+	// Lowest-indexed error: shard 1 had exactly 1 job queued, shard 2
+	// had 2 — the message must be shard 1's.
+	if !strings.Contains(err.Error(), "1 jobs queued") {
+		t.Fatalf("AdvanceTo error = %v, want shard 1's (1 job queued)", err)
+	}
+	if errors.Is(err, sched.ErrShardDown) {
+		t.Fatalf("in-process engine failure reported as ErrShardDown: %v", err)
+	}
+
+	// The survivor's window (and the failing shards' pre-abort events)
+	// flushed exactly once: 5 arrivals, 4 site-downs, 2 placements.
+	count := func(evs []sched.EngineEvent, k sched.EventKind) int {
+		n := 0
+		for _, ev := range evs {
+			if ev.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	window1 := len(events)
+	if got := count(events, sched.EventArrived); got != 5 {
+		t.Errorf("window 1: %d arrival events, want 5", got)
+	}
+	if got := count(events, sched.EventSiteDown); got != 4 {
+		t.Errorf("window 1: %d site-down events, want 4", got)
+	}
+	if got := count(events, sched.EventPlaced); got != 2 {
+		t.Errorf("window 1: %d placements, want 2 (shard 0 only)", got)
+	}
+	if window1 != 11 {
+		t.Errorf("window 1 flushed %d events, want 11", window1)
+	}
+	for _, ev := range events {
+		if ev.Kind == sched.EventPlaced && sched.RouteTenant(ev.Job.Tenant, shards) != 0 {
+			t.Errorf("placement on failed shard: %+v", ev)
+		}
+	}
+
+	// A subsequent barrier still works for the survivor: shard 0's two
+	// completions are delivered (exactly once — the earlier window's
+	// buffer was cleared), and the sticky engine failures surface again.
+	if err := coord.AdvanceTo(2 * delta); err == nil {
+		t.Error("second AdvanceTo lost the failed shards' sticky error")
+	}
+	tail := events[window1:]
+	if got := count(tail, sched.EventCompleted); got != 2 || len(tail) != 2 {
+		t.Fatalf("window 2 flushed %d events (%d completions), want exactly the survivor's 2 completions",
+			len(tail), got)
+	}
+	if _, err := coord.Drain(); err == nil {
+		t.Error("Drain succeeded with failed shards")
 	}
 }

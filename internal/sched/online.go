@@ -265,6 +265,21 @@ func (o *Online) SetTenantWeight(tenant string, weight float64) {
 	o.st.adm.weights[tenant] = weight
 }
 
+// SetEventSink installs (or replaces) the engine's event observer
+// after construction — how the coordinator wires its per-shard
+// remap-and-buffer closures. Events only fire while the engine
+// executes, so calling this between construction and the next
+// AdvanceTo/Drain on the driving goroutine is race-free. Loop goroutine
+// only.
+func (o *Online) SetEventSink(fn func(EngineEvent)) { o.cfg.OnEvent = fn }
+
+// MetricsState exposes the incremental §4.1 accumulator state and the
+// per-site busy vector for cross-shard aggregation (the returned slice
+// is the engine's own — read only, loop goroutine only).
+func (o *Online) MetricsState() (metrics.AccumulatorState, []float64) {
+	return o.st.acc.State(), o.st.busy
+}
+
 // Now returns the current virtual time. Loop goroutine only.
 func (o *Online) Now() float64 { return o.eng.Now() }
 

@@ -510,6 +510,10 @@ func (s *Server) buildReport(r *http.Request, tenant string) (MetricsReport, err
 					LargestBatch: o.LargestBatch(),
 					Latency:      s.lat.shardSummary(i),
 				}
+				if i < len(s.remotes) {
+					sm.Addr = s.remotes[i].Addr()
+					sm.Down = s.remotes[i].Down()
+				}
 				for _, st := range o.SiteStatuses() {
 					if st.Alive {
 						sm.SitesAlive++
@@ -595,6 +599,11 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		advErr = s.online.AdvanceTo(target)
 		if advErr == nil {
 			advErr = s.walCommit()
+		} else {
+			// The engine aborted mid-advance: everything still queued is
+			// permanently unplaceable — settle its latency entries and
+			// queued-quota slots so the daemon's gauges don't leak.
+			s.sweepUnplaced()
 		}
 		now = s.online.Now()
 	})
@@ -627,6 +636,11 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res, drainErr = s.online.Drain()
+		// Success or not, the drain is the end of the line for anything
+		// never placed (unplaceable MustBeSafe work errors the drain and
+		// stays queued forever): resolve those jobs' latency entries and
+		// release their tenants' queued-quota slots.
+		s.sweepUnplaced()
 		if drainErr == nil {
 			drainErr = s.walCommit()
 		}

@@ -104,6 +104,22 @@ func (t *latencyTracker) forget(id int) {
 	t.mu.Unlock()
 }
 
+// abandon drops a pending submission whose job reached the engine but
+// will never be placed (it ended a run in the never-placed set, or a
+// total outage aborted the engine) and reports the owning tenant so
+// the caller can release the queued-quota slot the entry still holds.
+// No latency sample is recorded — the job was never scheduled.
+func (t *latencyTracker) abandon(id int) (tenant string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.pending[id]
+	if !ok {
+		return "", false
+	}
+	delete(t.pending, id)
+	return p.tenant, true
+}
+
 // LatencySummary is re-exported from the wire-format package.
 type LatencySummary = api.LatencySummary
 

@@ -1,0 +1,109 @@
+package server
+
+// Package-internal regression tests: these reach into the latency
+// tracker's pending map and the tenant registry's occupancy counters,
+// which the wire surface deliberately does not expose one job at a
+// time. The black-box suites live in package server_test.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trustgrid/internal/api"
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+)
+
+// TestPendingSweptAfterAbortedDrain pins the fix for the
+// accepted-but-never-placed leak: jobs that reach the engine but never
+// see a placement event (here: secure-only work stranded by a total
+// outage with no rejoin pending) used to pin their latencyTracker
+// entries — and the tenant queued-quota slots those entries hold — for
+// the life of the daemon. The drain must abort AND settle both.
+func TestPendingSweptAfterAbortedDrain(t *testing.T) {
+	sites := []*grid.Site{
+		{ID: 0, Speed: 10, Nodes: 4, SecurityLevel: 0.3},
+		{ID: 1, Speed: 8, Nodes: 4, SecurityLevel: 0.4},
+	}
+	srv, err := New(Config{
+		Sites: sites, Algo: "minmin", Seed: 1, Manual: true,
+		BatchInterval: 100,
+		Tenants: []api.TenantSpec{
+			// SecureOnly turns every job MustBeSafe at arrival; with SD
+			// above both sites' security levels nothing can take them
+			// safely, and the outage below removes the fallback site too.
+			{ID: "acme", SecureOnly: true, MaxQueue: 4, SDDefault: 0.9},
+		},
+		// Both sites crash before the first Δ-round and never rejoin, so
+		// the round at t=100 aborts the engine with the jobs still queued.
+		Dynamics: &sched.DynamicsConfig{Churn: []grid.ChurnEvent{
+			{Time: 50, Site: 0, Kind: grid.ChurnCrash},
+			{Time: 50, Site: 1, Kind: grid.ChurnCrash},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	arrival := 10.0
+	body, _ := json.Marshal(api.SubmitRequest{Jobs: []api.JobSpec{
+		{Workload: 100, Arrival: &arrival},
+		{Workload: 200, Arrival: &arrival},
+		{Workload: 300, Arrival: &arrival},
+		{Workload: 400, Arrival: &arrival},
+	}})
+	resp, err := http.Post(ts.URL+"/v2/tenants/acme/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if n := pendingCount(srv); n != 4 {
+		t.Fatalf("%d pending latency entries after submit, want 4", n)
+	}
+	if q := queuedFor(srv, "acme"); q != 4 {
+		t.Fatalf("tenant queued = %d after submit, want 4", q)
+	}
+
+	// The drain must fail — the grid died with work queued — and the
+	// sweep must settle every stranded job on the same path.
+	resp, err = http.Post(ts.URL+"/v2/drain", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("drain status %d, want 500 (total outage)", resp.StatusCode)
+	}
+
+	if n := pendingCount(srv); n != 0 {
+		t.Errorf("%d pending latency entries leaked past the aborted drain", n)
+	}
+	if q := queuedFor(srv, "acme"); q != 0 {
+		t.Errorf("tenant queued = %d after sweep, want 0 (quota slots leaked)", q)
+	}
+}
+
+func pendingCount(s *Server) int {
+	s.lat.mu.Lock()
+	defer s.lat.mu.Unlock()
+	return len(s.lat.pending)
+}
+
+func queuedFor(s *Server, tenant string) int {
+	s.tenants.mu.Lock()
+	defer s.tenants.mu.Unlock()
+	t := s.tenants.m[tenant]
+	if t == nil {
+		return -1
+	}
+	return t.queued
+}

@@ -10,6 +10,7 @@ import (
 
 	"trustgrid/internal/api"
 	"trustgrid/internal/experiments"
+	"trustgrid/internal/fleet"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/sched"
@@ -60,6 +61,19 @@ type Config struct {
 	// len(Sites) >= Shards; durable mode keeps one WAL segment stream
 	// per shard under WALDir.
 	Shards int
+
+	// Workers, when non-empty, runs the coordinator over out-of-process
+	// shards instead of in-process engines (DESIGN.md §12): each address
+	// is one trustgrid-worker hosting one shard behind the fleet
+	// protocol, attached in list order (worker i is shard i, so the list
+	// order IS the partition assignment and must be stable across
+	// daemon restarts). The shard count follows the list; Shards > 1 is
+	// rejected as conflicting, and WALDir is rejected because durability
+	// is worker-owned — each worker write-ahead-logs its own inputs and
+	// recovers itself. A fleet of N workers is byte-identical to
+	// -shards N: both sides build their engines from the same
+	// fleet.Spec derivation.
+	Workers []string
 
 	// Tenants pre-registers tenants at startup (the default tenant that
 	// backs the /v1 shim always exists and need not be listed). More can
@@ -173,6 +187,12 @@ type Server struct {
 	lat     *latencyTracker
 	tenants *tenantRegistry
 
+	// remotes holds the fleet connections in shard order (empty when the
+	// shards are in-process). The coordinator drives them through the
+	// sched.Shard seam; this slice exists for lifecycle (Stop closes
+	// them) and reporting (addr/down in /v2/metrics).
+	remotes []*fleet.RemoteShard
+
 	// Durable-state machinery (nil/zero without Config.WALDir). All
 	// fields are owned by the loop goroutine while the loop runs; Stop
 	// takes ownership after it exits, exactly like the engine. An
@@ -225,11 +245,19 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	n := cfg.Shards
+	if len(cfg.Workers) > 0 {
+		if cfg.WALDir != "" {
+			return nil, fmt.Errorf("server: Workers and WALDir are mutually exclusive — each worker owns its shard's WAL and recovers itself")
+		}
+		if cfg.Shards > 1 && cfg.Shards != len(cfg.Workers) {
+			return nil, fmt.Errorf("server: Shards=%d conflicts with %d workers (the shard count follows the worker list)", cfg.Shards, len(cfg.Workers))
+		}
+		n = len(cfg.Workers)
+	}
 	if n > len(cfg.Sites) {
 		return nil, fmt.Errorf("server: %d shards need at least %d sites, have %d", n, n, len(cfg.Sites))
 	}
 
-	root := rng.New(cfg.Seed)
 	s := &Server{
 		cfg:      cfg,
 		log:      newEventLog(cfg.EventBuffer),
@@ -255,42 +283,61 @@ func New(cfg Config) (*Server, error) {
 		norm, _ := s.tenants.get(t.ID)
 		weights[norm.ID] = norm.Weight
 	}
-	// One engine config per shard over its site partition, each with its
-	// own scheduler instance and its own labelled RNG streams. With one
-	// shard the labels collapse to the historical "scheduler"/"engine"
-	// (ShardRNGLabel), so -shards 1 reproduces the unsharded daemon bit
-	// for bit — TestTraceReplayParity pins that.
-	parts := sched.PartitionSites(len(cfg.Sites), n)
-	adm := &sched.AdmissionConfig{RoundBudget: cfg.RoundBudget, Weights: weights}
+	// One spec describes the whole sharded run: partition, per-shard RNG
+	// labels, admission state, churn slices. In-process shards and fleet
+	// workers both derive their engine configs from it through the SAME
+	// fleet.Spec.ShardConfig path, so an N-worker fleet is byte-identical
+	// to -shards N by construction rather than by double-maintenance.
+	// With one shard the RNG labels collapse to the historical
+	// "scheduler"/"engine" (ShardRNGLabel), so -shards 1 reproduces the
+	// unsharded daemon bit for bit — TestTraceReplayParity pins that.
+	spec := &fleet.Spec{
+		Sites: cfg.Sites, Training: cfg.Training,
+		Algo: cfg.Algo, Mode: cfg.Mode,
+		BatchInterval: cfg.BatchInterval, Seed: cfg.Seed, Setup: setup,
+		Shards: n, RoundBudget: cfg.RoundBudget, Weights: weights,
+		Dynamics: cfg.Dynamics, SubmitBuffer: cfg.SubmitBuffer,
+	}
+	if len(cfg.Workers) > 0 {
+		// Fleet mode: every shard lives in a worker process; the spec
+		// travels in the attach frame and each worker builds (or, after a
+		// crash, WAL-replays) its own engine from it. The local scheduler
+		// instance exists only to report the algorithm's display name.
+		namer, err := setup.SchedulerByName(cfg.Algo, policy, rng.New(cfg.Seed).Derive("name"), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.sched = namer
+		shards := make([]sched.Shard, n)
+		for i, addr := range cfg.Workers {
+			rs, err := fleet.Dial(addr, spec, i, fleet.DialConfig{})
+			if err != nil {
+				s.closeRemotes()
+				return nil, fmt.Errorf("server: attaching worker %s as shard %d: %w", addr, i, err)
+			}
+			s.remotes = append(s.remotes, rs)
+			shards[i] = rs
+		}
+		s.online, err = sched.AttachCoordinator(spec.Parts(), shards, s.onEvent)
+		if err != nil {
+			s.closeRemotes()
+			return nil, err
+		}
+		go s.loop()
+		return s, nil
+	}
 	shardCfgs := make([]sched.RunConfig, n)
 	for i := range shardCfgs {
-		sites := sched.ShardSites(cfg.Sites, parts[i])
-		scheduler, err := setup.SchedulerByName(cfg.Algo, policy,
-			root.Derive(sched.ShardRNGLabel("scheduler", n, i)), cfg.Training, sites)
+		sc, err := spec.ShardConfig(i, cfg.WALDir != "")
 		if err != nil {
 			return nil, err
 		}
 		if i == 0 {
-			s.sched = scheduler
+			s.sched = sc.Scheduler
 		}
-		shardCfgs[i] = sched.RunConfig{
-			Sites:         sites,
-			Scheduler:     scheduler,
-			BatchInterval: cfg.BatchInterval,
-			Security:      setup.Model(),
-			FailureTiming: setup.FailTiming,
-			Rand:          root.Derive(sched.ShardRNGLabel("engine", n, i)),
-			SubmitBuffer:  cfg.SubmitBuffer,
-			Dynamics:      sched.PartitionDynamics(cfg.Dynamics, parts[i]),
-			Admission:     adm,
-			// A daemon serves jobs indefinitely; per-job records would grow
-			// without bound. The incremental summary carries the metrics.
-			DiscardRecords: true,
-			// The durable-event ledger is what makes the engine snapshotable.
-			Durable: cfg.WALDir != "",
-		}
+		shardCfgs[i] = sc
 	}
-	cc := sched.CoordinatorConfig{Shards: shardCfgs, Parts: parts, OnEvent: s.onEvent}
+	cc := sched.CoordinatorConfig{Shards: shardCfgs, Parts: spec.Parts(), OnEvent: s.onEvent}
 	if cfg.WALDir == "" {
 		var err error
 		s.online, err = sched.NewCoordinator(cc)
@@ -302,6 +349,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	go s.loop()
 	return s, nil
+}
+
+// closeRemotes tears down the fleet connections (no-op in-process).
+func (s *Server) closeRemotes() {
+	for _, rs := range s.remotes {
+		rs.Close()
+	}
 }
 
 // loop is the single goroutine that owns the engine, the scheduler and
@@ -321,6 +375,11 @@ func (s *Server) loop() {
 			return
 		case <-tickC:
 			if err := s.online.AdvanceTo(s.online.Now() + s.cfg.BatchInterval); err != nil {
+				// The engine aborted (e.g. a total outage with no rejoin
+				// pending): its queued jobs will never place, so settle
+				// their latency entries and quota slots before the loop
+				// dies — the daemon may keep serving /metrics for a while.
+				s.sweepUnplaced()
 				s.loopErr.Store(err)
 				return
 			}
@@ -475,6 +534,26 @@ func (s *Server) onEvent(ev sched.EngineEvent) {
 	s.log.Append(wireFromEngine(ev))
 }
 
+// sweepUnplaced reconciles the latency tracker and the tenant quota
+// gate with the engine's accepted-but-never-placed set. Placements
+// resolve pending entries as they happen; jobs that end a run without
+// ever placing (unplaceable MustBeSafe work at drain, everything
+// queued when a total outage aborts the engine) resolve nowhere, so
+// without this sweep their pending entries — and the queued-quota
+// slots those entries pin — would leak for the life of the daemon.
+// Loop goroutine only (or its successor after the loop has exited).
+// Idempotent: abandon deletes the entry it releases, so a job is
+// released at most once no matter how many sweeps see it.
+func (s *Server) sweepUnplaced() {
+	for _, j := range s.online.NeverPlaced() {
+		if tenant, ok := s.lat.abandon(j.ID); ok {
+			// Per-entry release (not setQueued): a concurrent handler may
+			// hold fresh reservations this sweep must not clobber.
+			s.tenants.release(tenant, 1)
+		}
+	}
+}
+
 // Stop shuts the loop down. With drain set, every job already accepted
 // is scheduled to completion first (virtual time, so this is fast) and
 // the final aggregated result is returned; without it, in-flight jobs
@@ -484,6 +563,7 @@ func (s *Server) Stop(drain bool) (*sched.Result, error) {
 	defer s.stopMu.Unlock()
 	s.stopOnce.Do(func() { close(s.quit) })
 	<-s.loopDone
+	defer s.closeRemotes()
 	if err, ok := s.loopErr.Load().(error); ok {
 		s.closeWAL()
 		return nil, err
@@ -504,6 +584,11 @@ func (s *Server) Stop(drain bool) (*sched.Result, error) {
 		_ = s.walBarrier(0, true)
 	}
 	res, err := s.online.Drain()
+	// Whether the drain succeeded or aborted, anything still never
+	// placed is now permanently unplaceable: settle its tracker entries
+	// and quota slots (the loop has exited, so this caller owns the
+	// engine).
+	s.sweepUnplaced()
 	if err != nil {
 		s.closeWAL()
 		return nil, err
