@@ -87,13 +87,26 @@ func ReadFile(path string) (File, error) {
 // > 0 — a committed baseline usually travels across hardware, where
 // wall-time ratios flake; pass 0 to make ns/op differences advisory
 // (reported with an "advisory:" prefix in the second return value,
-// never failing). Cases present in the baseline but missing from
-// current fail loudly — a renamed benchmark must update the committed
-// baseline.
+// never failing). Missing records gate in both directions: a case
+// present in the baseline but absent from the current run means a
+// benchmark was renamed or dropped, and a current case absent from the
+// baseline means the suite grew without regenerating the committed
+// BENCH_*.json — either way the comparison is no longer covering what
+// it claims to, so it fails rather than silently passing on the
+// intersection.
 func Compare(baseline, current File, nsThreshold, allocThreshold float64) (problems, advisories []string) {
 	cur := make(map[string]Record, len(current.Records))
 	for _, r := range current.Records {
 		cur[r.Name] = r
+	}
+	base := make(map[string]bool, len(baseline.Records))
+	for _, r := range baseline.Records {
+		base[r.Name] = true
+	}
+	for _, r := range current.Records {
+		if !base[r.Name] {
+			problems = append(problems, fmt.Sprintf("%s: missing from baseline %s — regenerate the committed BENCH_*.json to cover it", r.Name, baseline.Date))
+		}
 	}
 	for _, base := range baseline.Records {
 		r, ok := cur[base.Name]

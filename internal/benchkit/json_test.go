@@ -85,6 +85,20 @@ func TestCompareMissingCases(t *testing.T) {
 	if ps, _ := Compare(base, cur, 0, 1.5); len(ps) != 2 {
 		t.Fatalf("want both cases reported missing, got %v", ps)
 	}
+	// The reverse direction gates too: a current record the baseline has
+	// never seen means the suite grew without regenerating the committed
+	// file, and the comparison would otherwise pass while covering only
+	// the intersection.
+	cur = sampleFile(false,
+		Record{Name: "STGASchedule/batch=200", NsPerOp: 1, AllocsPerOp: 1},
+		Record{Name: "KernelBuild/batch=50", NsPerOp: 1, AllocsPerOp: 1},
+		Record{Name: "GreedyMinMin/m=256/batch=200", NsPerOp: 1, AllocsPerOp: 1},
+	)
+	ps, _ = Compare(base, cur, 0, 1.5)
+	if len(ps) != 1 || !strings.Contains(ps[0], "GreedyMinMin/m=256/batch=200") ||
+		!strings.Contains(ps[0], "missing from baseline") {
+		t.Fatalf("want the new case reported missing from baseline, got %v", ps)
+	}
 }
 
 func TestFind(t *testing.T) {

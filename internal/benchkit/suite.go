@@ -41,6 +41,33 @@ func benchBatch(n int) ([]*grid.Job, []*grid.Site) {
 	return jobs, sites
 }
 
+// scaleBatch generates the m-site scale-axis workload: a synthetic
+// platform of m single-node sites with cycling speeds (the PSA
+// platform stops at its fixed site count, so the scale axis needs its
+// own generator) and n uniform jobs drawn exactly like benchBatch.
+func scaleBatch(n, m int) ([]*grid.Job, []*grid.Site) {
+	r := rng.New(1)
+	speeds := make([]float64, m)
+	nodes := make([]int, m)
+	for i := range speeds {
+		speeds[i] = float64(i%10+1) * 10
+		nodes[i] = 1
+	}
+	pc := grid.PlatformConfig{Speeds: speeds, Nodes: nodes, SLMin: 0.4, SLMax: 1.0, GuaranteeSafeSL: 0.95}
+	sites, err := pc.Generate(r.Derive("sites"))
+	if err != nil {
+		panic(err)
+	}
+	jobs := make([]*grid.Job, n)
+	for i := range jobs {
+		jobs[i] = &grid.Job{
+			ID: i, Workload: 1000 + r.Float64()*200000, Nodes: 1,
+			SecurityDemand: r.Uniform(0.6, 0.9),
+		}
+	}
+	return jobs, sites
+}
+
 func freshState(sites []*grid.Site) *sched.State {
 	return &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
 }
@@ -49,8 +76,20 @@ func freshState(sites []*grid.Site) *sched.State {
 // it: a Builder-rebuilt snapshot (reused arenas) plus the Schedule
 // call, per round.
 func greedyCase(n int, mk func(grid.Policy) sched.Scheduler) func(b *testing.B) {
+	return greedyCaseOn(func() ([]*grid.Job, []*grid.Site) { return benchBatch(n) }, mk)
+}
+
+// greedyScaleCase is greedyCase on the m-site scale-axis platform.
+func greedyScaleCase(n, m int, mk func(grid.Policy) sched.Scheduler) func(b *testing.B) {
+	return greedyCaseOn(func() ([]*grid.Job, []*grid.Site) { return scaleBatch(n, m) }, mk)
+}
+
+// greedyCaseOn defers workload generation into the benchmark body:
+// Suite() is also called just to enumerate names (Find, the smoke
+// filter), and must not pay for 1024-site platforms there.
+func greedyCaseOn(gen func() ([]*grid.Job, []*grid.Site), mk func(grid.Policy) sched.Scheduler) func(b *testing.B) {
 	return func(b *testing.B) {
-		jobs, sites := benchBatch(n)
+		jobs, sites := gen()
 		s := mk(grid.FRiskyPolicy(0.5))
 		var kb kernel.Builder
 		ready := make([]float64, len(sites))
@@ -59,6 +98,25 @@ func greedyCase(n int, mk func(grid.Policy) sched.Scheduler) func(b *testing.B) 
 			st := freshState(sites)
 			st.Kern = kb.Build(0, sites, ready, nil, jobs)
 			s.Schedule(jobs, st)
+		}
+	}
+}
+
+// stgaScaleCase benchmarks one STGA Schedule call on the m-site
+// scale-axis platform under the given draw contract, with Delta left
+// on auto. A fresh scheduler per iteration keeps the history table
+// empty and the per-op work independent of b.N: a shared scheduler's
+// table grows with every call, which would make the measured time
+// depend on how long the harness happened to run the case.
+func stgaScaleCase(n, m int, v rng.Version) func(b *testing.B) {
+	return func(b *testing.B) {
+		jobs, sites := scaleBatch(n, m)
+		cfg := stga.DefaultConfig()
+		cfg.GA.RNG = v
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := stga.New(cfg, rng.New(2))
+			s.Schedule(jobs, freshState(sites))
 		}
 	}
 }
@@ -172,6 +230,35 @@ func Suite() []Case {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Schedule(jobs, freshState(sites))
+			}
+		}},
+		// The m scale axis: batch=200 against synthetic platforms of 64,
+		// 256, and 1024 sites. m=256 is the smoke point CI gates on; the
+		// 64/1024 endpoints ride the full runs so the trajectory keeps
+		// the scaling curve without inflating every PR's benchmark job.
+		{Name: "GreedyMinMin/m=64/batch=200", Smoke: false,
+			F: greedyScaleCase(200, 64, func(p grid.Policy) sched.Scheduler { return heuristics.NewMinMin(p) })},
+		{Name: "GreedyMinMin/m=256/batch=200", Smoke: true,
+			F: greedyScaleCase(200, 256, func(p grid.Policy) sched.Scheduler { return heuristics.NewMinMin(p) })},
+		{Name: "GreedyMinMin/m=1024/batch=200", Smoke: false,
+			F: greedyScaleCase(200, 1024, func(p grid.Policy) sched.Scheduler { return heuristics.NewMinMin(p) })},
+		{Name: "GreedySufferage/m=256/batch=200", Smoke: false,
+			F: greedyScaleCase(200, 256, func(p grid.Policy) sched.Scheduler { return heuristics.NewSufferage(p) })},
+		{Name: "STGASchedule/rng=v1/m=256/batch=200", Smoke: true, F: stgaScaleCase(200, 256, rng.V1)},
+		{Name: "STGASchedule/rng=v2/m=64/batch=200", Smoke: false, F: stgaScaleCase(200, 64, rng.V2)},
+		{Name: "STGASchedule/rng=v2/m=256/batch=200", Smoke: true, F: stgaScaleCase(200, 256, rng.V2)},
+		{Name: "STGASchedule/rng=v2/m=1024/batch=200", Smoke: false, F: stgaScaleCase(200, 1024, rng.V2)},
+		{Name: "KernelBuild/m=1024/batch=5000", Smoke: false, F: func(b *testing.B) {
+			jobs, sites := scaleBatch(5000, 1024)
+			ready := make([]float64, len(sites))
+			var kb kernel.Builder
+			p := grid.FRiskyPolicy(0.5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := kb.Build(0, sites, ready, nil, jobs)
+				for j := range jobs {
+					_ = s.Eligible(p, j)
+				}
 			}
 		}},
 		{Name: "FitnessPath/full-decode/batch=50", Smoke: true, F: fitnessPathCase(50, 20, 200, false)},

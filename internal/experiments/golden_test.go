@@ -19,13 +19,33 @@ import (
 //	go test ./internal/experiments -run TestGolden -update
 var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs under testdata/golden/")
 
+// goldenRNGVersion selects the draw contract the suite pins. The
+// default (v1) compares against the original goldens under
+// testdata/golden/; -rng-version=2 switches every run to the batched
+// DrawsV2 layout and compares against testdata/golden/v2/, so each
+// contract has its own frozen figures and neither can silently drift
+// into the other. Regenerate the v2 set with:
+//
+//	go test ./internal/experiments -run TestGolden -update -rng-version=2
+var goldenRNGVersion = flag.Int("rng-version", 1, "draw contract for the golden suite: 1 = original serial sequence, 2 = batched DrawsV2 (goldens under testdata/golden/v2/)")
+
 // goldenSetup pins the scale and seed of every golden run. Workers is
 // left on auto: the fan-out layer is result-invariant, and the suite
 // doubles as a regression test of that claim.
 func goldenSetup() Setup {
 	s := TestSetup()
 	s.Seed = 11
+	s.RNGVersion = *goldenRNGVersion
 	return s
+}
+
+// goldenPath maps a figure name to its on-disk golden file for the
+// selected draw contract. v1 keeps the historical flat layout.
+func goldenPath(name string) string {
+	if *goldenRNGVersion == 1 {
+		return filepath.Join("testdata", "golden", name)
+	}
+	return filepath.Join("testdata", "golden", fmt.Sprintf("v%d", *goldenRNGVersion), name)
 }
 
 func checkGolden(t *testing.T, name, got string) {
@@ -33,7 +53,7 @@ func checkGolden(t *testing.T, name, got string) {
 	if got == "" {
 		t.Fatal("experiment produced empty output")
 	}
-	path := filepath.Join("testdata", "golden", name)
+	path := goldenPath(name)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)

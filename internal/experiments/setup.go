@@ -64,6 +64,15 @@ type Setup struct {
 	// GAWorkers is forwarded to ga.Config.Workers for every GA-backed
 	// scheduler the setup builds (0 = runtime.GOMAXPROCS, 1 = serial).
 	GAWorkers int
+
+	// RNGVersion selects the GA draw contract (rng.ParseVersion): 0 or 1
+	// is the original serial sequence every committed golden pins, 2 is
+	// the batched DrawsV2 layout. The zero value marshals away
+	// (omitempty), so fleet spec fingerprints and persisted WAL headers
+	// from before the knob existed stay valid — and a non-zero version
+	// lands in the fingerprint, which is what lets workers and snapshot
+	// recovery refuse to mix draw contracts within one run.
+	RNGVersion int `json:",omitempty"`
 }
 
 // DefaultSetup returns the paper's configuration.
@@ -172,6 +181,9 @@ func (s Setup) stgaConfig() stga.Config {
 	cfg.Policy = s.Policy(grid.FRisky, s.F)
 	cfg.Security = s.Model()
 	cfg.SeedHeuristics = !s.NoHeuristicSeeds
+	// Forward raw: ga.Config.Validate rejects unknown versions with a
+	// proper error at Run time, where one can actually be returned.
+	cfg.GA.RNG = rng.Version(s.RNGVersion)
 	return cfg
 }
 

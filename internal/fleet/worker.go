@@ -306,6 +306,12 @@ func (w *Worker) attach(wc *wconn, f *frame) (*frame, bool) {
 		}
 	} else {
 		if offered != w.fp {
+			// Diagnose the one mismatch with a clean operator action
+			// before the generic refusal: same run, different draw
+			// contract.
+			if msg := rngVersionMismatch(f.Spec, w.spec); msg != "" {
+				return reject("%s", msg)
+			}
 			return reject("fleet: spec fingerprint %.12s does not match configured %.12s (refusing to mix runs)", offered, w.fp)
 		}
 		if f.Shard != w.shard {

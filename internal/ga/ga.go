@@ -3,6 +3,7 @@ package ga
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"trustgrid/internal/rng"
 )
@@ -58,6 +59,15 @@ type Config struct {
 	// the first divergence. Debug/test only: it re-adds the full decode
 	// cost the incremental path exists to avoid.
 	VerifyIncremental bool
+	// RNG selects the draw-sequence contract. rng.V1 (the zero value)
+	// is the original serial sequence — one stream threaded through
+	// init, selection, crossover and mutation in loop order — and is
+	// what every pre-versioning golden pins. rng.V2 forks the run
+	// stream into independent per-phase lanes and draws the mutation
+	// hit mask as a batched Bernoulli bit vector (rng.DrawsV2): faster,
+	// deliberately draw-incompatible with V1, and refused by mixed
+	// fleets and stale WALs at the fingerprint layer.
+	RNG rng.Version
 }
 
 // DefaultConfig returns the Table 1 hyper-parameters.
@@ -82,6 +92,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ga: crossover probability %v outside [0,1]", c.CrossoverProb)
 	case c.MutationProb < 0 || c.MutationProb > 1:
 		return fmt.Errorf("ga: mutation probability %v outside [0,1]", c.MutationProb)
+	}
+	if _, err := rng.ParseVersion(int(c.RNG)); err != nil {
+		return err
 	}
 	return nil
 }
@@ -189,6 +202,19 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 		return Result{}, err
 	}
 
+	// Per-phase draw streams. Under V1 (the default) every phase aliases
+	// the run stream r — the original serial contract, byte-identical to
+	// every pre-versioning golden. Under V2 each phase draws from its own
+	// lane forked off r, and the mutation hit mask is generated in bulk
+	// per generation (see the mutation section below).
+	ver, _ := rng.ParseVersion(int(cfg.RNG)) // Validate already vetted it
+	rInit, rSel, rCross, rMutVal := r, r, r, r
+	var d *rng.DrawsV2
+	if ver == rng.V2 {
+		d = rng.NewDrawsV2(r)
+		rInit, rSel, rCross, rMutVal = d.Init, d.Select, d.Cross, d.MutVal
+	}
+
 	pop := make([]Chromosome, 0, cfg.PopulationSize)
 	for _, s := range seeds {
 		if len(pop) == cfg.PopulationSize {
@@ -198,11 +224,11 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 		if len(c) != p.Length {
 			c = adaptLength(c, p.Length)
 		}
-		p.Repair(c, r)
+		p.Repair(c, rInit)
 		pop = append(pop, c)
 	}
 	for len(pop) < cfg.PopulationSize {
-		pop = append(pop, p.RandomChromosome(r))
+		pop = append(pop, p.RandomChromosome(rInit))
 	}
 
 	// Delta evaluation when the problem provides it; otherwise the
@@ -219,14 +245,30 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 		defer eval.close()
 	}
 	fit := make([]float64, len(pop))
+	// Fitness carry-forward (full-decode path): selection copies each
+	// pick's known score into fitNext alongside the chromosome, and only
+	// individuals crossover or mutation actually changed are marked
+	// dirty and re-decoded. Scores are pure functions of the chromosome,
+	// so carried values are bit-identical to a re-evaluation; no rng
+	// draw depends on any of this. The incremental path has its own
+	// cached-span equivalent inside the delta states.
+	var fitNext []float64
+	var dirty []bool
+	if ir == nil {
+		fitNext = make([]float64, len(pop))
+		dirty = make([]bool, len(pop))
+	}
 	evaluate := func() {
 		if ir != nil {
 			ir.evaluate(pop, fit)
 		} else {
-			eval.evaluate(pop, fit)
+			eval.evaluate(pop, fit, dirty)
 		}
 	}
 
+	for i := range dirty {
+		dirty[i] = true
+	}
 	evaluate()
 	bestIdx := argMin(fit)
 	best := pop[bestIdx].Clone()
@@ -252,6 +294,14 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 	// float arithmetic (mutation draws once per gene per individual).
 	crossDraw := rng.NewBernoulli(cfg.CrossoverProb)
 	mutDraw := rng.NewBernoulli(cfg.MutationProb)
+	// V2 draws the whole generation's mutation hits as one bit vector:
+	// bit i*Length+g of mutMask decides whether gene g of individual i
+	// mutates. Replacement values then come from the MutVal lane in hit
+	// order.
+	var mutMask []uint64
+	if d != nil {
+		mutMask = make([]uint64, (cfg.PopulationSize*p.Length+63)/64)
+	}
 
 	for g := 0; g < cfg.Generations; g++ {
 		switch cfg.Selection {
@@ -260,54 +310,84 @@ func Run(p *Problem, cfg Config, seeds []Chromosome, r *rng.Stream) (Result, err
 			if k == 0 {
 				k = 3
 			}
-			selectTournament(fit, picks, k, r)
+			selectTournament(fit, picks, k, rSel)
 		case RankSelection:
-			selectRank(fit, picks, order, weights, r)
+			selectRank(fit, picks, order, weights, rSel)
 		default:
-			selectRoulette(fit, picks, weights, cum, r)
+			selectRoulette(fit, picks, weights, cum, rSel)
 		}
 		for i, src := range picks {
 			copy(next[i], pop[src])
 			if ir != nil {
 				ir.inc.Copy(ir.nextStates[i], ir.states[src])
+			} else {
+				fitNext[i] = fit[src] // the pick's score is already known
 			}
 		}
 		pop, next = next, pop
 		if ir != nil {
 			ir.states, ir.nextStates = ir.nextStates, ir.states
+		} else {
+			fit, fitNext = fitNext, fit
+			for i := range dirty {
+				dirty[i] = false
+			}
 		}
 
 		// Crossover in adjacent pairs (the selection output is already a
 		// random sample, so pairing neighbours is unbiased).
 		for i := 0; i+1 < len(pop); i += 2 {
-			if crossDraw.Hit(r) {
+			if crossDraw.Hit(rCross) {
 				a, b := pop[i], pop[i+1]
 				var sa, sb IncState
 				var inc Incremental
 				if ir != nil {
 					sa, sb, inc = ir.states[i], ir.states[i+1], ir.inc
 				}
+				var changed bool
 				switch cfg.Crossover {
 				case TwoPointCrossover:
-					crossoverTwoPoint(a, b, sa, sb, inc, r)
+					changed = crossoverTwoPoint(a, b, sa, sb, inc, rCross)
 				case UniformCrossover:
-					crossoverUniform(a, b, sa, sb, inc, r)
+					changed = crossoverUniform(a, b, sa, sb, inc, rCross)
 				default:
-					crossover(a, b, sa, sb, inc, r)
+					changed = crossover(a, b, sa, sb, inc, rCross)
+				}
+				if changed && dirty != nil {
+					dirty[i], dirty[i+1] = true, true
 				}
 			}
 		}
 		// Mutation: each gene is re-drawn from its allowed set with
 		// probability MutationProb (the standard per-gene reading of the
 		// paper's "mutation probability 0.01"; a per-chromosome reading
-		// leaves 40-gene chromosomes nearly frozen).
-		if ir != nil {
+		// leaves 40-gene chromosomes nearly frozen). V1 draws the gate
+		// per gene from the serial stream; V2 fills the generation's hit
+		// mask in one batched pass and word-scans it, so the common case
+		// (no hit in 64 genes) costs one load.
+		switch {
+		case d != nil:
+			d.MutBit.FillBernoulli(mutMask, len(pop)*p.Length, mutDraw)
+			if ir != nil {
+				for i := range pop {
+					mutateMaskedInc(pop[i], p, mutMask, i*p.Length, ir.states[i], ir.inc, rMutVal)
+				}
+			} else {
+				for i := range pop {
+					if mutateMasked(pop[i], p, mutMask, i*p.Length, rMutVal) {
+						dirty[i] = true
+					}
+				}
+			}
+		case ir != nil:
 			for i := range pop {
 				mutateInc(pop[i], p, mutDraw, ir.states[i], ir.inc, r)
 			}
-		} else {
+		default:
 			for i := range pop {
-				mutate(pop[i], p, mutDraw, r)
+				if mutate(pop[i], p, mutDraw, r) {
+					dirty[i] = true
+				}
 			}
 		}
 		evaluate()
@@ -428,40 +508,69 @@ func selectRoulette(fit []float64, picks []int, weights, cum []float64, r *rng.S
 // allowed set is position-specific and both parents are legal. When inc
 // is non-nil, the exchanged range is reported wholesale through
 // SwapRange — cheaper than per-gene updates because the incremental
-// state can reconcile whole bitset words.
-func crossover(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) {
+// state can reconcile whole bitset words. Returns whether any gene
+// actually changed.
+func crossover(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) bool {
 	if len(a) < 2 {
-		return
+		return false
 	}
 	cut := 1 + r.Intn(len(a)-1)
+	// Detect whether the tails differ at all, four genes per iteration
+	// (the OR of XORs is zero exactly when all four pairs match): crossing
+	// converged-identical parents — increasingly common late in a run —
+	// costs one branch-light scan and no writes. When they do differ,
+	// swap the whole tail unconditionally: swapping equal genes is a
+	// no-op, and the straight-line loop beats a compare-and-swap whose
+	// branch the predictor cannot learn.
 	differed := false
-	for i := cut; i < len(a); i++ {
-		if a[i] != b[i] {
-			a[i], b[i] = b[i], a[i]
+	i := cut
+	for ; i+4 <= len(a); i += 4 {
+		if (a[i]^b[i])|(a[i+1]^b[i+1])|(a[i+2]^b[i+2])|(a[i+3]^b[i+3]) != 0 {
 			differed = true
+			break
 		}
 	}
-	// Crossing two identical individuals — increasingly common as the
-	// population converges — is a no-op; skip the state reconciliation.
-	if differed && inc != nil {
+	if !differed {
+		for ; i < len(a); i++ {
+			if a[i] != b[i] {
+				differed = true
+				break
+			}
+		}
+	}
+	if !differed {
+		return false
+	}
+	for p := i; p < len(a); p++ {
+		a[p], b[p] = b[p], a[p]
+	}
+	if inc != nil {
 		inc.SwapRange(sa, sb, a, b, cut, len(a))
 	}
+	return true
 }
 
 // mutate re-draws each gene from its allowed set with the prob
-// Bernoulli (identical draws to r.Bool(MutationProb)).
-func mutate(c Chromosome, p *Problem, prob rng.Bernoulli, r *rng.Stream) {
+// Bernoulli (identical draws to r.Bool(MutationProb)). Returns whether
+// any gene actually changed value (a hit may re-draw the same site).
+func mutate(c Chromosome, p *Problem, prob rng.Bernoulli, r *rng.Stream) bool {
+	changed := false
 	for i := range c {
 		if prob.Hit(r) {
 			a := p.Allowed[i]
-			c[i] = a[r.Intn(len(a))]
+			if v := a[r.Intn(len(a))]; v != c[i] {
+				c[i] = v
+				changed = true
+			}
 		}
 	}
+	return changed
 }
 
 // mutateInc is mutate with incremental-state maintenance: identical rng
 // draws, with each effective gene change reported through Update.
-func mutateInc(c Chromosome, p *Problem, prob rng.Bernoulli, s IncState, inc Incremental, r *rng.Stream) {
+func mutateInc(c Chromosome, p *Problem, prob rng.Bernoulli, s IncState, inc Incremental, r *rng.Stream) bool {
+	changed := false
 	for i := range c {
 		if prob.Hit(r) {
 			a := p.Allowed[i]
@@ -469,7 +578,66 @@ func mutateInc(c Chromosome, p *Problem, prob rng.Bernoulli, s IncState, inc Inc
 			if v != c[i] {
 				inc.Update(s, i, c[i], v)
 				c[i] = v
+				changed = true
 			}
 		}
 	}
+	return changed
+}
+
+// mutateMasked is the V2 mutation kernel: bit off+i of bitvec decides
+// whether gene i mutates, replacement values come from the MutVal lane
+// in hit order. The scan jumps word to word, so at MutationProb 0.01 a
+// 64-gene stretch with no hits costs one load and one branch. Bits past
+// off+len(c) belong to the next individual's window and are ignored.
+func mutateMasked(c Chromosome, p *Problem, bitvec []uint64, off int, r *rng.Stream) bool {
+	n := len(c)
+	changed := false
+	for i := 0; i < n; {
+		pos := off + i
+		w := bitvec[pos>>6] >> uint(pos&63)
+		if w == 0 {
+			i += 64 - pos&63
+			continue
+		}
+		i += bits.TrailingZeros64(w)
+		if i >= n {
+			break
+		}
+		a := p.Allowed[i]
+		if v := a[r.Intn(len(a))]; v != c[i] {
+			c[i] = v
+			changed = true
+		}
+		i++
+	}
+	return changed
+}
+
+// mutateMaskedInc is mutateMasked with incremental-state maintenance:
+// identical draws, effective changes reported through Update.
+func mutateMaskedInc(c Chromosome, p *Problem, bitvec []uint64, off int, s IncState, inc Incremental, r *rng.Stream) bool {
+	n := len(c)
+	changed := false
+	for i := 0; i < n; {
+		pos := off + i
+		w := bitvec[pos>>6] >> uint(pos&63)
+		if w == 0 {
+			i += 64 - pos&63
+			continue
+		}
+		i += bits.TrailingZeros64(w)
+		if i >= n {
+			break
+		}
+		a := p.Allowed[i]
+		v := a[r.Intn(len(a))]
+		if v != c[i] {
+			inc.Update(s, i, c[i], v)
+			c[i] = v
+			changed = true
+		}
+		i++
+	}
+	return changed
 }

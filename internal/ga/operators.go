@@ -115,10 +115,11 @@ func selectRank(fit []float64, picks []int, order []int, weights []float64, r *r
 
 // crossoverTwoPoint swaps the segment between two random cuts in place,
 // reporting the exchanged range to the incremental states when inc is
-// non-nil.
-func crossoverTwoPoint(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) {
+// non-nil. Returns whether any gene actually changed (fitness
+// carry-forward skips re-evaluating untouched individuals).
+func crossoverTwoPoint(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) bool {
 	if len(a) < 2 {
-		return
+		return false
 	}
 	i := r.Intn(len(a))
 	k := r.Intn(len(a))
@@ -135,13 +136,15 @@ func crossoverTwoPoint(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng
 	if differed && inc != nil {
 		inc.SwapRange(sa, sb, a, b, i, k)
 	}
+	return differed
 }
 
 // crossoverUniform swaps each gene with probability ½ in place,
 // reporting effective gene changes to the incremental states when inc
 // is non-nil. The coin is flipped for every gene (including equal
-// ones), exactly as before.
-func crossoverUniform(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) {
+// ones), exactly as before. Returns whether any gene actually changed.
+func crossoverUniform(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.Stream) bool {
+	differed := false
 	for i := range a {
 		if r.Bool(0.5) {
 			if a[i] == b[i] {
@@ -152,6 +155,8 @@ func crossoverUniform(a, b Chromosome, sa, sb IncState, inc Incremental, r *rng.
 				inc.Update(sb, i, b[i], a[i])
 			}
 			a[i], b[i] = b[i], a[i]
+			differed = true
 		}
 	}
+	return differed
 }

@@ -32,10 +32,11 @@ func (c Config) effectiveWorkers() int {
 
 // evalTask is one contiguous population slice to score.
 type evalTask struct {
-	pop []Chromosome
-	fit []float64
-	lo  int // first index of the slice within the population
-	hi  int // one past the last index
+	pop   []Chromosome
+	fit   []float64
+	dirty []bool // nil: score everything
+	lo    int    // first index of the slice within the population
+	hi    int    // one past the last index
 }
 
 // evaluator scores populations, serially or on a worker pool. It is
@@ -61,7 +62,9 @@ func newEvaluator(p *Problem, cfg Config) *evaluator {
 			go func() {
 				for t := range e.tasks {
 					for i := t.lo; i < t.hi; i++ {
-						t.fit[i] = f(t.pop[i])
+						if t.dirty == nil || t.dirty[i] {
+							t.fit[i] = f(t.pop[i])
+						}
 					}
 					e.wg.Done()
 				}
@@ -76,11 +79,19 @@ func newEvaluator(p *Problem, cfg Config) *evaluator {
 	return &evaluator{fit: f}
 }
 
-// evaluate fills fit[i] with the score of pop[i].
-func (e *evaluator) evaluate(pop []Chromosome, fit []float64) {
+// evaluate fills fit[i] with the score of pop[i]. When dirty is
+// non-nil, indices marked clean keep their existing fit value: fitness
+// is a pure function of the chromosome, so an individual the operators
+// did not touch still has the score selection carried over for it
+// (fitness carry-forward — as the population converges, crossover
+// between identical parents and value-preserving mutations leave a
+// growing share of each generation clean).
+func (e *evaluator) evaluate(pop []Chromosome, fit []float64, dirty []bool) {
 	if e.tasks == nil {
 		for i, c := range pop {
-			fit[i] = e.fit(c)
+			if dirty == nil || dirty[i] {
+				fit[i] = e.fit(c)
+			}
 		}
 		return
 	}
@@ -96,7 +107,7 @@ func (e *evaluator) evaluate(pop []Chromosome, fit []float64) {
 			hi = n
 		}
 		e.wg.Add(1)
-		e.tasks <- evalTask{pop: pop, fit: fit, lo: lo, hi: hi}
+		e.tasks <- evalTask{pop: pop, fit: fit, dirty: dirty, lo: lo, hi: hi}
 	}
 	e.wg.Wait()
 }

@@ -104,8 +104,10 @@ func referenceGreedy(batch []*grid.Job, st *sched.State, policy grid.Policy, rul
 
 // randomGreedyInstance mirrors the kernel property tests' generator:
 // duplicate SLs and speeds (real ties), impossible demands, dead sites.
-func randomGreedyInstance(r *rng.Stream) ([]*grid.Job, *sched.State) {
-	m := 1 + r.Intn(10)
+// m is the site count; large values exercise the bucket and lazy-heap
+// paths at the scale where the old rescan implementation's pile-on
+// pathology lived.
+func randomGreedyInstance(r *rng.Stream, m int) ([]*grid.Job, *sched.State) {
 	levels := []float64{0.3, 0.5, 0.5, 0.8, 1.0}
 	speeds := []float64{10, 10, 20, 40, 80}
 	sites := make([]*grid.Site, m)
@@ -150,7 +152,18 @@ func TestGreedyMatchesReference(t *testing.T) {
 		{"sufferage", func(p grid.Policy) sched.Scheduler { return NewSufferage(p) }},
 	}
 	for trial := 0; trial < 400; trial++ {
-		jobs, st := randomGreedyInstance(r)
+		// Most trials stay small (dense tie coverage); every tenth runs
+		// large — up to, and twice exactly, m=1024 — so the candidate
+		// structures are pinned to the oracle at the scale they were
+		// built for.
+		m := 1 + r.Intn(10)
+		switch {
+		case trial == 100 || trial == 300:
+			m = 1024
+		case trial%10 == 5:
+			m = 1 + r.Intn(1024)
+		}
+		jobs, st := randomGreedyInstance(r, m)
 		var policy grid.Policy
 		switch r.Intn(3) {
 		case 0:

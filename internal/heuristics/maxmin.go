@@ -15,6 +15,7 @@ import (
 // giant job at the end of the schedule.
 type MaxMin struct {
 	Policy grid.Policy
+	run    lazyRun
 }
 
 // NewMaxMin builds a Max-Min scheduler under the given risk policy.
@@ -25,21 +26,7 @@ func (m *MaxMin) Name() string { return fmt.Sprintf("Max-Min %s", m.Policy.Name(
 
 // Schedule implements sched.Scheduler.
 func (m *MaxMin) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
-	return greedyBatch(batch, st, m.Policy, pickMaxMin)
-}
-
-// pickMaxMin chooses the position whose job has the maximum earliest
-// completion time. Tie rule: strict > keeps the first (lowest batch
-// index) of any equal-valued run.
-func pickMaxMin(g *greedyRun, remaining []int) int {
-	best := 0
-	bestVal := g.bestCT[remaining[0]]
-	for p := 1; p < len(remaining); p++ {
-		if v := g.bestCT[remaining[p]]; v > bestVal {
-			best, bestVal = p, v
-		}
-	}
-	return best
+	return m.run.lazyBatch(batch, st, m.Policy, pickMaxMin)
 }
 
 // KPB (k-percent best) restricts each job to its k% fastest eligible

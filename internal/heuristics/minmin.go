@@ -2,18 +2,23 @@ package heuristics
 
 import (
 	"fmt"
-	"math"
 
 	"trustgrid/internal/grid"
 	"trustgrid/internal/sched"
-	"trustgrid/internal/sched/kernel"
 )
 
 // MinMin is the security-driven Min-Min heuristic: repeatedly pick the
 // (job, site) pair whose earliest completion time is smallest among each
 // job's per-job minima, restricted to policy-eligible sites.
+//
+// The round loop runs on per-site sorted candidate buckets (see
+// candidates.go) instead of per-job best-two rescans; the schedule is
+// bit-identical to the full-recompute oracle in greedy_ref_test.go.
+// A MinMin value reuses its bucket arenas across Schedule calls and is
+// not safe for concurrent use.
 type MinMin struct {
 	Policy grid.Policy
+	run    bucketRun
 }
 
 // NewMinMin builds a Min-Min scheduler under the given risk policy.
@@ -24,14 +29,18 @@ func (m *MinMin) Name() string { return fmt.Sprintf("Min-Min %s", m.Policy.Name(
 
 // Schedule implements sched.Scheduler.
 func (m *MinMin) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
-	return greedyBatch(batch, st, m.Policy, pickMinMin)
+	return m.run.minminBatch(batch, st, m.Policy)
 }
 
 // Sufferage is the security-driven Sufferage heuristic: pick the job that
 // would "suffer" most (largest gap between its best and second-best
 // completion times) and give it its best site.
+//
+// It runs on per-job lazy candidate heaps (see candidates.go); like
+// MinMin, a value reuses its arenas and is not safe for concurrent use.
 type Sufferage struct {
 	Policy grid.Policy
+	run    lazyRun
 }
 
 // NewSufferage builds a Sufferage scheduler under the given risk policy.
@@ -42,143 +51,5 @@ func (s *Sufferage) Name() string { return fmt.Sprintf("Sufferage %s", s.Policy.
 
 // Schedule implements sched.Scheduler.
 func (s *Sufferage) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignment {
-	return greedyBatch(batch, st, s.Policy, pickSufferage)
-}
-
-// greedyRun is the incremental state of one Min-Min/Sufferage/Max-Min
-// batch: each unscheduled job's best and second-best completion times,
-// kept current as assignments consume site availability. All slices are
-// allocated once per batch; the round loop allocates nothing.
-type greedyRun struct {
-	k     *kernel.Snapshot
-	ready []float64         // working copy of the snapshot's ready vector
-	elig  []*kernel.EligSet // per batch job, shared class sets
-	// bestSite/bestCT/secondCT are each unscheduled job's current best
-	// option: the earliest-completing eligible site, its completion
-	// time, and the second-smallest completion time (+Inf with a single
-	// eligible site).
-	bestSite []int
-	bestCT   []float64
-	secondCT []float64
-}
-
-// recompute rescans job i's eligible sites against the current working
-// ready vector. The scan visits sites in ascending index order with
-// strict comparisons, so ties resolve to the lowest site index — the
-// rule the pre-kernel implementation applied implicitly.
-func (g *greedyRun) recompute(i int) {
-	row := g.k.ETC[i*g.k.M : (i+1)*g.k.M]
-	now := g.k.Now
-	best, bestCT, secondCT := -1, math.Inf(1), math.Inf(1)
-	for _, site := range g.elig[i].Sites {
-		start := g.ready[site]
-		if now > start {
-			start = now
-		}
-		ct := start + row[site]
-		switch {
-		case ct < bestCT:
-			secondCT = bestCT
-			bestCT = ct
-			best = site
-		case ct < secondCT:
-			secondCT = ct
-		}
-	}
-	g.bestSite[i], g.bestCT[i], g.secondCT[i] = best, bestCT, secondCT
-}
-
-// picker selects which position in remaining wins the current round.
-// Every picker is a single pass with a strict comparison, so the
-// deterministic tie rule is shared: among equal-valued candidates the
-// earliest position in remaining wins, and remaining preserves batch
-// submission order, so ties always resolve to the lowest batch index.
-type picker func(g *greedyRun, remaining []int) int
-
-// pickMinMin chooses the position whose job has the minimum earliest
-// completion time. Tie rule: strict < keeps the first (lowest batch
-// index) of any equal-valued run.
-func pickMinMin(g *greedyRun, remaining []int) int {
-	best := 0
-	bestVal := g.bestCT[remaining[0]]
-	for p := 1; p < len(remaining); p++ {
-		if v := g.bestCT[remaining[p]]; v < bestVal {
-			best, bestVal = p, v
-		}
-	}
-	return best
-}
-
-// pickSufferage chooses the position whose job has the maximum sufferage
-// value (second-best CT minus best CT). Jobs with a single eligible site
-// have infinite sufferage and are placed first, as in the original
-// heuristic. Tie rule: strict > keeps the first (lowest batch index) of
-// any equal-valued run, including among the +Inf singletons.
-func pickSufferage(g *greedyRun, remaining []int) int {
-	best := 0
-	bestVal := g.secondCT[remaining[0]] - g.bestCT[remaining[0]]
-	for p := 1; p < len(remaining); p++ {
-		if v := g.secondCT[remaining[p]] - g.bestCT[remaining[p]]; v > bestVal {
-			best, bestVal = p, v
-		}
-	}
-	return best
-}
-
-// greedyBatch runs the shared Min-Min/Sufferage/Max-Min loop on the
-// columnar snapshot. Instead of recomputing every unscheduled job's
-// candidate sites each round (O(n²·m) with per-round allocations), it
-// computes each job's best/second-best once (O(n·m)) and then, after
-// assigning a job to site s, rescans only the jobs whose stored values
-// could be stale: those for which s's previous completion time was
-// within their best two. For every other job, CT(·, s) sat strictly
-// above its second-best and has only increased, so best and second-best
-// are unchanged — the values (and therefore the schedule) are
-// bit-identical to the full-recompute implementation, which
-// TestGreedyMatchesReference pins against a reference copy.
-func greedyBatch(batch []*grid.Job, st *sched.State, policy grid.Policy, pick picker) []sched.Assignment {
-	n := len(batch)
-	out := make([]sched.Assignment, 0, n)
-	if n == 0 {
-		return out
-	}
-	k := st.Snapshot(batch)
-	m := k.M
-	g := &greedyRun{
-		k:        k,
-		ready:    append([]float64(nil), k.Ready...),
-		elig:     make([]*kernel.EligSet, n),
-		bestSite: make([]int, n),
-		bestCT:   make([]float64, n),
-		secondCT: make([]float64, n),
-	}
-	for i := range batch {
-		g.elig[i] = k.Eligible(policy, i)
-		g.recompute(i)
-	}
-	remaining := make([]int, n)
-	for i := range remaining {
-		remaining[i] = i
-	}
-	for len(remaining) > 0 {
-		pos := pick(g, remaining)
-		win := remaining[pos]
-		site := g.bestSite[win]
-		out = append(out, sched.Assignment{Job: batch[win], Site: site, FellBack: g.elig[win].FellBack})
-		// Dispatch on the working copy: the site is busy until completion.
-		oldStart := g.ready[site]
-		if k.Now > oldStart {
-			oldStart = k.Now
-		}
-		g.ready[site] = g.bestCT[win]
-		// Remove the winner (order-preserving, so the pickers' first-wins
-		// tie rule keeps resolving to the lowest batch index).
-		remaining = append(remaining[:pos], remaining[pos+1:]...)
-		for _, i := range remaining {
-			if g.elig[i].Has(site) && oldStart+k.ETC[i*m+site] <= g.secondCT[i] {
-				g.recompute(i)
-			}
-		}
-	}
-	return out
+	return s.run.lazyBatch(batch, st, s.Policy, pickSufferage)
 }

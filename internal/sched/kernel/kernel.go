@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"math/bits"
+
 	"trustgrid/internal/grid"
 )
 
@@ -26,6 +28,31 @@ type EligSet struct {
 // Has reports whether site i is in the set.
 func (e *EligSet) Has(i int) bool {
 	return e.Bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the set's cardinality by popcount over the packed words.
+func (e *EligSet) Count() int {
+	n := 0
+	for _, w := range e.Bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AppendSites32 appends the set's site indices, ascending, to dst as
+// int32 and returns the extended slice. It iterates the packed words
+// directly (TrailingZeros per set bit) instead of the Sites list, so
+// dense inner loops that want compact indices touch M/64 words rather
+// than |Sites| 8-byte entries.
+func (e *EligSet) AppendSites32(dst []int32) []int32 {
+	for wi, w := range e.Bits {
+		base := int32(wi << 6)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // eligKey identifies an admission equivalence class within one batch:
@@ -82,6 +109,10 @@ type Snapshot struct {
 	// cached classes reproduce grid.Policy.Admits bit-for-bit.
 	sites []*grid.Site
 	elig  map[eligKey]*EligSet
+	// etcT is the lazily materialized site-major transpose of ETC (see
+	// ETCT); etcTValid marks whether it reflects the current Build.
+	etcT      []float64
+	etcTValid bool
 	// Arenas backing the eligibility cache: admission classes are carved
 	// out of shared arrays instead of allocated individually, and a
 	// Builder resets them between rounds. When an arena fills mid-build
@@ -181,7 +212,41 @@ func (b *Builder) Build(now float64, sites []*grid.Site, ready []float64, alive 
 	s.sets = s.sets[:0]
 	s.bits = s.bits[:0]
 	s.idx = s.idx[:0]
+	s.etcTValid = false
 	return s
+}
+
+// ETCT returns the site-major (column-major) transpose of ETC:
+// ETCT()[k*N+i] = ETC[i*M+k]. Site-inner loops — per-site candidate
+// buckets, equal-ETC run scans — walk one site's column contiguously
+// instead of striding M·8 bytes per job. The transpose is materialized
+// lazily on first call per Build (engine and GA paths never pay for
+// it) into an arena that persists across rounds, and is filled in
+// 64×64 blocks so both matrices stream through cache at m=1024.
+func (s *Snapshot) ETCT() []float64 {
+	if s.etcTValid {
+		return s.etcT[:s.N*s.M]
+	}
+	n, m := s.N, s.M
+	if cap(s.etcT) < n*m {
+		s.etcT = make([]float64, n*m)
+	}
+	t := s.etcT[:n*m]
+	const blk = 64
+	for i0 := 0; i0 < n; i0 += blk {
+		iMax := min(i0+blk, n)
+		for k0 := 0; k0 < m; k0 += blk {
+			kMax := min(k0+blk, m)
+			for i := i0; i < iMax; i++ {
+				row := s.ETC[i*m : (i+1)*m]
+				for k := k0; k < kMax; k++ {
+					t[k*n+i] = row[k]
+				}
+			}
+		}
+	}
+	s.etcTValid = true
+	return t
 }
 
 // ForBatch reports whether the snapshot was built for exactly this

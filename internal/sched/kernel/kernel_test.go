@@ -249,3 +249,69 @@ func TestTenantColumn(t *testing.T) {
 		}
 	}
 }
+
+// TestETCTTranspose pins the lazy site-major transpose to the row-major
+// matrix, including re-materialization after a rebuild with different
+// dimensions.
+func TestETCTTranspose(t *testing.T) {
+	r := rng.New(99)
+	var b kernel.Builder
+	for trial := 0; trial < 50; trial++ {
+		sites, batch, ready, alive := randomInstance(r)
+		s := b.Build(float64(r.Intn(3))*100, sites, ready, alive, batch)
+		etcT := s.ETCT()
+		if len(etcT) != s.N*s.M {
+			t.Fatalf("trial %d: ETCT length %d, want %d", trial, len(etcT), s.N*s.M)
+		}
+		for i := 0; i < s.N; i++ {
+			for k := 0; k < s.M; k++ {
+				if etcT[k*s.N+i] != s.ETC[i*s.M+k] {
+					t.Fatalf("trial %d: ETCT[%d,%d] = %v, want %v", trial, k, i, etcT[k*s.N+i], s.ETC[i*s.M+k])
+				}
+			}
+		}
+		// A second call must return the same backing array, not refill.
+		again := s.ETCT()
+		if &again[0] != &etcT[0] {
+			t.Fatalf("trial %d: ETCT rematerialized within one build", trial)
+		}
+	}
+}
+
+// TestBuilderSteadyStateAllocs proves the arena contract at the scale
+// axis: once a builder has seen one round at m=1024, later rounds of
+// the same shape — including the site-major transpose and the
+// eligibility classes — allocate nothing.
+func TestBuilderSteadyStateAllocs(t *testing.T) {
+	r := rng.New(7)
+	const m, n = 1024, 512
+	sites := make([]*grid.Site, m)
+	for k := range sites {
+		sites[k] = &grid.Site{ID: k, Speed: 1 + r.Float64()*99, Nodes: 1, SecurityLevel: r.Float64()}
+	}
+	batch := make([]*grid.Job, n)
+	for i := range batch {
+		batch[i] = &grid.Job{ID: i, Workload: 1 + r.Float64()*1e5, Nodes: 1, SecurityDemand: r.Float64()}
+	}
+	ready := make([]float64, m)
+	policy := grid.FRiskyPolicy(0.5)
+	var b kernel.Builder
+	warm := b.Build(0, sites, ready, nil, batch)
+	for i := range batch {
+		warm.Eligible(policy, i)
+	}
+	warm.ETCT()
+	allocs := testing.AllocsPerRun(3, func() {
+		s := b.Build(0, sites, ready, nil, batch)
+		for i := range batch {
+			s.Eligible(policy, i)
+		}
+		s.ETCT()
+	})
+	// The eligibility map is cleared and refilled each round; map buckets
+	// are reused by the runtime, so the whole round should be
+	// allocation-free in steady state.
+	if allocs > 0 {
+		t.Fatalf("steady-state round allocates %v times, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"trustgrid/internal/api"
 	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
 	"trustgrid/internal/sched"
 	"trustgrid/internal/wal"
 )
@@ -52,6 +53,10 @@ type serverSnapshot struct {
 	// restored into M engines. Zero (an unsharded snapshot, including
 	// every pre-sharding one) means 1.
 	Shards int `json:"shards,omitempty"`
+	// RNGVersion is part of the fingerprint: scheduler state evolved
+	// under one draw contract cannot continue under another. Zero (every
+	// snapshot from before the knob, and v1 configs) means version 1.
+	RNGVersion int `json:"rng_version,omitempty"`
 
 	Engine  *sched.EngineSnapshot `json:"engine,omitempty"`
 	Tenants []tenantSnapshot      `json:"tenants"`
@@ -108,8 +113,23 @@ func (s *Server) checkFingerprint(snap *serverSnapshot) error {
 		return mismatch("manual", snap.Manual, s.cfg.Manual)
 	case snapShards != s.cfg.Shards:
 		return mismatch("shards", snapShards, s.cfg.Shards)
+	case normalizeRNGVersion(snap.RNGVersion) != normalizeRNGVersion(s.cfg.Setup.RNGVersion):
+		return mismatch("rng-version",
+			normalizeRNGVersion(snap.RNGVersion), normalizeRNGVersion(s.cfg.Setup.RNGVersion))
 	}
 	return nil
+}
+
+// normalizeRNGVersion folds the raw knob into its contract number so a
+// pre-knob snapshot (0) restores under an explicit v1 config (1) and
+// vice versa. Unknown values pass through raw — they were already
+// rejected at boot, and mapping them onto a real version here would
+// let a corrupt snapshot restore.
+func normalizeRNGVersion(raw int) int {
+	if v, err := rng.ParseVersion(raw); err == nil {
+		return v.Num()
+	}
+	return raw
 }
 
 // recover opens the WAL set and rebuilds the daemon's state before the
@@ -599,6 +619,7 @@ func (s *Server) writeSnapshot() error {
 		RoundBudget:   s.cfg.RoundBudget,
 		Sites:         len(s.cfg.Sites),
 		Manual:        s.cfg.Manual,
+		RNGVersion:    s.cfg.Setup.RNGVersion,
 		Tenants:       s.tenants.snapshot(),
 		NextID:        s.nextID.Load(),
 		Counters: counterSnapshot{

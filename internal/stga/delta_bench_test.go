@@ -41,7 +41,7 @@ func fitnessPathScript(r *rng.Stream, gens, pop, n, m int) [][]geneEdit {
 //
 //	full-decode — the pre-kernel path: one O(n) chromosome decode per
 //	              individual per generation, regardless of what changed
-//	delta       — the incremental path (Config.UseDelta): per-site load
+//	delta       — the incremental path (Config.Delta = DeltaOn): per-site load
 //	              aggregates updated per gene edit; untouched
 //	              individuals evaluate from cache in O(1)
 //

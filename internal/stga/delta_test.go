@@ -88,17 +88,17 @@ func TestDeltaFitnessMatchesFullDecode(t *testing.T) {
 	}
 }
 
-// TestUseDeltaBitIdentical runs the same STGA workload with and without
+// TestDeltaModeBitIdentical runs the same STGA workload with and without
 // the delta evaluator and requires identical placements — the
 // end-to-end form of the exactness invariant — and then once more with
 // the runtime cross-check armed, which panics inside ga.Run on the
 // first diverging evaluation.
-func TestUseDeltaBitIdentical(t *testing.T) {
-	run := func(useDelta, verify bool) []sched.Assignment {
+func TestDeltaModeBitIdentical(t *testing.T) {
+	run := func(delta DeltaMode, verify bool) []sched.Assignment {
 		cfg := DefaultConfig()
 		cfg.GA.PopulationSize = 40
 		cfg.GA.Generations = 25
-		cfg.UseDelta = useDelta
+		cfg.Delta = delta
 		cfg.GA.VerifyIncremental = verify
 		s := New(cfg, rng.New(99))
 		r := rng.New(41)
@@ -120,8 +120,8 @@ func TestUseDeltaBitIdentical(t *testing.T) {
 		}
 		return out
 	}
-	full := run(false, false)
-	delta := run(true, false)
+	full := run(DeltaOff, false)
+	delta := run(DeltaOn, false)
 	if len(full) != len(delta) {
 		t.Fatalf("assignment counts differ: %d vs %d", len(full), len(delta))
 	}
@@ -132,5 +132,5 @@ func TestUseDeltaBitIdentical(t *testing.T) {
 		}
 	}
 	// The armed cross-check would panic on any divergence.
-	run(true, true)
+	run(DeltaOn, true)
 }

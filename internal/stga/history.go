@@ -20,6 +20,15 @@ type Entry struct {
 	Best ga.Chromosome
 
 	lastUse uint64 // LRU clock stamp
+
+	// Cached maximal elements of the three vectors (same strict-> over a
+	// zero start as the similarity scan), computed at Insert. The slices
+	// are treated as immutable once stored, so Lookup's per-entry
+	// similarity reduces to the branchless difference sum.
+	maxReady, maxETC, maxSD float64
+	// rankOrd caches rankOrder over the stored batch (also immutable),
+	// sparing adaptSeed a sort per match.
+	rankOrd []int
 }
 
 // HistoryTable is the fixed-capacity LRU store of past scheduling
@@ -60,19 +69,16 @@ func (t *HistoryTable) HitRate() float64 {
 	return float64(t.hits) / float64(t.lookups)
 }
 
-func (t *HistoryTable) similarityFn() func(a, b []float64) float64 {
-	if t.UseEq2Literal {
-		return SimilarityEq2
-	}
-	return Similarity
-}
-
 // entrySimilarity is the average of the three per-parameter similarities
 // (paper §3: "the similarity between the new input jobs and each entry is
-// the average similarity for the three parameters").
+// the average similarity for the three parameters"). The reference form;
+// Lookup computes the same value via similarityPremax with cached maxima.
 func (t *HistoryTable) entrySimilarity(e *Entry, ready, etc, sd []float64) float64 {
-	sim := t.similarityFn()
-	return (sim(e.Ready, ready) + sim(e.ETC, etc) + sim(e.SD, sd)) / 3
+	sim := Similarity
+	if t.UseEq2Literal {
+		sim = SimilarityEq2
+	}
+	return ((sim(e.Ready, ready) + sim(e.ETC, etc)) + sim(e.SD, sd)) / 3
 }
 
 // Match is a lookup result: a stored schedule with its similarity score.
@@ -86,9 +92,22 @@ type Match struct {
 // stamps refreshed.
 func (t *HistoryTable) Lookup(ready, etc, sd []float64, threshold float64, maxSeeds int) []Match {
 	t.lookups++
+	norm := !t.UseEq2Literal
+	qReady, qETC, qSD := maxElemOf(ready), maxElemOf(etc), maxElemOf(sd)
 	var matches []Match
 	for _, e := range t.entries {
-		s := t.entrySimilarity(e, ready, etc, sd)
+		sR := similarityPremax(e.Ready, ready, e.maxReady, qReady, norm)
+		sSD := similarityPremax(e.SD, sd, e.maxSD, qSD, norm)
+		// Every component similarity is at most 1, and IEEE addition and
+		// division are monotone, so substituting 1 for the ETC term bounds
+		// the average from above in the entrySimilarity rounding order.
+		// Entries that cannot reach the threshold skip the ETC scan — the
+		// dominant cost at m·n elements against m and n for the other two.
+		if ((sR+1)+sSD)/3 < threshold {
+			continue
+		}
+		sETC := similarityPremax(e.ETC, etc, e.maxETC, qETC, norm)
+		s := ((sR + sETC) + sSD) / 3
 		if s >= threshold {
 			matches = append(matches, Match{Entry: e, Similarity: s})
 		}
@@ -118,6 +137,10 @@ func (t *HistoryTable) Lookup(ready, etc, sd []float64, threshold float64, maxSe
 func (t *HistoryTable) Insert(e *Entry) {
 	t.clock++
 	e.lastUse = t.clock
+	e.maxReady, e.maxETC, e.maxSD = maxElemOf(e.Ready), maxElemOf(e.ETC), maxElemOf(e.SD)
+	if n := len(e.SD); n > 0 && len(e.ETC) >= n {
+		e.rankOrd = rankOrder(e.ETC, e.SD, len(e.ETC)/n, n)
+	}
 	if len(t.entries) < t.capacity {
 		t.entries = append(t.entries, e)
 		return

@@ -28,6 +28,31 @@ func Similarity(a, b []float64) float64 {
 }
 
 func similarity(a, b []float64, normalize bool) float64 {
+	return similarityPremax(a, b, maxElemOf(a), maxElemOf(b), normalize)
+}
+
+// maxElemOf returns the maximal element of v under the exact comparison
+// the similarity scan historically used: strict >, starting from zero
+// (so all-negative vectors yield 0, and NaNs never win).
+func maxElemOf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// similarityPremax is similarity with both vectors' maximal elements
+// precomputed. The maxima are scan-invariant, so the history table
+// caches each entry's at insert time and computes the query's once per
+// lookup; the per-entry hot loop then reduces to the branchless |aᵢ−bᵢ|
+// accumulation (the data-dependent max-tracking branches used to cost
+// as much as the arithmetic). Bit-identical to the fused scan: the
+// difference sum accumulates in the same order and the max is
+// order-independent under strict >.
+func similarityPremax(a, b []float64, maxA, maxB float64, normalize bool) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
@@ -38,30 +63,17 @@ func similarity(a, b []float64, normalize bool) float64 {
 	if len(b) < k {
 		k = len(b)
 	}
-	var sumDiff, maxElem float64
+	var sumDiff float64
 	for i := 0; i < k; i++ {
 		d := a[i] - b[i]
 		if d < 0 {
 			d = -d
 		}
 		sumDiff += d
-		if a[i] > maxElem {
-			maxElem = a[i]
-		}
-		if b[i] > maxElem {
-			maxElem = b[i]
-		}
 	}
-	// Scan the full vectors for the max, per the formula.
-	for _, v := range a[k:] {
-		if v > maxElem {
-			maxElem = v
-		}
-	}
-	for _, v := range b[k:] {
-		if v > maxElem {
-			maxElem = v
-		}
+	maxElem := maxA
+	if maxB > maxElem {
+		maxElem = maxB
 	}
 	var sim float64
 	switch {

@@ -66,18 +66,61 @@ type Config struct {
 	// the paper wins; the ablations show the load term only helps when
 	// the policy is fully Risky on wide-speed-spread platforms.
 	LoadWeight float64
-	// UseDelta switches GA evaluation to the incremental (delta) fitness
-	// (delta.go): per-site load aggregates maintained through selection,
-	// crossover and mutation instead of a full decode per evaluation.
-	// Requires LoadWeight == 0. Results are bit-identical either way
-	// (test-gated, and checkable at runtime via GA.VerifyIncremental);
-	// only the cost profile differs. Off by default: at the paper's
-	// platform sizes (≤ 20 sites) the measured winner is the full decode
-	// — its single scratch buffer stays cache-hot across the whole
-	// population, while per-individual delta states add memory traffic
-	// that outweighs the skipped arithmetic except for individuals the
-	// operators left untouched (DESIGN.md §8.3 has the numbers).
-	UseDelta bool
+	// Delta selects the GA evaluation strategy: the incremental (delta)
+	// fitness (delta.go) maintains per-site load aggregates through
+	// selection, crossover and mutation instead of running a full decode
+	// per evaluation. Results are bit-identical either way (test-gated,
+	// and checkable at runtime via GA.VerifyIncremental); only the cost
+	// profile differs, which is why an automatic default is safe. The
+	// delta path requires LoadWeight == 0 and is ignored otherwise.
+	Delta DeltaMode
+}
+
+// DeltaMode picks between the full-decode and incremental GA
+// evaluators. The zero value is DeltaAuto.
+type DeltaMode int
+
+const (
+	// DeltaAuto (the default) chooses per batch from the measured
+	// crossover policy in deltaWins — currently the full decode at every
+	// benchmarked scale; see deltaWins for the numbers and the reason.
+	DeltaAuto DeltaMode = iota
+	// DeltaOn forces the incremental evaluator (benchmarks, tests, and
+	// workloads whose operators touch few genes).
+	DeltaOn
+	// DeltaOff forces the full decode.
+	DeltaOff
+)
+
+// deltaWins is the DeltaAuto policy: should the incremental evaluator
+// run for a batch of n jobs over m sites? Set from end-to-end
+// measurement, not theory, and the honest answer today is no at every
+// scale: with the fused running-max decode the full evaluation is
+// O(n) per individual with one cache-hot scratch buffer, while the
+// delta path pays per-individual state Copy traffic (loads[m] +
+// dirty-set words) on every selection pick and the default 0.8
+// crossover probability dirties most sites for 80% of pairs. Measured
+// STGA Schedule (batch 200, this container): m=64 27 vs 42 ms, m=256
+// 54 vs 76 ms, m=1024 124 vs 152 ms — full vs delta, before the decode
+// fusion widened the gap further. The hook stays so the policy can
+// flip from measurement if the operator mix changes (e.g. tiny
+// mutation-only generations, where delta's 8.7x microbenchmark win —
+// see delta_bench_test.go — would dominate).
+func deltaWins(m, n int) bool {
+	_, _ = m, n
+	return false
+}
+
+// enabled resolves the mode for a batch of n jobs over m sites.
+func (d DeltaMode) enabled(m, n int) bool {
+	switch d {
+	case DeltaOn:
+		return true
+	case DeltaOff:
+		return false
+	default:
+		return deltaWins(m, n)
+	}
 }
 
 // DefaultConfig returns the Table 1 configuration.
@@ -102,6 +145,12 @@ type Scheduler struct {
 	table *HistoryTable
 	rand  *rng.Stream
 	batch int
+	// Persistent seeding heuristics: MinMin and Sufferage carry arena
+	// state (candidate buckets, lazy heaps) that is expensive to grow
+	// from nothing, so one instance of each lives as long as the
+	// scheduler instead of being rebuilt every batch.
+	minmin    *heuristics.MinMin
+	sufferage *heuristics.Sufferage
 
 	// LastTrajectory is the best-fitness-per-generation curve of the most
 	// recent batch (index 0 = initial population). The convergence
@@ -116,7 +165,10 @@ type Scheduler struct {
 func New(cfg Config, r *rng.Stream) *Scheduler {
 	table := NewHistoryTable(cfg.HistorySize)
 	table.UseEq2Literal = cfg.UseEq2Literal
-	return &Scheduler{cfg: cfg, table: table, rand: r}
+	return &Scheduler{cfg: cfg, table: table, rand: r,
+		minmin:    heuristics.NewMinMin(cfg.Policy),
+		sufferage: heuristics.NewSufferage(cfg.Policy),
+	}
 }
 
 // Name implements sched.Scheduler.
@@ -169,10 +221,23 @@ func fitnessBase(st *sched.State) []float64 {
 // term exists for Risky-policy configurations on wide-speed-spread
 // platforms, where pure makespan treats every placement below the batch
 // maximum as free; under the default f-risky policy it is disabled
-// (loadWeight = 0), matching the paper's fitness exactly. The zero-
-// weight case gets a span-only decode without the total accumulation:
-// span + 0·total/m == span bit-for-bit, and this closure is the GA's
-// hottest loop.
+// (loadWeight = 0), matching the paper's fitness exactly.
+//
+// The zero-weight decode — the GA's hottest loop — is fused: the span
+// is the running maximum of base[site]+load taken as the loads
+// accumulate. ETCs are non-negative, so each site's partial sums rise
+// to its final load and the running maximum equals the separate
+// final-pass maximum bit-for-bit (same candidate floats, same per-site
+// addition order). Fusing removes the O(m) finishing scan — at m=1024,
+// batch 200, the old decode spent 5/6 of its time visiting sites the
+// chromosome never touches. The scratch zeroing stays (Go's memclr of
+// 8 KB is ~60 ns); an epoch-stamp variant that avoids it was measured
+// 2-3x slower at m ∈ {256, 1024} because its per-gene first-touch
+// branch is data-dependent and mispredicts constantly. The l > 0 guard
+// preserves the scan version's (and the delta evaluator's) semantics
+// for the zero-ETC edge: a site whose assigned jobs all have zero ETC
+// contributes no candidate, and partial sums of an eventually-positive
+// site are dominated by that site's own final value.
 func makespanFitness(nSites int, base, etc []float64, loadWeight float64) ga.Fitness {
 	loads := make([]float64, nSites) // scratch, reused across calls
 	if loadWeight == 0 {
@@ -180,19 +245,17 @@ func makespanFitness(nSites int, base, etc []float64, loadWeight float64) ga.Fit
 			for i := range loads {
 				loads[i] = 0
 			}
+			span := 0.0
 			off := 0
 			for _, site := range c {
-				loads[site] += etc[off+site]
+				l := loads[site] + etc[off+site]
+				loads[site] = l
+				if l > 0 {
+					if f := base[site] + l; f > span {
+						span = f
+					}
+				}
 				off += nSites
-			}
-			span := 0.0
-			for i, l := range loads {
-				if l == 0 {
-					continue
-				}
-				if f := base[i] + l; f > span {
-					span = f
-				}
 			}
 			return span
 		}
@@ -229,12 +292,25 @@ func makespanFitness(nSites int, base, etc []float64, loadWeight float64) ga.Fit
 // exact for identical spec multisets and graceful otherwise. The GA's
 // Repair clamps any gene the current policy disallows.
 func adaptSeed(e *Entry, etc, sd []float64, nSites, length int) ga.Chromosome {
+	if len(e.SD) == 0 {
+		return make(ga.Chromosome, length)
+	}
+	return adaptSeedOrdered(e, rankOrder(etc, sd, nSites, length), length)
+}
+
+// adaptSeedOrdered is adaptSeed with the new batch's rank order already
+// computed: it is identical for every match of one lookup, and the
+// stored side's order is cached on the entry at Insert, so adapting a
+// full complement of seeds costs one sort instead of two per seed.
+func adaptSeedOrdered(e *Entry, newOrder []int, length int) ga.Chromosome {
 	storedLen := len(e.SD)
 	if storedLen == 0 {
 		return make(ga.Chromosome, length)
 	}
-	storedOrder := rankOrder(e.ETC, e.SD, nSites, storedLen)
-	newOrder := rankOrder(etc, sd, nSites, length)
+	storedOrder := e.rankOrd
+	if storedOrder == nil {
+		storedOrder = rankOrder(e.ETC, e.SD, len(e.ETC)/storedLen, storedLen)
+	}
 	out := make(ga.Chromosome, length)
 	for rank, newIdx := range newOrder {
 		storedIdx := storedOrder[rank*storedLen/length]
@@ -298,8 +374,8 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 
 	var seeds []ga.Chromosome
 	if s.cfg.SeedHeuristics {
-		seeds = append(seeds, heuristicChromosome(heuristics.NewMinMin(s.cfg.Policy), batch, st))
-		seeds = append(seeds, heuristicChromosome(heuristics.NewSufferage(s.cfg.Policy), batch, st))
+		seeds = append(seeds, heuristicChromosome(s.minmin, batch, st))
+		seeds = append(seeds, heuristicChromosome(s.sufferage, batch, st))
 	}
 	if !s.cfg.DisableHistory {
 		maxSeeds := s.cfg.MaxSeeds
@@ -307,8 +383,11 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 			maxSeeds = s.cfg.GA.PopulationSize / 2
 		}
 		nSites := len(st.Sites)
-		for _, m := range s.table.Lookup(ready, etc, sd, s.cfg.SimilarityThreshold, maxSeeds) {
-			seeds = append(seeds, adaptSeed(m.Entry, etc, sd, nSites, len(batch)))
+		if matches := s.table.Lookup(ready, etc, sd, s.cfg.SimilarityThreshold, maxSeeds); len(matches) > 0 {
+			newOrder := rankOrder(etc, sd, nSites, len(batch))
+			for _, m := range matches {
+				seeds = append(seeds, adaptSeedOrdered(m.Entry, newOrder, len(batch)))
+			}
 		}
 	}
 
@@ -325,10 +404,10 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	}
 	// The fitness closure keeps a per-instance scratch buffer, so the
 	// parallel evaluator gets a factory producing one instance per
-	// worker; the bare Fitness covers the serial path. Config.UseDelta
-	// swaps in the incremental evaluator, which is bit-identical by
-	// construction (the full decode stays available as the
-	// VerifyIncremental cross-check).
+	// worker; the bare Fitness covers the serial path. Config.Delta
+	// resolves whether the incremental evaluator runs, which is
+	// bit-identical by construction (the full decode stays available as
+	// the VerifyIncremental cross-check).
 	base := fitnessBase(st)
 	nSites := len(st.Sites)
 	problem := &ga.Problem{
@@ -339,7 +418,7 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 			return makespanFitness(nSites, base, fitEtc, s.cfg.LoadWeight)
 		},
 	}
-	if s.cfg.UseDelta && s.cfg.LoadWeight == 0 {
+	if s.cfg.Delta.enabled(nSites, len(batch)) && s.cfg.LoadWeight == 0 {
 		problem.Incremental = newMakespanInc(base, fitEtc, len(batch), nSites)
 	}
 	res, err := ga.Run(problem, s.cfg.GA, seeds, runRand)
@@ -405,8 +484,7 @@ func (s *Scheduler) Train(jobs []*grid.Job, sites []*grid.Site, batchSize int) {
 	if s.cfg.DisableHistory || batchSize <= 0 {
 		return
 	}
-	minmin := heuristics.NewMinMin(s.cfg.Policy)
-	sufferage := heuristics.NewSufferage(s.cfg.Policy)
+	minmin, sufferage := s.minmin, s.sufferage
 	ready := make([]float64, len(sites))
 	for start, b := 0, 0; start < len(jobs); start, b = start+batchSize, b+1 {
 		end := start + batchSize

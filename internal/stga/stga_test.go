@@ -146,6 +146,55 @@ func TestHistoryLRUEviction(t *testing.T) {
 	}
 }
 
+// TestHistoryLookupMatchesReference pins the optimized Lookup path
+// (cached maxima, ETC early-exit) to the reference entrySimilarity: every
+// entry at or above the threshold is returned with the bit-identical
+// score, and nothing below it leaks through — under both similarity
+// variants and with mismatched vector lengths in the mix.
+func TestHistoryLookupMatchesReference(t *testing.T) {
+	for _, eq2 := range []bool{false, true} {
+		r := rng.New(411)
+		tb := NewHistoryTable(64)
+		tb.UseEq2Literal = eq2
+		vec := func(n int, scale float64) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = r.Float64() * scale
+			}
+			return v
+		}
+		for i := 0; i < 40; i++ {
+			tb.Insert(&Entry{
+				Ready: vec(4+r.Intn(3), 10),
+				ETC:   vec(12+r.Intn(5), 100),
+				SD:    vec(4+r.Intn(3), 1),
+				Best:  ga.Chromosome{0},
+			})
+		}
+		for trial := 0; trial < 25; trial++ {
+			ready, etc, sd := vec(5, 10), vec(14, 100), vec(5, 1)
+			threshold := r.Float64()*1.6 - 0.4
+			want := map[*Entry]float64{}
+			for _, e := range tb.entries {
+				if s := tb.entrySimilarity(e, ready, etc, sd); s >= threshold {
+					want[e] = s
+				}
+			}
+			got := tb.Lookup(ready, etc, sd, threshold, 0)
+			if len(got) != len(want) {
+				t.Fatalf("eq2=%v threshold=%v: Lookup returned %d matches, reference %d",
+					eq2, threshold, len(got), len(want))
+			}
+			for _, m := range got {
+				if s, ok := want[m.Entry]; !ok || s != m.Similarity {
+					t.Fatalf("eq2=%v: match score %v, reference %v (found=%v)",
+						eq2, m.Similarity, s, ok)
+				}
+			}
+		}
+	}
+}
+
 func TestHistoryMaxSeedsAndOrdering(t *testing.T) {
 	tb := NewHistoryTable(10)
 	for _, v := range []float64{10, 1, 5} {
