@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"trustgrid/internal/api"
+	"trustgrid/internal/client"
+	"trustgrid/internal/rng"
+)
+
+// dagSmoke drives the dependent-job path end to end against a live
+// daemon: three layers submitted through the typed client with each
+// layer's depends_on naming the server-assigned IDs of the layer
+// before, completion of all jobs within the wait budget, precedence
+// honored in the event log, and cursor resume intact mid-log.
+func dagSmoke(addr string, seed uint64, wait time.Duration, stdout, stderr io.Writer) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "loadgen: dag-smoke: "+format+"\n", args...)
+		return 1
+	}
+	c := client.New(addr)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		return fail("daemon unreachable: %v", err)
+	}
+	before, err := c.Metrics(ctx, "")
+	if err != nil {
+		return fail("metrics: %v", err)
+	}
+
+	// Three layers: 3 sources, 3 middles each depending on every source,
+	// one sink depending on every middle. Workloads are small enough to
+	// complete in a handful of batch rounds.
+	r := rng.New(seed).Derive("dag-smoke")
+	specs := func(n int, deps []int) []api.JobSpec {
+		out := make([]api.JobSpec, n)
+		for i := range out {
+			out[i] = api.JobSpec{
+				Workload:  1000 * float64(r.Level(5)),
+				SD:        r.Uniform(0.6, 0.9),
+				DependsOn: deps,
+			}
+		}
+		return out
+	}
+	sources, err := c.Submit(ctx, "", specs(3, nil))
+	if err != nil {
+		return fail("submit sources: %v", err)
+	}
+	middles, err := c.Submit(ctx, "", specs(3, sources))
+	if err != nil {
+		return fail("submit middles (deps %v): %v", sources, err)
+	}
+	sink, err := c.Submit(ctx, "", specs(1, middles))
+	if err != nil {
+		return fail("submit sink (deps %v): %v", middles, err)
+	}
+	deps := map[int][]int{sink[0]: middles}
+	for _, id := range middles {
+		deps[id] = sources
+	}
+	total := len(sources) + len(middles) + len(sink)
+
+	// The daemon ticks on its own; poll until the whole DAG completed.
+	deadline := time.Now().Add(wait)
+	for {
+		rep, err := c.Metrics(ctx, "")
+		if err != nil {
+			return fail("metrics: %v", err)
+		}
+		if rep.Completed >= before.Completed+int64(total) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail("only %d/%d jobs completed within %s (blocked release stuck?)",
+				rep.Completed-before.Completed, total, wait)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Read the whole log in two pages, splicing at an arbitrary cursor:
+	// the second read must start exactly where the first stopped.
+	events, cut, err := readSpliced(ctx, c, total)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	// Precedence: a blocked job's job_ready and placed events must
+	// follow the completion of every parent; job_ready fires exactly
+	// once per blocked job and never for a source.
+	completedSeq := map[int]int64{}
+	readyCount := map[int]int{}
+	lastSeq := int64(-1)
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			return fail("event log not strictly ordered: seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Kind {
+		case "job_ready", "placed":
+			if ev.Kind == "job_ready" {
+				readyCount[ev.Job]++
+			}
+			for _, p := range deps[ev.Job] {
+				if seq, done := completedSeq[p]; !done || seq > ev.Seq {
+					return fail("%s for job %d (seq %d) precedes completion of parent %d",
+						ev.Kind, ev.Job, ev.Seq, p)
+				}
+			}
+		case "completed":
+			completedSeq[ev.Job] = ev.Seq
+		}
+	}
+	for id := range deps {
+		if readyCount[id] != 1 {
+			return fail("job %d emitted %d job_ready events, want 1", id, readyCount[id])
+		}
+	}
+	for _, id := range sources {
+		if readyCount[id] != 0 {
+			return fail("dependency-free job %d emitted job_ready", id)
+		}
+	}
+
+	edges := 0
+	for _, ps := range deps {
+		edges += len(ps)
+	}
+	fmt.Fprintf(stdout, "dag-smoke ok: %d jobs (%d edges) completed in order; "+
+		"%d events verified, cursor splice at seq %d\n",
+		total, edges, len(events), cut)
+	return 0
+}
+
+// readSpliced reads the daemon's full event log as two non-follow pages
+// split at an arbitrary cursor and verifies the splice is seamless: the
+// second page starts exactly one past the first page's cursor.
+func readSpliced(ctx context.Context, c *client.Client, firstPage int) ([]api.Event, int64, error) {
+	head := c.Events(ctx, client.EventsOptions{Max: firstPage})
+	events, err := drainStream(head)
+	if err != nil {
+		return nil, 0, fmt.Errorf("event page 1: %w", err)
+	}
+	cut := head.Cursor()
+	head.Close()
+	if len(events) > 0 && events[len(events)-1].Seq != cut-1 {
+		return nil, 0, fmt.Errorf("cursor %d does not follow last delivered seq %d", cut, events[len(events)-1].Seq)
+	}
+	tail := c.Events(ctx, client.EventsOptions{Since: cut})
+	rest, err := drainStream(tail)
+	if err != nil {
+		return nil, 0, fmt.Errorf("event page 2 (since %d): %w", cut, err)
+	}
+	tail.Close()
+	if len(rest) == 0 {
+		return nil, 0, fmt.Errorf("resume from cursor %d yielded nothing", cut)
+	}
+	if rest[0].Seq < cut {
+		return nil, 0, fmt.Errorf("resume from cursor %d replayed seq %d", cut, rest[0].Seq)
+	}
+	return append(events, rest...), cut, nil
+}
+
+func drainStream(es *client.EventStream) ([]api.Event, error) {
+	var out []api.Event
+	for {
+		ev, err := es.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}

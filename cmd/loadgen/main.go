@@ -12,6 +12,16 @@
 //	        [-seed 1] [-flush 5ms] [-wait 10s] [-min-rate 0]
 //	        [-tenants gold:4,silver:2,bronze:1:40]
 //	        [-require-tenant-placements] [-require-429]
+//	loadgen -dag-smoke [-addr ...] [-seed 1] [-wait 10s]
+//
+// With -dag-smoke, loadgen instead runs the dependent-job end-to-end
+// check: it submits a three-layer DAG through the typed client (each
+// layer's depends_on naming the server-assigned IDs of the previous
+// layer), waits for all jobs to complete, and fails unless (a) every
+// blocked job's job_ready and placed events follow the completion of
+// all of its parents in the event log, and (b) re-reading the log from
+// a mid-stream ?since= cursor yields exactly the remaining suffix. It
+// expects a dedicated daemon instance.
 //
 // With -tenants (comma-separated id:weight[:maxqueue] entries) loadgen
 // registers the tenants on the daemon and spreads the offered load
@@ -153,8 +163,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tenantsSpec := fs.String("tenants", "", "register and drive these tenants (id:weight[:maxqueue],...); empty = default tenant via /v1")
 	requireTenantPlacements := fs.Bool("require-tenant-placements", false, "fail unless every tenant saw >= 1 placement")
 	require429 := fs.Bool("require-429", false, "fail unless >= 1 submission was rejected 429 and then successfully retried")
+	dagSmokeMode := fs.Bool("dag-smoke", false, "run the dependent-job end-to-end check instead of a load run")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *dagSmokeMode {
+		return dagSmoke(*addr, *seed, *wait, stdout, stderr)
 	}
 	tenants, err := parseTenants(*tenantsSpec)
 	if err != nil {

@@ -45,6 +45,36 @@ func TestRealMainAgainstService(t *testing.T) {
 	}
 }
 
+// TestRealMainDAGSmoke runs the -dag-smoke mode against an in-process
+// ticking daemon: the three-layer DAG must complete with precedence
+// honored in the event log and the mid-log cursor splice seamless.
+func TestRealMainDAGSmoke(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 5000, Tick: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-addr", ts.URL, "-dag-smoke", "-wait", "10s"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "dag-smoke ok: 7 jobs (12 edges)") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
 // TestRealMainMinRateGate checks the CI throughput gate trips when the
 // achieved rate is below -min-rate.
 func TestRealMainMinRateGate(t *testing.T) {

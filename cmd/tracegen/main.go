@@ -14,6 +14,9 @@
 //	tracegen -arrivals [-jobs 1000] [-arrival-rate 0.008]
 //	         [-tenants gold,silver,bronze] [-levels 20]
 //	         [-max-workload 300000] [-seed 1] [-o FILE]
+//	tracegen -dag [-jobs 800] [-dag-width 48] [-dag-edge-prob 0.3]
+//	         [-dag-slack 2] [-dag-mean-speed 55] [-arrival-rate 0.05]
+//	         [-levels 20] [-max-workload 300000] [-seed 1] [-o FILE]
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"trustgrid/internal/api"
+	"trustgrid/internal/dag"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/rng"
 	"trustgrid/internal/trace"
@@ -51,11 +55,22 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tenants := fs.String("tenants", "", "arrivals: comma-separated tenant ids assigned round-robin (empty = single-tenant)")
 	levels := fs.Int("levels", 20, "arrivals: discrete workload levels (PSA-style)")
 	maxWorkload := fs.Float64("max-workload", 300000, "arrivals: workload of the top level")
+	dagMode := fs.Bool("dag", false, "emit a layered dependent-job trace (JSONL with depends_on) instead of a workload trace")
+	dagWidth := fs.Int("dag-width", 48, "dag: layer width (depth = jobs/width)")
+	dagEdgeProb := fs.Float64("dag-edge-prob", 0.3, "dag: per-pair edge probability between adjacent layers")
+	dagSlack := fs.Float64("dag-slack", 2, "dag: deadline slack multiplier on the critical path (0 = no deadlines)")
+	dagMeanSpeed := fs.Float64("dag-mean-speed", 55, "dag: mean site speed used to stamp deadlines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *churn && *arrivals {
-		fmt.Fprintln(stderr, "tracegen: -churn and -arrivals are mutually exclusive")
+	modes := 0
+	for _, m := range []bool{*churn, *arrivals, *dagMode} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(stderr, "tracegen: -churn, -arrivals and -dag are mutually exclusive")
 		return 2
 	}
 
@@ -64,6 +79,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *arrivals {
 		return arrivalsMain(*jobs, *arrivalRate, *tenants, *levels, *maxWorkload, *seed, *out, stdout, stderr)
+	}
+	if *dagMode {
+		// The default -arrival-rate (0.008) suits the independent PSA
+		// trace; DAG traces want a dense backlog, so the usage line
+		// suggests 0.05. Either works — the edges stay backward-pointing
+		// regardless of rate.
+		return dagMain(*jobs, *dagWidth, *dagEdgeProb, *arrivalRate, *levels, *maxWorkload,
+			*dagSlack, *dagMeanSpeed, *seed, *out, stdout, stderr)
 	}
 
 	cfg := trace.DefaultNASConfig()
@@ -155,6 +178,52 @@ func arrivalsMain(jobs int, rate float64, tenantList string, levels int, maxWork
 	}
 	fmt.Fprintf(stderr, "wrote %d arrivals over %.0f virtual seconds for %d tenant(s)\n",
 		jobs, now, max(len(tenants), 1))
+	return 0
+}
+
+// dagMain generates and writes a deterministic layered DAG trace: the
+// dag.Generate workload serialized as arrival-trace JSONL with the
+// depends_on/deadline columns. Every edge points to an earlier line, so
+// the trace passes api.ValidateDAG and replays through the manual-mode
+// daemon (parents are accepted before children reference them) as well
+// as the batch simulator.
+func dagMain(jobs, width int, edgeProb, rate float64, levels int, maxWorkload, slack, meanSpeed float64,
+	seed uint64, out string, stdout, stderr io.Writer) int {
+	gjobs, err := dag.Generate(rng.New(seed), dag.GenConfig{
+		Jobs: jobs, Width: width, EdgeProb: edgeProb, Rate: rate,
+		WorkloadStep: maxWorkload / float64(max(levels, 1)), Levels: levels,
+		Slack: slack, MeanSpeed: meanSpeed, FirstID: 1,
+	})
+	if err != nil {
+		// Generate only fails on out-of-range parameters — a usage error.
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+	w := stdout
+	if out != "" {
+		fh, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		defer fh.Close()
+		w = fh
+	}
+	edges := 0
+	for _, j := range gjobs {
+		edges += len(j.DependsOn)
+		rec := api.TraceRecord{
+			ID: j.ID, Arrival: j.Arrival, Workload: j.Workload,
+			Nodes: j.Nodes, SD: j.SecurityDemand,
+			DependsOn: j.DependsOn, Deadline: j.Deadline,
+		}
+		if err := api.WriteTraceRecord(w, rec); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "wrote %d dag jobs (%d edges, depth %d) over %.0f virtual seconds\n",
+		len(gjobs), edges, (len(gjobs)+width-1)/width, gjobs[len(gjobs)-1].Arrival)
 	return 0
 }
 

@@ -102,12 +102,73 @@ func TestRealMainArrivalsTrace(t *testing.T) {
 	}
 }
 
+// TestRealMainDAGTrace checks the -dag mode emits a deterministic
+// dependent-job trace whose edges pass the shared DAG validator and
+// survive materialization.
+func TestRealMainDAGTrace(t *testing.T) {
+	run := func() []byte {
+		path := filepath.Join(t.TempDir(), "dag.jsonl")
+		var out, errb bytes.Buffer
+		code := realMain([]string{
+			"-dag", "-jobs", "40", "-dag-width", "8", "-dag-edge-prob", "0.5",
+			"-arrival-rate", "0.05", "-o", path,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "wrote 40 dag jobs") ||
+			!strings.Contains(errb.String(), "depth 5") {
+			t.Fatalf("summary missing: %s", errb.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("dag trace not deterministic across runs")
+	}
+	recs, err := api.ReadTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 {
+		t.Fatalf("got %d records, want 40", len(recs))
+	}
+	if err := api.ValidateDAG(recs); err != nil {
+		t.Fatal(err)
+	}
+	edges, deadlines := 0, 0
+	for _, r := range recs {
+		edges += len(r.DependsOn)
+		if r.Deadline > 0 {
+			deadlines++
+		}
+	}
+	if edges == 0 {
+		t.Fatal("dag trace has no edges")
+	}
+	if deadlines != len(recs) {
+		t.Fatalf("%d/%d records carry deadlines, want all", deadlines, len(recs))
+	}
+	for _, j := range api.JobsFromTrace(recs) {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestRealMainArrivalsRejectsBadSpec pins -arrivals flag validation.
 func TestRealMainArrivalsRejectsBadSpec(t *testing.T) {
 	for _, args := range [][]string{
 		{"-arrivals", "-jobs", "0"},
 		{"-arrivals", "-tenants", "bad id!"},
 		{"-arrivals", "-churn"},
+		{"-arrivals", "-dag"},
+		{"-dag", "-churn"},
+		{"-dag", "-dag-width", "0"},
 	} {
 		var out, errb bytes.Buffer
 		if code := realMain(args, &out, &errb); code != 2 {

@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -67,7 +68,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatalf("got %d records, want %d", len(got), len(recs))
 	}
 	for i := range recs {
-		if got[i] != recs[i] {
+		if !reflect.DeepEqual(got[i], recs[i]) {
 			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
 		}
 	}

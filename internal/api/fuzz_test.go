@@ -1,0 +1,142 @@
+package api
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDAGTrace is the DAG-trace decoder contract: arbitrary bytes
+// must yield either an error or a trace that, once ValidateDAG accepts
+// it, materializes into jobs whose edges reference only earlier jobs —
+// no self-edges, no duplicate edges, no dangling or forward refs, and
+// (with edges present) no ambiguous IDs. Accepted DAG traces must also
+// round-trip bit-exactly through WriteTraceRecord. Never a panic.
+// Seed corpus under testdata/fuzz/FuzzParseDAGTrace.
+func FuzzParseDAGTrace(f *testing.F) {
+	f.Add([]byte(`{"id":0,"arrival":0,"workload":100,"nodes":1,"sd":0.7}` + "\n" +
+		`{"id":1,"arrival":5,"workload":50,"nodes":1,"sd":0.6,"depends_on":[0],"deadline":120}` + "\n"))
+	f.Add([]byte(`{"id":1,"arrival":0,"workload":10,"nodes":1,"sd":0.5,"depends_on":[1]}` + "\n"))
+	f.Add([]byte(`{"id":1,"arrival":0,"workload":10,"nodes":1,"sd":0.5,"depends_on":[7]}` + "\n"))
+	f.Add([]byte(`{"id":1,"arrival":0,"workload":10,"nodes":1,"sd":0.5}` + "\n" +
+		`{"id":2,"arrival":1,"workload":10,"nodes":1,"sd":0.5,"depends_on":[1,1]}` + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("{bad json\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := ValidateDAG(recs); err != nil {
+			return
+		}
+		// An accepted DAG trace has well-formed, backward-only edges.
+		seen := map[int]bool{}
+		hasEdges := false
+		for i, r := range recs {
+			if len(r.DependsOn) > 0 {
+				hasEdges = true
+			}
+			depSeen := map[int]bool{}
+			for _, d := range r.DependsOn {
+				if d == r.ID {
+					t.Fatalf("record %d: self-edge survived ValidateDAG", i)
+				}
+				if depSeen[d] {
+					t.Fatalf("record %d: duplicate edge survived ValidateDAG", i)
+				}
+				depSeen[d] = true
+				if !seen[d] {
+					t.Fatalf("record %d: forward/dangling ref %d survived ValidateDAG", i, d)
+				}
+			}
+			if hasEdges && seen[r.ID] {
+				t.Fatalf("record %d: duplicate id %d survived ValidateDAG with edges present", i, r.ID)
+			}
+			seen[r.ID] = true
+		}
+		// Materialized jobs carry the same edges the wire did.
+		for i, j := range JobsFromTrace(recs) {
+			if !reflect.DeepEqual(j.DependsOn, recs[i].DependsOn) &&
+				!(j.DependsOn == nil && len(recs[i].DependsOn) == 0) {
+				t.Fatalf("record %d: edges changed in materialization: %v vs %v", i, j.DependsOn, recs[i].DependsOn)
+			}
+		}
+		// Accepted traces round-trip bit-exactly.
+		var buf bytes.Buffer
+		for _, r := range recs {
+			if err := WriteTraceRecord(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing written trace: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(back), len(recs))
+		}
+		for i := range recs {
+			if !reflect.DeepEqual(back[i], recs[i]) {
+				t.Fatalf("record %d differs after round trip: %+v vs %+v", i, back[i], recs[i])
+			}
+		}
+	})
+}
+
+func TestValidateDAGRejections(t *testing.T) {
+	base := func() []TraceRecord {
+		return []TraceRecord{
+			{ID: 0, Arrival: 0, Workload: 100, Nodes: 1, SD: 0.7},
+			{ID: 1, Arrival: 1, Workload: 50, Nodes: 1, SD: 0.6, DependsOn: []int{0}},
+		}
+	}
+	cases := []struct {
+		name string
+		warp func([]TraceRecord) []TraceRecord
+		want string
+	}{
+		{"self-edge", func(r []TraceRecord) []TraceRecord {
+			r[1].DependsOn = []int{1}
+			return r
+		}, "depends on itself"},
+		{"duplicate-edge", func(r []TraceRecord) []TraceRecord {
+			r[1].DependsOn = []int{0, 0}
+			return r
+		}, "twice"},
+		{"forward-ref", func(r []TraceRecord) []TraceRecord {
+			r[0].DependsOn = []int{1}
+			r[1].DependsOn = nil
+			return r
+		}, "does not appear earlier"},
+		{"dangling", func(r []TraceRecord) []TraceRecord {
+			r[1].DependsOn = []int{42}
+			return r
+		}, "does not appear earlier"},
+		{"duplicate-id", func(r []TraceRecord) []TraceRecord {
+			r[0].ID = 1
+			return r
+		}, "reuse job id"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateDAG(tc.warp(base()))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	if err := ValidateDAG(base()); err != nil {
+		t.Fatalf("well-formed trace rejected: %v", err)
+	}
+	// Edge-free traces skip ID uniqueness — pre-DAG recordings with
+	// recycled IDs must keep validating.
+	recycled := []TraceRecord{
+		{ID: 7, Arrival: 0, Workload: 10, Nodes: 1, SD: 0.5},
+		{ID: 7, Arrival: 1, Workload: 10, Nodes: 1, SD: 0.5},
+	}
+	if err := ValidateDAG(recycled); err != nil {
+		t.Fatalf("edge-free trace with recycled ids rejected: %v", err)
+	}
+}

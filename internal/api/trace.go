@@ -29,15 +29,27 @@ type TraceRecord struct {
 	// SafeOnly records the owning tenant's secure-only policy as it
 	// applied to this job, so a batch replay needs no tenant registry.
 	SafeOnly bool `json:"safe_only,omitempty"`
+	// DependsOn, Deadline and Budget are the DAG columns (DESIGN.md §14).
+	// All omitempty: pre-DAG traces parse unchanged and edge-free jobs
+	// serialize without them, so recordings of independent workloads stay
+	// byte-identical to pre-DAG daemons.
+	DependsOn []int   `json:"depends_on,omitempty"`
+	Deadline  float64 `json:"deadline,omitempty"`
+	Budget    float64 `json:"budget,omitempty"`
 }
 
 // Job materializes the record as a simulator job.
 func (t TraceRecord) Job() *grid.Job {
-	return &grid.Job{
+	j := &grid.Job{
 		ID: t.ID, Arrival: t.Arrival, Workload: t.Workload,
 		Nodes: t.Nodes, SecurityDemand: t.SD,
 		Tenant: t.Tenant, SafeOnly: t.SafeOnly,
+		Deadline: t.Deadline, Budget: t.Budget,
 	}
+	if t.DependsOn != nil {
+		j.DependsOn = append([]int(nil), t.DependsOn...)
+	}
+	return j
 }
 
 // WriteTraceRecord appends one JSONL line.
@@ -66,12 +78,59 @@ func ReadTrace(r io.Reader) ([]TraceRecord, error) {
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			return nil, fmt.Errorf("api: trace line %d: %w", line, err)
 		}
+		// Canonicalize: an explicit empty depends_on list means the same
+		// as an absent one, and omitempty would drop it on re-encode —
+		// nil keeps edge-free records round-tripping byte-for-byte.
+		if len(rec.DependsOn) == 0 {
+			rec.DependsOn = nil
+		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ValidateDAG checks a trace's dependency structure. A trace is an
+// arrival order, so every dependency must name a job that appears
+// strictly earlier in the record list — which also rules out cycles by
+// construction. Traces without any depends_on column skip the ID
+// uniqueness check (pre-DAG traces with recycled IDs keep parsing);
+// once edges appear, duplicate IDs would make references ambiguous and
+// are rejected.
+func ValidateDAG(recs []TraceRecord) error {
+	hasEdges := false
+	for i := range recs {
+		if len(recs[i].DependsOn) > 0 {
+			hasEdges = true
+			break
+		}
+	}
+	if !hasEdges {
+		return nil
+	}
+	seen := make(map[int]int, len(recs))
+	for i, r := range recs {
+		if prev, dup := seen[r.ID]; dup {
+			return fmt.Errorf("api: trace records %d and %d reuse job id %d (ambiguous dependency target)", prev, i, r.ID)
+		}
+		depSeen := make(map[int]struct{}, len(r.DependsOn))
+		for _, d := range r.DependsOn {
+			if d == r.ID {
+				return fmt.Errorf("api: trace record %d: job %d depends on itself", i, r.ID)
+			}
+			if _, dup := depSeen[d]; dup {
+				return fmt.Errorf("api: trace record %d: job %d lists dependency %d twice", i, r.ID, d)
+			}
+			depSeen[d] = struct{}{}
+			if _, ok := seen[d]; !ok {
+				return fmt.Errorf("api: trace record %d: job %d depends on %d, which does not appear earlier in the trace", i, r.ID, d)
+			}
+		}
+		seen[r.ID] = i
+	}
+	return nil
 }
 
 // JobsFromTrace materializes a whole trace, preserving order.

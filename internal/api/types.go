@@ -27,6 +27,17 @@ type JobSpec struct {
 	// no security demand simply leaves sd_default unset, which keeps the
 	// pre-tenant wire behavior (sd:0 stays 0).
 	SD float64 `json:"sd,omitempty"`
+	// DependsOn lists job IDs that must complete before this job may be
+	// placed (DESIGN.md §14). Each must be a previously accepted job of
+	// the same tenant, or an earlier job in the same manual-mode request
+	// with an explicit id; forward and cross-tenant references are
+	// rejected.
+	DependsOn []int `json:"depends_on,omitempty"`
+	// Deadline is the virtual time this job should complete by; misses
+	// are counted, never enforced. Budget is reserved for the LP-driven
+	// economics work (ROADMAP item 5). Both optional.
+	Deadline float64 `json:"deadline,omitempty"`
+	Budget   float64 `json:"budget,omitempty"`
 }
 
 // SubmitRequest is the body of POST /v1/jobs and POST /v2/tenants/{id}/jobs.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"trustgrid/internal/dag"
 	"trustgrid/internal/ga"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/heuristics"
@@ -70,6 +71,72 @@ func scaleBatch(n, m int) ([]*grid.Job, []*grid.Site) {
 
 func freshState(sites []*grid.Site) *sched.State {
 	return &sched.State{Sites: sites, Ready: make([]float64, len(sites))}
+}
+
+// dagScaleBatch generates the DAG-mode scale-axis workload: the m-site
+// scaleBatch platform, a layered dependent batch of n jobs, and the
+// upward-rank column exactly as the engine computes it (every
+// successor still blocked in the tracker, so layer-0 ranks carry their
+// whole chains).
+func dagScaleBatch(n, m int) ([]*grid.Job, []*grid.Site, []float64) {
+	_, sites := scaleBatch(1, m)
+	jobs, err := dag.Generate(rng.New(3), dag.GenConfig{
+		Jobs: n, Width: max(n/4, 1), EdgeProb: 0.3, Rate: 1,
+		WorkloadStep: 15000, Levels: 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tr := dag.NewTracker()
+	for _, j := range jobs {
+		tr.Arrive(j)
+	}
+	meanInv := 0.0
+	for _, s := range sites {
+		meanInv += 1 / s.Speed
+	}
+	meanInv /= float64(len(sites))
+	ranks := make([]float64, len(jobs))
+	tr.BatchRanks(jobs, meanInv, ranks)
+	return jobs, sites, ranks
+}
+
+// rankScaleCase benchmarks Rank-Min-Min per engine round on a DAG
+// batch: snapshot rebuild, rank-column install, then the Schedule call.
+func rankScaleCase(n, m int) func(b *testing.B) {
+	return func(b *testing.B) {
+		jobs, sites, ranks := dagScaleBatch(n, m)
+		s := heuristics.NewRankMinMin(grid.FRiskyPolicy(0.5))
+		var kb kernel.Builder
+		ready := make([]float64, len(sites))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := freshState(sites)
+			st.Kern = kb.Build(0, sites, ready, nil, jobs)
+			st.Kern.SetRanks(ranks)
+			s.Schedule(jobs, st)
+		}
+	}
+}
+
+// stgaDAGScaleCase is stgaScaleCase with the rank column installed, so
+// the GA decodes in rank-keyed (precedence-feasible) order.
+func stgaDAGScaleCase(n, m int, v rng.Version) func(b *testing.B) {
+	return func(b *testing.B) {
+		jobs, sites, ranks := dagScaleBatch(n, m)
+		cfg := stga.DefaultConfig()
+		cfg.GA.RNG = v
+		var kb kernel.Builder
+		ready := make([]float64, len(sites))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := stga.New(cfg, rng.New(2))
+			st := freshState(sites)
+			st.Kern = kb.Build(0, sites, ready, nil, jobs)
+			st.Kern.SetRanks(ranks)
+			s.Schedule(jobs, st)
+		}
+	}
 }
 
 // greedyCase benchmarks one greedy heuristic the way the engine runs
@@ -244,6 +311,13 @@ func Suite() []Case {
 			F: greedyScaleCase(200, 1024, func(p grid.Policy) sched.Scheduler { return heuristics.NewMinMin(p) })},
 		{Name: "GreedySufferage/m=256/batch=200", Smoke: false,
 			F: greedyScaleCase(200, 256, func(p grid.Policy) sched.Scheduler { return heuristics.NewSufferage(p) })},
+		// The DAG axis: Rank-Min-Min pays a sort plus the rank-column
+		// install on top of Min-Min's greedy loop, and the STGA decodes
+		// in rank-keyed order. m=256 is the smoke point CI gates on.
+		{Name: "GreedyRankMinMin/m=64/batch=200", Smoke: false, F: rankScaleCase(200, 64)},
+		{Name: "GreedyRankMinMin/m=256/batch=200", Smoke: true, F: rankScaleCase(200, 256)},
+		{Name: "GreedyRankMinMin/m=1024/batch=200", Smoke: false, F: rankScaleCase(200, 1024)},
+		{Name: "STGASchedule/dag=on/m=256/batch=200", Smoke: true, F: stgaDAGScaleCase(200, 256, rng.V2)},
 		{Name: "STGASchedule/rng=v1/m=256/batch=200", Smoke: true, F: stgaScaleCase(200, 256, rng.V1)},
 		{Name: "STGASchedule/rng=v2/m=64/batch=200", Smoke: false, F: stgaScaleCase(200, 64, rng.V2)},
 		{Name: "STGASchedule/rng=v2/m=256/batch=200", Smoke: true, F: stgaScaleCase(200, 256, rng.V2)},

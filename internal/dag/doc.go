@@ -1,0 +1,7 @@
+// Package dag models dependent-job workloads: dependency-graph
+// validation (self-edges, duplicate edges, dangling references,
+// cycles), a deterministic ready-set tracker that releases jobs as
+// their parents complete, HEFT-style upward-rank computation for
+// critical-path-aware scheduling, and a layered random DAG generator
+// shared by tracegen and the DAG study experiment (DESIGN.md §14).
+package dag

@@ -1,0 +1,107 @@
+package dag
+
+import (
+	"fmt"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/rng"
+)
+
+// GenConfig parameterizes the layered random DAG generator. Jobs are
+// laid out in layers of Width; every (parent, child) pair in adjacent
+// layers gets an edge with probability EdgeProb, so width controls
+// parallelism and depth (= ⌈Jobs/Width⌉) controls chain length.
+type GenConfig struct {
+	// Jobs is the total job count; Width the layer width. Depth follows.
+	Jobs  int
+	Width int
+	// EdgeProb is the per-pair edge probability between adjacent layers.
+	EdgeProb float64
+	// Rate is the Poisson arrival rate (jobs/second). Jobs arrive in ID
+	// order, so every edge points backward in submission time — exactly
+	// what the online service accepts.
+	Rate float64
+	// Workloads are PSA-style leveled: WorkloadStep × level, with level
+	// uniform in {1..Levels}.
+	WorkloadStep float64
+	Levels       int
+	// Slack > 0 stamps deadlines: arrival + Slack × (path workload into
+	// and including the job) / MeanSpeed, where path workload is the
+	// heaviest chain of parents that must finish first. Tight slack makes
+	// misses possible under contention; 0 disables deadlines.
+	Slack     float64
+	MeanSpeed float64
+	// FirstID numbers the jobs FirstID, FirstID+1, ... (IDs must be
+	// distinct for references to resolve).
+	FirstID int
+}
+
+func (c *GenConfig) check() error {
+	switch {
+	case c.Jobs <= 0:
+		return fmt.Errorf("dag: generator needs a positive job count, got %d", c.Jobs)
+	case c.Width <= 0:
+		return fmt.Errorf("dag: generator needs a positive layer width, got %d", c.Width)
+	case c.EdgeProb < 0 || c.EdgeProb > 1:
+		return fmt.Errorf("dag: edge probability %v outside [0,1]", c.EdgeProb)
+	case c.Rate <= 0:
+		return fmt.Errorf("dag: generator needs a positive arrival rate, got %v", c.Rate)
+	case c.WorkloadStep <= 0:
+		return fmt.Errorf("dag: generator needs a positive workload step, got %v", c.WorkloadStep)
+	case c.Levels <= 0:
+		return fmt.Errorf("dag: generator needs a positive level count, got %d", c.Levels)
+	case c.Slack < 0:
+		return fmt.Errorf("dag: negative deadline slack %v", c.Slack)
+	case c.Slack > 0 && c.MeanSpeed <= 0:
+		return fmt.Errorf("dag: deadlines need a positive mean speed, got %v", c.MeanSpeed)
+	}
+	return nil
+}
+
+// Generate builds a layered random DAG workload from the stream's
+// "dag" substream. The draw order per job is fixed (arrival gap,
+// workload level, security demand, then one Bernoulli per potential
+// parent) so the same seed always yields the same workload. The result
+// always passes Validate.
+func Generate(r *rng.Stream, cfg GenConfig) ([]*grid.Job, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	g := r.Derive("dag")
+	jobs := make([]*grid.Job, cfg.Jobs)
+	// pathWork[i] = workload on the heaviest parent chain ending at job i
+	// (inclusive); feeds both deadlines and callers that want the
+	// critical path of the generated graph.
+	pathWork := make([]float64, cfg.Jobs)
+	now := 0.0
+	for i := range jobs {
+		now += g.Exp(cfg.Rate)
+		j := &grid.Job{
+			ID:             cfg.FirstID + i,
+			Arrival:        now,
+			Workload:       cfg.WorkloadStep * float64(g.Level(cfg.Levels)),
+			Nodes:          1,
+			SecurityDemand: g.Uniform(0.6, 0.9),
+		}
+		layer := i / cfg.Width
+		maxParent := 0.0
+		if layer > 0 {
+			lo := (layer - 1) * cfg.Width
+			hi := layer * cfg.Width
+			for p := lo; p < hi && p < i; p++ {
+				if g.Bool(cfg.EdgeProb) {
+					j.DependsOn = append(j.DependsOn, cfg.FirstID+p)
+					if pathWork[p] > maxParent {
+						maxParent = pathWork[p]
+					}
+				}
+			}
+		}
+		pathWork[i] = maxParent + j.Workload
+		if cfg.Slack > 0 {
+			j.Deadline = j.Arrival + cfg.Slack*pathWork[i]/cfg.MeanSpeed
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}

@@ -16,7 +16,7 @@ import (
 // chooses), the STGA (always f-risky at Setup.F, as in the paper), and
 // the cold-start GA baseline.
 var SchedulerNames = []string{
-	"minmin", "sufferage", "mct", "met", "olb", "random", "stga", "coldga",
+	"minmin", "rankminmin", "sufferage", "mct", "met", "olb", "random", "stga", "coldga",
 }
 
 // SchedulerByName builds one scheduler from its CLI/API name. policy is
@@ -30,6 +30,8 @@ func (s Setup) SchedulerByName(name string, policy grid.Policy, r *rng.Stream,
 	switch strings.ToLower(name) {
 	case "minmin":
 		return heuristics.NewMinMin(policy), nil
+	case "rankminmin":
+		return heuristics.NewRankMinMin(policy), nil
 	case "sufferage":
 		return heuristics.NewSufferage(policy), nil
 	case "mct":

@@ -109,6 +109,14 @@ func TestGoldenChurn(t *testing.T) {
 	checkGolden(t, "churn.csv", r.CSV())
 }
 
+func TestGoldenDAGStudy(t *testing.T) {
+	r, err := RunDAGStudy(goldenSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dagstudy.csv", r.CSV())
+}
+
 func TestGoldenFig7b(t *testing.T) {
 	r, err := RunFig7b(goldenSetup(), []int{5, 15, 30})
 	if err != nil {

@@ -55,6 +55,15 @@ type Setup struct {
 	DeceptiveFrac float64
 	DeceptiveGap  float64
 
+	// DAG study (DESIGN.md §14): layered dependent workload shape —
+	// jobs per run, layer width (wider than the 20-site platform so
+	// batch order matters), edge probability between adjacent layers,
+	// and the deadline slack multiplier on each job's critical path.
+	DAGJobs     int
+	DAGWidth    int
+	DAGEdgeProb float64
+	DAGSlack    float64
+
 	// Workers bounds how many independent sweep points the figure and
 	// table runners execute concurrently (0 = runtime.GOMAXPROCS, 1 =
 	// serial). Every point seeds its own rng streams from (Seed, point
@@ -96,6 +105,10 @@ func DefaultSetup() Setup {
 		ChurnJobs:      1000,
 		DeceptiveFrac:  0.4,
 		DeceptiveGap:   0.4,
+		DAGJobs:        800,
+		DAGWidth:       48,
+		DAGEdgeProb:    0.3,
+		DAGSlack:       2,
 	}
 }
 
@@ -110,6 +123,7 @@ func TestSetup() Setup {
 	s.TrainingJobs = 100
 	s.TrainBatchSize = 20
 	s.ChurnJobs = 300
+	s.DAGJobs = 240
 	return s
 }
 
@@ -135,6 +149,10 @@ const (
 	SufferageRisky
 	AlgSTGA
 	AlgColdGA
+	// AlgRankMinMin is the HEFT-style list scheduler for dependent
+	// workloads (DESIGN.md §14); appended after the paper roster so the
+	// enum values every recorded config pins stay stable.
+	AlgRankMinMin
 )
 
 // PaperAlgorithms is the roster of Fig. 8 / Table 2.
@@ -163,6 +181,8 @@ func (a Algorithm) String() string {
 		return "STGA"
 	case AlgColdGA:
 		return "GA (cold start)"
+	case AlgRankMinMin:
+		return "Rank-Min-Min"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -205,6 +225,10 @@ func (s Setup) buildScheduler(a Algorithm, r *rng.Stream,
 		return heuristics.NewSufferage(s.Policy(grid.FRisky, s.F))
 	case SufferageRisky:
 		return heuristics.NewSufferage(s.Policy(grid.Risky, 0))
+	case AlgRankMinMin:
+		// The STGA's operating point, so the DAG study compares the two
+		// precedence-aware schedulers under one admission rule.
+		return heuristics.NewRankMinMin(s.Policy(grid.FRisky, s.F))
 	case AlgSTGA, AlgColdGA:
 		cfg := s.stgaConfig()
 		cfg.DisableHistory = a == AlgColdGA

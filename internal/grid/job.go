@@ -39,6 +39,20 @@ type Job struct {
 	MustBeSafe bool
 	// Failures counts how many times this job has failed so far.
 	Failures int
+
+	// DependsOn lists job IDs that must complete before this job may be
+	// dispatched (ROADMAP item 5; Pop & Cristea's DAG model). Nil for the
+	// paper's independent workloads. The json tag keeps every pre-DAG
+	// serialization — engine snapshots, fleet spec fingerprints — byte
+	// identical for edge-free jobs.
+	DependsOn []int `json:",omitempty"`
+	// Deadline is the absolute simulation time by which the job should
+	// complete; 0 means none. The engine records misses (it never drops a
+	// late job) so deadline-aware policies have an objective to optimize.
+	Deadline float64 `json:",omitempty"`
+	// Budget is an abstract cost cap carried for the utility-grid
+	// economics follow-up (Garg et al.); recorded, not yet enforced.
+	Budget float64 `json:",omitempty"`
 }
 
 // Validate reports whether the job's static fields are sensible.
@@ -52,17 +66,31 @@ func (j *Job) Validate() error {
 		return fmt.Errorf("grid: job %d has negative arrival %v", j.ID, j.Arrival)
 	case j.SecurityDemand < 0 || j.SecurityDemand > 1:
 		return fmt.Errorf("grid: job %d has SD %v outside [0,1]", j.ID, j.SecurityDemand)
+	case j.Deadline < 0:
+		return fmt.Errorf("grid: job %d has negative deadline %v", j.ID, j.Deadline)
+	case j.Budget < 0:
+		return fmt.Errorf("grid: job %d has negative budget %v", j.ID, j.Budget)
+	}
+	for _, d := range j.DependsOn {
+		if d == j.ID {
+			return fmt.Errorf("grid: job %d depends on itself", j.ID)
+		}
 	}
 	return nil
 }
 
 // Clone returns a copy of the job with runtime state (MustBeSafe,
 // Failures) reset, for re-running the same workload through another
-// scheduler. Identity and declared policy (Tenant, SafeOnly) are kept.
+// scheduler. Identity and declared policy (Tenant, SafeOnly, DependsOn,
+// Deadline, Budget) are kept; the dependency list is copied so clones
+// never alias the original's edges.
 func (j *Job) Clone() *Job {
 	c := *j
 	c.MustBeSafe = false
 	c.Failures = 0
+	if j.DependsOn != nil {
+		c.DependsOn = append([]int(nil), j.DependsOn...)
+	}
 	return &c
 }
 

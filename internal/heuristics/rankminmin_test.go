@@ -1,0 +1,94 @@
+package heuristics
+
+import (
+	"testing"
+
+	"trustgrid/internal/grid"
+	"trustgrid/internal/sched"
+	"trustgrid/internal/sched/kernel"
+)
+
+// Without engine-installed ranks the column defaults to mean ETC, so
+// RankMinMin schedules largest-first, each job to its earliest-finish
+// eligible site.
+func TestRankMinMinDefaultsToLargestFirst(t *testing.T) {
+	sites := sitesWithSpeeds(10, 10)
+	jobs := jobsWithWork(100, 400, 200)
+	st := testState(sites)
+
+	as := NewRankMinMin(grid.RiskyPolicy()).Schedule(jobs, st)
+	if err := sched.ValidateAssignments(jobs, as, len(sites)); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []int{1, 2, 0} // descending workload
+	for i, a := range as {
+		if a.Job.ID != wantOrder[i] {
+			t.Fatalf("emission %d is job %d, want %d (largest-first)", i, a.Job.ID, wantOrder[i])
+		}
+	}
+	// 400 and 200 land on distinct sites; 100 joins the 200 queue (its
+	// completion there, 30, beats 50 behind the 400-job).
+	if as[0].Site == as[1].Site {
+		t.Fatalf("two heaviest jobs share site %d", as[0].Site)
+	}
+	if as[2].Site != as[1].Site {
+		t.Fatalf("smallest job on site %d, want %d", as[2].Site, as[1].Site)
+	}
+}
+
+// With installed ranks, a small job heading a heavy blocked chain
+// schedules before a large independent job.
+func TestRankMinMinHonorsInstalledRanks(t *testing.T) {
+	sites := sitesWithSpeeds(10, 10)
+	jobs := jobsWithWork(100, 400)
+	st := testState(sites)
+	k := kernel.Build(st.Now, st.Sites, st.Ready, nil, jobs)
+	// Job 0 (workload 100) heads a chain worth 900; job 1 is alone.
+	k.SetRanks([]float64{90, 40})
+	st.Kern = k
+
+	as := NewRankMinMin(grid.RiskyPolicy()).Schedule(jobs, st)
+	if err := sched.ValidateAssignments(jobs, as, len(sites)); err != nil {
+		t.Fatal(err)
+	}
+	if as[0].Job.ID != 0 {
+		t.Fatalf("first emission is job %d, want chain head 0", as[0].Job.ID)
+	}
+}
+
+// Equal ranks fall back to batch (arrival) order, pinning determinism.
+func TestRankMinMinTiesKeepBatchOrder(t *testing.T) {
+	sites := sitesWithSpeeds(5, 5, 5)
+	jobs := jobsWithWork(100, 100, 100, 100)
+	st := testState(sites)
+	as := NewRankMinMin(grid.RiskyPolicy()).Schedule(jobs, st)
+	for i, a := range as {
+		if a.Job.ID != i {
+			t.Fatalf("emission %d is job %d, want batch order", i, a.Job.ID)
+		}
+	}
+}
+
+// The scheduler must respect admission: a must-be-safe job with no
+// strictly safe site uses the fallback and flags it.
+func TestRankMinMinFallback(t *testing.T) {
+	sites := []*grid.Site{
+		{ID: 0, Speed: 10, Nodes: 1, SecurityLevel: 0.5},
+		{ID: 1, Speed: 5, Nodes: 1, SecurityLevel: 0.7},
+	}
+	jobs := []*grid.Job{{ID: 0, Workload: 100, Nodes: 1, SecurityDemand: 0.9, MustBeSafe: true}}
+	st := testState(sites)
+	as := NewRankMinMin(grid.SecurePolicy()).Schedule(jobs, st)
+	if len(as) != 1 || !as[0].FellBack {
+		t.Fatalf("expected fallback assignment, got %+v", as)
+	}
+	if as[0].Site != 1 {
+		t.Fatalf("fallback chose site %d, want max-SL site 1", as[0].Site)
+	}
+}
+
+func TestRankMinMinEmptyBatch(t *testing.T) {
+	if as := NewRankMinMin(grid.RiskyPolicy()).Schedule(nil, testState(sitesWithSpeeds(1))); len(as) != 0 {
+		t.Fatalf("empty batch produced %d assignments", len(as))
+	}
+}

@@ -29,6 +29,11 @@ type JobRecord struct {
 	// Interrupted is true if a site crash cut at least one of the job's
 	// execution attempts short (dynamic grids only).
 	Interrupted bool
+	// Deadline is the job's declared completion deadline (0 = none), and
+	// MissedDeadline is true when the final completion overran it. The
+	// engine records misses; nothing is dropped.
+	Deadline       float64
+	MissedDeadline bool
 }
 
 // Validate checks internal consistency of a record.
@@ -67,6 +72,9 @@ type Summary struct {
 	// NInterrupted counts jobs that lost at least one execution attempt
 	// to a site crash (zero on static platforms).
 	NInterrupted int
+	// NDeadlineMiss counts jobs that completed after their declared
+	// deadline (jobs without a deadline never count).
+	NDeadlineMiss int
 	// SiteUtilization[i] is busy_i / makespan: the fraction of the run
 	// during which site i processed user jobs (including time wasted by
 	// failed attempts, which did occupy the site).
@@ -86,6 +94,7 @@ type Accumulator struct {
 	jobs                                  int
 	makespan, respSum, servSum            float64
 	nrisk, nfail, fallbacks, ninterrupted int
+	ndeadline                             int
 }
 
 // Add folds one completed job in.
@@ -108,6 +117,9 @@ func (a *Accumulator) Add(r JobRecord) {
 	if r.Interrupted {
 		a.ninterrupted++
 	}
+	if r.MissedDeadline {
+		a.ndeadline++
+	}
 }
 
 // AccumulatorState is the serializable form of an Accumulator, used by
@@ -122,6 +134,9 @@ type AccumulatorState struct {
 	NFail        int     `json:"nfail"`
 	Fallbacks    int     `json:"fallbacks"`
 	NInterrupted int     `json:"ninterrupted"`
+	// NDeadlineMiss is omitempty so pre-DAG snapshots and their byte
+	// layouts are unchanged when no job carried a deadline.
+	NDeadlineMiss int `json:"ndeadline_miss,omitempty"`
 }
 
 // State captures the accumulator.
@@ -131,6 +146,7 @@ func (a *Accumulator) State() AccumulatorState {
 		RespSum: a.respSum, ServSum: a.servSum,
 		NRisk: a.nrisk, NFail: a.nfail,
 		Fallbacks: a.fallbacks, NInterrupted: a.ninterrupted,
+		NDeadlineMiss: a.ndeadline,
 	}
 }
 
@@ -150,6 +166,7 @@ func (a *Accumulator) Merge(s AccumulatorState) {
 	a.nfail += s.NFail
 	a.fallbacks += s.Fallbacks
 	a.ninterrupted += s.NInterrupted
+	a.ndeadline += s.NDeadlineMiss
 }
 
 // SetState restores a captured accumulator.
@@ -158,6 +175,7 @@ func (a *Accumulator) SetState(s AccumulatorState) {
 	a.respSum, a.servSum = s.RespSum, s.ServSum
 	a.nrisk, a.nfail = s.NRisk, s.NFail
 	a.fallbacks, a.ninterrupted = s.Fallbacks, s.NInterrupted
+	a.ndeadline = s.NDeadlineMiss
 }
 
 // Summarize renders the summary given per-site busy time. Utilization
@@ -170,6 +188,7 @@ func (a *Accumulator) Summarize(busy []float64) Summary {
 		NFail:           a.nfail,
 		Fallbacks:       a.fallbacks,
 		NInterrupted:    a.ninterrupted,
+		NDeadlineMiss:   a.ndeadline,
 		SiteUtilization: make([]float64, len(busy)),
 	}
 	if a.jobs > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"trustgrid/internal/dag"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/metrics"
 	"trustgrid/internal/rng"
@@ -108,6 +109,11 @@ func (c *RunConfig) check() error {
 			return err
 		}
 	}
+	// A closed-world workload must form a proper DAG; online submissions
+	// are validated incrementally by the service layer instead.
+	if err := dag.Validate(c.Jobs); err != nil {
+		return err
+	}
 	if c.Dynamics != nil {
 		if err := c.Dynamics.check(c.Sites); err != nil {
 			return err
@@ -154,7 +160,12 @@ type engineState struct {
 	// dyn is the dynamic-grid state (nil on static runs).
 	dyn *dynState
 	// adm is the fair-share batch former (nil without RunConfig.Admission).
-	adm       *admState
+	adm *admState
+	// deps is the dependency ready-set (always on; edge-free workloads
+	// never block and never pay more than one empty loop per arrival).
+	// ranks is the per-batch upward-rank scratch column.
+	deps      *dag.Tracker
+	ranks     []float64
 	seen      int // jobs that have arrived so far
 	remaining int // jobs not yet successfully completed
 	// acc accumulates the §4.1 summary incrementally, in the same order
@@ -228,8 +239,14 @@ func (st *engineState) arrive(e *sim.Engine, j *grid.Job) {
 	}
 	st.seen++
 	st.remaining++
-	st.queue = append(st.queue, j)
+	ready := st.deps.Arrive(j)
 	st.emit(EngineEvent{Kind: EventArrived, Time: e.Now(), Job: *j, Site: -1})
+	if !ready {
+		// The tracker holds the job until its parents complete; it enters
+		// the queue (and DRR's view of the backlog) at release.
+		return
+	}
+	st.queue = append(st.queue, j)
 	st.ensureBatch(e)
 }
 
@@ -295,6 +312,9 @@ func (st *engineState) runBatch(e *sim.Engine) {
 	// stays inside the SchedulerTime window; the builder reuses its
 	// storage, so steady-state rounds allocate nothing here.
 	state.Kern = st.kb.Build(state.Now, state.Sites, state.Ready, state.Alive, batch)
+	if st.deps.SawEdges() {
+		st.installRanks(state.Kern, batch)
+	}
 	as := st.cfg.Scheduler.Schedule(batch, state)
 	st.schedTime += time.Since(wall)
 	if st.cfg.Validate {
@@ -306,6 +326,31 @@ func (st *engineState) runBatch(e *sim.Engine) {
 	for _, a := range as {
 		st.dispatch(e, a)
 	}
+}
+
+// installRanks fills the snapshot's rank column with the batch's HEFT
+// upward ranks: each job's mean execution time over alive sites plus
+// the heaviest chain of blocked successors waiting on it. Runs only
+// once a workload has shown edges, so edge-free rounds skip it and
+// rank-aware schedulers keep their historical behavior there.
+func (st *engineState) installRanks(k *kernel.Snapshot, batch []*grid.Job) {
+	inv, cnt := 0.0, 0
+	for i := 0; i < k.M; i++ {
+		if k.SiteAlive(i) {
+			inv += 1 / k.Speed[i]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		// runBatch holds the queue through total outages; defensive only.
+		return
+	}
+	if cap(st.ranks) < len(batch) {
+		st.ranks = make([]float64, len(batch))
+	}
+	r := st.ranks[:len(batch)]
+	st.deps.BatchRanks(batch, inv/float64(cnt), r)
+	k.SetRanks(r)
 }
 
 // dispatch starts one execution attempt: advance the site's FIFO queue,
@@ -394,16 +439,18 @@ func (st *engineState) finishAttempt(e *sim.Engine, att *attempt) {
 	}
 
 	rec := metrics.JobRecord{
-		ID:          job.ID,
-		Tenant:      job.Tenant,
-		Arrival:     job.Arrival,
-		Start:       att.start,
-		Completion:  att.at,
-		Site:        att.site,
-		TookRisk:    st.riskTaken[job.ID],
-		Failed:      st.failed[job.ID],
-		FellBack:    st.fellBack[job.ID],
-		Interrupted: st.interrupted[job.ID] > 0,
+		ID:             job.ID,
+		Tenant:         job.Tenant,
+		Arrival:        job.Arrival,
+		Start:          att.start,
+		Completion:     att.at,
+		Site:           att.site,
+		TookRisk:       st.riskTaken[job.ID],
+		Failed:         st.failed[job.ID],
+		FellBack:       st.fellBack[job.ID],
+		Interrupted:    st.interrupted[job.ID] > 0,
+		Deadline:       job.Deadline,
+		MissedDeadline: job.Deadline > 0 && att.at > job.Deadline,
 	}
 	if !st.cfg.DiscardRecords {
 		st.records = append(st.records, rec)
@@ -424,4 +471,17 @@ func (st *engineState) finishAttempt(e *sim.Engine, att *attempt) {
 		ev.Level = level
 	}
 	st.emit(ev)
+
+	// Unblock successors whose last incomplete parent this was. They
+	// join the queue now (in arrival order) and the next Δ-round picks
+	// them up — precedence feasibility by construction: a batch can
+	// never contain both ends of an edge.
+	released := st.deps.Complete(job.ID)
+	for _, rj := range released {
+		st.emit(EngineEvent{Kind: EventReady, Time: e.Now(), Job: *rj, Site: -1})
+		st.queue = append(st.queue, rj)
+	}
+	if len(released) > 0 {
+		st.ensureBatch(e)
+	}
 }

@@ -31,6 +31,11 @@ const (
 	// EventSiteSpeed fires when a site's capacity degrades or restores;
 	// Speed carries the new effective speed.
 	EventSiteSpeed
+	// EventReady fires when the last incomplete dependency of a blocked
+	// job completes and the job enters the scheduling queue. Jobs without
+	// dependencies never emit it (they are ready at arrival), so
+	// edge-free event streams are unchanged. Site is -1.
+	EventReady
 )
 
 // String returns the wire label used by the service layer.
@@ -52,6 +57,8 @@ func (k EventKind) String() string {
 		return "site_up"
 	case EventSiteSpeed:
 		return "site_speed"
+	case EventReady:
+		return "job_ready"
 	default:
 		return "unknown"
 	}

@@ -105,6 +105,13 @@ type Snapshot struct {
 	// and arithmetic.
 	ETC []float64
 
+	// rank holds the per-job upward-rank column (see SetRanks / Ranks).
+	// rankSet marks engine-installed DAG ranks; rankValid marks the lazy
+	// ETC-row-mean default. Both reset on Build.
+	rank      []float64
+	rankSet   bool
+	rankValid bool
+
 	// sites retains the batch's site pointers for admission probes, so
 	// cached classes reproduce grid.Policy.Admits bit-for-bit.
 	sites []*grid.Site
@@ -213,7 +220,69 @@ func (b *Builder) Build(now float64, sites []*grid.Site, ready []float64, alive 
 	s.bits = s.bits[:0]
 	s.idx = s.idx[:0]
 	s.etcTValid = false
+	s.rankSet = false
+	s.rankValid = false
 	return s
+}
+
+// SetRanks installs the engine-computed upward-rank column for a DAG
+// batch (rank[i] belongs to batch job i). The values are copied into
+// the snapshot's arena; HasDAGRanks turns true, which is the switch
+// rank-aware schedulers key on. Valid until the next Build.
+func (s *Snapshot) SetRanks(rank []float64) {
+	if len(rank) != s.N {
+		panic("kernel: rank column length does not match batch size")
+	}
+	if cap(s.rank) < s.N {
+		s.rank = make([]float64, s.N)
+	}
+	copy(s.rank[:s.N], rank)
+	s.rankSet = true
+	s.rankValid = true
+}
+
+// HasDAGRanks reports whether the engine installed dependency-aware
+// ranks for this batch. False on every edge-free round, which is what
+// keeps rank-aware schedulers on their historical code paths there.
+func (s *Snapshot) HasDAGRanks() bool { return s.rankSet }
+
+// Ranks returns the per-job rank column. When no DAG ranks were
+// installed it lazily computes the degenerate upward rank — the mean
+// ETC over alive sites, i.e. workload × mean inverse speed — which
+// orders independent jobs largest-first exactly as the HEFT rank would
+// with no successors. The slice aliases snapshot storage: read-only,
+// valid until the next Build.
+func (s *Snapshot) Ranks() []float64 {
+	if s.rankValid {
+		return s.rank[:s.N]
+	}
+	if cap(s.rank) < s.N {
+		s.rank = make([]float64, s.N)
+	}
+	r := s.rank[:s.N]
+	inv, cnt := 0.0, 0
+	for k := 0; k < s.M; k++ {
+		if s.SiteAlive(k) {
+			inv += 1 / s.Speed[k]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		// Nothing alive: fall back to the full site set so ranks stay
+		// finite and workload-ordered.
+		for k := 0; k < s.M; k++ {
+			inv += 1 / s.Speed[k]
+		}
+		if cnt = s.M; cnt == 0 {
+			cnt = 1
+		}
+	}
+	meanInv := inv / float64(cnt)
+	for i := 0; i < s.N; i++ {
+		r[i] = s.Workload[i] * meanInv
+	}
+	s.rankValid = true
+	return r
 }
 
 // ETCT returns the site-major (column-major) transpose of ETC:

@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 
@@ -74,7 +75,7 @@ func FuzzEventMerge(f *testing.F) {
 				t.Fatalf("shard %d: %d events in, %d out", s, len(b), len(back[s]))
 			}
 			for i := range b {
-				if back[s][i] != b[i] {
+				if !reflect.DeepEqual(back[s][i], b[i]) {
 					t.Fatalf("shard %d event %d reordered: got %+v, want %+v", s, i, back[s][i], b[i])
 				}
 			}
@@ -109,7 +110,7 @@ func FuzzEventMerge(f *testing.F) {
 				t.Fatalf("window-split merge has %d events, whole merge %d", len(split), len(whole))
 			}
 			for i := range whole {
-				if split[i] != whole[i] {
+				if !reflect.DeepEqual(split[i], whole[i]) {
 					t.Fatalf("window-split merge diverges at %d: %+v vs %+v", i, split[i], whole[i])
 				}
 			}

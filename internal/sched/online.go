@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"trustgrid/internal/dag"
 	"trustgrid/internal/grid"
 	"trustgrid/internal/metrics"
 	"trustgrid/internal/sim"
@@ -71,6 +72,7 @@ func newOnline(cfg RunConfig, snap *EngineSnapshot) (*Online, error) {
 		failed:      make(map[int]bool, len(cfg.Jobs)),
 		fellBack:    make(map[int]bool, len(cfg.Jobs)),
 		interrupted: make(map[int]int),
+		deps:        dag.NewTracker(),
 		failRand:    cfg.Rand.Derive("engine/failures"),
 		timeRand:    cfg.Rand.Derive("engine/failtime"),
 	}
@@ -214,6 +216,9 @@ func (o *Online) Drain() (*Result, error) {
 		return nil, err
 	}
 	if o.st.remaining != 0 {
+		if b := o.st.deps.BlockedCount(); b > 0 {
+			return nil, fmt.Errorf("sched: simulation drained with %d jobs incomplete (%d blocked on dependencies that never completed)", o.st.remaining, b)
+		}
 		return nil, fmt.Errorf("sched: simulation drained with %d jobs incomplete", o.st.remaining)
 	}
 	return o.Result()

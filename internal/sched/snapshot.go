@@ -59,6 +59,10 @@ type EngineSnapshot struct {
 
 	Admission *AdmissionSnapshot `json:"admission,omitempty"`
 	Dynamics  *DynamicsSnapshot  `json:"dynamics,omitempty"`
+	// DAG is the dependency tracker's state; present whenever any job
+	// has completed (the done set resolves future dependency references)
+	// or edges were seen.
+	DAG *DAGSnapshot `json:"dag,omitempty"`
 
 	// SchedState is the StatefulScheduler blob (STGA history table and
 	// GA stream, Random's stream); nil for stateless heuristics.
@@ -81,6 +85,18 @@ type PendingItem struct {
 	Start float64 `json:"start,omitempty"`
 	Busy  float64 `json:"busy,omitempty"`
 	Fails bool    `json:"fails,omitempty"`
+}
+
+// DAGSnapshot is the dependency ready-set's state: which jobs have
+// completed (a future arrival may depend on any of them), which
+// arrived jobs are still waiting on parents (in arrival order — the
+// order restore re-registers them, which reproduces release order),
+// and whether the workload ever used edges (the sticky switch for
+// rank-aware scheduling).
+type DAGSnapshot struct {
+	Done     []int      `json:"done,omitempty"`
+	Blocked  []grid.Job `json:"blocked,omitempty"`
+	SawEdges bool       `json:"saw_edges,omitempty"`
 }
 
 // InterruptCount is one job's churn-interruption count.
@@ -231,6 +247,13 @@ func (o *Online) Snapshot() (*EngineSnapshot, error) {
 		}
 		snap.Dynamics = ds
 	}
+	if done := st.deps.DoneIDs(); len(done) > 0 || st.deps.SawEdges() {
+		d := &DAGSnapshot{Done: done, SawEdges: st.deps.SawEdges()}
+		for _, j := range st.deps.Blocked() {
+			d.Blocked = append(d.Blocked, *j)
+		}
+		snap.DAG = d
+	}
 	if ss, ok := o.cfg.Scheduler.(StatefulScheduler); ok {
 		blob, err := ss.SaveState()
 		if err != nil {
@@ -310,6 +333,31 @@ func (o *Online) restore(snap *EngineSnapshot) error {
 	for i := range snap.Queue {
 		j := snap.Queue[i]
 		st.queue = append(st.queue, &j)
+	}
+
+	// Rebuild the dependency ready-set: done IDs first (readiness checks
+	// consult them), then the queue (already released — must come out
+	// ready), then the blocked pen in its recorded arrival order so each
+	// parent's successor list, and with it every release order, matches
+	// the interrupted run's.
+	if snap.DAG != nil {
+		st.deps.RestoreDone(snap.DAG.Done)
+		if snap.DAG.SawEdges {
+			st.deps.MarkEdges()
+		}
+	}
+	for _, j := range st.queue {
+		if !st.deps.Arrive(j) {
+			return fmt.Errorf("sched: restore: queued job %d has incomplete dependencies", j.ID)
+		}
+	}
+	if snap.DAG != nil {
+		for i := range snap.DAG.Blocked {
+			j := snap.DAG.Blocked[i]
+			if st.deps.Arrive(&j) {
+				return fmt.Errorf("sched: restore: blocked job %d has no incomplete dependencies", j.ID)
+			}
+		}
 	}
 
 	switch {
@@ -453,6 +501,11 @@ func (o *Online) NeverPlaced() []grid.Job {
 		if j.Failures == 0 && st.interrupted[j.ID] == 0 {
 			out = append(out, *j)
 		}
+	}
+	// Blocked jobs are accepted and hold quota; by construction they have
+	// never been placed.
+	for _, j := range st.deps.Blocked() {
+		out = append(out, *j)
 	}
 	for j := range st.pendArr {
 		out = append(out, *j)

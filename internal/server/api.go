@@ -33,7 +33,7 @@ func wireFromEngine(ev sched.EngineEvent) WireEvent {
 	w := WireEvent{Kind: ev.Kind.String(), Time: ev.Time, Job: ev.Job.ID, Site: ev.Site}
 	switch ev.Kind {
 	case sched.EventArrived, sched.EventPlaced, sched.EventFailed,
-		sched.EventCompleted, sched.EventInterrupted:
+		sched.EventCompleted, sched.EventInterrupted, sched.EventReady:
 		w.Tenant = ev.Job.Tenant
 	}
 	switch ev.Kind {
@@ -203,6 +203,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID s
 	// (the request fails, the IDs stay used, the retry hits duplicate-ID
 	// rejections). Nothing below this loop can 400.
 	jobs := make([]*grid.Job, 0, len(req.Jobs))
+	// priorIDs accumulates the explicit IDs of earlier specs in THIS
+	// request, so a manual-mode batch can submit a whole DAG at once:
+	// a dependency may name any earlier in-request job — never a later
+	// one (the trace is an arrival order; forward refs would make it
+	// unreplayable) — or a previously accepted job of the same tenant.
+	priorIDs := make(map[int]bool)
 	for i, js := range req.Jobs {
 		if !s.cfg.Manual && (js.ID != nil || js.Arrival != nil) {
 			httpError(w, http.StatusBadRequest,
@@ -213,6 +219,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID s
 			Workload: js.Workload, Nodes: js.Nodes,
 			SecurityDemand: js.SD, Tenant: tenantID,
 			SafeOnly: spec.SecureOnly,
+			Deadline: js.Deadline, Budget: js.Budget,
 		}
 		if j.Nodes == 0 {
 			j.Nodes = 1
@@ -228,9 +235,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID s
 		if js.Arrival != nil {
 			j.Arrival = *js.Arrival
 		}
+		if len(js.DependsOn) > 0 {
+			depSeen := make(map[int]bool, len(js.DependsOn))
+			for _, d := range js.DependsOn {
+				if js.ID != nil && d == *js.ID {
+					httpError(w, http.StatusBadRequest, "job %d: depends on itself", i)
+					return
+				}
+				if depSeen[d] {
+					httpError(w, http.StatusBadRequest, "job %d: lists dependency %d twice", i, d)
+					return
+				}
+				depSeen[d] = true
+				if priorIDs[d] {
+					continue
+				}
+				s.idMu.Lock()
+				owner, known := s.owners[d]
+				s.idMu.Unlock()
+				if !known {
+					httpError(w, http.StatusBadRequest,
+						"job %d: depends on unknown job %d (dependencies must name an accepted job or an earlier explicit id in this request)", i, d)
+					return
+				}
+				if owner != tenantID {
+					// Deliberately the same wording as the unknown case:
+					// tenants must not be able to probe other tenants' job
+					// IDs through dependency errors.
+					httpError(w, http.StatusBadRequest,
+						"job %d: depends on unknown job %d (dependencies must name an accepted job or an earlier explicit id in this request)", i, d)
+					return
+				}
+			}
+			j.DependsOn = append([]int(nil), js.DependsOn...)
+		}
 		if err := j.Validate(); err != nil {
 			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
 			return
+		}
+		if js.ID != nil {
+			priorIDs[*js.ID] = true
 		}
 		jobs = append(jobs, j)
 	}
@@ -254,8 +298,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenantID s
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.idMu.Lock()
 	for i, j := range jobs {
 		j.ID = ids[i]
+		s.owners[j.ID] = tenantID
+	}
+	s.idMu.Unlock()
+	for _, j := range jobs {
 		// Pending entries exist before injection so a placement racing
 		// this handler (live mode) always finds its submission — the
 		// latency sample and the quota release both depend on it.

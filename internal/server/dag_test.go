@@ -1,0 +1,256 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"trustgrid/internal/experiments"
+	"trustgrid/internal/server"
+)
+
+func newManualDAGServer(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+		BatchInterval: 100, Manual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Stop(false) })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func readAllEvents(t *testing.T, base string, since int64) []server.WireEvent {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/events")
+	if since > 0 {
+		resp.Body.Close()
+		resp, err = http.Get(base + "/v1/events?since=" + jsonNum(since))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []server.WireEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev server.WireEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func jsonNum(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestManualDAGSubmitFlow submits a three-layer DAG in one manual-mode
+// request, drains, and checks the event stream: every job completes, a
+// blocked job's job_ready and placement never precede the completion
+// of its last parent, and job_ready events carry the owning tenant.
+func TestManualDAGSubmitFlow(t *testing.T) {
+	_, ts := newManualDAGServer(t)
+
+	arr := 0.0
+	id0, id1, id2, id3 := 10, 11, 12, 13
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{
+			{ID: &id0, Arrival: &arr, Workload: 500, SD: 0.7},
+			{ID: &id1, Arrival: &arr, Workload: 300, SD: 0.7, DependsOn: []int{10}},
+			{ID: &id2, Arrival: &arr, Workload: 200, SD: 0.7, DependsOn: []int{10}},
+			{ID: &id3, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{11, 12}},
+		},
+	})
+	requireStatus(t, resp, http.StatusOK)
+	resp = postJSON(t, ts.URL+"/v1/drain", map[string]any{})
+	requireStatus(t, resp, http.StatusOK)
+
+	if rep := getMetrics(t, ts.URL); rep.Completed != 4 {
+		t.Fatalf("completed %d jobs, want 4", rep.Completed)
+	}
+
+	deps := map[int][]int{11: {10}, 12: {10}, 13: {11, 12}}
+	events := readAllEvents(t, ts.URL, 0)
+	completedSeq := map[int]int64{}
+	readySeen := map[int]bool{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case "job_ready":
+			readySeen[ev.Job] = true
+			if ev.Tenant == "" {
+				t.Fatalf("job_ready for %d has no tenant", ev.Job)
+			}
+			fallthrough
+		case "placed":
+			for _, p := range deps[ev.Job] {
+				seq, done := completedSeq[p]
+				if !done || seq > ev.Seq {
+					t.Fatalf("%s for job %d (seq %d) precedes completion of parent %d", ev.Kind, ev.Job, ev.Seq, p)
+				}
+			}
+		case "completed":
+			completedSeq[ev.Job] = ev.Seq
+		}
+	}
+	for id := range deps {
+		if !readySeen[id] {
+			t.Fatalf("no job_ready event for blocked job %d", id)
+		}
+	}
+	if readySeen[10] {
+		t.Fatal("dependency-free job emitted job_ready")
+	}
+}
+
+// TestSubmitDAGValidation pins every rejection class: forward and
+// unknown refs, self-dependencies, duplicate edges, and cross-tenant
+// references — which must be indistinguishable from unknown IDs.
+func TestSubmitDAGValidation(t *testing.T) {
+	_, ts := newManualDAGServer(t)
+	arr := 0.0
+	idA, idB := 20, 21
+
+	post := func(specs []server.JobSpec) *http.Response {
+		return postJSON(t, ts.URL+"/v1/jobs", map[string]any{"jobs": specs})
+	}
+	expectReject := func(resp *http.Response, substr string) {
+		t.Helper()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !strings.Contains(body.Error, substr) {
+			t.Fatalf("error %q does not mention %q", body.Error, substr)
+		}
+	}
+
+	expectReject(post([]server.JobSpec{
+		{ID: &idA, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{21}},
+		{ID: &idB, Arrival: &arr, Workload: 100, SD: 0.7},
+	}), "unknown job 21")
+	expectReject(post([]server.JobSpec{
+		{ID: &idA, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{20}},
+	}), "depends on itself")
+	expectReject(post([]server.JobSpec{
+		{ID: &idA, Arrival: &arr, Workload: 100, SD: 0.7},
+		{ID: &idB, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{20, 20}},
+	}), "twice")
+	expectReject(post([]server.JobSpec{
+		{ID: &idA, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{404}},
+	}), "unknown job 404")
+
+	// A failed request burns nothing: the same DAG resubmitted cleanly
+	// goes through, and a later request may depend on it.
+	requireStatus(t, post([]server.JobSpec{
+		{ID: &idA, Arrival: &arr, Workload: 100, SD: 0.7},
+		{ID: &idB, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{20}},
+	}), http.StatusOK)
+	idC := 22
+	requireStatus(t, post([]server.JobSpec{
+		{ID: &idC, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{21}},
+	}), http.StatusOK)
+
+	// Cross-tenant: register a second tenant and try to hang a job off
+	// the default tenant's job 20. The error must read exactly like the
+	// unknown-ID case — no cross-tenant ID probing.
+	requireStatus(t, postJSON(t, ts.URL+"/v2/tenants", map[string]any{"id": "rival"}), http.StatusCreated)
+	resp := postJSON(t, ts.URL+"/v2/tenants/rival/jobs", map[string]any{
+		"jobs": []server.JobSpec{{Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{20}}},
+	})
+	expectReject(resp, "unknown job 20")
+
+	resp = postJSON(t, ts.URL+"/v1/drain", map[string]any{})
+	requireStatus(t, resp, http.StatusOK)
+	if rep := getMetrics(t, ts.URL); rep.Completed != 3 {
+		t.Fatalf("completed %d jobs, want 3", rep.Completed)
+	}
+}
+
+// TestDAGOwnersSurviveRestart: the depends_on validation registry is
+// durable. A parent accepted before a restart must stay referenceable
+// after recovery — whether the restart found it in a snapshot or had to
+// replay the WAL — and a mid-DAG crash must not strand the blocked
+// child.
+func TestDAGOwnersSurviveRestart(t *testing.T) {
+	setup := experiments.TestSetup()
+	w, err := setup.PSAWorkload(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	cfg := func() server.Config {
+		return server.Config{
+			Sites: w.Sites, Algo: "minmin", Seed: 1, Setup: setup,
+			BatchInterval: 100, Manual: true,
+			WALDir: walDir, SnapshotEvery: 2, WALKeep: -1,
+		}
+	}
+
+	srv, err := server.New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	arr := 0.0
+	parent, child := 1, 2
+	requireStatus(t, postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{
+			{ID: &parent, Arrival: &arr, Workload: 500, SD: 0.7},
+			{ID: &child, Arrival: &arr, Workload: 100, SD: 0.7, DependsOn: []int{1}},
+		},
+	}), http.StatusOK)
+	// Complete the parent but crash before the child's round: the child
+	// is sitting in the blocked pen at snapshot time.
+	requireStatus(t, postJSON(t, ts.URL+"/v1/advance", map[string]any{"to": 100.0}), http.StatusOK)
+	ts.Close()
+	if _, err := srv.Stop(false); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := server.New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Stop(false)
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	// Both pre-restart jobs are referenceable, recovered from snapshot
+	// or WAL replay.
+	grandchild := 3
+	requireStatus(t, postJSON(t, ts2.URL+"/v1/jobs", map[string]any{
+		"jobs": []server.JobSpec{
+			{ID: &grandchild, Arrival: &arr, Workload: 50, SD: 0.7, DependsOn: []int{1, 2}},
+		},
+	}), http.StatusOK)
+	resp := postJSON(t, ts2.URL+"/v1/drain", map[string]any{})
+	requireStatus(t, resp, http.StatusOK)
+	if rep := getMetrics(t, ts2.URL); rep.Completed != 3 {
+		t.Fatalf("completed %d jobs after recovery, want 3", rep.Completed)
+	}
+}

@@ -70,6 +70,10 @@ type serverSnapshot struct {
 
 	NextID  int64 `json:"next_id"`
 	UsedIDs []int `json:"used_ids,omitempty"`
+	// Owners maps tenant → sorted accepted job IDs, the depends_on
+	// validation registry. Absent in pre-DAG snapshots, whose arrivals
+	// replay through the WAL and rebuild the map there.
+	Owners map[string][]int `json:"owners,omitempty"`
 
 	Counters counterSnapshot `json:"counters"`
 
@@ -150,6 +154,11 @@ func (s *Server) restoreFromSnapshot(snap *serverSnapshot) {
 	if s.usedIDs != nil {
 		for _, id := range snap.UsedIDs {
 			s.usedIDs[id] = struct{}{}
+		}
+	}
+	for tenant, ids := range snap.Owners {
+		for _, id := range ids {
+			s.owners[id] = tenant
 		}
 	}
 	s.submitted.Store(snap.Counters.Submitted)
@@ -333,6 +342,14 @@ func (s *Server) replayRecord(rec wal.Record) error {
 		}
 		s.submitted.Add(1)
 		s.tenants.addSubmitted(tr.Tenant, 1)
+		// Rebuild the dependency-validation registry. Daemon recordings
+		// always label ownership, but a hand-written single-tenant WAL may
+		// omit the column — those jobs belong to the default tenant.
+		owner := tr.Tenant
+		if owner == "" {
+			owner = api.DefaultTenant
+		}
+		s.owners[tr.ID] = owner
 		if s.usedIDs != nil {
 			s.usedIDs[tr.ID] = struct{}{}
 		}
@@ -643,14 +660,23 @@ func (s *Server) writeSnapshot() error {
 		snap.NextG = s.nextG
 	}
 	snap.EventBase, snap.Events = s.log.snapshotState()
+	s.idMu.Lock()
 	if s.usedIDs != nil {
-		s.idMu.Lock()
 		snap.UsedIDs = make([]int, 0, len(s.usedIDs))
 		for id := range s.usedIDs {
 			snap.UsedIDs = append(snap.UsedIDs, id)
 		}
-		s.idMu.Unlock()
-		sort.Ints(snap.UsedIDs)
+	}
+	if len(s.owners) > 0 {
+		snap.Owners = make(map[string][]int)
+		for id, tenant := range s.owners {
+			snap.Owners[tenant] = append(snap.Owners[tenant], id)
+		}
+	}
+	s.idMu.Unlock()
+	sort.Ints(snap.UsedIDs)
+	for _, ids := range snap.Owners {
+		sort.Ints(ids)
 	}
 	payload, err := json.Marshal(&snap)
 	if err != nil {
@@ -720,6 +746,7 @@ func (s *Server) walArrival(j *grid.Job, at float64) error {
 	rec := wal.Record{Kind: wal.KindArrival, At: at, Arrival: &api.TraceRecord{
 		ID: j.ID, Arrival: j.Arrival, Workload: j.Workload, Nodes: j.Nodes,
 		SD: j.SecurityDemand, Tenant: j.Tenant, SafeOnly: j.SafeOnly,
+		DependsOn: j.DependsOn, Deadline: j.Deadline, Budget: j.Budget,
 	}}
 	l := s.wal
 	if s.shardWALs != nil {

@@ -217,6 +217,13 @@ type Server struct {
 	nextID  atomic.Int64
 	idMu    sync.Mutex
 	usedIDs map[int]struct{} // manual mode: explicit-ID dedupe (bounded by trace size)
+	// owners maps every accepted job ID to its tenant — the registry
+	// depends_on validation resolves against (a dependency must name an
+	// accepted job of the same tenant, which also keeps a DAG inside one
+	// shard under tenant routing). Guarded by idMu; persisted in
+	// snapshots and rebuilt from WAL arrivals, like usedIDs it grows with
+	// the accepted-job count (a retention window is future work).
+	owners map[int]string
 
 	submitted   atomic.Int64 // accepted by the HTTP layer
 	arrived     atomic.Int64 // ingested by the engine
@@ -266,6 +273,7 @@ func New(cfg Config) (*Server, error) {
 		cmds:     make(chan func()),
 		quit:     make(chan struct{}),
 		loopDone: make(chan struct{}),
+		owners:   make(map[int]string),
 		started:  time.Now(),
 	}
 	if cfg.Manual {
@@ -516,6 +524,8 @@ func (s *Server) onEvent(ev sched.EngineEvent) {
 				Workload: ev.Job.Workload, Nodes: ev.Job.Nodes,
 				SD:     ev.Job.SecurityDemand,
 				Tenant: ev.Job.Tenant, SafeOnly: ev.Job.SafeOnly,
+				DependsOn: ev.Job.DependsOn, Deadline: ev.Job.Deadline,
+				Budget: ev.Job.Budget,
 			})
 		}
 	case sched.EventPlaced:

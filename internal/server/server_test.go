@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
@@ -244,7 +245,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatalf("got %d records, want %d", len(got), len(recs))
 	}
 	for i := range recs {
-		if got[i] != recs[i] {
+		if !reflect.DeepEqual(got[i], recs[i]) {
 			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
 		}
 	}

@@ -449,23 +449,44 @@ func (s *Scheduler) Schedule(batch []*grid.Job, st *sched.State) []sched.Assignm
 	// but serving short jobs first minimizes the mean completion time
 	// within each site's queue, which is what the response-time and
 	// slowdown metrics reward.
+	//
+	// On DAG rounds (engine-installed ranks) the per-site fold instead
+	// processes jobs in descending upward rank — the precedence-feasible
+	// decode of DESIGN.md §14: jobs heading the heaviest blocked chains
+	// run first within their site, releasing successors as early as
+	// possible. The batch itself can never contain both ends of an edge
+	// (ready-release batch formation), so feasibility needs only this
+	// ordering choice. The switch keys on HasDAGRanks, which is false on
+	// every edge-free round — those keep the historical SPT key and thus
+	// bit-identical emission. Neither key changes the GA's draw sequence.
 	type emit struct {
-		a   sched.Assignment
-		etc float64
+		a sched.Assignment
+		// key sorts ascending within a site: ETC for SPT, negated upward
+		// rank on DAG rounds.
+		key float64
+	}
+	useRank := kern.HasDAGRanks()
+	var ranks []float64
+	if useRank {
+		ranks = kern.Ranks()
 	}
 	emits := make([]emit, len(batch))
 	for i, j := range batch {
 		site := res.Best[i]
+		key := etc[i*nSites+site]
+		if useRank {
+			key = -ranks[i]
+		}
 		emits[i] = emit{
 			a:   sched.Assignment{Job: j, Site: site, FellBack: fellBack[i]},
-			etc: etc[i*nSites+site],
+			key: key,
 		}
 	}
 	sort.SliceStable(emits, func(a, b int) bool {
 		if emits[a].a.Site != emits[b].a.Site {
 			return emits[a].a.Site < emits[b].a.Site
 		}
-		return emits[a].etc < emits[b].etc
+		return emits[a].key < emits[b].key
 	})
 	out := make([]sched.Assignment, len(batch))
 	for i, e := range emits {

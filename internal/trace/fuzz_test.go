@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -93,7 +94,7 @@ func FuzzParsePSA(f *testing.F) {
 			t.Fatalf("round trip changed job count: %d vs %d", len(back), len(jobs))
 		}
 		for i := range jobs {
-			if *back[i] != *jobs[i] {
+			if !reflect.DeepEqual(back[i], jobs[i]) {
 				t.Fatalf("job %d differs after round trip: %+v vs %+v", i, back[i], jobs[i])
 			}
 		}

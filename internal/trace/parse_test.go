@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestParsePSARoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost jobs: %d vs %d", len(back), len(jobs))
 	}
 	for i := range jobs {
-		if *back[i] != *jobs[i] {
+		if !reflect.DeepEqual(back[i], jobs[i]) {
 			t.Fatalf("job %d differs after round trip: %+v vs %+v", i, back[i], jobs[i])
 		}
 	}
